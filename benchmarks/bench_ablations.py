@@ -1,0 +1,127 @@
+"""A01-A04 — ablations of the design choices the paper calls out.
+
+* A01 (Section 4.1.2): factorized vs unfactorized two-way join output on a
+  many-to-many instance — the factorized representation's communication
+  stays near-linear while the unfactorized output explodes.
+* A02 (Section 6.1.2): heavy/light threshold theta sweep for the triangle
+  query — theta = sqrt(IN) keeps the message count near its minimum.
+* A03 (Section 7): eager vs lazy partial aggregation before the global
+  aggregator — eager aggregation cuts the number of aggregator messages.
+* A04 (Section 5): semi-join reduction effectiveness — with more dangling
+  tuples, the reduction phase removes more of the input and the collection
+  phase sends proportionally fewer messages.
+"""
+
+import math
+
+from conftest import write_result
+
+from repro.bench.reporting import format_table
+from repro.bsp import BSPEngine
+from repro.core import JoinPair, TagJoinExecutor, TriangleQueryProgram, TwoWayJoinProgram
+from repro.sql import parse_and_bind
+from repro.tag import encode_catalog
+from repro.workloads.synthetic import chain_catalog, many_to_many_catalog, triangle_catalog
+
+
+def test_a01_factorized_vs_unfactorized(benchmark):
+    catalog = many_to_many_catalog(left_rows=150, right_rows=150, join_values=5)
+    graph = encode_catalog(catalog)
+    rows = []
+    for factorized in (False, True):
+        engine = BSPEngine(graph)
+        program = TwoWayJoinProgram(graph, "R", "S", [JoinPair("B", "B")], factorized=factorized)
+        result = engine.run(program)
+        metrics = engine.last_metrics
+        output_size = (
+            sum(len(e["left"]) + len(e["right"]) for e in result) if factorized else len(result)
+        )
+        rows.append(
+            ["factorized" if factorized else "unfactorized", output_size,
+             metrics.total_messages, metrics.total_compute]
+        )
+    table = format_table(["mode", "output size", "messages", "compute"], rows)
+    path = write_result("ablation_a01_factorized.txt", table)
+    print("\n[A01] factorized vs unfactorized join output\n" + table)
+    print(f"written to {path}")
+
+    benchmark(
+        lambda: BSPEngine(graph).run(
+            TwoWayJoinProgram(graph, "R", "S", [JoinPair("B", "B")], factorized=True)
+        )
+    )
+    # the factorized representation is much smaller than the expanded output
+    assert rows[1][1] * 5 < rows[0][1]
+
+
+def test_a02_theta_sweep(benchmark):
+    catalog = triangle_catalog(rows_per_relation=150, domain=20, skew=1.3, seed=11)
+    graph = encode_catalog(catalog)
+    total_input = sum(len(catalog.relation(name)) for name in ("R", "S", "T"))
+    thetas = [1, int(math.sqrt(total_input)), total_input]
+    rows = []
+    reference = None
+    for theta in thetas:
+        engine = BSPEngine(graph)
+        result = engine.run(
+            TriangleQueryProgram(graph, ("R", "A", "B"), ("S", "B", "C"), ("T", "C", "A"), theta=theta)
+        )
+        if reference is None:
+            reference = len(result)
+        assert len(result) == reference  # correctness is theta-independent
+        rows.append([theta, engine.last_metrics.total_messages, len(result)])
+    table = format_table(["theta", "messages", "triangles"], rows)
+    path = write_result("ablation_a02_theta.txt", table)
+    print("\n[A02] heavy/light threshold sweep (IN = %d)\n" % total_input + table)
+    print(f"written to {path}")
+
+    benchmark(
+        lambda: BSPEngine(graph).run(
+            TriangleQueryProgram(graph, ("R", "A", "B"), ("S", "B", "C"), ("T", "C", "A"))
+        )
+    )
+
+
+def test_a03_eager_vs_lazy_aggregation(benchmark):
+    from conftest import MINI_SCALES, get_graph, get_workload
+
+    workload = get_workload("tpch", MINI_SCALES[1])
+    graph = get_graph("tpch", MINI_SCALES[1])
+    spec = parse_and_bind(workload.query("q1").sql, workload.catalog, name="q1")
+    rows = []
+    for eager in (True, False):
+        executor = TagJoinExecutor(graph, workload.catalog, eager_partial_aggregation=eager)
+        result = executor.execute(spec)
+        rows.append(["eager" if eager else "lazy", result.metrics.total_messages, len(result.rows)])
+    table = format_table(["aggregation", "messages", "groups"], rows)
+    path = write_result("ablation_a03_eager_aggregation.txt", table)
+    print("\n[A03] eager vs lazy partial aggregation (TPC-H q1)\n" + table)
+    print(f"written to {path}")
+
+    executor = TagJoinExecutor(graph, workload.catalog)
+    benchmark(lambda: executor.execute(spec))
+    assert rows[0][1] <= rows[1][1]
+    assert rows[0][2] == rows[1][2]
+
+
+def test_a04_semijoin_reduction_effectiveness(benchmark):
+    rows = []
+    for dangling in (0.0, 0.4, 0.8):
+        catalog, spec = chain_catalog(
+            relations=3, rows_per_relation=150, dangling_fraction=dangling, domain=40, seed=4
+        )
+        graph = encode_catalog(catalog)
+        executor = TagJoinExecutor(graph, catalog)
+        result = executor.execute(spec)
+        rows.append([dangling, result.metrics.total_messages, len(result.rows)])
+    table = format_table(["dangling fraction", "messages", "output rows"], rows)
+    path = write_result("ablation_a04_reduction.txt", table)
+    print("\n[A04] semi-join reduction effectiveness on chain joins\n" + table)
+    print(f"written to {path}")
+
+    catalog, spec = chain_catalog(relations=3, rows_per_relation=100, dangling_fraction=0.5)
+    graph = encode_catalog(catalog)
+    executor = TagJoinExecutor(graph, catalog)
+    benchmark(lambda: executor.execute(spec))
+    # more dangling tuples -> reduction eliminates more -> fewer total messages
+    assert rows[0][1] > rows[2][1]

@@ -1,0 +1,25 @@
+"""E02 — Figure 13(b): aggregate TPC-DS query runtimes across three scale factors.
+
+The paper's headline result: on the snowflake TPC-DS workload TAG-join
+outperforms every relational baseline in aggregate.  The regenerated rows
+report the same series over the TPC-DS-like workload.
+"""
+
+from conftest import MINI_SCALES, bind, get_report, tag_executor_for, write_result
+
+from repro.bench.reporting import aggregate_runtime_table
+
+
+def test_fig13b_aggregate_tpcds_runtimes(benchmark):
+    reports = [get_report("tpcds", scale) for scale in MINI_SCALES]
+    table = aggregate_runtime_table(reports)
+    path = write_result("fig13b_tpcds_aggregate.txt", table)
+    print("\n[Figure 13b] aggregate TPC-DS runtimes (seconds)\n" + table)
+    print(f"written to {path}")
+
+    executor, workload = tag_executor_for("tpcds", MINI_SCALES[1])
+    spec = bind(workload, "q42")
+    benchmark(lambda: executor.execute(spec))
+
+    for report in reports:
+        assert all(value > 0 for value in report.aggregate_seconds().values())

@@ -1,0 +1,30 @@
+"""E01 — Figure 13(a): aggregate TPC-H query runtimes across three scale factors.
+
+Regenerates the figure's series: for each mini scale factor, the total
+runtime of the whole TPC-H-like query workload on the TAG-join executor and
+on every baseline engine.  The paper's shape to check: TAG-join is
+competitive with the binary-join baselines and clearly ahead of the
+Spark-like engine; absolute numbers differ because every engine here is a
+Python simulation.
+"""
+
+from conftest import MINI_SCALES, bind, get_report, tag_executor_for, write_result
+
+from repro.bench.reporting import aggregate_runtime_table
+
+
+def test_fig13a_aggregate_tpch_runtimes(benchmark):
+    reports = [get_report("tpch", scale) for scale in MINI_SCALES]
+    table = aggregate_runtime_table(reports)
+    path = write_result("fig13a_tpch_aggregate.txt", table)
+    print("\n[Figure 13a] aggregate TPC-H runtimes (seconds)\n" + table)
+    print(f"written to {path}")
+
+    executor, workload = tag_executor_for("tpch", MINI_SCALES[1])
+    spec = bind(workload, "q3")
+    benchmark(lambda: executor.execute(spec))
+
+    for report in reports:
+        totals = report.aggregate_seconds()
+        assert set(totals) >= {"tag", "rdbms_hash", "spark_like"}
+        assert all(value > 0 for value in totals.values())

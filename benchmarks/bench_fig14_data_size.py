@@ -1,0 +1,56 @@
+"""E04 — Figure 14: loaded data sizes (base data + indexes vs the TAG graph).
+
+Compares, per workload and scale factor, the bytes occupied by the
+relational representation (base tables plus PK/FK indexes, as the TPC
+protocol prescribes) against the TAG graph (tuple vertices, shared
+attribute vertices, edges).  The paper observes both land within ~10% of
+each other; the shape to verify here is that the TAG encoding stays within
+a small constant factor of the relational footprint.
+"""
+
+from conftest import MINI_SCALES, get_graph, get_workload, write_result
+
+from repro.bench.reporting import format_table
+from repro.engine import build_indexes
+from repro.tag import storage_comparison
+
+
+def size_rows(workload_name):
+    rows = []
+    for scale in MINI_SCALES:
+        workload = get_workload(workload_name, scale)
+        graph = get_graph(workload_name, scale)
+        indexes = build_indexes(workload.catalog)
+        comparison = storage_comparison(graph, workload.catalog)
+        relational_total = comparison["relational_bytes"] + indexes.size_bytes()
+        rows.append(
+            [
+                workload_name,
+                scale,
+                comparison["relational_bytes"],
+                indexes.size_bytes(),
+                relational_total,
+                comparison["tag_bytes"],
+                round(comparison["tag_bytes"] / relational_total, 2),
+            ]
+        )
+    return rows
+
+
+def test_fig14_loaded_data_sizes(benchmark):
+    headers = [
+        "workload", "scale", "base bytes", "index bytes", "rdbms total",
+        "tag bytes", "tag/rdbms",
+    ]
+    rows = size_rows("tpch") + size_rows("tpcds")
+    table = format_table(headers, rows)
+    path = write_result("fig14_data_sizes.txt", table)
+    print("\n[Figure 14] loaded data sizes\n" + table)
+    print(f"written to {path}")
+
+    workload = get_workload("tpch", MINI_SCALES[0])
+    graph = get_graph("tpch", MINI_SCALES[0])
+    benchmark(lambda: storage_comparison(graph, workload.catalog))
+
+    for row in rows:
+        assert 0.2 <= row[-1] <= 5.0  # same order of magnitude

@@ -1,0 +1,27 @@
+"""E09 — Figure 15: TPC-DS aggregate runtimes broken down by aggregation type.
+
+Figure 15 splits the TPC-DS workload into queries with no aggregation,
+local aggregation, global aggregation and scalar global aggregation, and
+reports each group's aggregate runtime per engine.  The paper's shape: the
+local-aggregation group is where TAG-join's advantage is largest, the
+global-aggregation group is where it shrinks.
+"""
+
+from conftest import MINI_SCALES, bind, get_report, tag_executor_for, write_result
+
+from repro.bench.reporting import category_breakdown_table
+
+
+def test_fig15_category_breakdown(benchmark):
+    report = get_report("tpcds", MINI_SCALES[1])
+    table = category_breakdown_table(report)
+    path = write_result("fig15_tpcds_category_breakdown.txt", table)
+    print("\n[Figure 15] TPC-DS aggregate runtime by aggregation class (seconds)\n" + table)
+    print(f"written to {path}")
+
+    executor, workload = tag_executor_for("tpcds", MINI_SCALES[1])
+    spec = bind(workload, "q98")
+    benchmark(lambda: executor.execute(spec))
+
+    breakdown = report.category_seconds()
+    assert set(breakdown) == {"no_agg", "local", "global", "scalar"}

@@ -1,0 +1,39 @@
+"""E06 — Table 4: TPC-H global / scalar aggregation queries.
+
+Table 4 lists the runtimes of queries whose GROUP BY needs a global
+aggregator (q1, q7, q9, q16) or that compute scalar aggregates (q6, q19).
+The paper's observation: these are the queries where TAG-join loses its
+edge because every active vertex must talk to one global aggregator vertex.
+The regenerated table reports runtimes for every engine plus TAG-join's
+message counts so that bottleneck is visible.
+"""
+
+from conftest import MINI_SCALES, bind, get_report, tag_executor_for, write_result
+
+from repro.bench.reporting import format_table
+
+TABLE4_QUERIES = ["q1", "q6", "q7", "q9", "q16", "q19"]
+
+
+def test_table4_global_and_scalar_queries(benchmark):
+    report = get_report("tpch", MINI_SCALES[1])
+    engines = report.engines()
+    rows = []
+    for query in TABLE4_QUERIES:
+        row = [query]
+        for engine in engines:
+            run = report.run_for(engine, query)
+            row.append(run.seconds if run and run.ok else "-")
+        tag_run = report.run_for("tag", query)
+        row.append(tag_run.messages if tag_run else "-")
+        rows.append(row)
+    table = format_table(["query"] + engines + ["tag messages"], rows)
+    path = write_result("table4_tpch_ga.txt", table)
+    print("\n[Table 4] GA / scalar TPC-H queries (seconds)\n" + table)
+    print(f"written to {path}")
+
+    executor, workload = tag_executor_for("tpch", MINI_SCALES[1])
+    spec = bind(workload, "q6")
+    benchmark(lambda: executor.execute(spec))
+
+    assert all(report.run_for("tag", query).ok for query in TABLE4_QUERIES)

@@ -1,0 +1,28 @@
+"""E07 — Table 5: TPC-DS win / competitive / worse counts.
+
+Table 5 summarises, per baseline system, on how many of the TPC-DS queries
+TAG-join outperforms it, is competitive with it, or is slower.  The
+regenerated table applies the same ±20% competitiveness band over the
+TPC-DS-like workload.
+"""
+
+from conftest import MINI_SCALES, bind, get_report, tag_executor_for, write_result
+
+from repro.bench.reporting import win_count_table
+
+
+def test_table5_win_counts(benchmark):
+    report = get_report("tpcds", MINI_SCALES[1])
+    table = win_count_table(report, "tag")
+    path = write_result("table5_tpcds_wins.txt", table)
+    print("\n[Table 5] TAG-join win/competitive/worse counts on TPC-DS\n" + table)
+    print(f"written to {path}")
+
+    executor, workload = tag_executor_for("tpcds", MINI_SCALES[1])
+    spec = bind(workload, "q37")
+    benchmark(lambda: executor.execute(spec))
+
+    counts = report.win_counts("tag")
+    total_queries = len(report.queries())
+    for tally in counts.values():
+        assert sum(tally.values()) == total_queries

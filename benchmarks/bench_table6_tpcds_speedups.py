@@ -1,0 +1,37 @@
+"""E08 — Table 6: selected TPC-DS per-query speedups by query class.
+
+Table 6 drills into representative queries of each class: no-aggregation
+(q37, q82, q84), local aggregation (q7, q12, q15, ...), and global / scalar
+aggregation (q3, q45, q69, q32, ...), reporting TAG-join's runtime and its
+speedup over every baseline.
+"""
+
+from conftest import MINI_SCALES, bind, get_report, tag_executor_for, write_result
+
+from repro.bench.reporting import speedup_table
+
+TABLE6_QUERIES = {
+    "no_agg": ["q37", "q82", "q84"],
+    "local": ["q7", "q12", "q15", "q33", "q98"],
+    "global_scalar": ["q3", "q45", "q69", "q32", "q96"],
+}
+
+
+def test_table6_selected_speedups(benchmark):
+    report = get_report("tpcds", MINI_SCALES[1])
+    sections = []
+    for group, queries in TABLE6_QUERIES.items():
+        sections.append(f"-- {group} --")
+        sections.append(speedup_table(report, "tag", queries))
+    content = "\n".join(sections)
+    path = write_result("table6_tpcds_speedups.txt", content)
+    print("\n[Table 6] selected TPC-DS speedups\n" + content)
+    print(f"written to {path}")
+
+    executor, workload = tag_executor_for("tpcds", MINI_SCALES[1])
+    spec = bind(workload, "q7")
+    benchmark(lambda: executor.execute(spec))
+
+    for queries in TABLE6_QUERIES.values():
+        for query in queries:
+            assert report.run_for("tag", query).ok

@@ -1,0 +1,40 @@
+"""E10 — Table 7: peak memory usage during workload execution.
+
+Table 7 reports each system's peak RAM while executing the workloads with
+warm caches.  Here we measure peak *query-execution* allocations
+(tracemalloc) for a representative subset of the TPC-H-like queries on
+every engine; the data structures loaded beforehand (relations, indexes,
+TAG graph) are reported separately by the Figure 14 benchmark.
+"""
+
+from conftest import MINI_SCALES, get_graph, get_workload, write_result
+
+from repro.bench.memory import workload_peak_memory
+from repro.bench.reporting import format_table
+from repro.core import TagJoinExecutor
+from repro.distributed import SparkLikeExecutor
+from repro.engine import RelationalExecutor
+
+QUERIES = ["q3", "q5", "q6", "q10", "q14", "q15"]
+
+
+def test_table7_peak_memory(benchmark):
+    workload = get_workload("tpch", MINI_SCALES[0])
+    graph = get_graph("tpch", MINI_SCALES[0])
+    engines = {
+        "tag": TagJoinExecutor(graph, workload.catalog),
+        "rdbms_hash": RelationalExecutor(workload.catalog),
+        "spark_like": SparkLikeExecutor(workload.catalog),
+    }
+    rows = []
+    for name, engine in engines.items():
+        peak = workload_peak_memory(workload, engine, QUERIES)
+        rows.append([name, peak, round(peak / 1024, 1)])
+    table = format_table(["engine", "peak bytes", "peak KiB"], rows)
+    path = write_result("table7_peak_memory.txt", table)
+    print("\n[Table 7] peak query-execution memory\n" + table)
+    print(f"written to {path}")
+
+    benchmark(lambda: workload_peak_memory(workload, engines["rdbms_hash"], ["q6"]))
+
+    assert all(row[1] > 0 for row in rows)

@@ -1,0 +1,50 @@
+"""E12/E13 — Tables 8-10 and 11-13: per-query runtimes for every scale factor.
+
+The appendix tables list every individual query's average runtime on every
+system for SF-30/50/75.  The regenerated artefacts print one per-query
+table per (workload, mini scale factor) pair, for all engines.
+"""
+
+from conftest import MINI_SCALES, bind, get_report, tag_executor_for, write_result
+
+from repro.bench.reporting import per_query_table
+
+
+def test_tables_8_to_10_tpch_per_query(benchmark):
+    sections = []
+    for scale in MINI_SCALES:
+        report = get_report("tpch", scale)
+        sections.append(f"== TPC-H mini scale {scale} ==")
+        sections.append(per_query_table(report))
+    content = "\n".join(sections)
+    path = write_result("tables8_10_tpch_per_query.txt", content)
+    print("\n[Tables 8-10] per-query TPC-H runtimes\n" + content)
+    print(f"written to {path}")
+
+    executor, workload = tag_executor_for("tpch", MINI_SCALES[0])
+    spec = bind(workload, "q12")
+    benchmark(lambda: executor.execute(spec))
+
+    report = get_report("tpch", MINI_SCALES[0])
+    assert len(report.queries()) == 22
+
+
+def test_tables_11_to_13_tpcds_per_query(benchmark):
+    sections = []
+    for scale in MINI_SCALES:
+        report = get_report("tpcds", scale)
+        sections.append(f"== TPC-DS mini scale {scale} ==")
+        sections.append(per_query_table(report))
+    content = "\n".join(sections)
+    path = write_result("tables11_13_tpcds_per_query.txt", content)
+    print("\n[Tables 11-13] per-query TPC-DS runtimes\n" + content)
+    print(f"written to {path}")
+
+    report = get_report("tpcds", MINI_SCALES[0])
+    assert len(report.queries()) == 24
+    failures = [run for run in report.runs if not run.ok]
+    assert failures == []
+
+    executor, workload = tag_executor_for("tpcds", MINI_SCALES[0])
+    spec = bind(workload, "q52")
+    benchmark(lambda: executor.execute(spec))

@@ -1,0 +1,93 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark target regenerates one of the paper's tables or figures
+(see DESIGN.md's per-experiment index).  Workload reports are expensive, so
+they are computed once per (workload, scale) pair and shared across all
+benchmark modules; each module additionally registers a pytest-benchmark
+measurement of a representative query so ``pytest benchmarks/
+--benchmark-only`` produces timing statistics, and writes the paper-style
+table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench import default_engines, run_workload
+from repro.bench.harness import WorkloadReport
+from repro.sql import parse_and_bind
+from repro.tag import encode_catalog
+from repro.workloads import tpcds_workload, tpch_workload
+from repro.workloads.base import Workload
+
+#: "mini scale factors" standing in for the paper's SF-30 / SF-50 / SF-75.
+MINI_SCALES = (0.06, 0.10, 0.15)
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_workloads: Dict[Tuple[str, float], Workload] = {}
+_reports: Dict[Tuple[str, float, int], WorkloadReport] = {}
+_graphs: Dict[Tuple[str, float], object] = {}
+
+
+def get_workload(name: str, scale: float) -> Workload:
+    key = (name, scale)
+    if key not in _workloads:
+        factory = tpch_workload if name == "tpch" else tpcds_workload
+        _workloads[key] = factory(scale=scale)
+    return _workloads[key]
+
+
+def get_graph(name: str, scale: float):
+    key = (name, scale)
+    if key not in _graphs:
+        _graphs[key] = encode_catalog(get_workload(name, scale).catalog)
+    return _graphs[key]
+
+
+def get_report(name: str, scale: float, num_workers: int = 1) -> WorkloadReport:
+    """Run (and cache) the whole workload on every engine."""
+    key = (name, scale, num_workers)
+    if key not in _reports:
+        workload = get_workload(name, scale)
+        engines = default_engines(
+            workload.catalog,
+            graph=get_graph(name, scale),
+            num_workers=num_workers,
+        )
+        _reports[key] = run_workload(workload, engines, with_checksum=False)
+    return _reports[key]
+
+
+def write_result(filename: str, content: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w") as handle:
+        handle.write(content + "\n")
+    return path
+
+
+def tag_executor_for(name: str, scale: float):
+    from repro.core import TagJoinExecutor
+
+    workload = get_workload(name, scale)
+    return TagJoinExecutor(get_graph(name, scale), workload.catalog), workload
+
+
+def bind(workload: Workload, query_name: str):
+    return parse_and_bind(workload.query(query_name).sql, workload.catalog, name=query_name)
+
+
+@pytest.fixture(scope="session")
+def tpch_base():
+    """The mid-scale TPC-H-like workload + TAG executor used for micro-benchmarks."""
+    executor, workload = tag_executor_for("tpch", MINI_SCALES[1])
+    return executor, workload
+
+
+@pytest.fixture(scope="session")
+def tpcds_base():
+    executor, workload = tag_executor_for("tpcds", MINI_SCALES[1])
+    return executor, workload

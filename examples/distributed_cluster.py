@@ -1,0 +1,53 @@
+"""Distributed scenario: TAG-join on a simulated cluster vs the Spark-like engine.
+
+Reproduces the setting of the paper's Section 8.6 at laptop scale: the
+TPC-DS-like snowflake workload is evaluated with the TAG graph hash
+partitioned over six workers (cross-worker messages are network traffic)
+and with the Spark-like shuffle engine over six partitions.  The script
+prints aggregate runtime and total network traffic for both, plus the
+per-superstep activity of one query to show the BSP execution unfold.
+
+Run with:  python examples/distributed_cluster.py
+"""
+
+from repro.bench import default_engines, network_table, run_workload
+from repro.bench.reporting import aggregate_runtime_table
+from repro.core import TagJoinExecutor
+from repro.sql import parse_and_bind
+from repro.tag import encode_catalog
+from repro.workloads import tpcds_workload
+
+WORKERS = 6
+SELECTED = ["q3", "q7", "q15", "q37", "q42", "q69", "q90", "q96"]
+
+
+def main() -> None:
+    workload = tpcds_workload(scale=0.1)
+    graph = encode_catalog(workload.catalog)
+    print("snowflake database:", workload.catalog)
+    print("TAG graph:", graph, f"partitioned over {WORKERS} workers")
+
+    engines = default_engines(
+        workload.catalog, graph=graph, num_workers=WORKERS, include=("tag", "spark_like")
+    )
+    report = run_workload(workload, engines, queries=SELECTED)
+
+    print("\naggregate runtime over", len(SELECTED), "queries (seconds):")
+    print(aggregate_runtime_table([report]))
+    print("\ntotal network traffic (bytes crossing worker boundaries):")
+    print(network_table([report]))
+
+    # drill into one query's superstep-by-superstep behaviour
+    executor = TagJoinExecutor(graph, workload.catalog, num_workers=WORKERS)
+    spec = parse_and_bind(workload.query("q42").sql, workload.catalog, name="q42")
+    result = executor.execute(spec)
+    print("\nquery q42 on the cluster:", len(result.rows), "groups,",
+          result.metrics.superstep_count, "supersteps")
+    print("superstep | active vertices | messages | network bytes")
+    for step in result.metrics.supersteps:
+        print(f"{step.superstep:9d} | {step.active_vertices:15d} | "
+              f"{step.messages_sent:8d} | {step.network_bytes:13d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Quickstart: encode a small relational database as a TAG graph and run SQL on it.
+
+Builds a tiny NATION / CUSTOMER / ORDERS database, encodes it once
+(query-independently) into a Tuple-Attribute Graph, and evaluates SQL
+queries with the vertex-centric TAG-join executor — printing the results
+alongside the paper's cost measures (supersteps, messages, per-vertex
+computation).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Catalog, Column, DataType, ForeignKey, Relation, Schema, TagJoinExecutor, encode_catalog
+
+
+def build_database() -> Catalog:
+    catalog = Catalog("quickstart")
+    catalog.add(
+        Relation(
+            Schema(
+                "NATION",
+                [Column("N_NATIONKEY", DataType.INT), Column("N_NAME", DataType.STRING)],
+                primary_key=["N_NATIONKEY"],
+            ),
+            [[1, "USA"], [2, "FRANCE"], [3, "JAPAN"]],
+        )
+    )
+    catalog.add(
+        Relation(
+            Schema(
+                "CUSTOMER",
+                [
+                    Column("C_CUSTKEY", DataType.INT),
+                    Column("C_NAME", DataType.STRING),
+                    Column("C_NATIONKEY", DataType.INT),
+                ],
+                primary_key=["C_CUSTKEY"],
+                foreign_keys=[ForeignKey(("C_NATIONKEY",), "NATION", ("N_NATIONKEY",))],
+            ),
+            [[10, "Ada", 1], [11, "Bob", 1], [12, "Cleo", 2], [13, "Dai", 3]],
+        )
+    )
+    catalog.add(
+        Relation(
+            Schema(
+                "ORDERS",
+                [
+                    Column("O_ORDERKEY", DataType.INT),
+                    Column("O_CUSTKEY", DataType.INT),
+                    Column("O_TOTAL", DataType.FLOAT),
+                ],
+                primary_key=["O_ORDERKEY"],
+                foreign_keys=[ForeignKey(("O_CUSTKEY",), "CUSTOMER", ("C_CUSTKEY",))],
+            ),
+            [[100, 10, 120.0], [101, 10, 80.0], [102, 12, 42.0], [103, 13, 10.0]],
+        )
+    )
+    return catalog
+
+
+def main() -> None:
+    catalog = build_database()
+    print("1. relational catalog:", catalog)
+
+    # the TAG encoding is query independent and built once (paper Section 3)
+    graph = encode_catalog(catalog)
+    print("2. TAG graph:", graph)
+    print(
+        "   tuple vertices:", graph.load_report.tuple_vertices,
+        "| attribute vertices:", graph.load_report.attribute_vertices,
+        "| edges:", graph.edge_count,
+    )
+
+    executor = TagJoinExecutor(graph, catalog)
+
+    print("\n3. a join with local aggregation (revenue per nation):")
+    result = executor.execute_sql(
+        """
+        SELECT n.N_NAME AS nation, SUM(o.O_TOTAL) AS revenue, COUNT(*) AS orders
+        FROM NATION n, CUSTOMER c, ORDERS o
+        WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY
+        GROUP BY n.N_NAME
+        """
+    )
+    for row in sorted(result.rows, key=lambda r: r["nation"]):
+        print("   ", row)
+    print("   cost:", result.metrics.summary())
+
+    print("\n4. a correlated subquery (customers whose every order is above 50):")
+    result = executor.execute_sql(
+        """
+        SELECT c.C_NAME
+        FROM CUSTOMER c
+        WHERE NOT EXISTS (SELECT o.O_ORDERKEY FROM ORDERS o
+                          WHERE o.O_CUSTKEY = c.C_CUSTKEY AND o.O_TOTAL < 50)
+          AND EXISTS (SELECT o2.O_ORDERKEY FROM ORDERS o2 WHERE o2.O_CUSTKEY = c.C_CUSTKEY)
+        """
+    )
+    print("   ", sorted(row["C_NAME"] for row in result.rows))
+
+
+if __name__ == "__main__":
+    main()

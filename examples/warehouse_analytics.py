@@ -1,0 +1,39 @@
+"""Data-warehouse scenario: the TPC-H-like workload on every engine.
+
+Generates the TPC-H-like database (the paper's "RDBMS comfort zone":
+3NF schema, PK-FK joins), runs a handful of representative queries —
+local aggregation, a correlated subquery and the 5-way cycle query — on
+the TAG-join executor and on the baseline engines, and prints a small
+comparison table like the paper's Table 3.
+
+Run with:  python examples/warehouse_analytics.py
+"""
+
+from repro.bench import default_engines, per_query_table, run_workload, speedup_table
+from repro.workloads import tpch_workload
+
+SELECTED = ["q3", "q4", "q5", "q6", "q10", "q14", "q17", "q21"]
+
+
+def main() -> None:
+    workload = tpch_workload(scale=0.1)
+    print("generated", workload.catalog)
+    for name in ("CUSTOMER", "ORDERS", "LINEITEM"):
+        print(f"  {name}: {len(workload.catalog.relation(name))} rows")
+
+    engines = default_engines(workload.catalog)
+    print("\nrunning", len(SELECTED), "queries on", ", ".join(engines), "...")
+    report = run_workload(workload, engines, queries=SELECTED)
+
+    print("\nper-query runtimes (seconds):")
+    print(per_query_table(report))
+
+    print("\nTAG-join speedups over the baselines (paper Table 3 style):")
+    print(speedup_table(report, "tag", SELECTED))
+
+    failures = report.agreement_failures("rdbms_hash")
+    print("\nresult agreement across engines:", "OK" if not failures else failures)
+
+
+if __name__ == "__main__":
+    main()

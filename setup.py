@@ -1,0 +1,9 @@
+"""Setuptools shim so editable installs work without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+`pip install -e .` / `python setup.py develop` in offline environments
+whose setuptools cannot build PEP 660 editable wheels.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — Vertex-centric Parallel Computation of SQL Queries.
+
+A from-scratch Python reproduction of Smagulova & Deutsch, SIGMOD 2021:
+the TAG encoding of relational databases as bipartite tuple/attribute
+graphs and the TAG-join family of vertex-centric BSP algorithms for SQL
+evaluation, together with the substrates the paper depends on (a Pregel
+style BSP engine, an in-memory relational engine used as the RDBMS
+baseline, a Spark-SQL-like distributed shuffle engine, and TPC-H / TPC-DS
+style workload generators).
+
+Quickstart::
+
+    from repro import Catalog, Relation, encode_catalog, TagJoinExecutor, QueryBuilder
+
+    catalog = ...                      # build or generate a Catalog
+    graph = encode_catalog(catalog)    # query-independent TAG encoding
+    executor = TagJoinExecutor(graph, catalog)
+    result = executor.execute_sql("SELECT ... FROM ... WHERE ...")
+"""
+
+from .algebra import (
+    AggFunc,
+    AggregationClass,
+    ColumnRef,
+    Comparison,
+    JoinCondition,
+    QueryBuilder,
+    QuerySpec,
+    col,
+    lit,
+)
+from .bsp import BSPEngine, Graph, HashPartitioner, RunMetrics, SinglePartitioner
+from .core import QueryResult, TagJoinExecutor
+from .relational import Catalog, Column, DataType, ForeignKey, Relation, Schema
+from .tag import TagEncoder, TagGraph, encode_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggFunc",
+    "AggregationClass",
+    "BSPEngine",
+    "Catalog",
+    "Column",
+    "ColumnRef",
+    "Comparison",
+    "DataType",
+    "ForeignKey",
+    "Graph",
+    "HashPartitioner",
+    "JoinCondition",
+    "QueryBuilder",
+    "QueryResult",
+    "QuerySpec",
+    "Relation",
+    "RunMetrics",
+    "Schema",
+    "SinglePartitioner",
+    "TagEncoder",
+    "TagGraph",
+    "TagJoinExecutor",
+    "col",
+    "encode_catalog",
+    "lit",
+    "__version__",
+]

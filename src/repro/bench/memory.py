@@ -1,0 +1,44 @@
+"""Peak memory measurement for workload execution (paper Table 7)."""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from ..relational.catalog import Catalog
+from ..sql import parse_and_bind
+from ..workloads.base import Workload
+
+
+def peak_memory_bytes(function: Callable[[], Any]) -> int:
+    """Run ``function`` under tracemalloc and return the peak allocated bytes."""
+    tracemalloc.start()
+    try:
+        function()
+        _current, peak = tracemalloc.get_traced_memory()
+        return peak
+    finally:
+        tracemalloc.stop()
+
+
+def workload_peak_memory(
+    workload: Workload,
+    engine: Any,
+    queries: Optional[Sequence[str]] = None,
+) -> int:
+    """Peak memory while executing a workload's queries on ``engine``.
+
+    Mirrors the paper's Table 7 methodology (peak RAM during workload
+    execution with warm caches): the data is loaded before measurement
+    starts, so the number reflects query execution state only.
+    """
+    selected = [
+        query for query in workload.queries if queries is None or query.name in set(queries)
+    ]
+
+    def run_all() -> None:
+        for query in selected:
+            spec = parse_and_bind(query.sql, workload.catalog, name=query.name)
+            engine.execute(spec)
+
+    return peak_memory_bytes(run_all)

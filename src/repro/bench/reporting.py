@@ -1,0 +1,123 @@
+"""Text rendering of benchmark reports in the shape of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .harness import WorkloadReport
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with aligned columns."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    lines.append(" | ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def aggregate_runtime_table(reports: Sequence[WorkloadReport]) -> str:
+    """Figure 13-style rows: one row per (workload, scale), one column per engine."""
+    engines: List[str] = []
+    for report in reports:
+        for engine in report.engines():
+            if engine not in engines:
+                engines.append(engine)
+    headers = ["workload", "scale"] + engines
+    rows = []
+    for report in reports:
+        totals = report.aggregate_seconds()
+        rows.append(
+            [report.workload, report.scale] + [totals.get(engine, float("nan")) for engine in engines]
+        )
+    return format_table(headers, rows)
+
+
+def per_query_table(report: WorkloadReport) -> str:
+    """Tables 8-13 style: per-query runtimes (seconds) for every engine."""
+    engines = report.engines()
+    headers = ["query", "category"] + engines + ["rows"]
+    rows = []
+    for query in report.queries():
+        runs = {engine: report.run_for(engine, query) for engine in engines}
+        first = next((run for run in runs.values() if run is not None), None)
+        category = first.category if first else ""
+        row_count = next((run.row_count for run in runs.values() if run and run.ok), 0)
+        row: List[object] = [query, category]
+        for engine in engines:
+            run = runs.get(engine)
+            row.append(run.seconds if run and run.ok else f"ERR:{run.error[:30]}" if run else "-")
+        row.append(row_count)
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def speedup_table(report: WorkloadReport, reference: str, queries: Sequence[str]) -> str:
+    """Table 3/6 style: reference runtime plus its speedup over each baseline."""
+    engines = [engine for engine in report.engines() if engine != reference]
+    headers = ["query", f"{reference} (s)"] + [f"vs {engine}" for engine in engines]
+    rows = []
+    for query in queries:
+        reference_run = report.run_for(reference, query)
+        if reference_run is None or not reference_run.ok:
+            continue
+        row: List[object] = [query, reference_run.seconds]
+        for engine in engines:
+            other = report.run_for(engine, query)
+            if other is None or not other.ok or reference_run.seconds == 0:
+                row.append("-")
+            else:
+                row.append(f"{other.seconds / reference_run.seconds:.2f}x")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def category_breakdown_table(report: WorkloadReport) -> str:
+    """Figure 15 style: aggregate runtime per aggregation category and engine."""
+    breakdown = report.category_seconds()
+    engines = report.engines()
+    headers = ["category"] + engines
+    rows = []
+    for category, per_engine in sorted(breakdown.items()):
+        rows.append([category] + [per_engine.get(engine, 0.0) for engine in engines])
+    return format_table(headers, rows)
+
+
+def win_count_table(report: WorkloadReport, reference: str) -> str:
+    """Table 5 style: outperforms / competitive / worse counts per baseline."""
+    counts = report.win_counts(reference)
+    headers = ["baseline", "outperforms", "competitive", "worse"]
+    rows = [
+        [engine, tally["outperforms"], tally["competitive"], tally["worse"]]
+        for engine, tally in counts.items()
+    ]
+    return format_table(headers, rows)
+
+
+def network_table(reports: Sequence[WorkloadReport]) -> str:
+    """Figure 16 style: total network traffic per engine."""
+    engines: List[str] = []
+    for report in reports:
+        for engine in report.engines():
+            if engine not in engines:
+                engines.append(engine)
+    headers = ["workload", "scale"] + [f"{engine} bytes" for engine in engines]
+    rows = []
+    for report in reports:
+        totals = report.aggregate_network_bytes()
+        rows.append(
+            [report.workload, report.scale] + [totals.get(engine, 0) for engine in engines]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,48 @@
+"""Vertex-centric BSP substrate: graph store, Pregel-style engine, aggregators."""
+
+from .aggregators import (
+    Aggregator,
+    AggregatorRegistry,
+    CollectAggregator,
+    CountAggregator,
+    GroupAggregator,
+    MaxAggregator,
+    MinAggregator,
+    SumAggregator,
+)
+from .engine import BSPEngine, BSPError, SuperstepContext, VertexProgram
+from .graph import Edge, Graph, GraphError, Vertex, VertexId
+from .metrics import RunMetrics, SuperstepMetrics, payload_size_bytes
+from .partition import (
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    SinglePartitioner,
+)
+
+__all__ = [
+    "Aggregator",
+    "AggregatorRegistry",
+    "BSPEngine",
+    "BSPError",
+    "CollectAggregator",
+    "CountAggregator",
+    "Edge",
+    "Graph",
+    "GraphError",
+    "GroupAggregator",
+    "HashPartitioner",
+    "MaxAggregator",
+    "MinAggregator",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "RunMetrics",
+    "SinglePartitioner",
+    "SumAggregator",
+    "SuperstepContext",
+    "SuperstepMetrics",
+    "Vertex",
+    "VertexId",
+    "VertexProgram",
+    "payload_size_bytes",
+]

@@ -1,0 +1,280 @@
+"""The vertex-centric BSP execution engine (a Pregel-style simulator).
+
+The engine drives a :class:`VertexProgram` over a :class:`~repro.bsp.graph.Graph`
+in synchronous supersteps (paper Section 2):
+
+* every active vertex runs ``compute`` with the messages delivered to it;
+* messages sent during superstep *i* are delivered at superstep *i + 1*;
+* a vertex deactivates at the end of a superstep and is reactivated only by
+  an incoming message (the model used by the paper's Algorithm 2);
+* global aggregator vertices collect values contributed during the
+  superstep and expose them to the next one;
+* a *master hook* (``before_superstep``) runs once per superstep on the
+  coordinator — TAG-join uses it to pop the next traversal label from the
+  plan stack, mirroring the query driver of a TigerGraph GSQL query.
+
+The engine is single-process but partition-aware: a
+:class:`~repro.bsp.partition.Partitioner` assigns vertices to workers and
+the metrics distinguish intra-worker from cross-worker (network) messages,
+which is what the paper's distributed experiments measure.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from .aggregators import Aggregator, AggregatorRegistry
+from .graph import Edge, Graph, Vertex, VertexId
+from .metrics import RunMetrics, payload_size_bytes
+from .partition import Partitioner, SinglePartitioner
+
+
+class BSPError(RuntimeError):
+    """Raised for protocol violations (e.g. messaging an unknown vertex)."""
+
+
+class SuperstepContext:
+    """Per-superstep facade handed to ``VertexProgram.compute``.
+
+    Provides message sending, aggregator access, cost charging and the
+    current superstep number.  All communication accounting flows through
+    this object.
+    """
+
+    def __init__(
+        self,
+        engine: "BSPEngine",
+        superstep: int,
+    ) -> None:
+        self._engine = engine
+        self.superstep = superstep
+        self._outbox: Dict[VertexId, List[Any]] = defaultdict(list)
+        self._aggregator_inbox: List[Tuple[str, Any]] = []
+        self._messages_sent = 0
+        self._message_bytes = 0
+        self._network_messages = 0
+        self._network_bytes = 0
+        self._compute_units = 0
+        self._halt_requested = False
+        self._current_vertex: Optional[Vertex] = None
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, target: VertexId, payload: Any) -> None:
+        """Send ``payload`` to ``target``, delivered next superstep."""
+        if not self._engine.graph.has_vertex(target):
+            raise BSPError(f"message sent to unknown vertex {target!r}")
+        self._outbox[target].append(payload)
+        self._messages_sent += 1
+        size = payload_size_bytes(payload)
+        self._message_bytes += size
+        if self._current_vertex is not None:
+            source_partition = self._engine.partition_of(self._current_vertex.vertex_id)
+            target_partition = self._engine.partition_of(target)
+            if source_partition != target_partition:
+                self._network_messages += 1
+                self._network_bytes += size
+
+    def send_along(self, edge: Edge, payload: Any) -> None:
+        """Send a message across ``edge`` (to its target)."""
+        self.send(edge.target, payload)
+
+    # ------------------------------------------------------------------
+    # aggregators
+    # ------------------------------------------------------------------
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute ``value`` to the global aggregator ``name``.
+
+        Contributions are also charged as messages: the aggregator is a
+        vertex whose id every vertex knows (Section 2), so talking to it is
+        communication, and it is exactly the bottleneck the paper observes
+        for global aggregation.
+        """
+        if name not in self._engine.aggregators:
+            raise BSPError(f"unknown aggregator {name!r}")
+        self._aggregator_inbox.append((name, value))
+        self._messages_sent += 1
+        size = payload_size_bytes(value)
+        self._message_bytes += size
+        if self._current_vertex is not None and self._engine.num_workers > 1:
+            # the aggregator lives on worker 0 by convention
+            if self._engine.partition_of(self._current_vertex.vertex_id) != 0:
+                self._network_messages += 1
+                self._network_bytes += size
+
+    def aggregated_value(self, name: str) -> Any:
+        """Read the value an aggregator held at the start of this superstep."""
+        return self._engine.aggregators.get(name).value()
+
+    # ------------------------------------------------------------------
+    # cost accounting & control
+    # ------------------------------------------------------------------
+    def charge(self, units: int = 1) -> None:
+        """Charge ``units`` of per-vertex computation (edge scans, joins...)."""
+        self._compute_units += units
+
+    def halt(self) -> None:
+        """Request global termination after this superstep (master hook only)."""
+        self._halt_requested = True
+
+    # internal -----------------------------------------------------------
+    def _set_current_vertex(self, vertex: Optional[Vertex]) -> None:
+        self._current_vertex = vertex
+
+
+class VertexProgram:
+    """User-defined vertex program (paper Section 2).
+
+    Subclasses implement ``compute``; they may override the lifecycle hooks
+    to drive multi-phase computations.
+    """
+
+    def initial_active_vertices(self, graph: Graph) -> Iterable[VertexId]:
+        """Vertices active at superstep 0 (default: all)."""
+        return graph.vertex_ids()
+
+    def before_superstep(self, superstep: int, graph: Graph, context: SuperstepContext) -> None:
+        """Master hook run once before each superstep's vertex computations."""
+
+    def compute(
+        self,
+        vertex: Vertex,
+        messages: List[Any],
+        graph: Graph,
+        context: SuperstepContext,
+    ) -> None:
+        """Per-vertex computation; must only touch local data and messages."""
+        raise NotImplementedError
+
+    def after_superstep(self, superstep: int, graph: Graph, context: SuperstepContext) -> None:
+        """Master hook run after the superstep's vertex computations."""
+
+    def result(self, graph: Graph, aggregators: AggregatorRegistry) -> Any:
+        """Assemble the distributed output after termination (default: None)."""
+        return None
+
+
+class BSPEngine:
+    """Runs vertex programs over a graph in synchronous supersteps."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        partitioner: Optional[Partitioner] = None,
+        max_supersteps: int = 10_000,
+    ) -> None:
+        self.graph = graph
+        self.partitioner = partitioner or SinglePartitioner()
+        self.max_supersteps = max_supersteps
+        self.aggregators = AggregatorRegistry()
+        self._partition_cache: Dict[VertexId, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self.partitioner.num_workers
+
+    def partition_of(self, vertex_id: VertexId) -> int:
+        partition = self._partition_cache.get(vertex_id)
+        if partition is None:
+            partition = self.partitioner.partition_of(vertex_id)
+            self._partition_cache[vertex_id] = partition
+        return partition
+
+    def register_aggregator(self, aggregator: Aggregator) -> Aggregator:
+        return self.aggregators.register(aggregator)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: VertexProgram,
+        metrics: Optional[RunMetrics] = None,
+        reset_vertex_state: bool = True,
+        initial_messages: Optional[Dict[VertexId, List[Any]]] = None,
+    ) -> Any:
+        """Execute ``program`` to completion and return ``program.result``.
+
+        Args:
+            program: the vertex program to run.
+            metrics: optional metrics accumulator (a fresh one is created
+                otherwise and attached to the return value via
+                ``engine.last_metrics``).
+            reset_vertex_state: clear per-vertex scratch state before the run.
+            initial_messages: optional messages delivered at superstep 0 (in
+                addition to the program's initial active set).
+        """
+        if reset_vertex_state:
+            self.graph.reset_all_state()
+        run_metrics = metrics if metrics is not None else RunMetrics(
+            label=type(program).__name__
+        )
+        start = time.perf_counter()
+
+        inbox: Dict[VertexId, List[Any]] = defaultdict(list)
+        if initial_messages:
+            for vertex_id, payloads in initial_messages.items():
+                inbox[vertex_id].extend(payloads)
+        active: Set[VertexId] = set(program.initial_active_vertices(self.graph))
+        active |= set(inbox)
+
+        superstep = 0
+        while superstep < self.max_supersteps:
+            if not active and not inbox:
+                break
+            context = SuperstepContext(self, superstep)
+            step_metrics = run_metrics.new_superstep(superstep)
+
+            program.before_superstep(superstep, self.graph, context)
+            if context._halt_requested:
+                self._flush_aggregators(context)
+                self._record(step_metrics, context, active_count=0)
+                break
+
+            step_metrics.active_vertices = len(active)
+            for vertex_id in active:
+                vertex = self.graph.vertex(vertex_id)
+                messages = inbox.get(vertex_id, [])
+                context._set_current_vertex(vertex)
+                program.compute(vertex, messages, self.graph, context)
+            context._set_current_vertex(None)
+
+            program.after_superstep(superstep, self.graph, context)
+
+            self._flush_aggregators(context)
+            self._record(step_metrics, context, active_count=len(active))
+
+            # barrier: messages sent now are delivered next superstep, and
+            # only their recipients are active then (paper Section 2).
+            inbox = defaultdict(list)
+            for target, payloads in context._outbox.items():
+                inbox[target].extend(payloads)
+            active = set(inbox)
+            superstep += 1
+            if context._halt_requested:
+                break
+        else:
+            raise BSPError(
+                f"vertex program {type(program).__name__} exceeded "
+                f"{self.max_supersteps} supersteps"
+            )
+
+        run_metrics.wall_time_seconds += time.perf_counter() - start
+        self.last_metrics = run_metrics
+        return program.result(self.graph, self.aggregators)
+
+    # ------------------------------------------------------------------
+    def _flush_aggregators(self, context: SuperstepContext) -> None:
+        for name, value in context._aggregator_inbox:
+            self.aggregators.get(name).accumulate(value)
+
+    @staticmethod
+    def _record(step_metrics, context: SuperstepContext, active_count: int) -> None:
+        step_metrics.active_vertices = active_count
+        step_metrics.messages_sent += context._messages_sent
+        step_metrics.message_bytes += context._message_bytes
+        step_metrics.network_messages += context._network_messages
+        step_metrics.network_bytes += context._network_bytes
+        step_metrics.compute_units += context._compute_units

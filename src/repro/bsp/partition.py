@@ -1,0 +1,71 @@
+"""Vertex partitioning across simulated workers / machines.
+
+The vertex-centric abstraction treats every vertex as a processor; real
+engines map vertices onto hardware workers (threads within a server, or
+machines in a cluster).  The partitioner assigns each vertex a worker id so
+the engine can classify messages as intra-worker or cross-worker: the
+latter are the "network traffic" reported in the paper's distributed
+experiments (Figure 16).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Optional
+
+from .graph import Graph, VertexId
+
+
+class Partitioner:
+    """Assigns vertices to ``num_workers`` partitions."""
+
+    def __init__(self, num_workers: int = 1) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+    def partition_of(self, vertex_id: VertexId) -> int:
+        raise NotImplementedError
+
+    def assign(self, graph: Graph) -> Dict[VertexId, int]:
+        return {vertex_id: self.partition_of(vertex_id) for vertex_id in graph.vertex_ids()}
+
+    def load(self, graph: Graph) -> List[int]:
+        """Number of vertices per partition (load-balance diagnostics)."""
+        counts = [0] * self.num_workers
+        for vertex_id in graph.vertex_ids():
+            counts[self.partition_of(vertex_id)] += 1
+        return counts
+
+
+class HashPartitioner(Partitioner):
+    """Deterministic hash partitioning (TigerGraph's default automatic placement)."""
+
+    def partition_of(self, vertex_id: VertexId) -> int:
+        digest = zlib.crc32(str(vertex_id).encode("utf-8"))
+        return digest % self.num_workers
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Round-robin placement in insertion order (used in load-balance ablations)."""
+
+    def __init__(self, num_workers: int = 1) -> None:
+        super().__init__(num_workers)
+        self._assignments: Dict[VertexId, int] = {}
+        self._next = 0
+
+    def partition_of(self, vertex_id: VertexId) -> int:
+        if vertex_id not in self._assignments:
+            self._assignments[vertex_id] = self._next % self.num_workers
+            self._next += 1
+        return self._assignments[vertex_id]
+
+
+class SinglePartitioner(Partitioner):
+    """Everything on one worker: the single-server experiments of Section 8.2-8.5."""
+
+    def __init__(self) -> None:
+        super().__init__(1)
+
+    def partition_of(self, vertex_id: VertexId) -> int:
+        return 0

@@ -1,0 +1,102 @@
+"""Small library of classic vertex programs.
+
+These are not part of TAG-join itself; they exist to validate the BSP
+substrate against well-known algorithms (connected components, SSSP,
+degree counting) exactly as one would sanity-check a new Pregel engine
+before layering a novel workload on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .aggregators import SumAggregator
+from .engine import BSPEngine, SuperstepContext, VertexProgram
+from .graph import Graph, Vertex
+
+
+class ConnectedComponents(VertexProgram):
+    """Hash-min label propagation: each vertex converges to the minimum
+    vertex id in its (weakly) connected component."""
+
+    STATE_KEY = "component"
+
+    def compute(
+        self, vertex: Vertex, messages: List[Any], graph: Graph, context: SuperstepContext
+    ) -> None:
+        current = vertex.state.get(self.STATE_KEY)
+        candidate = min(messages) if messages else None
+        if context.superstep == 0:
+            candidate = vertex.vertex_id if candidate is None else min(candidate, vertex.vertex_id)
+        if current is None or (candidate is not None and candidate < current):
+            vertex.state[self.STATE_KEY] = candidate
+            for edge in graph.out_edges(vertex.vertex_id):
+                context.charge()
+                context.send(edge.target, candidate)
+
+    def result(self, graph: Graph, aggregators) -> Dict[str, Any]:
+        return {
+            vertex.vertex_id: vertex.state.get(self.STATE_KEY, vertex.vertex_id)
+            for vertex in graph.vertices()
+        }
+
+
+class SingleSourceShortestPaths(VertexProgram):
+    """Classic Pregel SSSP over edges with a numeric ``weight`` property."""
+
+    STATE_KEY = "distance"
+
+    def __init__(self, source: str, weight_property: str = "weight") -> None:
+        self.source = source
+        self.weight_property = weight_property
+
+    def initial_active_vertices(self, graph: Graph):
+        return [self.source]
+
+    def compute(
+        self, vertex: Vertex, messages: List[Any], graph: Graph, context: SuperstepContext
+    ) -> None:
+        best = vertex.state.get(self.STATE_KEY)
+        incoming = min(messages) if messages else None
+        if context.superstep == 0 and vertex.vertex_id == self.source:
+            incoming = 0.0
+        if incoming is None:
+            return
+        if best is None or incoming < best:
+            vertex.state[self.STATE_KEY] = incoming
+            for edge in graph.out_edges(vertex.vertex_id):
+                weight = edge.properties.get(self.weight_property, 1.0)
+                context.charge()
+                context.send(edge.target, incoming + weight)
+
+    def result(self, graph: Graph, aggregators) -> Dict[str, Optional[float]]:
+        return {
+            vertex.vertex_id: vertex.state.get(self.STATE_KEY)
+            for vertex in graph.vertices()
+        }
+
+
+class DegreeCount(VertexProgram):
+    """One-superstep program that records each vertex's out-degree and sums
+    the total edge count in a global aggregator (exercises aggregators)."""
+
+    AGGREGATOR = "total_degree"
+
+    def __init__(self, engine: BSPEngine) -> None:
+        engine.register_aggregator(SumAggregator(self.AGGREGATOR))
+
+    def compute(
+        self, vertex: Vertex, messages: List[Any], graph: Graph, context: SuperstepContext
+    ) -> None:
+        if context.superstep > 0:
+            return
+        degree = graph.out_degree(vertex.vertex_id)
+        vertex.state["degree"] = degree
+        context.charge(degree)
+        context.aggregate(self.AGGREGATOR, degree)
+
+    def result(self, graph: Graph, aggregators) -> Dict[str, Any]:
+        return {
+            "degrees": {v.vertex_id: v.state.get("degree", 0) for v in graph.vertices()},
+            "total": aggregators.get(self.AGGREGATOR).value(),
+        }

@@ -1,0 +1,89 @@
+"""TAG-join: the paper's core contribution (plans, vertex programs, executor)."""
+
+from .cartesian import CartesianProductA, cartesian_product_b, cartesian_product_rows
+from .compiler import CompiledFragment, CompileError, compile_fragment
+from .cyclic import CycleQueryProgram, CycleRelation, TriangleQueryProgram
+from .executor import ExecutionError, QueryResult, TagJoinExecutor
+from .hypergraph import (
+    Hypergraph,
+    HypergraphError,
+    JoinVariable,
+    build_hypergraph,
+    connected_components,
+    detect_simple_cycle,
+)
+from .jointree import JoinTree, JoinTreeError, TreeEdge, build_join_tree, reroot
+from .operations import CallablePredicate
+from .tag_plan import (
+    PlanEdge,
+    PlanNode,
+    TagPlan,
+    TraversalStep,
+    build_tag_plan,
+    full_schedule,
+    generate_label_list,
+    generate_steps,
+    reduction_schedule,
+)
+from .twoway import (
+    AntiJoinProgram,
+    JoinPair,
+    OuterJoinKind,
+    OuterJoinProgram,
+    SemiJoinProgram,
+    TwoWayJoinProgram,
+)
+from .vertex_program import (
+    FragmentConfig,
+    Phase,
+    ScheduledStep,
+    TagJoinProgram,
+    build_schedule,
+)
+
+__all__ = [
+    "AntiJoinProgram",
+    "CallablePredicate",
+    "CartesianProductA",
+    "CompileError",
+    "CompiledFragment",
+    "CycleQueryProgram",
+    "CycleRelation",
+    "ExecutionError",
+    "FragmentConfig",
+    "Hypergraph",
+    "HypergraphError",
+    "JoinPair",
+    "JoinTree",
+    "JoinTreeError",
+    "JoinVariable",
+    "OuterJoinKind",
+    "OuterJoinProgram",
+    "Phase",
+    "PlanEdge",
+    "PlanNode",
+    "QueryResult",
+    "ScheduledStep",
+    "SemiJoinProgram",
+    "TagJoinExecutor",
+    "TagJoinProgram",
+    "TagPlan",
+    "TraversalStep",
+    "TreeEdge",
+    "TriangleQueryProgram",
+    "TwoWayJoinProgram",
+    "build_hypergraph",
+    "build_join_tree",
+    "build_schedule",
+    "build_tag_plan",
+    "cartesian_product_b",
+    "cartesian_product_rows",
+    "compile_fragment",
+    "connected_components",
+    "detect_simple_cycle",
+    "full_schedule",
+    "generate_label_list",
+    "generate_steps",
+    "reduction_schedule",
+    "reroot",
+]

@@ -1,0 +1,212 @@
+"""Compile a :class:`QuerySpec` into a TAG-join execution fragment.
+
+The compiler realises the query planning side of the paper: it builds the
+query hypergraph, derives a join tree (GHD with single-relation bags),
+chooses the plan root according to the aggregation style (Section 7),
+constructs the TAG traversal plan (Section 5.1) and packages filters,
+projections and aggregation metadata into a
+:class:`~repro.core.vertex_program.FragmentConfig` the vertex program runs
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..algebra.expressions import ColumnRef, Comparison, Expression, col
+from ..algebra.logical import (
+    AggregationClass,
+    JoinCondition,
+    OutputColumn,
+    QueryError,
+    QuerySpec,
+)
+from ..relational.catalog import Catalog
+from .hypergraph import build_hypergraph
+from .jointree import JoinTree, build_join_tree
+from .tag_plan import TagPlan, build_tag_plan
+from .vertex_program import FragmentConfig, build_schedule
+
+
+class CompileError(ValueError):
+    """Raised when a query cannot be compiled to a TAG-join fragment."""
+
+
+@dataclass
+class CompiledFragment:
+    """A fragment config together with the structures it was derived from."""
+
+    config: FragmentConfig
+    join_tree: JoinTree
+    plan: TagPlan
+    aggregation_class: AggregationClass
+
+
+def choose_group_by_root(
+    spec: QuerySpec, catalog: Catalog
+) -> Optional[Tuple[str, str]]:
+    """Pick the ``(alias, column)`` whose attribute vertices host local aggregation.
+
+    Returns None when the query's aggregation is not local or the group-by
+    column's domain is not materialised as attribute vertices (floats /
+    long text), in which case the executor falls back to global
+    aggregation through the aggregator vertex.
+    """
+    if spec.aggregation_class(catalog) is not AggregationClass.LOCAL:
+        return None
+    candidates = list(spec.group_by)
+    if len(candidates) > 1:
+        # multi-column local aggregation: root at the determining (PK) column
+        alias_map = spec.alias_map()
+        for candidate in candidates:
+            if candidate.table is None:
+                continue
+            schema = catalog.schema(alias_map[candidate.table])
+            if schema.is_primary_key(candidate.column):
+                candidates = [candidate]
+                break
+        else:
+            candidates = candidates[:1]
+    group_col = candidates[0]
+    if group_col.table is None:
+        return None
+    table = spec.alias_map()[group_col.table]
+    schema = catalog.schema(table)
+    if group_col.column not in schema:
+        raise CompileError(f"GROUP BY references unknown column {group_col.qualified}")
+    if not schema.column(group_col.column).materialise_as_vertex:
+        return None
+    return (group_col.table, group_col.column)
+
+
+def effective_aggregation_class(spec: QuerySpec, catalog: Catalog) -> AggregationClass:
+    """The aggregation class actually used for execution.
+
+    Local aggregation downgrades to global when its group key cannot be
+    hosted at attribute vertices (same policy the paper's loading section
+    applies to floats / long strings).
+    """
+    declared = spec.aggregation_class(catalog)
+    if declared is AggregationClass.LOCAL and choose_group_by_root(spec, catalog) is None:
+        return AggregationClass.GLOBAL
+    return declared
+
+
+def default_output_columns(spec: QuerySpec, required: Dict[str, Set[str]]) -> List[OutputColumn]:
+    """SELECT-* style outputs when the query declares none."""
+    outputs: List[OutputColumn] = []
+    for alias in spec.aliases():
+        for column in sorted(required.get(alias, set())):
+            qualified = f"{alias}.{column}"
+            outputs.append(OutputColumn(col(qualified), qualified))
+    return outputs
+
+
+def residual_expressions(conditions: List[JoinCondition]) -> List[Expression]:
+    """Turn uncovered join conditions into equality predicates over result rows."""
+    return [
+        Comparison(
+            "=",
+            ColumnRef(condition.left_column, condition.left_alias),
+            ColumnRef(condition.right_column, condition.right_alias),
+        )
+        for condition in conditions
+    ]
+
+
+def compile_fragment(
+    spec: QuerySpec,
+    catalog: Catalog,
+    extra_filters: Optional[Dict[str, List[Expression]]] = None,
+    extra_residuals: Optional[List[Expression]] = None,
+    eager_partial_aggregation: bool = True,
+    collect_output_centrally: bool = False,
+    preferred_root: Optional[str] = None,
+) -> CompiledFragment:
+    """Compile a connected, non-degenerate query block into a fragment.
+
+    Args:
+        spec: the query block (must have a connected join graph).
+        catalog: the relational catalog backing the TAG graph.
+        extra_filters: additional per-alias predicates (e.g. subquery
+            membership checks injected by the executor).
+        eager_partial_aggregation: pre-aggregate at the root vertices
+            before contacting the global aggregator (ablation A03).
+        collect_output_centrally: ship output rows to a collector
+            aggregator instead of leaving them distributed.
+        preferred_root: force the join tree root to a specific alias.
+    """
+    if not spec.tables:
+        raise CompileError("query has no tables")
+    if not spec.is_connected():
+        raise CompileError(
+            "query join graph is disconnected; split into components before compiling"
+        )
+
+    aggregation_class = effective_aggregation_class(spec, catalog)
+    group_root = choose_group_by_root(spec, catalog)
+    if group_root is not None:
+        preferred_root = group_root[0]
+    elif preferred_root is None:
+        preferred_root = spec.tables[0].alias
+
+    hypergraph = build_hypergraph(spec)
+    join_tree = build_join_tree(spec, hypergraph, preferred_root=preferred_root)
+    alias_tables = spec.alias_map()
+    plan = build_tag_plan(join_tree, catalog, alias_tables, group_by_root=group_root)
+    schedule = build_schedule(plan)
+
+    filters: Dict[str, List[Expression]] = {}
+    for alias in spec.aliases():
+        combined = list(spec.filters_for(alias))
+        if extra_filters and alias in extra_filters:
+            combined.extend(extra_filters[alias])
+        if combined:
+            filters[alias] = combined
+
+    required: Dict[str, Set[str]] = {
+        alias: spec.required_columns_of(alias) for alias in spec.aliases()
+    }
+
+    residuals = list(spec.residual_predicates)
+    residuals.extend(residual_expressions(join_tree.residual_conditions))
+    if extra_residuals:
+        residuals.extend(extra_residuals)
+        # make sure the columns these predicates inspect survive projection
+        for predicate in extra_residuals:
+            for qualified in predicate.columns():
+                if "." in qualified:
+                    alias, column = qualified.split(".", 1)
+                    if alias in required:
+                        required[alias].add(column)
+
+    output_columns = list(spec.output)
+    if not output_columns and not spec.aggregates:
+        output_columns = default_output_columns(spec, required)
+
+    group_by_columns = [
+        f"{group_col.table}.{group_col.column}" if group_col.table else group_col.column
+        for group_col in spec.group_by
+    ]
+
+    config = FragmentConfig(
+        plan=plan,
+        schedule=schedule,
+        alias_tables=alias_tables,
+        filters=filters,
+        required_columns={alias: columns for alias, columns in required.items()},
+        residual_predicates=residuals,
+        output_columns=output_columns,
+        aggregates=list(spec.aggregates),
+        group_by_columns=group_by_columns,
+        aggregation_class=aggregation_class,
+        eager_partial_aggregation=eager_partial_aggregation,
+        collect_output_centrally=collect_output_centrally,
+    )
+    return CompiledFragment(
+        config=config,
+        join_tree=join_tree,
+        plan=plan,
+        aggregation_class=aggregation_class,
+    )

@@ -1,0 +1,393 @@
+"""The public TAG-join query executor.
+
+:class:`TagJoinExecutor` is the library's main entry point: it owns a TAG
+graph (built once, query-independently, from a relational catalog) and
+evaluates :class:`~repro.algebra.logical.QuerySpec` blocks — or SQL text —
+on top of any BSP engine configuration (single worker = the paper's
+single-server experiments, several workers = the distributed experiments).
+
+Dispatch logic (paper Section 6.4, "TAG-join algorithm"):
+
+* subquery predicates are evaluated first (recursively) and folded into
+  pushed-down filters (Section 7);
+* a disconnected join graph is split into components whose results are
+  combined with a Cartesian product (Section 6.3);
+* a join graph that forms one simple cycle is evaluated by the
+  worst-case-optimal heavy/light cycle algorithm (Sections 6.1-6.2);
+* everything else (the common case: acyclic queries, and cyclic queries
+  with acyclic attachments) runs through the join-tree-driven vertex
+  program of Algorithm 2, with cycle-closing conditions verified at
+  result-assembly time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..algebra.expressions import Expression, col
+from ..algebra.logical import AggregationClass, OutputColumn, QueryError, QuerySpec
+from ..bsp.aggregators import CollectAggregator
+from ..bsp.engine import BSPEngine
+from ..bsp.metrics import RunMetrics
+from ..bsp.partition import HashPartitioner, Partitioner, SinglePartitioner
+from ..relational.catalog import Catalog
+from ..tag.encoder import TagGraph
+from . import operations as ops
+from .cartesian import cartesian_product_rows
+from .compiler import CompiledFragment, compile_fragment, effective_aggregation_class
+from .cyclic import CycleQueryProgram, CycleRelation
+from .hypergraph import connected_components, detect_simple_cycle
+from .subquery import compile_subquery_filters
+from .vertex_program import (
+    GLOBAL_GROUPS_AGGREGATOR,
+    GLOBAL_OUTPUT_AGGREGATOR,
+    TagJoinProgram,
+    register_group_aggregator,
+)
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a query cannot be executed."""
+
+
+@dataclass
+class QueryResult:
+    """Result of one query execution."""
+
+    rows: List[Dict[str, Any]]
+    columns: List[str]
+    metrics: RunMetrics
+    aggregation_class: AggregationClass = AggregationClass.NONE
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_tuples(self, columns: Optional[Sequence[str]] = None) -> List[Tuple[Any, ...]]:
+        """Rows as tuples in a fixed column order (sorted, for comparisons)."""
+        ordered = list(columns or self.columns)
+        return sorted(
+            (tuple(row.get(column) for column in ordered) for row in self.rows),
+            key=lambda item: tuple(str(part) for part in item),
+        )
+
+    def single_value(self) -> Any:
+        """Convenience accessor for scalar results (one row, one column)."""
+        if len(self.rows) != 1:
+            raise ExecutionError(f"expected a single row, got {len(self.rows)}")
+        row = self.rows[0]
+        if len(row) != 1:
+            raise ExecutionError(f"expected a single column, got {sorted(row)}")
+        return next(iter(row.values()))
+
+
+class TagJoinExecutor:
+    """Evaluate SQL queries vertex-centrically over a TAG graph."""
+
+    def __init__(
+        self,
+        graph: TagGraph,
+        catalog: Catalog,
+        num_workers: int = 1,
+        collect_output_centrally: bool = False,
+        eager_partial_aggregation: bool = True,
+        use_wco_cycles: bool = True,
+        max_supersteps: int = 10_000,
+    ) -> None:
+        self.graph = graph
+        self.catalog = catalog
+        self.num_workers = num_workers
+        self.collect_output_centrally = collect_output_centrally
+        self.eager_partial_aggregation = eager_partial_aggregation
+        self.use_wco_cycles = use_wco_cycles
+        self.max_supersteps = max_supersteps
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """Execute a query block and return its result rows plus metrics."""
+        spec.validate(self.catalog)
+        metrics = RunMetrics(label=spec.name)
+        started = time.perf_counter()
+        result = self._execute_block(spec, metrics)
+        metrics.wall_time_seconds = time.perf_counter() - started
+        result.metrics = metrics
+        return result
+
+    def execute_sql(self, sql: str) -> QueryResult:
+        """Parse, bind and execute a SQL query string."""
+        from ..sql import parse_and_bind  # local import to avoid a hard dependency cycle
+
+        spec = parse_and_bind(sql, self.catalog)
+        return self.execute(spec)
+
+    # ------------------------------------------------------------------
+    # block dispatch
+    # ------------------------------------------------------------------
+    def _execute_block(self, spec: QuerySpec, metrics: RunMetrics) -> QueryResult:
+        if spec.outer_joins:
+            raise ExecutionError(
+                "the multi-way TAG-join executor does not evaluate outer joins; "
+                "use repro.core.twoway.OuterJoinProgram for two-way outer joins"
+            )
+        # 1. subqueries become pushed-down filters / residuals on the outer block
+        extra_filters: Dict[str, List[Expression]] = {}
+        extra_residuals: List[Expression] = []
+        if spec.subqueries:
+            extra_filters, extra_residuals = compile_subquery_filters(
+                spec.subqueries, lambda inner: self._execute_nested(inner, metrics)
+            )
+
+        # 2. disconnected join graphs: evaluate components, combine by product
+        components = connected_components(spec)
+        if len(components) > 1:
+            return self._execute_disconnected(
+                spec, components, extra_filters, extra_residuals, metrics
+            )
+
+        # 3. pure simple cycles: worst-case-optimal heavy/light algorithm
+        if self.use_wco_cycles and not spec.group_by and not spec.aggregates:
+            cycle_order = detect_simple_cycle(spec)
+            if cycle_order is not None:
+                cycle_rows = self._execute_cycle(spec, cycle_order, extra_filters, metrics)
+                if cycle_rows is not None:
+                    return self._post_assemble(spec, cycle_rows, metrics, extra_residuals)
+
+        # 4. the general case: join-tree-driven Algorithm 2
+        return self._execute_fragment(spec, extra_filters, extra_residuals, metrics)
+
+    def _execute_nested(self, inner: QuerySpec, metrics: RunMetrics) -> List[Dict[str, Any]]:
+        inner.validate(self.catalog)
+        result = self._execute_block(inner, metrics)
+        return result.rows
+
+    # ------------------------------------------------------------------
+    # the main path: one connected, tree-shaped fragment
+    # ------------------------------------------------------------------
+    def _execute_fragment(
+        self,
+        spec: QuerySpec,
+        extra_filters: Dict[str, List[Expression]],
+        extra_residuals: List[Expression],
+        metrics: RunMetrics,
+        raw_rows: bool = False,
+    ) -> QueryResult:
+        compiled = compile_fragment(
+            spec,
+            self.catalog,
+            extra_filters=extra_filters,
+            extra_residuals=extra_residuals,
+            eager_partial_aggregation=self.eager_partial_aggregation,
+            collect_output_centrally=self.collect_output_centrally,
+        )
+        engine = self._make_engine()
+        if compiled.aggregation_class in (AggregationClass.GLOBAL, AggregationClass.SCALAR):
+            register_group_aggregator(engine, compiled.config.aggregates)
+        if self.collect_output_centrally:
+            engine.register_aggregator(CollectAggregator(GLOBAL_OUTPUT_AGGREGATOR))
+
+        program = TagJoinProgram(self.graph, compiled.config)
+        engine.run(program)
+        metrics.merge(engine.last_metrics)
+
+        if raw_rows or compiled.aggregation_class is AggregationClass.NONE:
+            rows = program.output_rows
+            if spec.distinct and not raw_rows:
+                rows = ops.deduplicate(rows)
+            columns = [column.alias for column in compiled.config.output_columns]
+            return QueryResult(rows, columns, metrics, compiled.aggregation_class)
+
+        if compiled.aggregation_class is AggregationClass.LOCAL:
+            rows = program.local_groups
+            columns = [column.alias for column in spec.output] + [
+                aggregate.alias for aggregate in spec.aggregates
+            ]
+            return QueryResult(rows, columns, metrics, compiled.aggregation_class)
+
+        # GLOBAL / SCALAR: finalize the partial aggregates gathered globally
+        groups = engine.aggregators.get(GLOBAL_GROUPS_AGGREGATOR).value()
+        rows = []
+        for _key, payload in groups.items():
+            final = ops.finalize_partial(payload["partial"], compiled.config.aggregates)
+            row = ops.evaluate_output_columns(spec.output, payload["sample"])
+            row.update(final)
+            rows.append(row)
+        if compiled.aggregation_class is AggregationClass.SCALAR and not rows:
+            empty = ops.finalize_partial(
+                ops.empty_partial(compiled.config.aggregates), compiled.config.aggregates
+            )
+            rows = [empty]
+        columns = [column.alias for column in spec.output] + [
+            aggregate.alias for aggregate in spec.aggregates
+        ]
+        return QueryResult(rows, columns, metrics, compiled.aggregation_class)
+
+    # ------------------------------------------------------------------
+    # pure cycle queries
+    # ------------------------------------------------------------------
+    def _execute_cycle(
+        self,
+        spec: QuerySpec,
+        cycle_order: List[str],
+        extra_filters: Dict[str, List[Expression]],
+        metrics: RunMetrics,
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Run the heavy/light cycle program; None if the cycle shape is unusable."""
+        alias_map = spec.alias_map()
+        relations: List[CycleRelation] = []
+        n = len(cycle_order)
+        for index, alias in enumerate(cycle_order):
+            previous_alias = cycle_order[(index - 1) % n]
+            next_alias = cycle_order[(index + 1) % n]
+            back_column = self._column_between(spec, alias, previous_alias)
+            forward_column = self._column_between(spec, alias, next_alias)
+            if back_column is None or forward_column is None:
+                return None
+            relations.append(
+                CycleRelation(
+                    alias=alias,
+                    table=alias_map[alias],
+                    back_column=back_column,
+                    forward_column=forward_column,
+                )
+            )
+        filters: Dict[str, List[Expression]] = {}
+        for alias in spec.aliases():
+            combined = list(spec.filters_for(alias)) + list(extra_filters.get(alias, []))
+            if combined:
+                filters[alias] = combined
+        engine = self._make_engine()
+        program = CycleQueryProgram(self.graph, relations, filters=filters)
+        rows = engine.run(program)
+        metrics.merge(engine.last_metrics)
+        return rows
+
+    @staticmethod
+    def _column_between(spec: QuerySpec, alias: str, other: str) -> Optional[str]:
+        columns = [
+            condition.side(alias)
+            for condition in spec.join_conditions
+            if {condition.left_alias, condition.right_alias} == {alias, other}
+        ]
+        columns = [column for column in columns if column is not None]
+        return columns[0] if len(columns) == 1 else None
+
+    # ------------------------------------------------------------------
+    # disconnected join graphs
+    # ------------------------------------------------------------------
+    def _execute_disconnected(
+        self,
+        spec: QuerySpec,
+        components: List[List[str]],
+        extra_filters: Dict[str, List[Expression]],
+        extra_residuals: List[Expression],
+        metrics: RunMetrics,
+    ) -> QueryResult:
+        partial_results: List[List[Dict[str, Any]]] = []
+        for component in components:
+            component_spec = self._component_spec(spec, component)
+            component_filters = {
+                alias: predicates
+                for alias, predicates in extra_filters.items()
+                if alias in component
+            }
+            result = self._execute_fragment(
+                component_spec, component_filters, [], metrics, raw_rows=True
+            )
+            partial_results.append(result.rows)
+        combined = partial_results[0]
+        for rows in partial_results[1:]:
+            combined = cartesian_product_rows(combined, rows)
+        return self._post_assemble(spec, combined, metrics, extra_residuals)
+
+    @staticmethod
+    def _component_spec(spec: QuerySpec, aliases: List[str]) -> QuerySpec:
+        keep = set(aliases)
+        component = QuerySpec(name=f"{spec.name}[{'+'.join(aliases)}]")
+        component.tables = [table for table in spec.tables if table.alias in keep]
+        component.join_conditions = [
+            condition
+            for condition in spec.join_conditions
+            if condition.left_alias in keep and condition.right_alias in keep
+        ]
+        component.filters = {
+            alias: list(predicates)
+            for alias, predicates in spec.filters.items()
+            if alias in keep
+        }
+        # project every column the outer block still needs (outputs,
+        # aggregates, residual predicates) so post-assembly can see them
+        for alias in aliases:
+            for column in sorted(spec.required_columns_of(alias)):
+                qualified = f"{alias}.{column}"
+                component.output.append(OutputColumn(col(qualified), qualified))
+        return component
+
+    # ------------------------------------------------------------------
+    # Python-side assembly for rows produced outside Algorithm 2
+    # ------------------------------------------------------------------
+    def _post_assemble(
+        self,
+        spec: QuerySpec,
+        rows: List[Dict[str, Any]],
+        metrics: RunMetrics,
+        extra_residuals: Optional[List[Expression]] = None,
+    ) -> QueryResult:
+        """Apply residual predicates, projection, aggregation and DISTINCT to raw rows."""
+        rows = ops.rows_passing(rows, spec.residual_predicates)
+        if extra_residuals:
+            rows = ops.rows_passing(rows, extra_residuals)
+        aggregation_class = effective_aggregation_class(spec, self.catalog)
+
+        if not spec.aggregates:
+            outputs = spec.output
+            if outputs:
+                produced = [ops.evaluate_output_columns(outputs, row) for row in rows]
+                columns = [column.alias for column in outputs]
+            else:
+                produced = rows
+                columns = sorted({key for row in rows for key in row})
+            if spec.distinct:
+                produced = ops.deduplicate(produced)
+            return QueryResult(produced, columns, metrics, AggregationClass.NONE)
+
+        group_columns = [
+            f"{group_col.table}.{group_col.column}" if group_col.table else group_col.column
+            for group_col in spec.group_by
+        ]
+        by_group: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        samples: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        for row in rows:
+            key = ops.group_key(group_columns, row)
+            if key in by_group:
+                by_group[key] = ops.accumulate_partial(by_group[key], spec.aggregates, row)
+            else:
+                by_group[key] = ops.accumulate_partial(
+                    ops.empty_partial(spec.aggregates), spec.aggregates, row
+                )
+                samples[key] = row
+        produced = []
+        for key, partial in by_group.items():
+            final = ops.finalize_partial(partial, spec.aggregates)
+            row = ops.evaluate_output_columns(spec.output, samples[key])
+            row.update(final)
+            produced.append(row)
+        if aggregation_class is AggregationClass.SCALAR and not produced:
+            produced = [
+                ops.finalize_partial(ops.empty_partial(spec.aggregates), spec.aggregates)
+            ]
+        columns = [column.alias for column in spec.output] + [
+            aggregate.alias for aggregate in spec.aggregates
+        ]
+        return QueryResult(produced, columns, metrics, aggregation_class)
+
+    # ------------------------------------------------------------------
+    def _make_engine(self) -> BSPEngine:
+        partitioner: Partitioner
+        if self.num_workers <= 1:
+            partitioner = SinglePartitioner()
+        else:
+            partitioner = HashPartitioner(self.num_workers)
+        return BSPEngine(self.graph, partitioner, max_supersteps=self.max_supersteps)

@@ -1,0 +1,223 @@
+"""Row-level helpers shared by the TAG-join vertex programs and the executors.
+
+Covers the "beyond equi-joins" machinery of paper Section 7: pushing
+selections and projections, and the three aggregation styles (local,
+global, scalar) with partial-aggregate representations that can be merged
+across vertices / workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..algebra.expressions import Expression, RowContext
+from ..algebra.logical import AggFunc, AggregateSpec, OutputColumn
+from ..relational.types import NULL
+
+RowDict = Dict[str, Any]
+
+
+# ----------------------------------------------------------------------
+# predicates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CallablePredicate(Expression):
+    """Adapter turning a Python callable into an Expression-compatible predicate.
+
+    The TAG-join compiler uses these to inject subquery semi-join / anti-join
+    membership checks as per-alias filters (paper Section 7, Subqueries):
+    the callable receives the row context of a single tuple vertex.
+    """
+
+    function: Callable[[RowContext], bool]
+    referenced: FrozenSet[str] = frozenset()
+    description: str = "callable"
+
+    def evaluate(self, context: RowContext) -> bool:
+        return self.function(context)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.referenced
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CallablePredicate({self.description})"
+
+
+def row_context_for_tuple(alias: str, tuple_data: Dict[str, Any]) -> RowContext:
+    """Qualify a tuple vertex's data with its alias: ``{alias.column: value}``."""
+    return {f"{alias}.{column}": value for column, value in tuple_data.items()}
+
+
+def passes_filters(context: RowContext, predicates: Sequence[Expression]) -> bool:
+    return all(predicate.evaluate(context) for predicate in predicates)
+
+
+def project_tuple(alias: str, tuple_data: Dict[str, Any], columns: Optional[Set[str]]) -> RowDict:
+    """Alias-qualified projection of a tuple (None -> keep every column)."""
+    if columns is None:
+        return row_context_for_tuple(alias, tuple_data)
+    return {
+        f"{alias}.{column}": value
+        for column, value in tuple_data.items()
+        if column in columns
+    }
+
+
+def merge_rows(left: RowDict, right: RowDict) -> RowDict:
+    """Combine two partial result rows (qualified keys never collide across aliases)."""
+    merged = dict(left)
+    merged.update(right)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# partial aggregates
+# ----------------------------------------------------------------------
+class AggregationError(ValueError):
+    """Raised when aggregate finalisation is impossible (e.g. empty AVG)."""
+
+
+def empty_partial(aggregates: Sequence[AggregateSpec]) -> Dict[str, Any]:
+    """Neutral partial-aggregate payload for a list of aggregate specs."""
+    partial: Dict[str, Any] = {}
+    for aggregate in aggregates:
+        if aggregate.function in (AggFunc.COUNT,):
+            partial[aggregate.alias] = 0
+        elif aggregate.function is AggFunc.SUM:
+            partial[aggregate.alias] = 0
+        elif aggregate.function is AggFunc.AVG:
+            partial[aggregate.alias] = (0, 0)  # (sum, count)
+        elif aggregate.function is AggFunc.MIN:
+            partial[aggregate.alias] = None
+        elif aggregate.function is AggFunc.MAX:
+            partial[aggregate.alias] = None
+        elif aggregate.function is AggFunc.COUNT_DISTINCT:
+            partial[aggregate.alias] = frozenset()
+        else:  # pragma: no cover - exhaustive over AggFunc
+            raise AggregationError(f"unsupported aggregate {aggregate.function}")
+    return partial
+
+
+def accumulate_partial(
+    partial: Dict[str, Any], aggregates: Sequence[AggregateSpec], row: RowContext
+) -> Dict[str, Any]:
+    """Fold one row into a partial-aggregate payload (returns a new payload)."""
+    updated = dict(partial)
+    for aggregate in aggregates:
+        alias = aggregate.alias
+        if aggregate.function is AggFunc.COUNT and aggregate.argument is None:
+            updated[alias] = updated[alias] + 1
+            continue
+        value = aggregate.argument.evaluate(row) if aggregate.argument is not None else None
+        if aggregate.function is AggFunc.COUNT:
+            if value is not NULL:
+                updated[alias] = updated[alias] + 1
+        elif aggregate.function is AggFunc.SUM:
+            if value is not NULL:
+                updated[alias] = updated[alias] + value
+        elif aggregate.function is AggFunc.AVG:
+            if value is not NULL:
+                total, count = updated[alias]
+                updated[alias] = (total + value, count + 1)
+        elif aggregate.function is AggFunc.MIN:
+            if value is not NULL and (updated[alias] is None or value < updated[alias]):
+                updated[alias] = value
+        elif aggregate.function is AggFunc.MAX:
+            if value is not NULL and (updated[alias] is None or value > updated[alias]):
+                updated[alias] = value
+        elif aggregate.function is AggFunc.COUNT_DISTINCT:
+            if value is not NULL:
+                updated[alias] = updated[alias] | {value}
+    return updated
+
+
+def partial_of_rows(
+    aggregates: Sequence[AggregateSpec], rows: Iterable[RowContext]
+) -> Dict[str, Any]:
+    partial = empty_partial(aggregates)
+    for row in rows:
+        partial = accumulate_partial(partial, aggregates, row)
+    return partial
+
+
+def merge_partials(
+    left: Dict[str, Any], right: Dict[str, Any], aggregates: Sequence[AggregateSpec]
+) -> Dict[str, Any]:
+    """Combine two partial payloads (associative & commutative)."""
+    merged: Dict[str, Any] = {}
+    for aggregate in aggregates:
+        alias = aggregate.alias
+        left_value, right_value = left[alias], right[alias]
+        if aggregate.function in (AggFunc.COUNT, AggFunc.SUM):
+            merged[alias] = left_value + right_value
+        elif aggregate.function is AggFunc.AVG:
+            merged[alias] = (left_value[0] + right_value[0], left_value[1] + right_value[1])
+        elif aggregate.function is AggFunc.MIN:
+            candidates = [v for v in (left_value, right_value) if v is not None]
+            merged[alias] = min(candidates) if candidates else None
+        elif aggregate.function is AggFunc.MAX:
+            candidates = [v for v in (left_value, right_value) if v is not None]
+            merged[alias] = max(candidates) if candidates else None
+        elif aggregate.function is AggFunc.COUNT_DISTINCT:
+            merged[alias] = left_value | right_value
+    return merged
+
+
+def finalize_partial(
+    partial: Dict[str, Any], aggregates: Sequence[AggregateSpec]
+) -> Dict[str, Any]:
+    """Turn a partial payload into final aggregate values."""
+    final: Dict[str, Any] = {}
+    for aggregate in aggregates:
+        alias = aggregate.alias
+        value = partial[alias]
+        if aggregate.function is AggFunc.AVG:
+            total, count = value
+            final[alias] = total / count if count else NULL
+        elif aggregate.function is AggFunc.COUNT_DISTINCT:
+            final[alias] = len(value)
+        elif aggregate.function in (AggFunc.MIN, AggFunc.MAX):
+            final[alias] = value if value is not None else NULL
+        else:
+            final[alias] = value
+    return final
+
+
+def aggregate_rows(
+    aggregates: Sequence[AggregateSpec], rows: Iterable[RowContext]
+) -> Dict[str, Any]:
+    """Full (non-partial) aggregation of a row collection."""
+    return finalize_partial(partial_of_rows(aggregates, rows), aggregates)
+
+
+# ----------------------------------------------------------------------
+# output assembly
+# ----------------------------------------------------------------------
+def group_key(group_columns: Sequence[str], row: RowContext) -> Tuple[Any, ...]:
+    """Extract the GROUP BY key of a row (columns given as qualified names)."""
+    return tuple(row.get(column) for column in group_columns)
+
+
+def evaluate_output_columns(
+    output: Sequence[OutputColumn], row: RowContext
+) -> Dict[str, Any]:
+    return {column.alias: column.expression.evaluate(row) for column in output}
+
+
+def rows_passing(rows: Iterable[RowContext], predicates: Sequence[Expression]) -> List[RowContext]:
+    if not predicates:
+        return list(rows)
+    return [row for row in rows if all(predicate.evaluate(row) for predicate in predicates)]
+
+
+def deduplicate(rows: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Remove duplicate result rows (SELECT DISTINCT)."""
+    seen = set()
+    unique: List[Dict[str, Any]] = []
+    for row in rows:
+        key = tuple(sorted(row.items(), key=lambda item: item[0]))
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique

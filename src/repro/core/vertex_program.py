@@ -1,0 +1,367 @@
+"""The TAG-join vertex program: paper Algorithm 2 plus result assembly.
+
+One :class:`TagJoinProgram` instance executes one tree-shaped query
+fragment over a TAG graph in three phases driven by the traversal schedule
+produced from the TAG plan (Section 5):
+
+* **reduction, bottom-up** — vertices send their id along the current
+  step's edge label; recipients that pass their pushed-down filters mark
+  the plan edge with the sender ids (a vertex-centric Yannakakis reducer,
+  Lemma 5.1);
+* **reduction, top-down** — the reversed schedule; messages only travel
+  along marked edges, completing the full reduction;
+* **collection, bottom-up** — vertices propagate partial result tables
+  along marked edges; tuple vertices join the incoming table with their
+  own tuple, attribute vertices union the pieces flowing through them.
+
+After the last collection step the vertices holding the plan root's values
+assemble the output: plain rows for join queries, per-group aggregates for
+local aggregation (each group lives at its GROUP BY attribute vertex), or
+partial aggregates sent to a global aggregator vertex for global / scalar
+aggregation (Section 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..algebra.expressions import Expression
+from ..algebra.logical import AggregateSpec, AggregationClass, OutputColumn
+from ..bsp.aggregators import GroupAggregator
+from ..bsp.engine import BSPEngine, SuperstepContext, VertexProgram
+from ..bsp.graph import Graph, Vertex, VertexId
+from ..tag.encoder import ATTRIBUTE_VALUE_KEY, TUPLE_DATA_KEY, TagGraph
+from . import operations as ops
+from .tag_plan import PlanNode, TagPlan, TraversalStep
+
+
+class Phase(enum.Enum):
+    REDUCE_UP = "reduce_up"
+    REDUCE_DOWN = "reduce_down"
+    COLLECT = "collect"
+
+
+@dataclass(frozen=True)
+class ScheduledStep:
+    """A traversal step tagged with the phase it belongs to."""
+
+    phase: Phase
+    step: TraversalStep
+
+
+#: Name of the global aggregator used for global / scalar aggregation.
+GLOBAL_GROUPS_AGGREGATOR = "tagjoin:groups"
+#: Name of the collector used when the client asks for centralized output.
+GLOBAL_OUTPUT_AGGREGATOR = "tagjoin:output"
+
+# vertex.state keys (scoped per program run; the engine clears state between runs)
+_MARKED_KEY = "tj_marked"  # plan edge id -> set of neighbour vertex ids
+_VALUE_KEY = "tj_value"  # plan node id -> list of result rows
+
+
+def _provenance_key(alias: Optional[str]) -> str:
+    """Hidden row key recording which tuple vertex contributed an alias's columns."""
+    return f"__vid.{alias}"
+
+
+@dataclass
+class FragmentConfig:
+    """Everything the vertex program needs to execute one query fragment."""
+
+    plan: TagPlan
+    schedule: List[ScheduledStep]
+    alias_tables: Dict[str, str]
+    filters: Dict[str, List[Expression]] = field(default_factory=dict)
+    required_columns: Dict[str, Optional[Set[str]]] = field(default_factory=dict)
+    residual_predicates: List[Expression] = field(default_factory=list)
+    output_columns: List[OutputColumn] = field(default_factory=list)
+    aggregates: List[AggregateSpec] = field(default_factory=list)
+    group_by_columns: List[str] = field(default_factory=list)  # qualified names
+    aggregation_class: AggregationClass = AggregationClass.NONE
+    eager_partial_aggregation: bool = True
+    collect_output_centrally: bool = False
+
+    @property
+    def start_node_id(self) -> str:
+        if self.schedule:
+            return self.schedule[0].step.source
+        # single-node plans: the only relation node is both start and root
+        relation_nodes = self.plan.relation_nodes()
+        return relation_nodes[0].node_id
+
+    @property
+    def root_node_id(self) -> str:
+        if self.schedule:
+            return self.schedule[-1].step.target
+        return self.start_node_id
+
+
+def build_schedule(plan: TagPlan) -> List[ScheduledStep]:
+    """Reduction (up, down) + collection (up) schedule for a plan."""
+    from .tag_plan import reduction_schedule
+
+    up_steps, down_steps = reduction_schedule(plan)
+    schedule: List[ScheduledStep] = []
+    schedule.extend(ScheduledStep(Phase.REDUCE_UP, step) for step in up_steps)
+    schedule.extend(ScheduledStep(Phase.REDUCE_DOWN, step) for step in down_steps)
+    schedule.extend(ScheduledStep(Phase.COLLECT, step) for step in up_steps)
+    return schedule
+
+
+class TagJoinProgram(VertexProgram):
+    """Vertex-centric evaluation of one tree-shaped query fragment (Algorithm 2)."""
+
+    def __init__(self, graph: TagGraph, config: FragmentConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.output_rows: List[Dict[str, Any]] = []
+        self.local_groups: List[Dict[str, Any]] = []
+        self._start_node = config.plan.node(config.start_node_id)
+        self._root_node = config.plan.node(config.root_node_id)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def initial_active_vertices(self, graph: Graph):
+        """Activate the tuple vertices of the start relation (rightmost leaf)."""
+        start = self._start_node
+        if not start.is_relation:
+            raise ValueError("the TAG plan traversal must start at a relation node")
+        candidates = graph.vertices_with_label(start.table)
+        if not self.config.filters.get(start.alias):
+            return candidates
+        passing = []
+        for vertex_id in candidates:
+            vertex = graph.vertex(vertex_id)
+            if self._tuple_passes_filters(vertex, start.alias):
+                passing.append(vertex_id)
+        return passing
+
+    def compute(
+        self,
+        vertex: Vertex,
+        messages: List[Any],
+        graph: Graph,
+        context: SuperstepContext,
+    ) -> None:
+        superstep = context.superstep
+        schedule = self.config.schedule
+
+        if superstep == 0:
+            # initial active set: no incoming messages, send for step 0 (or
+            # assemble immediately for single-relation plans).
+            if not schedule:
+                self._assemble(vertex, self._initial_value(vertex, self._start_node), context)
+                return
+            self._send(vertex, schedule[0], context, is_initial=True)
+            return
+
+        received = schedule[superstep - 1]
+        accepted = self._receive(vertex, received, messages, context)
+        if not accepted:
+            return
+        if superstep < len(schedule):
+            self._send(vertex, schedule[superstep], context)
+        else:
+            # final superstep: the root's values are complete at this vertex
+            rows = vertex.state.get(_VALUE_KEY, {}).get(received.step.target, [])
+            self._assemble(vertex, rows, context)
+
+    # ------------------------------------------------------------------
+    # receive logic
+    # ------------------------------------------------------------------
+    def _receive(
+        self,
+        vertex: Vertex,
+        scheduled: ScheduledStep,
+        messages: List[Any],
+        context: SuperstepContext,
+    ) -> bool:
+        step = scheduled.step
+        target_node = self.config.plan.node(step.target)
+        context.charge(len(messages))
+
+        if scheduled.phase in (Phase.REDUCE_UP, Phase.REDUCE_DOWN):
+            if target_node.is_relation and not self._tuple_passes_filters(
+                vertex, target_node.alias
+            ):
+                return False
+            marked = vertex.state.setdefault(_MARKED_KEY, {})
+            marked[step.edge.edge_id] = set(messages)
+            return True
+
+        # collection phase: messages are partial result tables
+        incoming: List[Dict[str, Any]] = []
+        for table in messages:
+            incoming.extend(table)
+        if target_node.is_relation:
+            # the paper's line 36 (v.value ⋈ {v.data}): joining the incoming
+            # table with the vertex's own tuple keeps only the rows whose
+            # contribution for this alias *is* this tuple.  Rows flowing back
+            # from a sibling subtree may have been seeded by a different
+            # tuple of the same relation sharing this join value; the
+            # provenance tag added by ``_own_row`` identifies and drops them.
+            own_row = self._own_row(vertex, target_node)
+            provenance = _provenance_key(target_node.alias)
+            if incoming:
+                rows = [
+                    ops.merge_rows(row, own_row)
+                    for row in incoming
+                    if row.get(provenance, vertex.vertex_id) == vertex.vertex_id
+                ]
+            else:
+                rows = [own_row]
+        else:
+            rows = incoming
+        context.charge(len(rows))
+        values = vertex.state.setdefault(_VALUE_KEY, {})
+        values[step.target] = rows
+        return True
+
+    # ------------------------------------------------------------------
+    # send logic
+    # ------------------------------------------------------------------
+    def _send(
+        self,
+        vertex: Vertex,
+        scheduled: ScheduledStep,
+        context: SuperstepContext,
+        is_initial: bool = False,
+    ) -> None:
+        step = scheduled.step
+        label = step.label
+        edges = self.graph.out_edges(vertex.vertex_id, label)
+        context.charge(len(edges))
+
+        if scheduled.phase is Phase.REDUCE_UP:
+            for edge in edges:
+                context.send(edge.target, vertex.vertex_id)
+            return
+
+        marked: Set[VertexId] = vertex.state.get(_MARKED_KEY, {}).get(step.edge.edge_id, set())
+        if scheduled.phase is Phase.REDUCE_DOWN:
+            for edge in edges:
+                if edge.target in marked:
+                    context.send(edge.target, vertex.vertex_id)
+            return
+
+        # collection phase: propagate this node's value along marked edges
+        source_node = self.config.plan.node(step.source)
+        values = vertex.state.get(_VALUE_KEY, {})
+        table = values.get(step.source)
+        if table is None and source_node.is_relation:
+            table = [self._own_row(vertex, source_node)]
+        if not table:
+            return
+        for edge in edges:
+            if edge.target in marked:
+                context.send(edge.target, table)
+
+    # ------------------------------------------------------------------
+    # result assembly (runs at the vertices holding the plan root's values)
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        vertex: Vertex,
+        rows: List[Dict[str, Any]],
+        context: SuperstepContext,
+    ) -> None:
+        config = self.config
+        rows = ops.rows_passing(rows, config.residual_predicates)
+        if not rows:
+            return
+        context.charge(len(rows))
+
+        if config.aggregation_class is AggregationClass.NONE:
+            produced = [ops.evaluate_output_columns(config.output_columns, row) for row in rows]
+            if config.collect_output_centrally:
+                for row in produced:
+                    context.aggregate(GLOBAL_OUTPUT_AGGREGATOR, row)
+            self.output_rows.extend(produced)
+            return
+
+        if config.aggregation_class is AggregationClass.LOCAL:
+            # each group lives entirely at this attribute vertex
+            partial = ops.partial_of_rows(config.aggregates, rows)
+            final = ops.finalize_partial(partial, config.aggregates)
+            group_row = ops.evaluate_output_columns(config.output_columns, rows[0])
+            group_row.update(final)
+            self.local_groups.append(group_row)
+            return
+
+        # GLOBAL / SCALAR: contribute to the global aggregator vertex
+        if config.eager_partial_aggregation:
+            by_group: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+            sample_rows: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+            for row in rows:
+                key = ops.group_key(config.group_by_columns, row)
+                if key in by_group:
+                    by_group[key] = ops.accumulate_partial(by_group[key], config.aggregates, row)
+                else:
+                    by_group[key] = ops.accumulate_partial(
+                        ops.empty_partial(config.aggregates), config.aggregates, row
+                    )
+                    sample_rows[key] = row
+            for key, partial in by_group.items():
+                context.aggregate(
+                    GLOBAL_GROUPS_AGGREGATOR,
+                    (key, {"partial": partial, "sample": sample_rows[key]}),
+                )
+        else:
+            # lazy variant (ablation A03): ship every raw row to the aggregator
+            for row in rows:
+                key = ops.group_key(config.group_by_columns, row)
+                partial = ops.accumulate_partial(
+                    ops.empty_partial(config.aggregates), config.aggregates, row
+                )
+                context.aggregate(
+                    GLOBAL_GROUPS_AGGREGATOR, (key, {"partial": partial, "sample": row})
+                )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _tuple_passes_filters(self, vertex: Vertex, alias: Optional[str]) -> bool:
+        if alias is None:
+            return True
+        predicates = self.config.filters.get(alias)
+        if not predicates:
+            return True
+        tuple_data = vertex.properties.get(TUPLE_DATA_KEY)
+        if tuple_data is None:
+            return True
+        row = ops.row_context_for_tuple(alias, tuple_data)
+        return ops.passes_filters(row, predicates)
+
+    def _own_row(self, vertex: Vertex, node: PlanNode) -> Dict[str, Any]:
+        tuple_data = vertex.properties[TUPLE_DATA_KEY]
+        columns = self.config.required_columns.get(node.alias)
+        row = ops.project_tuple(node.alias, tuple_data, columns)
+        row[_provenance_key(node.alias)] = vertex.vertex_id
+        return row
+
+    def _initial_value(self, vertex: Vertex, node: PlanNode) -> List[Dict[str, Any]]:
+        if not self._tuple_passes_filters(vertex, node.alias):
+            return []
+        return [self._own_row(vertex, node)]
+
+    # ------------------------------------------------------------------
+    def result(self, graph: Graph, aggregators) -> Dict[str, Any]:
+        return {
+            "output_rows": self.output_rows,
+            "local_groups": self.local_groups,
+        }
+
+
+def register_group_aggregator(engine: BSPEngine, aggregates: Sequence[AggregateSpec]) -> None:
+    """Register the global GROUP BY aggregator used by GA / scalar queries."""
+
+    def combine(current: Dict[str, Any], update: Dict[str, Any]) -> Dict[str, Any]:
+        if current == 0:  # the GroupAggregator's neutral element
+            return update
+        merged = ops.merge_partials(current["partial"], update["partial"], list(aggregates))
+        return {"partial": merged, "sample": current["sample"]}
+
+    engine.register_aggregator(GroupAggregator(GLOBAL_GROUPS_AGGREGATOR, combine=combine))

@@ -1,0 +1,24 @@
+"""Spark-SQL-like distributed baseline: partitions, shuffles, broadcast joins."""
+
+from .shuffle import (
+    PartitionedRows,
+    ShuffleStats,
+    broadcast,
+    gather,
+    row_size,
+    scatter,
+    shuffle_by_key,
+)
+from .spark_like import SparkLikeExecutor, SparkLikeOptions
+
+__all__ = [
+    "PartitionedRows",
+    "ShuffleStats",
+    "SparkLikeExecutor",
+    "SparkLikeOptions",
+    "broadcast",
+    "gather",
+    "row_size",
+    "scatter",
+    "shuffle_by_key",
+]

@@ -1,0 +1,118 @@
+"""Shuffle and broadcast primitives of the Spark-SQL-like baseline.
+
+Spark SQL evaluates joins either by re-partitioning (shuffling) both inputs
+on the join key or by broadcasting a small input to every executor
+(paper Section 8.1.3 / 8.6).  The primitives here move rows between
+simulated partitions while accounting the network traffic that movement
+would cause — the quantity Figure 16 compares against TAG-join's
+inter-machine messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..bsp.metrics import payload_size_bytes
+
+RowDict = Dict[str, Any]
+PartitionedRows = List[List[RowDict]]
+
+
+@dataclass
+class ShuffleStats:
+    """Network accounting of one distributed query execution."""
+
+    shuffled_rows: int = 0
+    shuffled_bytes: int = 0
+    broadcast_rows: int = 0
+    broadcast_bytes: int = 0
+    stages: int = 0
+
+    @property
+    def network_bytes(self) -> int:
+        return self.shuffled_bytes + self.broadcast_bytes
+
+    @property
+    def network_rows(self) -> int:
+        return self.shuffled_rows + self.broadcast_rows
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "shuffled_rows": self.shuffled_rows,
+            "shuffled_bytes": self.shuffled_bytes,
+            "broadcast_rows": self.broadcast_rows,
+            "broadcast_bytes": self.broadcast_bytes,
+            "network_bytes": self.network_bytes,
+            "stages": self.stages,
+        }
+
+
+def row_size(row: RowDict) -> int:
+    return payload_size_bytes(row)
+
+
+def scatter(rows: Sequence[RowDict], num_partitions: int) -> PartitionedRows:
+    """Initial round-robin placement of a scanned relation (no network cost:
+    the data is assumed to already live distributed, as Spark reads
+    partitioned Parquet files)."""
+    partitions: PartitionedRows = [[] for _ in range(num_partitions)]
+    for index, row in enumerate(rows):
+        partitions[index % num_partitions].append(row)
+    return partitions
+
+
+def shuffle_by_key(
+    partitions: PartitionedRows,
+    key_columns: Sequence[str],
+    num_partitions: int,
+    stats: ShuffleStats,
+) -> PartitionedRows:
+    """Hash-repartition rows on the join/grouping key, charging network traffic.
+
+    Rows that stay on their current partition are not charged (they never
+    leave the executor), mirroring how Spark's shuffle only pays for
+    cross-executor blocks.
+    """
+    result: PartitionedRows = [[] for _ in range(num_partitions)]
+    for source_index, partition in enumerate(partitions):
+        for row in partition:
+            key = tuple(row.get(column) for column in key_columns)
+            target_index = hash(key) % num_partitions
+            result[target_index].append(row)
+            if target_index != source_index:
+                stats.shuffled_rows += 1
+                stats.shuffled_bytes += row_size(row)
+    stats.stages += 1
+    return result
+
+
+def broadcast(
+    partitions: PartitionedRows, num_partitions: int, stats: ShuffleStats
+) -> List[RowDict]:
+    """Collect a (small) input and broadcast it to every partition.
+
+    The driver gathers the rows once and sends a full copy to each of the
+    other executors, which is how Spark's broadcast joins replicate
+    dimension tables (and why they inflate network traffic, Section 8.6.3).
+    """
+    gathered: List[RowDict] = []
+    for partition in partitions:
+        gathered.extend(partition)
+    total_bytes = sum(row_size(row) for row in gathered)
+    stats.broadcast_rows += len(gathered) * max(0, num_partitions - 1)
+    stats.broadcast_bytes += total_bytes * max(0, num_partitions - 1)
+    stats.stages += 1
+    return gathered
+
+
+def gather(partitions: PartitionedRows, stats: ShuffleStats, charge: bool = True) -> List[RowDict]:
+    """Collect all partitions at the driver (final result collection)."""
+    rows: List[RowDict] = []
+    for partition in partitions:
+        rows.extend(partition)
+    if charge:
+        stats.shuffled_rows += len(rows)
+        stats.shuffled_bytes += sum(row_size(row) for row in rows)
+        stats.stages += 1
+    return rows

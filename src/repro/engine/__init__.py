@@ -1,0 +1,41 @@
+"""RDBMS-style single-node baseline engine (binary join plans over indexes)."""
+
+from .executor import RelationalExecutor
+from .indexes import HashIndex, IndexCatalog, SortedIndex, build_indexes, indexed_columns
+from .operators import (
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    Materialize,
+    NestedLoopJoin,
+    PhysicalOperator,
+    Project,
+    SeqScan,
+    SortMergeJoin,
+)
+from .planner import Planner, PlannerOptions, PlanningError
+
+__all__ = [
+    "Distinct",
+    "Filter",
+    "HashAggregate",
+    "HashIndex",
+    "HashJoin",
+    "IndexCatalog",
+    "IndexScan",
+    "Materialize",
+    "NestedLoopJoin",
+    "PhysicalOperator",
+    "Planner",
+    "PlannerOptions",
+    "PlanningError",
+    "Project",
+    "RelationalExecutor",
+    "SeqScan",
+    "SortMergeJoin",
+    "SortedIndex",
+    "build_indexes",
+    "indexed_columns",
+]

@@ -1,0 +1,390 @@
+"""Physical operators of the RDBMS-style baseline engine (iterator model).
+
+The reference systems in the paper (PostgreSQL, RDBMS-X, RDBMS-Y) evaluate
+queries with binary join plans built from sequential/index scans, hash
+joins, sort-merge joins, nested-loop joins and hash aggregation — exactly
+the operators implemented here.  Rows are dictionaries keyed by qualified
+column names (``alias.column``), so the same expression machinery used by
+the TAG-join executor evaluates predicates and aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..algebra.expressions import Expression
+from ..algebra.logical import AggregateSpec, OutputColumn
+from ..core import operations as ops
+from ..relational.relation import Relation
+from ..relational.types import NULL
+
+RowDict = Dict[str, Any]
+
+
+@dataclass
+class OperatorStats:
+    """Rows produced / consumed, for EXPLAIN-style diagnostics."""
+
+    rows_out: int = 0
+    rows_in: int = 0
+
+
+class PhysicalOperator:
+    """Base class: a restartable iterator of result rows."""
+
+    def __init__(self) -> None:
+        self.stats = OperatorStats()
+
+    def rows(self) -> Iterator[RowDict]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[RowDict]:
+        for row in self.rows():
+            self.stats.rows_out += 1
+            yield row
+
+    def explain(self, indent: int = 0) -> str:
+        lines = [("  " * indent) + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> Sequence["PhysicalOperator"]:
+        return ()
+
+
+class SeqScan(PhysicalOperator):
+    """Sequential scan of a relation under an alias, with pushed-down filters."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        alias: str,
+        predicates: Sequence[Expression] = (),
+        columns: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__()
+        self.relation = relation
+        self.alias = alias
+        self.predicates = list(predicates)
+        self.columns = list(columns) if columns is not None else None
+
+    def rows(self) -> Iterator[RowDict]:
+        names = self.relation.schema.column_names
+        keep = set(self.columns) if self.columns is not None else None
+        for row in self.relation:
+            context = {
+                f"{self.alias}.{name}": value for name, value in zip(names, row)
+            }
+            self.stats.rows_in += 1
+            if self.predicates and not ops.passes_filters(context, self.predicates):
+                continue
+            if keep is None:
+                yield context
+            else:
+                yield {
+                    key: value
+                    for key, value in context.items()
+                    if key.split(".", 1)[1] in keep
+                }
+
+    def describe(self) -> str:
+        return f"SeqScan({self.relation.name} AS {self.alias}, filters={len(self.predicates)})"
+
+
+class IndexScan(PhysicalOperator):
+    """Equality index scan: returns the rows whose column equals a value."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        alias: str,
+        positions: Sequence[int],
+        predicates: Sequence[Expression] = (),
+    ) -> None:
+        super().__init__()
+        self.relation = relation
+        self.alias = alias
+        self.positions = list(positions)
+        self.predicates = list(predicates)
+
+    def rows(self) -> Iterator[RowDict]:
+        names = self.relation.schema.column_names
+        for position in self.positions:
+            row = self.relation[position]
+            context = {f"{self.alias}.{name}": value for name, value in zip(names, row)}
+            self.stats.rows_in += 1
+            if self.predicates and not ops.passes_filters(context, self.predicates):
+                continue
+            yield context
+
+    def describe(self) -> str:
+        return f"IndexScan({self.relation.name} AS {self.alias}, {len(self.positions)} hits)"
+
+
+class Filter(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, predicates: Sequence[Expression]) -> None:
+        super().__init__()
+        self.child = child
+        self.predicates = list(predicates)
+
+    def rows(self) -> Iterator[RowDict]:
+        for row in self.child:
+            self.stats.rows_in += 1
+            if ops.passes_filters(row, self.predicates):
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter({len(self.predicates)} predicates)"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+
+class HashJoin(PhysicalOperator):
+    """Classic build/probe equi-join on one or more key pairs."""
+
+    def __init__(
+        self,
+        build: PhysicalOperator,
+        probe: PhysicalOperator,
+        build_keys: Sequence[str],
+        probe_keys: Sequence[str],
+    ) -> None:
+        super().__init__()
+        self.build = build
+        self.probe = probe
+        self.build_keys = list(build_keys)
+        self.probe_keys = list(probe_keys)
+
+    def rows(self) -> Iterator[RowDict]:
+        table: Dict[Tuple[Any, ...], List[RowDict]] = {}
+        for row in self.build:
+            key = tuple(row.get(column) for column in self.build_keys)
+            if any(part is NULL for part in key):
+                continue
+            table.setdefault(key, []).append(row)
+            self.stats.rows_in += 1
+        for row in self.probe:
+            key = tuple(row.get(column) for column in self.probe_keys)
+            if any(part is NULL for part in key):
+                continue
+            self.stats.rows_in += 1
+            for match in table.get(key, ()):
+                merged = dict(match)
+                merged.update(row)
+                yield merged
+
+    def describe(self) -> str:
+        return f"HashJoin({self.build_keys} = {self.probe_keys})"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.build, self.probe)
+
+
+class SortMergeJoin(PhysicalOperator):
+    """Sort both inputs on the join key, then merge (single-key joins)."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+    ) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+
+    def rows(self) -> Iterator[RowDict]:
+        def sort_key(row: RowDict, keys: List[str]):
+            return tuple(
+                (str(type(row.get(column))), row.get(column)) for column in keys
+            )
+
+        left_rows = [
+            row
+            for row in self.left
+            if not any(row.get(column) is NULL for column in self.left_keys)
+        ]
+        right_rows = [
+            row
+            for row in self.right
+            if not any(row.get(column) is NULL for column in self.right_keys)
+        ]
+        self.stats.rows_in += len(left_rows) + len(right_rows)
+        left_rows.sort(key=lambda row: sort_key(row, self.left_keys))
+        right_rows.sort(key=lambda row: sort_key(row, self.right_keys))
+
+        left_index = right_index = 0
+        while left_index < len(left_rows) and right_index < len(right_rows):
+            left_value = sort_key(left_rows[left_index], self.left_keys)
+            right_value = sort_key(right_rows[right_index], self.right_keys)
+            if left_value < right_value:
+                left_index += 1
+            elif left_value > right_value:
+                right_index += 1
+            else:
+                # gather the equal runs on both sides and emit their product
+                left_end = left_index
+                while (
+                    left_end < len(left_rows)
+                    and sort_key(left_rows[left_end], self.left_keys) == left_value
+                ):
+                    left_end += 1
+                right_end = right_index
+                while (
+                    right_end < len(right_rows)
+                    and sort_key(right_rows[right_end], self.right_keys) == right_value
+                ):
+                    right_end += 1
+                for i in range(left_index, left_end):
+                    for j in range(right_index, right_end):
+                        merged = dict(left_rows[i])
+                        merged.update(right_rows[j])
+                        yield merged
+                left_index, right_index = left_end, right_end
+
+    def describe(self) -> str:
+        return f"SortMergeJoin({self.left_keys} = {self.right_keys})"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.left, self.right)
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Tuple-at-a-time join on an arbitrary predicate (or a cross product)."""
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner: PhysicalOperator,
+        predicates: Sequence[Expression] = (),
+    ) -> None:
+        super().__init__()
+        self.outer = outer
+        self.inner = inner
+        self.predicates = list(predicates)
+
+    def rows(self) -> Iterator[RowDict]:
+        inner_rows = list(self.inner)
+        self.stats.rows_in += len(inner_rows)
+        for outer_row in self.outer:
+            self.stats.rows_in += 1
+            for inner_row in inner_rows:
+                merged = dict(outer_row)
+                merged.update(inner_row)
+                if not self.predicates or ops.passes_filters(merged, self.predicates):
+                    yield merged
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({len(self.predicates)} predicates)"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.outer, self.inner)
+
+
+class Project(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, output: Sequence[OutputColumn]) -> None:
+        super().__init__()
+        self.child = child
+        self.output = list(output)
+
+    def rows(self) -> Iterator[RowDict]:
+        for row in self.child:
+            self.stats.rows_in += 1
+            yield ops.evaluate_output_columns(self.output, row)
+
+    def describe(self) -> str:
+        return f"Project({[column.alias for column in self.output]})"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+
+class HashAggregate(PhysicalOperator):
+    """Hash GROUP BY with the shared partial-aggregate machinery."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_columns: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        output: Sequence[OutputColumn] = (),
+    ) -> None:
+        super().__init__()
+        self.child = child
+        self.group_columns = list(group_columns)
+        self.aggregates = list(aggregates)
+        self.output = list(output)
+
+    def rows(self) -> Iterator[RowDict]:
+        partials: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        samples: Dict[Tuple[Any, ...], RowDict] = {}
+        for row in self.child:
+            self.stats.rows_in += 1
+            key = ops.group_key(self.group_columns, row)
+            if key in partials:
+                partials[key] = ops.accumulate_partial(partials[key], self.aggregates, row)
+            else:
+                partials[key] = ops.accumulate_partial(
+                    ops.empty_partial(self.aggregates), self.aggregates, row
+                )
+                samples[key] = row
+        if not partials and not self.group_columns:
+            final = ops.finalize_partial(ops.empty_partial(self.aggregates), self.aggregates)
+            yield final
+            return
+        for key, partial in partials.items():
+            final = ops.finalize_partial(partial, self.aggregates)
+            result = ops.evaluate_output_columns(self.output, samples[key])
+            result.update(final)
+            yield result
+
+    def describe(self) -> str:
+        return f"HashAggregate(group={self.group_columns}, aggs={len(self.aggregates)})"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+
+class Distinct(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator) -> None:
+        super().__init__()
+        self.child = child
+
+    def rows(self) -> Iterator[RowDict]:
+        seen = set()
+        for row in self.child:
+            self.stats.rows_in += 1
+            key = tuple(sorted(row.items(), key=lambda item: item[0]))
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+
+class Materialize(PhysicalOperator):
+    """Materialise a row list as an operator (used for subquery results)."""
+
+    def __init__(self, rows_list: List[RowDict], label: str = "materialized") -> None:
+        super().__init__()
+        self._rows = rows_list
+        self.label = label
+
+    def rows(self) -> Iterator[RowDict]:
+        return iter(self._rows)
+
+    def describe(self) -> str:
+        return f"Materialize({self.label}, {len(self._rows)} rows)"

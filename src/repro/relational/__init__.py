@@ -1,0 +1,36 @@
+"""Relational substrate: types, schemas, relations, catalogs and CSV I/O."""
+
+from .catalog import Catalog, CatalogError, catalog_from_relations
+from .csvio import (
+    read_catalog_csv,
+    read_relation_csv,
+    write_catalog_csv,
+    write_relation_csv,
+)
+from .relation import Relation, Row, rows_to_multiset
+from .schema import Column, ForeignKey, Schema, SchemaError, SchemaGraph
+from .types import NULL, DataType, coerce, coerce_date, infer_type, value_size_bytes
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "catalog_from_relations",
+    "Column",
+    "DataType",
+    "ForeignKey",
+    "NULL",
+    "Relation",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "SchemaGraph",
+    "coerce",
+    "coerce_date",
+    "infer_type",
+    "read_catalog_csv",
+    "read_relation_csv",
+    "rows_to_multiset",
+    "value_size_bytes",
+    "write_catalog_csv",
+    "write_relation_csv",
+]

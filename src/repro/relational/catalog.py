@@ -1,0 +1,141 @@
+"""The catalog: a named collection of relations (a database instance)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .relation import Relation
+from .schema import Schema, SchemaError, SchemaGraph
+
+
+class CatalogError(KeyError):
+    """Raised when a relation is missing from (or duplicated in) the catalog."""
+
+
+class Catalog:
+    """A relational database instance: relation name -> :class:`Relation`.
+
+    The catalog is the unit loaded into every engine in the reproduction:
+    the iterator engine builds indexes over it, the distributed engine
+    partitions it, and the TAG encoder turns it into a graph.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._relations: Dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add(self, relation: Relation, replace: bool = False) -> None:
+        if relation.name in self._relations and not replace:
+            raise CatalogError(f"relation {relation.name!r} already in catalog")
+        self._relations[relation.name] = relation
+
+    def create(self, schema: Schema) -> Relation:
+        """Create and register an empty relation with the given schema."""
+        relation = Relation(schema)
+        self.add(relation)
+        return relation
+
+    def drop(self, relation_name: str) -> None:
+        if relation_name not in self._relations:
+            raise CatalogError(f"relation {relation_name!r} not in catalog")
+        del self._relations[relation_name]
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def relation(self, relation_name: str) -> Relation:
+        try:
+            return self._relations[relation_name]
+        except KeyError:
+            raise CatalogError(f"relation {relation_name!r} not in catalog") from None
+
+    def schema(self, relation_name: str) -> Schema:
+        return self.relation(relation_name).schema
+
+    def __contains__(self, relation_name: str) -> bool:
+        return relation_name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> List[str]:
+        return list(self._relations)
+
+    def relations(self) -> List[Relation]:
+        return list(self._relations.values())
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    def schema_graph(self) -> SchemaGraph:
+        graph = SchemaGraph()
+        for relation in self._relations.values():
+            graph.add(relation.schema)
+        return graph
+
+    def total_rows(self) -> int:
+        return sum(len(relation) for relation in self._relations.values())
+
+    def total_data_size_bytes(self) -> int:
+        return sum(relation.data_size_bytes() for relation in self._relations.values())
+
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        """Per-relation cardinality and byte-size summary."""
+        return {
+            name: {
+                "rows": relation.cardinality(),
+                "bytes": relation.data_size_bytes(),
+                "columns": relation.schema.arity,
+            }
+            for name, relation in self._relations.items()
+        }
+
+    def validate_foreign_keys(self) -> List[str]:
+        """Check referential integrity; return a list of violation messages.
+
+        The workload generators are required to produce zero violations; the
+        tests assert this.
+        """
+        violations: List[str] = []
+        for relation in self._relations.values():
+            for fk in relation.schema.foreign_keys:
+                if fk.referenced_table not in self._relations:
+                    violations.append(
+                        f"{relation.name}: missing referenced table {fk.referenced_table}"
+                    )
+                    continue
+                referenced = self._relations[fk.referenced_table]
+                referenced_keys = {
+                    tuple(row[referenced.schema.position(c)] for c in fk.referenced_columns)
+                    for row in referenced
+                }
+                positions = [relation.schema.position(c) for c in fk.columns]
+                for row in relation:
+                    key = tuple(row[p] for p in positions)
+                    if any(part is None for part in key):
+                        continue
+                    if key not in referenced_keys:
+                        violations.append(
+                            f"{relation.name}.{fk.columns} -> "
+                            f"{fk.referenced_table}.{fk.referenced_columns}: "
+                            f"dangling key {key}"
+                        )
+                        break
+        return violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Catalog({self.name}, {len(self._relations)} relations, {self.total_rows()} rows)"
+
+
+def catalog_from_relations(relations: Iterable[Relation], name: str = "db") -> Catalog:
+    catalog = Catalog(name)
+    for relation in relations:
+        catalog.add(relation)
+    return catalog

@@ -1,0 +1,195 @@
+"""In-memory relations (bags of tuples).
+
+Relations are stored row-oriented as tuples of Python values, with the
+schema describing names/types.  Duplicates are allowed (bag semantics) —
+the TAG encoding gives each duplicate occurrence its own tuple vertex
+(paper Section 3, step 1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .schema import Column, Schema, SchemaError
+from .types import NULL, DataType, coerce, infer_type, value_size_bytes
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """A named bag of tuples conforming to a :class:`Schema`."""
+
+    def __init__(self, schema: Schema, rows: Optional[Iterable[Sequence[Any]]] = None) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls, name: str, records: Sequence[Dict[str, Any]], schema: Optional[Schema] = None
+    ) -> "Relation":
+        """Build a relation from a list of dicts, inferring the schema if needed."""
+        if schema is None:
+            if not records:
+                raise SchemaError("cannot infer schema from an empty record list")
+            first = records[0]
+            columns = []
+            for column_name, value in first.items():
+                dtype = infer_type(value) if value is not NULL else DataType.STRING
+                columns.append(Column(column_name, dtype))
+            schema = Schema(name, columns)
+        relation = cls(schema)
+        for record in records:
+            relation.insert([record.get(column.name, NULL) for column in schema.columns])
+        return relation
+
+    @classmethod
+    def from_columns(cls, name: str, columns: Dict[str, Sequence[Any]]) -> "Relation":
+        """Build a relation from parallel column value lists."""
+        names = list(columns)
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError("column value lists must have equal length")
+        schema_columns = []
+        for column_name in names:
+            values = columns[column_name]
+            sample = next((v for v in values if v is not NULL), NULL)
+            dtype = infer_type(sample) if sample is not NULL else DataType.STRING
+            schema_columns.append(Column(column_name, dtype))
+        schema = Schema(name, schema_columns)
+        relation = cls(schema)
+        count = lengths.pop() if lengths else 0
+        for i in range(count):
+            relation.insert([columns[column_name][i] for column_name in names])
+        return relation
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Any]) -> None:
+        """Insert one tuple, coercing values to the schema's domains."""
+        if len(row) != self.schema.arity:
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema "
+                f"{self.schema.name!r} arity {self.schema.arity}"
+            )
+        coerced = tuple(
+            coerce(value, column.dtype)
+            for value, column in zip(row, self.schema.columns)
+        )
+        for value, column in zip(coerced, self.schema.columns):
+            if value is NULL and not column.nullable:
+                raise SchemaError(
+                    f"NULL in non-nullable column {self.schema.name}.{column.name}"
+                )
+        self._rows.append(coerced)
+
+    def insert_dict(self, record: Dict[str, Any]) -> None:
+        self.insert([record.get(column.name, NULL) for column in self.schema.columns])
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete all rows satisfying ``predicate``; return the number removed."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        return before - len(self._rows)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def rows(self) -> List[Row]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def column_values(self, column_name: str) -> List[Any]:
+        position = self.schema.position(column_name)
+        return [row[position] for row in self._rows]
+
+    def distinct_values(self, column_name: str) -> set:
+        position = self.schema.position(column_name)
+        return {row[position] for row in self._rows if row[position] is not NULL}
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self._rows]
+
+    def sample(self, k: int, seed: int = 0) -> "Relation":
+        rng = random.Random(seed)
+        k = min(k, len(self._rows))
+        sampled = Relation(self.schema)
+        sampled._rows = rng.sample(self._rows, k)
+        return sampled
+
+    # ------------------------------------------------------------------
+    # statistics (used by the planner and the Fig. 14 size accounting)
+    # ------------------------------------------------------------------
+    def cardinality(self) -> int:
+        return len(self._rows)
+
+    def distinct_count(self, column_name: str) -> int:
+        return len(self.distinct_values(column_name))
+
+    def data_size_bytes(self) -> int:
+        """Approximate base-table footprint in bytes (no indexes)."""
+        total = 0
+        for row in self._rows:
+            for value, column in zip(row, self.schema.columns):
+                total += value_size_bytes(value, column.dtype)
+        return total
+
+    def value_frequencies(self, column_name: str) -> Dict[Any, int]:
+        position = self.schema.position(column_name)
+        frequencies: Dict[Any, int] = {}
+        for row in self._rows:
+            value = row[position]
+            if value is NULL:
+                continue
+            frequencies[value] = frequencies.get(value, 0) + 1
+        return frequencies
+
+    # ------------------------------------------------------------------
+    # equality helpers for tests
+    # ------------------------------------------------------------------
+    def as_multiset(self) -> Dict[Row, int]:
+        """Bag of rows -> multiplicity; used to compare results order-insensitively."""
+        bag: Dict[Row, int] = {}
+        for row in self._rows:
+            bag[row] = bag.get(row, 0) + 1
+        return bag
+
+    def same_bag(self, other: "Relation") -> bool:
+        return self.as_multiset() == other.as_multiset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.schema.name}, {len(self._rows)} rows)"
+
+
+def rows_to_multiset(rows: Iterable[Sequence[Any]]) -> Dict[Tuple[Any, ...], int]:
+    """Order-insensitive bag view of an arbitrary row iterable (test helper)."""
+    bag: Dict[Tuple[Any, ...], int] = {}
+    for row in rows:
+        key = tuple(row)
+        bag[key] = bag.get(key, 0) + 1
+    return bag

@@ -1,0 +1,28 @@
+"""SQL front-end: lexer, parser and binder producing QuerySpec IR."""
+
+from ..algebra.logical import QuerySpec
+from ..relational.catalog import Catalog
+from .ast import SelectStatement
+from .binder import Binder, SqlBindError, bind_sql
+from .lexer import SqlSyntaxError, Token, TokenType, tokenize
+from .parser import Parser, parse_sql
+
+
+def parse_and_bind(sql: str, catalog: Catalog, name: str = "query") -> QuerySpec:
+    """Parse SQL text and bind it against ``catalog`` in one call."""
+    return bind_sql(parse_sql(sql), catalog, name=name)
+
+
+__all__ = [
+    "Binder",
+    "Parser",
+    "SelectStatement",
+    "SqlBindError",
+    "SqlSyntaxError",
+    "Token",
+    "TokenType",
+    "bind_sql",
+    "parse_and_bind",
+    "parse_sql",
+    "tokenize",
+]

@@ -1,0 +1,143 @@
+"""Syntax tree of the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class ExprNode:
+    """Base class of syntactic expression nodes."""
+
+
+@dataclass(frozen=True)
+class ColumnNode(ExprNode):
+    column: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class LiteralNode(ExprNode):
+    value: Any
+
+
+@dataclass(frozen=True)
+class BinaryOpNode(ExprNode):
+    """Arithmetic or comparison binary operation."""
+
+    op: str
+    left: ExprNode
+    right: ExprNode
+
+
+@dataclass(frozen=True)
+class BoolOpNode(ExprNode):
+    op: str  # "AND" | "OR"
+    operands: Tuple[ExprNode, ...]
+
+
+@dataclass(frozen=True)
+class NotNode(ExprNode):
+    operand: ExprNode
+
+
+@dataclass(frozen=True)
+class IsNullNode(ExprNode):
+    operand: ExprNode
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BetweenNode(ExprNode):
+    operand: ExprNode
+    low: ExprNode
+    high: ExprNode
+
+
+@dataclass(frozen=True)
+class LikeNode(ExprNode):
+    operand: ExprNode
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InListNode(ExprNode):
+    operand: ExprNode
+    values: Tuple[Any, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubqueryNode(ExprNode):
+    operand: ExprNode
+    subquery: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsNode(ExprNode):
+    subquery: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncNode(ExprNode):
+    """Aggregate function call (COUNT/SUM/AVG/MIN/MAX)."""
+
+    name: str
+    argument: Optional[ExprNode]  # None for COUNT(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubqueryNode(ExprNode):
+    subquery: "SelectStatement"
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class SelectItem:
+    expression: ExprNode
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableSource:
+    table: str
+    alias: str
+
+
+@dataclass
+class JoinClause:
+    source: TableSource
+    kind: str  # "inner" | "left" | "right" | "full"
+    condition: ExprNode
+
+
+@dataclass
+class OrderItem:
+    expression: ExprNode
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    items: List[SelectItem] = field(default_factory=list)
+    sources: List[TableSource] = field(default_factory=list)
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[ExprNode] = None
+    group_by: List[ExprNode] = field(default_factory=list)
+    having: Optional[ExprNode] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False

@@ -1,0 +1,117 @@
+"""SQL lexer for the subset of SQL used by the TPC-style workloads."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed SQL text."""
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "LIMIT", "AS", "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE",
+    "IS", "NULL", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "ON",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "DATE", "ASC", "DESC", "UNION",
+    "ALL", "CASE", "WHEN", "THEN", "ELSE", "END", "INTERVAL", "TRUE", "FALSE",
+}
+
+_OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+_PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split a SQL string into tokens (keywords are upper-cased)."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        character = sql[index]
+        if character.isspace():
+            index += 1
+            continue
+        if sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if character == "'":
+            end = index + 1
+            literal_chars = []
+            while end < length:
+                if sql[end] == "'" and end + 1 < length and sql[end + 1] == "'":
+                    literal_chars.append("'")
+                    end += 2
+                    continue
+                if sql[end] == "'":
+                    break
+                literal_chars.append(sql[end])
+                end += 1
+            if end >= length:
+                raise SqlSyntaxError(f"unterminated string literal at position {index}")
+            tokens.append(Token(TokenType.STRING, "".join(literal_chars), index))
+            index = end + 1
+            continue
+        if character.isdigit() or (
+            character == "." and index + 1 < length and sql[index + 1].isdigit()
+        ):
+            end = index
+            seen_dot = False
+            while end < length and (sql[end].isdigit() or (sql[end] == "." and not seen_dot)):
+                if sql[end] == ".":
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, sql[index:end], index))
+            index = end
+            continue
+        if character.isalpha() or character == "_":
+            end = index
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, index))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, index))
+            index = end
+            continue
+        matched_operator = next(
+            (operator for operator in _OPERATORS if sql.startswith(operator, index)), None
+        )
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, index))
+            index += len(matched_operator)
+            continue
+        if character in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, character, index))
+            index += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {character!r} at position {index}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

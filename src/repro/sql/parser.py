@@ -1,0 +1,392 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Supported grammar (roughly the fragment exercised by the TPC-style
+workloads of the paper):
+
+* ``SELECT [DISTINCT] <select list> FROM <tables> [JOIN ... ON ...]``
+* ``WHERE`` with AND/OR/NOT, comparisons, BETWEEN, LIKE, IN (value list or
+  subquery), EXISTS / NOT EXISTS, IS [NOT] NULL, scalar subqueries, and
+  arithmetic over columns and literals (including ``DATE 'YYYY-MM-DD'``);
+* ``GROUP BY``, aggregate functions COUNT / SUM / AVG / MIN / MAX
+  (optionally DISTINCT), ``HAVING``;
+* ``ORDER BY`` and ``LIMIT`` are parsed but ignored by the engines, exactly
+  as the paper's experiments drop them (Section 8.1.1).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, List, Optional
+
+from .ast import (
+    BetweenNode,
+    BinaryOpNode,
+    BoolOpNode,
+    ColumnNode,
+    ExistsNode,
+    ExprNode,
+    FuncNode,
+    InListNode,
+    InSubqueryNode,
+    IsNullNode,
+    JoinClause,
+    LikeNode,
+    LiteralNode,
+    NotNode,
+    OrderItem,
+    ScalarSubqueryNode,
+    SelectItem,
+    SelectStatement,
+    TableSource,
+)
+from .lexer import SqlSyntaxError, Token, TokenType, tokenize
+
+_AGGREGATE_KEYWORDS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_COMPARISON_OPERATORS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """A hand-written recursive-descent SQL parser."""
+
+    def __init__(self, sql: str) -> None:
+        self._tokens = tokenize(sql)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, *keywords: str) -> Token:
+        token = self._advance()
+        if token.type is not TokenType.KEYWORD or token.value not in keywords:
+            raise SqlSyntaxError(f"expected {'/'.join(keywords)}, found {token.value!r}")
+        return token
+
+    def _expect_punctuation(self, symbol: str) -> Token:
+        token = self._advance()
+        if token.type is not TokenType.PUNCTUATION or token.value != symbol:
+            raise SqlSyntaxError(f"expected {symbol!r}, found {token.value!r}")
+        return token
+
+    def _accept_keyword(self, *keywords: str) -> Optional[Token]:
+        if self._peek().matches_keyword(*keywords):
+            return self._advance()
+        return None
+
+    def _accept_punctuation(self, symbol: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.value == symbol:
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        statement = self._parse_select()
+        self._accept_punctuation(";")
+        if self._peek().type is not TokenType.END:
+            raise SqlSyntaxError(f"unexpected trailing token {self._peek().value!r}")
+        return statement
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        statement = SelectStatement()
+        if self._accept_keyword("DISTINCT"):
+            statement.distinct = True
+        statement.items = self._parse_select_list()
+        self._expect_keyword("FROM")
+        statement.sources.append(self._parse_table_source())
+        while True:
+            if self._accept_punctuation(","):
+                statement.sources.append(self._parse_table_source())
+                continue
+            join = self._try_parse_join()
+            if join is not None:
+                statement.joins.append(join)
+                continue
+            break
+        if self._accept_keyword("WHERE"):
+            statement.where = self._parse_expression()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            statement.group_by.append(self._parse_expression())
+            while self._accept_punctuation(","):
+                statement.group_by.append(self._parse_expression())
+        if self._accept_keyword("HAVING"):
+            statement.having = self._parse_expression()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            statement.order_by.append(self._parse_order_item())
+            while self._accept_punctuation(","):
+                statement.order_by.append(self._parse_order_item())
+        if self._accept_keyword("LIMIT"):
+            token = self._advance()
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError(f"expected a number after LIMIT, found {token.value!r}")
+            statement.limit = int(token.value)
+        return statement
+
+    def _parse_select_list(self) -> List[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept_punctuation(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return SelectItem(ColumnNode("*"), None)
+        expression = self._parse_expression()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias_token = self._advance()
+            alias = alias_token.value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return SelectItem(expression, alias)
+
+    def _parse_table_source(self) -> TableSource:
+        token = self._advance()
+        if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            raise SqlSyntaxError(f"expected a table name, found {token.value!r}")
+        table = token.value
+        alias = table
+        if self._accept_keyword("AS"):
+            alias = self._advance().value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return TableSource(table, alias)
+
+    def _try_parse_join(self) -> Optional[JoinClause]:
+        kind = "inner"
+        start = self._index
+        if self._accept_keyword("INNER"):
+            kind = "inner"
+        elif self._accept_keyword("LEFT"):
+            kind = "left"
+            self._accept_keyword("OUTER")
+        elif self._accept_keyword("RIGHT"):
+            kind = "right"
+            self._accept_keyword("OUTER")
+        elif self._accept_keyword("FULL"):
+            kind = "full"
+            self._accept_keyword("OUTER")
+        if not self._accept_keyword("JOIN"):
+            self._index = start
+            return None
+        source = self._parse_table_source()
+        self._expect_keyword("ON")
+        condition = self._parse_expression()
+        return JoinClause(source, kind, condition)
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self._parse_expression()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(expression, descending)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> ExprNode:
+        return self._parse_or()
+
+    def _parse_or(self) -> ExprNode:
+        operands = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOpNode("OR", tuple(operands))
+
+    def _parse_and(self) -> ExprNode:
+        operands = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOpNode("AND", tuple(operands))
+
+    def _parse_not(self) -> ExprNode:
+        if self._accept_keyword("NOT"):
+            return NotNode(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ExprNode:
+        if self._peek().matches_keyword("EXISTS"):
+            self._advance()
+            self._expect_punctuation("(")
+            subquery = self._parse_select()
+            self._expect_punctuation(")")
+            return ExistsNode(subquery)
+        operand = self._parse_additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPERATORS:
+            operator = self._advance().value
+            right = self._parse_comparison_rhs()
+            return BinaryOpNode(operator, operand, right)
+        negated = False
+        if token.matches_keyword("NOT"):
+            lookahead = self._peek(1)
+            if lookahead.matches_keyword("IN", "BETWEEN", "LIKE"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.matches_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            result: ExprNode = BetweenNode(operand, low, high)
+            return NotNode(result) if negated else result
+        if token.matches_keyword("IN"):
+            self._advance()
+            self._expect_punctuation("(")
+            if self._peek().matches_keyword("SELECT"):
+                subquery = self._parse_select()
+                self._expect_punctuation(")")
+                return InSubqueryNode(operand, subquery, negated)
+            values = [self._parse_literal_value()]
+            while self._accept_punctuation(","):
+                values.append(self._parse_literal_value())
+            self._expect_punctuation(")")
+            return InListNode(operand, tuple(values), negated)
+        if token.matches_keyword("LIKE"):
+            self._advance()
+            pattern_token = self._advance()
+            if pattern_token.type is not TokenType.STRING:
+                raise SqlSyntaxError("LIKE expects a string literal pattern")
+            return LikeNode(operand, pattern_token.value, negated)
+        if token.matches_keyword("IS"):
+            self._advance()
+            is_negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return IsNullNode(operand, is_negated)
+        return operand
+
+    def _parse_comparison_rhs(self) -> ExprNode:
+        if self._peek().type is TokenType.PUNCTUATION and self._peek().value == "(":
+            if self._peek(1).matches_keyword("SELECT"):
+                self._advance()
+                subquery = self._parse_select()
+                self._expect_punctuation(")")
+                return ScalarSubqueryNode(subquery)
+        return self._parse_additive()
+
+    def _parse_additive(self) -> ExprNode:
+        left = self._parse_term()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                operator = self._advance().value
+                right = self._parse_term()
+                left = BinaryOpNode(operator, left, right)
+            else:
+                return left
+
+    def _parse_term(self) -> ExprNode:
+        left = self._parse_factor()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                operator = self._advance().value
+                right = self._parse_factor()
+                left = BinaryOpNode(operator, left, right)
+            else:
+                return left
+
+    def _parse_factor(self) -> ExprNode:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._parse_factor()
+            return BinaryOpNode("-", LiteralNode(0), operand)
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            self._advance()
+            if self._peek().matches_keyword("SELECT"):
+                subquery = self._parse_select()
+                self._expect_punctuation(")")
+                return ScalarSubqueryNode(subquery)
+            expression = self._parse_expression()
+            self._expect_punctuation(")")
+            return expression
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value: Any = float(token.value) if "." in token.value else int(token.value)
+            return LiteralNode(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return LiteralNode(token.value)
+        if token.matches_keyword("NULL"):
+            self._advance()
+            return LiteralNode(None)
+        if token.matches_keyword("TRUE"):
+            self._advance()
+            return LiteralNode(True)
+        if token.matches_keyword("FALSE"):
+            self._advance()
+            return LiteralNode(False)
+        if token.matches_keyword("DATE"):
+            self._advance()
+            literal = self._advance()
+            if literal.type is not TokenType.STRING:
+                raise SqlSyntaxError("DATE expects a quoted ISO date")
+            return LiteralNode(_dt.date.fromisoformat(literal.value))
+        if token.matches_keyword(*_AGGREGATE_KEYWORDS):
+            return self._parse_aggregate()
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_column()
+        raise SqlSyntaxError(f"unexpected token {token.value!r} in expression")
+
+    def _parse_aggregate(self) -> ExprNode:
+        name = self._advance().value
+        self._expect_punctuation("(")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        token = self._peek()
+        argument: Optional[ExprNode]
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            argument = None
+        else:
+            argument = self._parse_expression()
+        self._expect_punctuation(")")
+        return FuncNode(name, argument, distinct)
+
+    def _parse_column(self) -> ExprNode:
+        first = self._advance().value
+        if self._accept_punctuation("."):
+            second = self._advance()
+            if second.type is TokenType.OPERATOR and second.value == "*":
+                return ColumnNode("*", first)
+            return ColumnNode(second.value, first)
+        return ColumnNode(first)
+
+    def _parse_literal_value(self) -> Any:
+        token = self._advance()
+        if token.type is TokenType.NUMBER:
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.STRING:
+            return token.value
+        if token.matches_keyword("DATE"):
+            literal = self._advance()
+            return _dt.date.fromisoformat(literal.value)
+        raise SqlSyntaxError(f"expected a literal, found {token.value!r}")
+
+
+def parse_sql(sql: str) -> SelectStatement:
+    """Parse SQL text into a :class:`SelectStatement`."""
+    return Parser(sql).parse()

@@ -1,0 +1,248 @@
+"""TAG encoding: map a relational database into a Tuple-Attribute Graph.
+
+The encoding follows paper Section 3 exactly:
+
+1. every tuple ``t`` of relation ``R`` becomes a *tuple vertex* labelled
+   ``R`` (duplicates get fresh vertices) storing ``t`` in its properties;
+2. every distinct attribute value in the active domain becomes a single
+   *attribute vertex* labelled with its domain/type, shared across all
+   relations and attribute names that use the value;
+3. every occurrence of value ``a`` in attribute ``A`` of an ``R``-tuple
+   becomes an edge labelled ``R.A`` between the tuple vertex and the
+   attribute vertex (undirected, i.e. materialised as two directed edges).
+
+Floats and long text are not materialised as attribute vertices (they are
+kept only inside the tuple vertex), matching the loading policy of
+Section 8.2.  The resulting graph is bipartite and query independent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..bsp.graph import Graph, Vertex, VertexId
+from ..relational.catalog import Catalog
+from ..relational.relation import Relation
+from ..relational.schema import Column, Schema
+from ..relational.types import NULL, DataType, value_size_bytes
+
+#: Property key under which a tuple vertex stores its tuple (a dict
+#: ``column name -> value``).
+TUPLE_DATA_KEY = "tuple"
+#: Property key under which an attribute vertex stores its value.
+ATTRIBUTE_VALUE_KEY = "value"
+#: Label prefix of attribute vertices, completed with the value's domain.
+ATTRIBUTE_LABEL_PREFIX = "attr"
+
+
+def edge_label(relation_name: str, column_name: str) -> str:
+    """The ``R.A`` label carried by TAG edges (paper Section 3, step 3)."""
+    return f"{relation_name}.{column_name}"
+
+
+def tuple_vertex_id(relation_name: str, index: int) -> VertexId:
+    return f"{relation_name}_{index}"
+
+
+def attribute_vertex_id(value: Any) -> VertexId:
+    """One vertex per distinct value of the active domain.
+
+    The id embeds the value's type so that, e.g., integer ``1`` and string
+    ``"1"`` remain distinct vertices (they belong to different domains and
+    never equi-join in SQL without an explicit cast).
+    """
+    if hasattr(value, "isoformat"):
+        return f"attr:date:{value.isoformat()}"
+    return f"attr:{type(value).__name__}:{value!r}"
+
+
+def attribute_label(value: Any) -> str:
+    if isinstance(value, bool):
+        return f"{ATTRIBUTE_LABEL_PREFIX}:bool"
+    if isinstance(value, int):
+        return f"{ATTRIBUTE_LABEL_PREFIX}:int"
+    if isinstance(value, float):
+        return f"{ATTRIBUTE_LABEL_PREFIX}:float"
+    if hasattr(value, "isoformat"):
+        return f"{ATTRIBUTE_LABEL_PREFIX}:date"
+    return f"{ATTRIBUTE_LABEL_PREFIX}:string"
+
+
+@dataclass
+class LoadReport:
+    """Loading statistics — the quantities behind Tables 1/2 and Figure 14."""
+
+    seconds: float = 0.0
+    tuple_vertices: int = 0
+    attribute_vertices: int = 0
+    edges: int = 0
+    tuple_bytes: int = 0
+    attribute_bytes: int = 0
+    edge_bytes: int = 0
+    per_relation: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.tuple_bytes + self.attribute_bytes + self.edge_bytes
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seconds": self.seconds,
+            "tuple_vertices": self.tuple_vertices,
+            "attribute_vertices": self.attribute_vertices,
+            "edges": self.edges,
+            "total_bytes": self.total_bytes,
+        }
+
+
+class TagGraph(Graph):
+    """A TAG graph with relational-aware lookup helpers."""
+
+    def __init__(self, name: str = "tag") -> None:
+        super().__init__(name)
+        self._attribute_ids: Dict[VertexId, VertexId] = {}
+        self._tuple_counters: Dict[str, int] = {}
+        self.load_report = LoadReport()
+
+    # ------------------------------------------------------------------
+    # lookups used by the TAG-join vertex programs
+    # ------------------------------------------------------------------
+    def tuple_vertices_of(self, relation_name: str) -> List[VertexId]:
+        return self.vertices_with_label(relation_name)
+
+    def attribute_vertex_for(self, value: Any) -> Optional[VertexId]:
+        vertex_id = attribute_vertex_id(value)
+        return vertex_id if self.has_vertex(vertex_id) else None
+
+    def is_tuple_vertex(self, vertex: Vertex) -> bool:
+        return TUPLE_DATA_KEY in vertex.properties
+
+    def is_attribute_vertex(self, vertex: Vertex) -> bool:
+        return ATTRIBUTE_VALUE_KEY in vertex.properties
+
+    def tuple_data(self, vertex: Vertex) -> Dict[str, Any]:
+        return vertex.properties[TUPLE_DATA_KEY]
+
+    def attribute_value(self, vertex: Vertex) -> Any:
+        return vertex.properties[ATTRIBUTE_VALUE_KEY]
+
+    def attribute_vertices_with_edge(self, relation_name: str, column_name: str) -> List[VertexId]:
+        """Attribute vertices having at least one ``R.A`` out-edge.
+
+        Used to activate join-attribute vertices at the start of a phase
+        without scanning the full attribute-vertex population.
+        """
+        label = edge_label(relation_name, column_name)
+        result = []
+        for vertex_id in self._attribute_ids:
+            if self.out_degree(vertex_id, label) > 0:
+                result.append(vertex_id)
+        return result
+
+    def attribute_vertex_ids(self) -> List[VertexId]:
+        return list(self._attribute_ids)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (paper Section 3: attribute vertices are
+    # cheaper to maintain than RDBMS indexes — only local edge changes)
+    # ------------------------------------------------------------------
+    def insert_tuple(self, schema: Schema, values: Dict[str, Any]) -> VertexId:
+        index = self._tuple_counters.get(schema.name, 0) + 1
+        self._tuple_counters[schema.name] = index
+        vertex_id = tuple_vertex_id(schema.name, index)
+        self.add_vertex(vertex_id, schema.name, {TUPLE_DATA_KEY: dict(values)})
+        for column in schema.columns:
+            value = values.get(column.name, NULL)
+            if value is NULL or not column.materialise_as_vertex:
+                continue
+            self._connect(vertex_id, schema.name, column.name, value)
+        return vertex_id
+
+    def delete_tuple(self, vertex_id: VertexId) -> None:
+        """Delete a tuple vertex and its incident edges (attribute vertices stay)."""
+        vertex = self.vertex(vertex_id)
+        if not self.is_tuple_vertex(vertex):
+            raise ValueError(f"{vertex_id!r} is not a tuple vertex")
+        # remove reverse edges from attribute vertices pointing back at us
+        for edge in self.out_edges(vertex_id):
+            reverse_list = self._out_edges[edge.target].get(edge.label, [])
+            self._out_edges[edge.target][edge.label] = [
+                reverse for reverse in reverse_list if reverse.target != vertex_id
+            ]
+            self._edge_count -= len(reverse_list) - len(
+                self._out_edges[edge.target][edge.label]
+            )
+        self.remove_vertex(vertex_id)
+
+    # internal ------------------------------------------------------------
+    def _connect(self, tuple_vertex: VertexId, relation: str, column: str, value: Any) -> None:
+        attr_id = attribute_vertex_id(value)
+        if not self.has_vertex(attr_id):
+            self.add_vertex(attr_id, attribute_label(value), {ATTRIBUTE_VALUE_KEY: value})
+            self._attribute_ids[attr_id] = attr_id
+        self.add_edge(tuple_vertex, attr_id, edge_label(relation, column), undirected=True)
+
+
+class TagEncoder:
+    """Builds a :class:`TagGraph` from a relational :class:`Catalog`."""
+
+    def __init__(self, materialise_overrides: Optional[Dict[Tuple[str, str], bool]] = None) -> None:
+        """
+        Args:
+            materialise_overrides: optional map ``(relation, column) -> bool``
+                forcing attribute-vertex materialisation on or off for
+                specific columns, overriding the per-column/domain policy.
+        """
+        self._overrides = dict(materialise_overrides or {})
+
+    def encode(self, catalog: Catalog, name: Optional[str] = None) -> TagGraph:
+        """Encode every relation of ``catalog`` into one TAG graph."""
+        graph = TagGraph(name or f"tag({catalog.name})")
+        started = time.perf_counter()
+        for relation in catalog:
+            self._encode_relation(graph, relation)
+        report = graph.load_report
+        report.seconds = time.perf_counter() - started
+        report.tuple_vertices = sum(
+            len(graph.tuple_vertices_of(relation.name)) for relation in catalog
+        )
+        report.attribute_vertices = len(graph.attribute_vertex_ids())
+        report.edges = graph.edge_count
+        return graph
+
+    # ------------------------------------------------------------------
+    def _encode_relation(self, graph: TagGraph, relation: Relation) -> None:
+        schema = relation.schema
+        report = graph.load_report
+        materialise_flags = [
+            self._overrides.get((schema.name, column.name), column.materialise_as_vertex)
+            for column in schema.columns
+        ]
+        count_before_edges = graph.edge_count
+        for index, row in enumerate(relation, start=1):
+            vertex_id = tuple_vertex_id(schema.name, index)
+            values = dict(zip(schema.column_names, row))
+            graph.add_vertex(vertex_id, schema.name, {TUPLE_DATA_KEY: values})
+            report.tuple_bytes += sum(
+                value_size_bytes(value, column.dtype)
+                for value, column in zip(row, schema.columns)
+            )
+            for value, column, materialise in zip(row, schema.columns, materialise_flags):
+                if value is NULL or not materialise:
+                    continue
+                already_present = graph.has_vertex(attribute_vertex_id(value))
+                graph._connect(vertex_id, schema.name, column.name, value)
+                if not already_present:
+                    report.attribute_bytes += value_size_bytes(value, column.dtype)
+        graph._tuple_counters[schema.name] = len(relation)
+        new_edges = graph.edge_count - count_before_edges
+        # 16 bytes per directed edge: source id reference + target id reference
+        report.edge_bytes += new_edges * 16
+        report.per_relation[schema.name] = len(relation)
+
+
+def encode_catalog(catalog: Catalog, **kwargs) -> TagGraph:
+    """Convenience wrapper: ``TagEncoder().encode(catalog)``."""
+    return TagEncoder(**kwargs).encode(catalog)

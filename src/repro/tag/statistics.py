@@ -1,0 +1,88 @@
+"""Size and shape statistics of TAG graphs.
+
+Backs the reproduction of Figure 14 (loaded data sizes) and Tables 1/2
+(loading times), and provides the degree/selectivity statistics the
+TAG-join planner uses to pick traversal orders and heavy/light thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..relational.catalog import Catalog
+from .encoder import TagGraph, edge_label
+
+
+@dataclass
+class TagStatistics:
+    """Summary statistics of a TAG graph."""
+
+    tuple_vertices: int
+    attribute_vertices: int
+    edges: int
+    total_bytes: int
+    load_seconds: float
+    vertices_by_label: Dict[str, int]
+
+    @classmethod
+    def of(cls, graph: TagGraph) -> "TagStatistics":
+        report = graph.load_report
+        return cls(
+            tuple_vertices=report.tuple_vertices,
+            attribute_vertices=report.attribute_vertices,
+            edges=graph.edge_count,
+            total_bytes=report.total_bytes,
+            load_seconds=report.seconds,
+            vertices_by_label=graph.count_by_label(),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "tuple_vertices": self.tuple_vertices,
+            "attribute_vertices": self.attribute_vertices,
+            "edges": self.edges,
+            "total_bytes": self.total_bytes,
+            "load_seconds": self.load_seconds,
+        }
+
+
+def edge_label_degrees(graph: TagGraph, relation: str, column: str) -> List[int]:
+    """Out-degrees of attribute vertices along ``relation.column`` edges.
+
+    Degree 1 everywhere means the column is key-like; large degrees signal
+    skew (heavy values), which is what the heavy/light split of the cyclic
+    algorithm keys on (Section 6.1.2).
+    """
+    label = edge_label(relation, column)
+    degrees = []
+    for vertex_id in graph.attribute_vertex_ids():
+        degree = graph.out_degree(vertex_id, label)
+        if degree:
+            degrees.append(degree)
+    return degrees
+
+
+def column_selectivity(graph: TagGraph, relation: str, column: str) -> float:
+    """Distinct values / tuples for a column, estimated from the TAG graph."""
+    degrees = edge_label_degrees(graph, relation, column)
+    total = sum(degrees)
+    if total == 0:
+        return 0.0
+    return len(degrees) / total
+
+
+def heavy_value_count(graph: TagGraph, relation: str, column: str, threshold: int) -> int:
+    """Number of values occurring more than ``threshold`` times in ``relation.column``."""
+    return sum(1 for degree in edge_label_degrees(graph, relation, column) if degree > threshold)
+
+
+def storage_comparison(graph: TagGraph, catalog: Catalog) -> Dict[str, int]:
+    """Bytes stored relationally vs as a TAG graph (Figure 14's comparison)."""
+    return {
+        "relational_bytes": catalog.total_data_size_bytes(),
+        "tag_bytes": graph.load_report.total_bytes,
+        "tag_tuple_bytes": graph.load_report.tuple_bytes,
+        "tag_attribute_bytes": graph.load_report.attribute_bytes,
+        "tag_edge_bytes": graph.load_report.edge_bytes,
+    }

@@ -1,0 +1,33 @@
+"""Benchmark workloads: TPC-H-like, TPC-DS-like and synthetic micro-workloads."""
+
+from .base import DataRandom, QueryDef, Workload
+from .synthetic import (
+    chain_catalog,
+    cycle_catalog,
+    many_to_many_catalog,
+    star_catalog,
+    triangle_catalog,
+    triangle_query,
+)
+from .tpcds import generate_tpcds, tpcds_queries, tpcds_schemas, tpcds_workload
+from .tpch import generate_tpch, tpch_queries, tpch_schemas, tpch_workload
+
+__all__ = [
+    "DataRandom",
+    "QueryDef",
+    "Workload",
+    "chain_catalog",
+    "cycle_catalog",
+    "generate_tpcds",
+    "generate_tpch",
+    "many_to_many_catalog",
+    "star_catalog",
+    "tpcds_queries",
+    "tpcds_schemas",
+    "tpcds_workload",
+    "tpch_queries",
+    "tpch_schemas",
+    "tpch_workload",
+    "triangle_catalog",
+    "triangle_query",
+]

@@ -1,0 +1,99 @@
+"""Shared infrastructure for the benchmark workloads."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..relational.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class QueryDef:
+    """One benchmark query: its SQL text plus the paper's classification.
+
+    ``category`` follows the drill-down of Sections 8.3/8.4:
+    ``no_agg`` (pure select-project-join), ``local`` (LA), ``global`` (GA),
+    ``scalar`` (scalar global aggregation); ``correlated`` marks queries
+    with correlated subqueries and ``cyclic`` queries whose join graph has
+    a cycle, since the paper calls both groups out separately.
+    """
+
+    name: str
+    category: str
+    sql: str
+    correlated: bool = False
+    cyclic: bool = False
+    description: str = ""
+
+
+@dataclass
+class Workload:
+    """A generated database together with its query set."""
+
+    name: str
+    catalog: Catalog
+    queries: List[QueryDef]
+    scale: float
+    generation_seconds: float = 0.0
+
+    def query(self, name: str) -> QueryDef:
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise KeyError(f"workload {self.name!r} has no query {name!r}")
+
+    def queries_in_category(self, category: str) -> List[QueryDef]:
+        return [query for query in self.queries if query.category == category]
+
+    def categories(self) -> List[str]:
+        seen: List[str] = []
+        for query in self.queries:
+            if query.category not in seen:
+                seen.append(query.category)
+        return seen
+
+
+class DataRandom(random.Random):
+    """Seeded random source with the helpers the generators share."""
+
+    def zipf_index(self, n: int, skew: float = 1.2) -> int:
+        """A Zipf-distributed index in ``[0, n)`` (rank-1 most likely).
+
+        TPC-DS's hybrid data/domain scaling produces skewed fact-table
+        foreign keys; this is the knob the TPC-DS-like generator uses.
+        """
+        if n <= 1:
+            return 0
+        # inverse-CDF sampling over the truncated zeta distribution
+        weights = getattr(self, "_zipf_cache", {}).get((n, skew))
+        if weights is None:
+            raw = [1.0 / ((rank + 1) ** skew) for rank in range(n)]
+            total = sum(raw)
+            cumulative = []
+            acc = 0.0
+            for weight in raw:
+                acc += weight / total
+                cumulative.append(acc)
+            cache = getattr(self, "_zipf_cache", {})
+            cache[(n, skew)] = cumulative
+            self._zipf_cache = cache
+            weights = cumulative
+        point = self.random()
+        low, high = 0, n - 1
+        while low < high:
+            mid = (low + high) // 2
+            if weights[mid] < point:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def date_between(self, start: _dt.date, end: _dt.date) -> _dt.date:
+        span = (end - start).days
+        return start + _dt.timedelta(days=self.randint(0, max(span, 0)))
+
+    def words(self, vocabulary: Sequence[str], count: int) -> str:
+        return " ".join(self.choice(vocabulary) for _ in range(count))

@@ -1,0 +1,230 @@
+"""Synthetic micro-workloads used by tests, property-based checks and ablations.
+
+These generators build small, parameterised relational instances with
+precisely controlled shapes: chain joins with a chosen fraction of dangling
+tuples (for the semi-join-reduction ablation), skewed binary relations for
+triangle / cycle queries (for the heavy-light theta ablation and the AGM
+bound property tests), and many-to-many pairs with tunable fan-out (for the
+factorized-output ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.builder import QueryBuilder
+from ..algebra.logical import QuerySpec
+from ..relational.catalog import Catalog
+from ..relational.relation import Relation
+from ..relational.schema import Column, Schema
+from ..relational.types import DataType
+from .base import DataRandom
+
+
+def binary_relation(name: str, pairs: Sequence[Tuple[int, int]], columns: Tuple[str, str]) -> Relation:
+    """A two-column integer relation from explicit pairs."""
+    schema = Schema(name, [Column(columns[0], DataType.INT), Column(columns[1], DataType.INT)])
+    return Relation(schema, [list(pair) for pair in pairs])
+
+
+def chain_catalog(
+    relations: int = 3,
+    rows_per_relation: int = 100,
+    dangling_fraction: float = 0.3,
+    domain: int = 50,
+    seed: int = 11,
+) -> Tuple[Catalog, QuerySpec]:
+    """A chain join R1(A0,A1) ⋈ R2(A1,A2) ⋈ ... with controllable dangling tuples.
+
+    ``dangling_fraction`` of each relation's rows use join values outside
+    the shared domain, so they cannot join — the tuples a Yannakakis-style
+    reduction eliminates.  Returns the catalog and the natural chain query.
+    """
+    rng = DataRandom(seed)
+    catalog = Catalog(f"chain{relations}")
+    builder = QueryBuilder(f"chain_{relations}")
+    for index in range(relations):
+        name = f"R{index + 1}"
+        left_col, right_col = f"A{index}", f"A{index + 1}"
+        pairs = []
+        for _ in range(rows_per_relation):
+            if rng.random() < dangling_fraction:
+                left = rng.randint(domain + 1, domain * 3)
+                right = rng.randint(domain + 1, domain * 3)
+            else:
+                left = rng.randint(0, domain)
+                right = rng.randint(0, domain)
+            pairs.append((left, right))
+        catalog.add(binary_relation(name, pairs, (left_col, right_col)))
+        builder.table(name, name.lower())
+    for index in range(relations - 1):
+        builder.join(f"r{index + 1}", f"A{index + 1}", f"r{index + 2}", f"A{index + 1}")
+    spec = builder.build()
+    spec.output = []
+    for index in range(relations):
+        alias = f"r{index + 1}"
+        from ..algebra.expressions import col
+
+        from ..algebra.logical import OutputColumn
+
+        spec.output.append(OutputColumn(col(f"{alias}.A{index}"), f"{alias}.A{index}"))
+        spec.output.append(OutputColumn(col(f"{alias}.A{index + 1}"), f"{alias}.A{index + 1}"))
+    return catalog, spec
+
+
+def triangle_catalog(
+    rows_per_relation: int = 200,
+    domain: int = 40,
+    skew: float = 1.2,
+    seed: int = 13,
+) -> Catalog:
+    """Skewed binary relations R(A,B), S(B,C), T(C,A) for triangle queries.
+
+    A Zipf-distributed value domain creates the heavy values the
+    worst-case-optimal algorithm's heavy/light split targets.
+    """
+    rng = DataRandom(seed)
+
+    def skewed_pairs(count: int) -> List[Tuple[int, int]]:
+        return [
+            (rng.zipf_index(domain, skew), rng.zipf_index(domain, skew))
+            for _ in range(count)
+        ]
+
+    catalog = Catalog("triangle")
+    catalog.add(binary_relation("R", skewed_pairs(rows_per_relation), ("A", "B")))
+    catalog.add(binary_relation("S", skewed_pairs(rows_per_relation), ("B", "C")))
+    catalog.add(binary_relation("T", skewed_pairs(rows_per_relation), ("C", "A")))
+    return catalog
+
+
+def triangle_query() -> QuerySpec:
+    """The triangle query over :func:`triangle_catalog`."""
+    spec = (
+        QueryBuilder("triangle")
+        .table("R", "r")
+        .table("S", "s")
+        .table("T", "t")
+        .join("r", "B", "s", "B")
+        .join("s", "C", "t", "C")
+        .join("t", "A", "r", "A")
+        .select_columns("r.A", "r.B", "s.C")
+        .build()
+    )
+    return spec
+
+
+def cycle_catalog(
+    length: int = 4,
+    rows_per_relation: int = 150,
+    domain: int = 30,
+    seed: int = 17,
+) -> Tuple[Catalog, QuerySpec]:
+    """An n-way cycle query R1(X1,X2) ⋈ ... ⋈ Rn(Xn,X1) with uniform data."""
+    rng = DataRandom(seed)
+    catalog = Catalog(f"cycle{length}")
+    builder = QueryBuilder(f"cycle_{length}")
+    for index in range(length):
+        name = f"R{index + 1}"
+        columns = (f"X{index + 1}", f"X{(index + 1) % length + 1}")
+        pairs = [
+            (rng.randint(0, domain), rng.randint(0, domain))
+            for _ in range(rows_per_relation)
+        ]
+        catalog.add(binary_relation(name, pairs, columns))
+        builder.table(name, name.lower())
+    for index in range(length):
+        next_index = (index + 1) % length
+        shared = f"X{next_index + 1}"
+        builder.join(f"r{index + 1}", shared, f"r{next_index + 1}", shared)
+    spec = builder.build()
+    spec.output = []
+    from ..algebra.expressions import col
+    from ..algebra.logical import OutputColumn
+
+    for index in range(length):
+        alias = f"r{index + 1}"
+        spec.output.append(
+            OutputColumn(col(f"{alias}.X{index + 1}"), f"{alias}.X{index + 1}")
+        )
+    return catalog, spec
+
+
+def many_to_many_catalog(
+    left_rows: int = 200,
+    right_rows: int = 200,
+    join_values: int = 10,
+    seed: int = 19,
+) -> Catalog:
+    """R(A,B) and S(B,C) where few join values connect many tuples.
+
+    The unfactorized join output is ~``left_rows * right_rows /
+    join_values`` rows while the factorized representation stays linear —
+    the trade-off the A01 ablation measures.
+    """
+    rng = DataRandom(seed)
+    catalog = Catalog("many_to_many")
+    catalog.add(
+        binary_relation(
+            "R",
+            [(rng.randint(0, 10_000), rng.randint(0, join_values - 1)) for _ in range(left_rows)],
+            ("A", "B"),
+        )
+    )
+    catalog.add(
+        binary_relation(
+            "S",
+            [(rng.randint(0, join_values - 1), rng.randint(0, 10_000)) for _ in range(right_rows)],
+            ("B", "C"),
+        )
+    )
+    return catalog
+
+
+def star_catalog(
+    fact_rows: int = 500,
+    dimensions: int = 3,
+    dimension_rows: int = 40,
+    selectivity: float = 0.5,
+    seed: int = 29,
+) -> Tuple[Catalog, QuerySpec]:
+    """A star schema: FACT joining ``dimensions`` dimension tables on PK-FK keys."""
+    rng = DataRandom(seed)
+    catalog = Catalog("star")
+    dimension_names = [f"DIM{i + 1}" for i in range(dimensions)]
+    for name in dimension_names:
+        schema = Schema(
+            name,
+            [Column(f"{name}_KEY", DataType.INT, nullable=False), Column(f"{name}_ATTR", DataType.INT)],
+            primary_key=[f"{name}_KEY"],
+        )
+        relation = Relation(schema)
+        for key in range(dimension_rows):
+            relation.insert([key, rng.randint(0, 100)])
+        catalog.add(relation)
+
+    fact_columns = [Column("F_ID", DataType.INT, nullable=False)]
+    fact_columns += [Column(f"F_{name}_KEY", DataType.INT) for name in dimension_names]
+    fact_columns.append(Column("F_VALUE", DataType.INT))
+    fact_schema = Schema("FACT", fact_columns, primary_key=["F_ID"])
+    fact = Relation(fact_schema)
+    for row_id in range(fact_rows):
+        row = [row_id]
+        row += [rng.randint(0, dimension_rows - 1) for _ in dimension_names]
+        row.append(rng.randint(0, 1000))
+        fact.insert(row)
+    catalog.add(fact)
+
+    builder = QueryBuilder("star").table("FACT", "f")
+    from ..algebra.expressions import Comparison, col, lit
+    from ..algebra.logical import AggFunc
+
+    for name in dimension_names:
+        alias = name.lower()
+        builder.table(name, alias)
+        builder.join("f", f"F_{name}_KEY", alias, f"{name}_KEY")
+        builder.where(alias, Comparison("<", col(f"{alias}.{name}_ATTR"), lit(int(100 * selectivity))))
+    builder.group_by("dim1", "DIM1_ATTR")
+    builder.select(col("dim1.DIM1_ATTR"), "dim1_attr")
+    builder.aggregate(AggFunc.SUM, col("f.F_VALUE"), "total_value")
+    return catalog, builder.build()

@@ -1,0 +1,466 @@
+"""TPC-DS-like workload: snowflake schema, skewed generator, 24 query analogues.
+
+TPC-DS differs from TPC-H in exactly the ways the paper's Section 8.1.1
+highlights: a multiple-snowflake schema (several fact tables sharing
+dimension tables), wider tables, sub-linear dimension scaling, skewed data
+(we use Zipf-distributed foreign keys) and NULLs in any non-key column.
+The query analogues keep TPC-DS's signature patterns — star joins of one
+fact table with several dimensions, multi-fact queries, date-dimension
+filters, IN / EXISTS subqueries — expressed in the supported SQL subset,
+and are tagged with the aggregation classes used for Figure 15 and
+Tables 5/6.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import time
+from typing import List
+
+from ..relational.catalog import Catalog
+from ..relational.schema import Column, ForeignKey, Schema
+from ..relational.types import NULL, DataType
+from .base import DataRandom, QueryDef, Workload
+
+CATEGORIES = ["Books", "Electronics", "Home", "Jewelry", "Music", "Shoes", "Sports", "Women"]
+BRANDS = [f"brand_{i}" for i in range(1, 21)]
+CLASSES = [f"class_{i}" for i in range(1, 11)]
+STATES = ["CA", "NY", "TX", "WA", "IL", "GA", "OH", "MI", "FL", "PA"]
+CITIES = ["Fairview", "Midway", "Oakland", "Centerville", "Springdale", "Riverside"]
+PRIORITY_FLAGS = ["Y", "N"]
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+def tpcds_schemas() -> List[Schema]:
+    return [
+        Schema(
+            "DATE_DIM",
+            [
+                Column("D_DATE_SK", DataType.INT, nullable=False),
+                Column("D_DATE", DataType.DATE),
+                Column("D_YEAR", DataType.INT),
+                Column("D_MOY", DataType.INT),
+                Column("D_QOY", DataType.INT),
+            ],
+            primary_key=["D_DATE_SK"],
+        ),
+        Schema(
+            "ITEM",
+            [
+                Column("I_ITEM_SK", DataType.INT, nullable=False),
+                Column("I_ITEM_ID", DataType.STRING),
+                Column("I_CATEGORY", DataType.STRING),
+                Column("I_BRAND", DataType.STRING),
+                Column("I_CLASS", DataType.STRING),
+                Column("I_CURRENT_PRICE", DataType.FLOAT),
+                Column("I_MANUFACT_ID", DataType.INT),
+            ],
+            primary_key=["I_ITEM_SK"],
+        ),
+        Schema(
+            "CUSTOMER_ADDRESS",
+            [
+                Column("CA_ADDRESS_SK", DataType.INT, nullable=False),
+                Column("CA_STATE", DataType.STRING),
+                Column("CA_CITY", DataType.STRING),
+                Column("CA_GMT_OFFSET", DataType.INT),
+            ],
+            primary_key=["CA_ADDRESS_SK"],
+        ),
+        Schema(
+            "CUSTOMER",
+            [
+                Column("C_CUSTOMER_SK", DataType.INT, nullable=False),
+                Column("C_CUSTOMER_ID", DataType.STRING),
+                Column("C_CURRENT_ADDR_SK", DataType.INT),
+                Column("C_BIRTH_YEAR", DataType.INT),
+                Column("C_PREFERRED_CUST_FLAG", DataType.STRING),
+            ],
+            primary_key=["C_CUSTOMER_SK"],
+            foreign_keys=[
+                ForeignKey(("C_CURRENT_ADDR_SK",), "CUSTOMER_ADDRESS", ("CA_ADDRESS_SK",))
+            ],
+        ),
+        Schema(
+            "STORE",
+            [
+                Column("S_STORE_SK", DataType.INT, nullable=False),
+                Column("S_STORE_NAME", DataType.STRING),
+                Column("S_STATE", DataType.STRING),
+                Column("S_NUMBER_EMPLOYEES", DataType.INT),
+            ],
+            primary_key=["S_STORE_SK"],
+        ),
+        Schema(
+            "PROMOTION",
+            [
+                Column("P_PROMO_SK", DataType.INT, nullable=False),
+                Column("P_CHANNEL_EMAIL", DataType.STRING),
+                Column("P_CHANNEL_TV", DataType.STRING),
+            ],
+            primary_key=["P_PROMO_SK"],
+        ),
+        Schema(
+            "STORE_SALES",
+            [
+                Column("SS_TICKET_NUMBER", DataType.INT, nullable=False),
+                Column("SS_SOLD_DATE_SK", DataType.INT),
+                Column("SS_ITEM_SK", DataType.INT),
+                Column("SS_CUSTOMER_SK", DataType.INT),
+                Column("SS_STORE_SK", DataType.INT),
+                Column("SS_PROMO_SK", DataType.INT),
+                Column("SS_QUANTITY", DataType.INT),
+                Column("SS_SALES_PRICE", DataType.FLOAT),
+                Column("SS_NET_PROFIT", DataType.FLOAT),
+            ],
+            primary_key=["SS_TICKET_NUMBER"],
+            foreign_keys=[
+                ForeignKey(("SS_SOLD_DATE_SK",), "DATE_DIM", ("D_DATE_SK",)),
+                ForeignKey(("SS_ITEM_SK",), "ITEM", ("I_ITEM_SK",)),
+                ForeignKey(("SS_CUSTOMER_SK",), "CUSTOMER", ("C_CUSTOMER_SK",)),
+                ForeignKey(("SS_STORE_SK",), "STORE", ("S_STORE_SK",)),
+                ForeignKey(("SS_PROMO_SK",), "PROMOTION", ("P_PROMO_SK",)),
+            ],
+        ),
+        Schema(
+            "WEB_SALES",
+            [
+                Column("WS_ORDER_NUMBER", DataType.INT, nullable=False),
+                Column("WS_SOLD_DATE_SK", DataType.INT),
+                Column("WS_ITEM_SK", DataType.INT),
+                Column("WS_BILL_CUSTOMER_SK", DataType.INT),
+                Column("WS_PROMO_SK", DataType.INT),
+                Column("WS_QUANTITY", DataType.INT),
+                Column("WS_SALES_PRICE", DataType.FLOAT),
+                Column("WS_NET_PROFIT", DataType.FLOAT),
+            ],
+            primary_key=["WS_ORDER_NUMBER"],
+            foreign_keys=[
+                ForeignKey(("WS_SOLD_DATE_SK",), "DATE_DIM", ("D_DATE_SK",)),
+                ForeignKey(("WS_ITEM_SK",), "ITEM", ("I_ITEM_SK",)),
+                ForeignKey(("WS_BILL_CUSTOMER_SK",), "CUSTOMER", ("C_CUSTOMER_SK",)),
+                ForeignKey(("WS_PROMO_SK",), "PROMOTION", ("P_PROMO_SK",)),
+            ],
+        ),
+        Schema(
+            "CATALOG_SALES",
+            [
+                Column("CS_ORDER_NUMBER", DataType.INT, nullable=False),
+                Column("CS_SOLD_DATE_SK", DataType.INT),
+                Column("CS_ITEM_SK", DataType.INT),
+                Column("CS_BILL_CUSTOMER_SK", DataType.INT),
+                Column("CS_PROMO_SK", DataType.INT),
+                Column("CS_QUANTITY", DataType.INT),
+                Column("CS_SALES_PRICE", DataType.FLOAT),
+                Column("CS_NET_PROFIT", DataType.FLOAT),
+            ],
+            primary_key=["CS_ORDER_NUMBER"],
+            foreign_keys=[
+                ForeignKey(("CS_SOLD_DATE_SK",), "DATE_DIM", ("D_DATE_SK",)),
+                ForeignKey(("CS_ITEM_SK",), "ITEM", ("I_ITEM_SK",)),
+                ForeignKey(("CS_BILL_CUSTOMER_SK",), "CUSTOMER", ("C_CUSTOMER_SK",)),
+                ForeignKey(("CS_PROMO_SK",), "PROMOTION", ("P_PROMO_SK",)),
+            ],
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# generator
+# ----------------------------------------------------------------------
+def generate_tpcds(scale: float = 0.2, seed: int = 23) -> Catalog:
+    """Generate a TPC-DS-like catalog.
+
+    Fact tables scale linearly with ``scale``; dimension tables scale with
+    ``sqrt(scale)`` (TPC-DS's sub-linear dimension scaling).  Fact foreign
+    keys are Zipf-distributed to model the benchmark's skew, and the
+    nullable fact columns contain NULLs.
+    """
+    rng = DataRandom(seed)
+    schemas = {schema.name: schema for schema in tpcds_schemas()}
+    catalog = Catalog(f"tpcds@{scale}")
+
+    sublinear = max(0.05, scale) ** 0.5
+    date_count = 730  # two years of days (independent of scale, like TPC-DS)
+    item_count = max(30, int(200 * sublinear))
+    customer_count = max(40, int(300 * sublinear))
+    address_count = max(20, int(150 * sublinear))
+    store_count = max(4, int(12 * sublinear))
+    promo_count = max(5, int(30 * sublinear))
+    store_sales_count = int(2500 * scale)
+    web_sales_count = int(1200 * scale)
+    catalog_sales_count = int(1200 * scale)
+
+    date_dim = catalog.create(schemas["DATE_DIM"])
+    base_date = _dt.date(1999, 1, 1)
+    for sk in range(1, date_count + 1):
+        day = base_date + _dt.timedelta(days=sk - 1)
+        date_dim.insert([sk, day, day.year, day.month, (day.month - 1) // 3 + 1])
+
+    item = catalog.create(schemas["ITEM"])
+    for sk in range(1, item_count + 1):
+        item.insert(
+            [
+                sk,
+                f"ITEM{sk:08d}",
+                rng.choice(CATEGORIES),
+                rng.choice(BRANDS),
+                rng.choice(CLASSES),
+                round(rng.uniform(0.5, 300.0), 2),
+                rng.randint(1, 100),
+            ]
+        )
+
+    address = catalog.create(schemas["CUSTOMER_ADDRESS"])
+    for sk in range(1, address_count + 1):
+        address.insert([sk, rng.choice(STATES), rng.choice(CITIES), rng.choice([-8, -7, -6, -5])])
+
+    customer = catalog.create(schemas["CUSTOMER"])
+    for sk in range(1, customer_count + 1):
+        birth_year = rng.randint(1930, 2000) if rng.random() > 0.05 else NULL
+        customer.insert(
+            [
+                sk,
+                f"CUST{sk:08d}",
+                rng.randint(1, address_count),
+                birth_year,
+                rng.choice(PRIORITY_FLAGS),
+            ]
+        )
+
+    store = catalog.create(schemas["STORE"])
+    for sk in range(1, store_count + 1):
+        store.insert([sk, f"Store {sk}", rng.choice(STATES), rng.randint(50, 300)])
+
+    promotion = catalog.create(schemas["PROMOTION"])
+    for sk in range(1, promo_count + 1):
+        promotion.insert([sk, rng.choice(PRIORITY_FLAGS), rng.choice(PRIORITY_FLAGS)])
+
+    def fact_row(ticket: int) -> List:
+        sold_date = rng.randint(1, date_count) if rng.random() > 0.03 else NULL
+        item_sk = rng.zipf_index(item_count, skew=1.1) + 1
+        customer_sk = rng.zipf_index(customer_count, skew=1.05) + 1 if rng.random() > 0.04 else NULL
+        promo_sk = rng.randint(1, promo_count) if rng.random() > 0.3 else NULL
+        quantity = rng.randint(1, 100)
+        price = round(rng.uniform(1.0, 300.0), 2)
+        profit = round(rng.uniform(-50.0, 150.0), 2)
+        return [ticket, sold_date, item_sk, customer_sk, promo_sk, quantity, price, profit]
+
+    store_sales = catalog.create(schemas["STORE_SALES"])
+    for ticket in range(1, store_sales_count + 1):
+        row = fact_row(ticket)
+        store_sk = rng.randint(1, store_count)
+        store_sales.insert(row[:4] + [store_sk] + row[4:])
+
+    web_sales = catalog.create(schemas["WEB_SALES"])
+    for order in range(1, web_sales_count + 1):
+        web_sales.insert(fact_row(order))
+
+    catalog_sales = catalog.create(schemas["CATALOG_SALES"])
+    for order in range(1, catalog_sales_count + 1):
+        catalog_sales.insert(fact_row(order))
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# query analogues
+# ----------------------------------------------------------------------
+def tpcds_queries() -> List[QueryDef]:
+    """24 TPC-DS-style query analogues spanning the paper's query classes."""
+    return [
+        # --- no aggregation (paper Table 6 "No agg": q37, q82, q84) -----
+        QueryDef("q37", "no_agg", """
+            SELECT i.I_ITEM_ID, i.I_CURRENT_PRICE
+            FROM ITEM i, CATALOG_SALES cs, DATE_DIM d
+            WHERE i.I_ITEM_SK = cs.CS_ITEM_SK AND cs.CS_SOLD_DATE_SK = d.D_DATE_SK
+              AND i.I_CURRENT_PRICE BETWEEN 20 AND 50 AND d.D_YEAR = 1999
+              AND i.I_MANUFACT_ID BETWEEN 1 AND 40
+        """, description="catalog items in a price band"),
+        QueryDef("q82", "no_agg", """
+            SELECT i.I_ITEM_ID, i.I_CURRENT_PRICE
+            FROM ITEM i, STORE_SALES ss, DATE_DIM d
+            WHERE i.I_ITEM_SK = ss.SS_ITEM_SK AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK
+              AND i.I_CURRENT_PRICE BETWEEN 30 AND 60 AND d.D_YEAR = 2000
+        """, description="store items in a price band"),
+        QueryDef("q84", "no_agg", """
+            SELECT c.C_CUSTOMER_ID, ca.CA_CITY
+            FROM CUSTOMER c, CUSTOMER_ADDRESS ca, STORE_SALES ss
+            WHERE c.C_CURRENT_ADDR_SK = ca.CA_ADDRESS_SK
+              AND ss.SS_CUSTOMER_SK = c.C_CUSTOMER_SK
+              AND ca.CA_STATE = 'CA' AND ss.SS_NET_PROFIT > 100
+        """, description="customers with profitable store purchases"),
+        # --- local aggregation -------------------------------------------
+        QueryDef("q7", "local", """
+            SELECT i.I_ITEM_ID, AVG(ss.SS_QUANTITY) AS agg1, AVG(ss.SS_SALES_PRICE) AS agg2
+            FROM STORE_SALES ss, ITEM i, DATE_DIM d, PROMOTION p
+            WHERE ss.SS_ITEM_SK = i.I_ITEM_SK AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK
+              AND ss.SS_PROMO_SK = p.P_PROMO_SK AND d.D_YEAR = 1999
+              AND p.P_CHANNEL_EMAIL = 'N'
+            GROUP BY i.I_ITEM_ID
+        """, description="promotional item averages"),
+        QueryDef("q12", "local", """
+            SELECT i.I_ITEM_ID, SUM(ws.WS_SALES_PRICE) AS itemrevenue
+            FROM WEB_SALES ws, ITEM i, DATE_DIM d
+            WHERE ws.WS_ITEM_SK = i.I_ITEM_SK AND ws.WS_SOLD_DATE_SK = d.D_DATE_SK
+              AND i.I_CATEGORY IN ('Books', 'Home', 'Sports')
+              AND d.D_YEAR = 1999 AND d.D_MOY BETWEEN 2 AND 5
+            GROUP BY i.I_ITEM_ID
+        """, description="web revenue by item"),
+        QueryDef("q15", "local", """
+            SELECT ca.CA_CITY, SUM(cs.CS_SALES_PRICE) AS total_sales
+            FROM CATALOG_SALES cs, CUSTOMER c, CUSTOMER_ADDRESS ca, DATE_DIM d
+            WHERE cs.CS_BILL_CUSTOMER_SK = c.C_CUSTOMER_SK
+              AND c.C_CURRENT_ADDR_SK = ca.CA_ADDRESS_SK
+              AND cs.CS_SOLD_DATE_SK = d.D_DATE_SK
+              AND d.D_QOY = 2 AND d.D_YEAR = 1999
+            GROUP BY ca.CA_CITY
+        """, description="catalog sales by city (snowflake join)"),
+        QueryDef("q26", "local", """
+            SELECT i.I_ITEM_ID, AVG(cs.CS_QUANTITY) AS agg1, AVG(cs.CS_SALES_PRICE) AS agg2
+            FROM CATALOG_SALES cs, DATE_DIM d, ITEM i, PROMOTION p
+            WHERE cs.CS_SOLD_DATE_SK = d.D_DATE_SK AND cs.CS_ITEM_SK = i.I_ITEM_SK
+              AND cs.CS_PROMO_SK = p.P_PROMO_SK AND p.P_CHANNEL_TV = 'N' AND d.D_YEAR = 2000
+            GROUP BY i.I_ITEM_ID
+        """, description="catalog promotional item averages"),
+        QueryDef("q33", "local", """
+            SELECT i.I_BRAND, SUM(ss.SS_NET_PROFIT) AS total_profit
+            FROM STORE_SALES ss, ITEM i, DATE_DIM d, STORE s
+            WHERE ss.SS_ITEM_SK = i.I_ITEM_SK AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK
+              AND ss.SS_STORE_SK = s.S_STORE_SK AND i.I_CATEGORY = 'Electronics'
+              AND d.D_MOY = 11
+            GROUP BY i.I_BRAND
+        """, description="brand profit for a category"),
+        QueryDef("q42", "local", """
+            SELECT i.I_CATEGORY, SUM(ss.SS_NET_PROFIT) AS total_profit
+            FROM STORE_SALES ss, ITEM i, DATE_DIM d
+            WHERE ss.SS_ITEM_SK = i.I_ITEM_SK AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK
+              AND d.D_MOY = 12 AND d.D_YEAR = 1999
+            GROUP BY i.I_CATEGORY
+        """, description="category profit in one month"),
+        QueryDef("q52", "local", """
+            SELECT i.I_BRAND, SUM(ss.SS_SALES_PRICE) AS ext_price
+            FROM DATE_DIM d, STORE_SALES ss, ITEM i
+            WHERE d.D_DATE_SK = ss.SS_SOLD_DATE_SK AND ss.SS_ITEM_SK = i.I_ITEM_SK
+              AND i.I_MANUFACT_ID BETWEEN 1 AND 30 AND d.D_MOY = 11 AND d.D_YEAR = 2000
+            GROUP BY i.I_BRAND
+        """, description="brand revenue for a month"),
+        QueryDef("q55", "local", """
+            SELECT i.I_BRAND, SUM(ss.SS_SALES_PRICE) AS ext_price
+            FROM DATE_DIM d, STORE_SALES ss, ITEM i
+            WHERE d.D_DATE_SK = ss.SS_SOLD_DATE_SK AND ss.SS_ITEM_SK = i.I_ITEM_SK
+              AND i.I_MANUFACT_ID BETWEEN 20 AND 60 AND d.D_MOY = 12 AND d.D_YEAR = 1999
+            GROUP BY i.I_BRAND
+        """, description="brand revenue for a month (variant)"),
+        QueryDef("q98", "local", """
+            SELECT i.I_ITEM_ID, SUM(ss.SS_SALES_PRICE) AS itemrevenue
+            FROM STORE_SALES ss, ITEM i, DATE_DIM d
+            WHERE ss.SS_ITEM_SK = i.I_ITEM_SK AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK
+              AND i.I_CLASS IN ('class_1', 'class_2', 'class_3')
+              AND d.D_YEAR = 1999
+            GROUP BY i.I_ITEM_ID
+        """, description="store revenue by item for selected classes"),
+        # --- global aggregation ------------------------------------------
+        QueryDef("q3", "global", """
+            SELECT d.D_YEAR, i.I_BRAND, SUM(ss.SS_NET_PROFIT) AS sum_agg
+            FROM DATE_DIM d, STORE_SALES ss, ITEM i
+            WHERE d.D_DATE_SK = ss.SS_SOLD_DATE_SK AND ss.SS_ITEM_SK = i.I_ITEM_SK
+              AND i.I_MANUFACT_ID BETWEEN 1 AND 50 AND d.D_MOY = 12
+            GROUP BY d.D_YEAR, i.I_BRAND
+        """, description="brand profit by year (classic star query)"),
+        QueryDef("q19", "global", """
+            SELECT i.I_BRAND, ca.CA_STATE, SUM(ss.SS_SALES_PRICE) AS ext_price
+            FROM DATE_DIM d, STORE_SALES ss, ITEM i, CUSTOMER c, CUSTOMER_ADDRESS ca
+            WHERE d.D_DATE_SK = ss.SS_SOLD_DATE_SK AND ss.SS_ITEM_SK = i.I_ITEM_SK
+              AND ss.SS_CUSTOMER_SK = c.C_CUSTOMER_SK AND c.C_CURRENT_ADDR_SK = ca.CA_ADDRESS_SK
+              AND d.D_MOY = 11 AND d.D_YEAR = 1999
+            GROUP BY i.I_BRAND, ca.CA_STATE
+        """, description="brand revenue by customer state (snowflake)"),
+        QueryDef("q45", "global", """
+            SELECT ca.CA_CITY, i.I_CATEGORY, SUM(ws.WS_SALES_PRICE) AS total_sales
+            FROM WEB_SALES ws, CUSTOMER c, CUSTOMER_ADDRESS ca, ITEM i, DATE_DIM d
+            WHERE ws.WS_BILL_CUSTOMER_SK = c.C_CUSTOMER_SK
+              AND c.C_CURRENT_ADDR_SK = ca.CA_ADDRESS_SK AND ws.WS_ITEM_SK = i.I_ITEM_SK
+              AND ws.WS_SOLD_DATE_SK = d.D_DATE_SK AND d.D_QOY = 2 AND d.D_YEAR = 2000
+            GROUP BY ca.CA_CITY, i.I_CATEGORY
+        """, description="web sales by city and category"),
+        QueryDef("q61", "global", """
+            SELECT p.P_CHANNEL_EMAIL, p.P_CHANNEL_TV, SUM(ss.SS_SALES_PRICE) AS promotions
+            FROM STORE_SALES ss, PROMOTION p, DATE_DIM d, ITEM i, STORE s
+            WHERE ss.SS_PROMO_SK = p.P_PROMO_SK AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK
+              AND ss.SS_ITEM_SK = i.I_ITEM_SK AND ss.SS_STORE_SK = s.S_STORE_SK
+              AND i.I_CATEGORY = 'Jewelry' AND d.D_YEAR = 1999 AND s.S_STATE = 'CA'
+            GROUP BY p.P_CHANNEL_EMAIL, p.P_CHANNEL_TV
+        """, description="promotional channel revenue"),
+        QueryDef("q65", "global", """
+            SELECT s.S_STORE_NAME, i.I_ITEM_ID, SUM(ss.SS_SALES_PRICE) AS revenue
+            FROM STORE s, STORE_SALES ss, ITEM i, DATE_DIM d
+            WHERE ss.SS_STORE_SK = s.S_STORE_SK AND ss.SS_ITEM_SK = i.I_ITEM_SK
+              AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK AND d.D_YEAR = 2000
+            GROUP BY s.S_STORE_NAME, i.I_ITEM_ID
+        """, description="store/item revenue matrix"),
+        QueryDef("q69", "global", """
+            SELECT ca.CA_STATE, c.C_PREFERRED_CUST_FLAG, COUNT(*) AS cnt
+            FROM CUSTOMER c, CUSTOMER_ADDRESS ca, STORE_SALES ss, DATE_DIM d
+            WHERE c.C_CURRENT_ADDR_SK = ca.CA_ADDRESS_SK
+              AND ss.SS_CUSTOMER_SK = c.C_CUSTOMER_SK AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK
+              AND d.D_YEAR = 1999 AND d.D_QOY = 1
+            GROUP BY ca.CA_STATE, c.C_PREFERRED_CUST_FLAG
+        """, description="customer demographics by state"),
+        QueryDef("q88", "global", """
+            SELECT s.S_STORE_NAME, d.D_MOY, COUNT(*) AS cnt
+            FROM STORE_SALES ss, STORE s, DATE_DIM d
+            WHERE ss.SS_STORE_SK = s.S_STORE_SK AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK
+              AND ss.SS_QUANTITY BETWEEN 20 AND 80 AND d.D_YEAR = 1999
+            GROUP BY s.S_STORE_NAME, d.D_MOY
+        """, description="store traffic by month"),
+        QueryDef("q60", "global", """
+            SELECT i.I_CATEGORY, d.D_YEAR, SUM(ws.WS_SALES_PRICE) AS total_sales
+            FROM WEB_SALES ws, ITEM i, DATE_DIM d, CUSTOMER c
+            WHERE ws.WS_ITEM_SK = i.I_ITEM_SK AND ws.WS_SOLD_DATE_SK = d.D_DATE_SK
+              AND ws.WS_BILL_CUSTOMER_SK = c.C_CUSTOMER_SK AND d.D_MOY = 9
+            GROUP BY i.I_CATEGORY, d.D_YEAR
+        """, description="web sales by category and year"),
+        # --- scalar global aggregation ------------------------------------
+        QueryDef("q32", "scalar", """
+            SELECT SUM(cs.CS_SALES_PRICE) AS excess_discount
+            FROM CATALOG_SALES cs, ITEM i, DATE_DIM d
+            WHERE cs.CS_ITEM_SK = i.I_ITEM_SK AND cs.CS_SOLD_DATE_SK = d.D_DATE_SK
+              AND i.I_MANUFACT_ID = 7 AND d.D_YEAR = 1999
+        """, description="excess discount amount"),
+        QueryDef("q92", "scalar", """
+            SELECT SUM(ws.WS_SALES_PRICE) AS excess
+            FROM WEB_SALES ws, ITEM i, DATE_DIM d
+            WHERE ws.WS_ITEM_SK = i.I_ITEM_SK AND ws.WS_SOLD_DATE_SK = d.D_DATE_SK
+              AND i.I_MANUFACT_ID = 3 AND d.D_YEAR = 2000
+              AND ws.WS_SALES_PRICE > (SELECT AVG(ws2.WS_SALES_PRICE) FROM WEB_SALES ws2
+                                       WHERE ws2.WS_ITEM_SK = i.I_ITEM_SK)
+        """, correlated=True, description="web sales above the item's average (correlated scalar)"),
+        QueryDef("q96", "scalar", """
+            SELECT COUNT(*) AS cnt
+            FROM STORE_SALES ss, STORE s, DATE_DIM d
+            WHERE ss.SS_STORE_SK = s.S_STORE_SK AND ss.SS_SOLD_DATE_SK = d.D_DATE_SK
+              AND s.S_NUMBER_EMPLOYEES BETWEEN 100 AND 250 AND d.D_MOY = 6
+        """, description="store sales count for mid-size stores"),
+        QueryDef("q90", "scalar", """
+            SELECT COUNT(*) AS am_count
+            FROM WEB_SALES ws, DATE_DIM d
+            WHERE ws.WS_SOLD_DATE_SK = d.D_DATE_SK AND d.D_QOY = 1 AND d.D_YEAR = 2000
+              AND ws.WS_QUANTITY BETWEEN 10 AND 60
+              AND ws.WS_BILL_CUSTOMER_SK IN (SELECT c.C_CUSTOMER_SK FROM CUSTOMER c
+                                             WHERE c.C_PREFERRED_CUST_FLAG = 'Y')
+        """, description="quarterly web sales of preferred customers (IN subquery)"),
+    ]
+
+
+def tpcds_workload(scale: float = 0.2, seed: int = 23) -> Workload:
+    started = time.perf_counter()
+    catalog = generate_tpcds(scale=scale, seed=seed)
+    return Workload(
+        name="tpcds",
+        catalog=catalog,
+        queries=tpcds_queries(),
+        scale=scale,
+        generation_seconds=time.perf_counter() - started,
+    )

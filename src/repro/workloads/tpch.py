@@ -1,0 +1,484 @@
+"""TPC-H-like workload: 3NF schema, synthetic generator and 22 query analogues.
+
+The schema mirrors TPC-H's eight relations (pure third normal form, narrow
+tables, uniformly distributed data — the shape the paper calls the "RDBMS
+comfort zone").  The generator is a scaled-down, seeded stand-in for dbgen:
+"mini scale factor" 1.0 produces a few thousand LINEITEM rows instead of
+six million, preserving the relative table sizes, PK-FK structure and value
+domains that the 22 query analogues filter and join on.
+
+Every query of the TPC-H workload has an analogue here, expressed in the
+SQL subset supported by :mod:`repro.sql` (no CASE/EXTRACT/HAVING; the
+evaluation drops ORDER BY / LIMIT exactly as the paper does).  Each query
+is tagged with the aggregation class the paper's drill-down uses (local /
+global / scalar / no aggregation) plus flags for correlated subqueries and
+cyclic join graphs, so the benchmark harness can regenerate the per-class
+tables (Tables 3 and 4).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import time
+from typing import Dict, List, Optional
+
+from ..relational.catalog import Catalog
+from ..relational.relation import Relation
+from ..relational.schema import Column, ForeignKey, Schema
+from ..relational.types import DataType
+from .base import DataRandom, QueryDef, Workload
+
+# ----------------------------------------------------------------------
+# value domains
+# ----------------------------------------------------------------------
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+ORDER_STATUSES = ["F", "O", "P"]
+SHIP_MODES = ["AIR", "REG AIR", "MAIL", "SHIP", "TRUCK", "RAIL", "FOB"]
+RETURN_FLAGS = ["R", "A", "N"]
+LINE_STATUSES = ["F", "O"]
+PART_TYPES = ["PROMO", "STEEL", "COPPER", "BRASS", "TIN"]
+PART_CONTAINERS = ["SM BOX", "MED BOX", "LG BOX", "JUMBO PACK", "WRAP CASE"]
+PART_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+PART_NAME_WORDS = [
+    "green", "forest", "blue", "red", "ivory", "linen", "steel", "copper",
+    "misty", "salmon", "plum", "almond", "antique", "burnished",
+]
+DATE_START = _dt.date(1994, 1, 1)
+DATE_END = _dt.date(1998, 12, 31)
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+def tpch_schemas() -> List[Schema]:
+    """The eight TPC-H relations with PK/FK constraints."""
+    return [
+        Schema(
+            "REGION",
+            [Column("R_REGIONKEY", DataType.INT, nullable=False), Column("R_NAME", DataType.STRING)],
+            primary_key=["R_REGIONKEY"],
+        ),
+        Schema(
+            "NATION",
+            [
+                Column("N_NATIONKEY", DataType.INT, nullable=False),
+                Column("N_NAME", DataType.STRING),
+                Column("N_REGIONKEY", DataType.INT),
+            ],
+            primary_key=["N_NATIONKEY"],
+            foreign_keys=[ForeignKey(("N_REGIONKEY",), "REGION", ("R_REGIONKEY",))],
+        ),
+        Schema(
+            "SUPPLIER",
+            [
+                Column("S_SUPPKEY", DataType.INT, nullable=False),
+                Column("S_NAME", DataType.STRING),
+                Column("S_NATIONKEY", DataType.INT),
+                Column("S_ACCTBAL", DataType.FLOAT),
+            ],
+            primary_key=["S_SUPPKEY"],
+            foreign_keys=[ForeignKey(("S_NATIONKEY",), "NATION", ("N_NATIONKEY",))],
+        ),
+        Schema(
+            "CUSTOMER",
+            [
+                Column("C_CUSTKEY", DataType.INT, nullable=False),
+                Column("C_NAME", DataType.STRING),
+                Column("C_NATIONKEY", DataType.INT),
+                Column("C_ACCTBAL", DataType.FLOAT),
+                Column("C_MKTSEGMENT", DataType.STRING),
+            ],
+            primary_key=["C_CUSTKEY"],
+            foreign_keys=[ForeignKey(("C_NATIONKEY",), "NATION", ("N_NATIONKEY",))],
+        ),
+        Schema(
+            "PART",
+            [
+                Column("P_PARTKEY", DataType.INT, nullable=False),
+                Column("P_NAME", DataType.STRING, materialise=False),
+                Column("P_BRAND", DataType.STRING),
+                Column("P_TYPE", DataType.STRING),
+                Column("P_SIZE", DataType.INT),
+                Column("P_CONTAINER", DataType.STRING),
+                Column("P_RETAILPRICE", DataType.FLOAT),
+            ],
+            primary_key=["P_PARTKEY"],
+        ),
+        Schema(
+            "PARTSUPP",
+            [
+                Column("PS_PARTKEY", DataType.INT, nullable=False),
+                Column("PS_SUPPKEY", DataType.INT, nullable=False),
+                Column("PS_AVAILQTY", DataType.INT),
+                Column("PS_SUPPLYCOST", DataType.FLOAT),
+            ],
+            primary_key=["PS_PARTKEY", "PS_SUPPKEY"],
+            foreign_keys=[
+                ForeignKey(("PS_PARTKEY",), "PART", ("P_PARTKEY",)),
+                ForeignKey(("PS_SUPPKEY",), "SUPPLIER", ("S_SUPPKEY",)),
+            ],
+        ),
+        Schema(
+            "ORDERS",
+            [
+                Column("O_ORDERKEY", DataType.INT, nullable=False),
+                Column("O_CUSTKEY", DataType.INT),
+                Column("O_ORDERSTATUS", DataType.STRING),
+                Column("O_TOTALPRICE", DataType.FLOAT),
+                Column("O_ORDERDATE", DataType.DATE),
+                Column("O_ORDERPRIORITY", DataType.STRING),
+                Column("O_SHIPPRIORITY", DataType.INT),
+            ],
+            primary_key=["O_ORDERKEY"],
+            foreign_keys=[ForeignKey(("O_CUSTKEY",), "CUSTOMER", ("C_CUSTKEY",))],
+        ),
+        Schema(
+            "LINEITEM",
+            [
+                Column("L_ORDERKEY", DataType.INT, nullable=False),
+                Column("L_PARTKEY", DataType.INT),
+                Column("L_SUPPKEY", DataType.INT),
+                Column("L_LINENUMBER", DataType.INT),
+                Column("L_QUANTITY", DataType.INT),
+                Column("L_EXTENDEDPRICE", DataType.FLOAT),
+                Column("L_DISCOUNT", DataType.FLOAT),
+                Column("L_TAX", DataType.FLOAT),
+                Column("L_RETURNFLAG", DataType.STRING),
+                Column("L_LINESTATUS", DataType.STRING),
+                Column("L_SHIPDATE", DataType.DATE),
+                Column("L_COMMITDATE", DataType.DATE),
+                Column("L_RECEIPTDATE", DataType.DATE),
+                Column("L_SHIPMODE", DataType.STRING),
+            ],
+            primary_key=["L_ORDERKEY", "L_LINENUMBER"],
+            foreign_keys=[
+                ForeignKey(("L_ORDERKEY",), "ORDERS", ("O_ORDERKEY",)),
+                ForeignKey(("L_PARTKEY",), "PART", ("P_PARTKEY",)),
+                ForeignKey(("L_SUPPKEY",), "SUPPLIER", ("S_SUPPKEY",)),
+            ],
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# generator
+# ----------------------------------------------------------------------
+def generate_tpch(scale: float = 0.2, seed: int = 7) -> Catalog:
+    """Generate a TPC-H-like catalog at the given mini scale factor.
+
+    Mini scale 1.0 yields roughly 300 customers / 3000 orders / ~9000
+    lineitems (all tables keep TPC-H's relative proportions and scale
+    linearly, as the real benchmark's tables do).
+    """
+    rng = DataRandom(seed)
+    schemas = {schema.name: schema for schema in tpch_schemas()}
+    catalog = Catalog(f"tpch@{scale}")
+
+    customer_count = max(20, int(300 * scale))
+    supplier_count = max(5, int(20 * scale))
+    part_count = max(20, int(400 * scale))
+    orders_per_customer = 10
+    lineitems_per_order = (1, 5)
+
+    region = catalog.create(schemas["REGION"])
+    for key, name in enumerate(REGIONS):
+        region.insert([key, name])
+
+    nation = catalog.create(schemas["NATION"])
+    for key, (name, region_key) in enumerate(NATIONS):
+        nation.insert([key, name, region_key])
+
+    supplier = catalog.create(schemas["SUPPLIER"])
+    for key in range(1, supplier_count + 1):
+        supplier.insert(
+            [key, f"Supplier#{key:05d}", rng.randrange(len(NATIONS)),
+             round(rng.uniform(-999.0, 9999.0), 2)]
+        )
+
+    customer = catalog.create(schemas["CUSTOMER"])
+    for key in range(1, customer_count + 1):
+        customer.insert(
+            [key, f"Customer#{key:06d}", rng.randrange(len(NATIONS)),
+             round(rng.uniform(-999.0, 9999.0), 2), rng.choice(MARKET_SEGMENTS)]
+        )
+
+    part = catalog.create(schemas["PART"])
+    for key in range(1, part_count + 1):
+        part.insert(
+            [
+                key,
+                rng.words(PART_NAME_WORDS, 3),
+                rng.choice(PART_BRANDS),
+                rng.choice(PART_TYPES),
+                rng.randint(1, 50),
+                rng.choice(PART_CONTAINERS),
+                round(rng.uniform(900.0, 2000.0), 2),
+            ]
+        )
+
+    partsupp = catalog.create(schemas["PARTSUPP"])
+    for part_key in range(1, part_count + 1):
+        suppliers = rng.sample(range(1, supplier_count + 1), min(2, supplier_count))
+        for supp_key in suppliers:
+            partsupp.insert(
+                [part_key, supp_key, rng.randint(1, 1000), round(rng.uniform(1.0, 1000.0), 2)]
+            )
+
+    orders = catalog.create(schemas["ORDERS"])
+    lineitem = catalog.create(schemas["LINEITEM"])
+    order_key = 0
+    for customer_key in range(1, customer_count + 1):
+        for _ in range(rng.randint(orders_per_customer - 4, orders_per_customer + 4)):
+            order_key += 1
+            order_date = rng.date_between(DATE_START, DATE_END - _dt.timedelta(days=120))
+            total = 0.0
+            line_rows = []
+            for line_number in range(1, rng.randint(*lineitems_per_order) + 1):
+                ship_date = order_date + _dt.timedelta(days=rng.randint(1, 90))
+                commit_date = order_date + _dt.timedelta(days=rng.randint(15, 75))
+                receipt_date = ship_date + _dt.timedelta(days=rng.randint(1, 30))
+                extended = round(rng.uniform(100.0, 50_000.0), 2)
+                total += extended
+                line_rows.append(
+                    [
+                        order_key,
+                        rng.randint(1, part_count),
+                        rng.randint(1, supplier_count),
+                        line_number,
+                        rng.randint(1, 50),
+                        extended,
+                        round(rng.choice([0.0, 0.02, 0.04, 0.05, 0.06, 0.07, 0.08, 0.1]), 2),
+                        round(rng.uniform(0.0, 0.08), 2),
+                        rng.choice(RETURN_FLAGS),
+                        rng.choice(LINE_STATUSES),
+                        ship_date,
+                        commit_date,
+                        receipt_date,
+                        rng.choice(SHIP_MODES),
+                    ]
+                )
+            orders.insert(
+                [
+                    order_key,
+                    customer_key,
+                    rng.choice(ORDER_STATUSES),
+                    round(total, 2),
+                    order_date,
+                    rng.choice(ORDER_PRIORITIES),
+                    rng.randint(0, 1),
+                ]
+            )
+            for row in line_rows:
+                lineitem.insert(row)
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# the 22 query analogues
+# ----------------------------------------------------------------------
+def tpch_queries() -> List[QueryDef]:
+    """TPC-H q1-q22 analogues in the supported SQL subset."""
+    return [
+        QueryDef("q1", "global", """
+            SELECT l.L_RETURNFLAG, l.L_LINESTATUS,
+                   SUM(l.L_QUANTITY) AS sum_qty,
+                   SUM(l.L_EXTENDEDPRICE) AS sum_base_price,
+                   AVG(l.L_DISCOUNT) AS avg_disc,
+                   COUNT(*) AS count_order
+            FROM LINEITEM l
+            WHERE l.L_SHIPDATE <= DATE '1998-09-01'
+            GROUP BY l.L_RETURNFLAG, l.L_LINESTATUS
+        """, description="pricing summary report (single-table scan, global aggregation)"),
+        QueryDef("q2", "no_agg", """
+            SELECT s.S_NAME, p.P_PARTKEY, ps.PS_SUPPLYCOST
+            FROM PART p, SUPPLIER s, PARTSUPP ps, NATION n, REGION r
+            WHERE p.P_PARTKEY = ps.PS_PARTKEY AND s.S_SUPPKEY = ps.PS_SUPPKEY
+              AND s.S_NATIONKEY = n.N_NATIONKEY AND n.N_REGIONKEY = r.R_REGIONKEY
+              AND r.R_NAME = 'EUROPE' AND p.P_SIZE < 12
+              AND ps.PS_SUPPLYCOST <= (SELECT MIN(ps2.PS_SUPPLYCOST) FROM PARTSUPP ps2
+                                       WHERE ps2.PS_PARTKEY = p.P_PARTKEY)
+        """, correlated=True, description="minimum-cost supplier (correlated scalar subquery)"),
+        QueryDef("q3", "local", """
+            SELECT o.O_ORDERKEY, o.O_ORDERDATE, o.O_SHIPPRIORITY,
+                   SUM(l.L_EXTENDEDPRICE) AS revenue
+            FROM CUSTOMER c, ORDERS o, LINEITEM l
+            WHERE c.C_MKTSEGMENT = 'BUILDING' AND c.C_CUSTKEY = o.O_CUSTKEY
+              AND l.L_ORDERKEY = o.O_ORDERKEY
+              AND o.O_ORDERDATE < DATE '1996-03-15' AND l.L_SHIPDATE > DATE '1996-03-15'
+            GROUP BY o.O_ORDERKEY, o.O_ORDERDATE, o.O_SHIPPRIORITY
+        """, description="shipping priority (local aggregation keyed by order)"),
+        QueryDef("q4", "local", """
+            SELECT o.O_ORDERPRIORITY, COUNT(*) AS order_count
+            FROM ORDERS o
+            WHERE o.O_ORDERDATE >= DATE '1995-07-01' AND o.O_ORDERDATE < DATE '1995-10-01'
+              AND EXISTS (SELECT l.L_ORDERKEY FROM LINEITEM l
+                          WHERE l.L_ORDERKEY = o.O_ORDERKEY
+                            AND l.L_COMMITDATE < l.L_RECEIPTDATE)
+            GROUP BY o.O_ORDERPRIORITY
+        """, correlated=True, description="order priority checking (correlated EXISTS)"),
+        QueryDef("q5", "local", """
+            SELECT n.N_NAME, SUM(l.L_EXTENDEDPRICE) AS revenue
+            FROM CUSTOMER c, ORDERS o, LINEITEM l, SUPPLIER s, NATION n, REGION r
+            WHERE c.C_CUSTKEY = o.O_CUSTKEY AND l.L_ORDERKEY = o.O_ORDERKEY
+              AND l.L_SUPPKEY = s.S_SUPPKEY AND c.C_NATIONKEY = s.S_NATIONKEY
+              AND s.S_NATIONKEY = n.N_NATIONKEY AND n.N_REGIONKEY = r.R_REGIONKEY
+              AND r.R_NAME = 'ASIA'
+              AND o.O_ORDERDATE >= DATE '1996-01-01' AND o.O_ORDERDATE < DATE '1997-01-01'
+            GROUP BY n.N_NAME
+        """, cyclic=True, description="local supplier volume (the 5-way cycle query)"),
+        QueryDef("q6", "scalar", """
+            SELECT SUM(l.L_EXTENDEDPRICE * l.L_DISCOUNT) AS revenue, COUNT(*) AS cnt
+            FROM LINEITEM l
+            WHERE l.L_SHIPDATE >= DATE '1995-01-01' AND l.L_SHIPDATE < DATE '1996-01-01'
+              AND l.L_DISCOUNT BETWEEN 0.04 AND 0.08 AND l.L_QUANTITY < 24
+        """, description="forecasting revenue change (scalar aggregation, single scan)"),
+        QueryDef("q7", "global", """
+            SELECT n1.N_NAME AS supp_nation, n2.N_NAME AS cust_nation,
+                   SUM(l.L_EXTENDEDPRICE) AS revenue
+            FROM SUPPLIER s, LINEITEM l, ORDERS o, CUSTOMER c, NATION n1, NATION n2
+            WHERE s.S_SUPPKEY = l.L_SUPPKEY AND o.O_ORDERKEY = l.L_ORDERKEY
+              AND c.C_CUSTKEY = o.O_CUSTKEY AND s.S_NATIONKEY = n1.N_NATIONKEY
+              AND c.C_NATIONKEY = n2.N_NATIONKEY
+              AND n1.N_NAME = 'FRANCE'
+              AND l.L_SHIPDATE BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+            GROUP BY n1.N_NAME, n2.N_NAME
+        """, description="volume shipping (global aggregation, NATION self-join)"),
+        QueryDef("q8", "global", """
+            SELECT o.O_ORDERPRIORITY, n.N_NAME, SUM(l.L_EXTENDEDPRICE) AS volume
+            FROM PART p, LINEITEM l, ORDERS o, CUSTOMER c, NATION n, SUPPLIER s
+            WHERE p.P_PARTKEY = l.L_PARTKEY AND s.S_SUPPKEY = l.L_SUPPKEY
+              AND l.L_ORDERKEY = o.O_ORDERKEY AND o.O_CUSTKEY = c.C_CUSTKEY
+              AND c.C_NATIONKEY = n.N_NATIONKEY AND p.P_TYPE = 'STEEL'
+              AND o.O_ORDERDATE BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+            GROUP BY o.O_ORDERPRIORITY, n.N_NAME
+        """, description="national market share (global aggregation)"),
+        QueryDef("q9", "global", """
+            SELECT n.N_NAME, o.O_ORDERPRIORITY, SUM(l.L_EXTENDEDPRICE) AS profit
+            FROM PART p, SUPPLIER s, LINEITEM l, PARTSUPP ps, ORDERS o, NATION n
+            WHERE s.S_SUPPKEY = l.L_SUPPKEY AND ps.PS_SUPPKEY = l.L_SUPPKEY
+              AND ps.PS_PARTKEY = l.L_PARTKEY AND p.P_PARTKEY = l.L_PARTKEY
+              AND o.O_ORDERKEY = l.L_ORDERKEY AND s.S_NATIONKEY = n.N_NATIONKEY
+              AND p.P_NAME LIKE '%green%'
+            GROUP BY n.N_NAME, o.O_ORDERPRIORITY
+        """, description="product type profit (global aggregation, multi-attribute join)"),
+        QueryDef("q10", "local", """
+            SELECT c.C_CUSTKEY, c.C_NAME, SUM(l.L_EXTENDEDPRICE) AS revenue
+            FROM CUSTOMER c, ORDERS o, LINEITEM l, NATION n
+            WHERE c.C_CUSTKEY = o.O_CUSTKEY AND l.L_ORDERKEY = o.O_ORDERKEY
+              AND c.C_NATIONKEY = n.N_NATIONKEY AND l.L_RETURNFLAG = 'R'
+              AND o.O_ORDERDATE >= DATE '1995-10-01' AND o.O_ORDERDATE < DATE '1996-01-01'
+            GROUP BY c.C_CUSTKEY, c.C_NAME
+        """, description="returned item reporting (local aggregation keyed by customer)"),
+        QueryDef("q11", "local", """
+            SELECT ps.PS_PARTKEY, SUM(ps.PS_SUPPLYCOST * ps.PS_AVAILQTY) AS value
+            FROM PARTSUPP ps, SUPPLIER s, NATION n
+            WHERE ps.PS_SUPPKEY = s.S_SUPPKEY AND s.S_NATIONKEY = n.N_NATIONKEY
+              AND n.N_NAME = 'GERMANY'
+            GROUP BY ps.PS_PARTKEY
+        """, description="important stock identification (local aggregation by part)"),
+        QueryDef("q12", "local", """
+            SELECT l.L_SHIPMODE, COUNT(*) AS line_count
+            FROM ORDERS o, LINEITEM l
+            WHERE o.O_ORDERKEY = l.L_ORDERKEY AND l.L_SHIPMODE IN ('MAIL', 'SHIP')
+              AND l.L_RECEIPTDATE >= DATE '1995-01-01' AND l.L_RECEIPTDATE < DATE '1996-01-01'
+            GROUP BY l.L_SHIPMODE
+        """, description="shipping modes (local aggregation by ship mode)"),
+        QueryDef("q13", "local", """
+            SELECT c.C_CUSTKEY, COUNT(*) AS c_count
+            FROM CUSTOMER c, ORDERS o
+            WHERE c.C_CUSTKEY = o.O_CUSTKEY AND o.O_ORDERPRIORITY <> '1-URGENT'
+            GROUP BY c.C_CUSTKEY
+        """, description="customer order counts"),
+        QueryDef("q14", "scalar", """
+            SELECT SUM(l.L_EXTENDEDPRICE * l.L_DISCOUNT) AS promo_revenue
+            FROM LINEITEM l, PART p
+            WHERE l.L_PARTKEY = p.P_PARTKEY AND p.P_TYPE = 'PROMO'
+              AND l.L_SHIPDATE >= DATE '1995-06-01' AND l.L_SHIPDATE < DATE '1995-12-01'
+        """, description="promotion effect (scalar aggregation over a PK-FK join)"),
+        QueryDef("q15", "local", """
+            SELECT l.L_SUPPKEY, SUM(l.L_EXTENDEDPRICE) AS total_revenue
+            FROM LINEITEM l
+            WHERE l.L_SHIPDATE >= DATE '1996-01-01' AND l.L_SHIPDATE < DATE '1996-07-01'
+            GROUP BY l.L_SUPPKEY
+        """, description="top supplier (local aggregation by supplier key)"),
+        QueryDef("q16", "global", """
+            SELECT p.P_BRAND, p.P_TYPE, COUNT(DISTINCT ps.PS_SUPPKEY) AS supplier_cnt
+            FROM PARTSUPP ps, PART p
+            WHERE p.P_PARTKEY = ps.PS_PARTKEY AND p.P_BRAND <> 'Brand#45'
+              AND p.P_SIZE IN (9, 14, 19, 23, 36, 45, 49, 3)
+              AND ps.PS_SUPPKEY NOT IN (SELECT s.S_SUPPKEY FROM SUPPLIER s
+                                        WHERE s.S_ACCTBAL < 0)
+            GROUP BY p.P_BRAND, p.P_TYPE
+        """, description="parts/supplier relationship (global aggregation, NOT IN subquery)"),
+        QueryDef("q17", "scalar", """
+            SELECT SUM(l.L_EXTENDEDPRICE) AS avg_yearly
+            FROM LINEITEM l, PART p
+            WHERE p.P_PARTKEY = l.L_PARTKEY AND p.P_BRAND = 'Brand#23'
+              AND p.P_CONTAINER = 'MED BOX'
+              AND l.L_QUANTITY * 5 < (SELECT SUM(l2.L_QUANTITY) FROM LINEITEM l2
+                                      WHERE l2.L_PARTKEY = p.P_PARTKEY)
+        """, correlated=True, description="small-quantity-order revenue (correlated scalar subquery)"),
+        QueryDef("q18", "local", """
+            SELECT o.O_ORDERKEY, SUM(l.L_QUANTITY) AS total_qty
+            FROM CUSTOMER c, ORDERS o, LINEITEM l
+            WHERE o.O_ORDERKEY IN (SELECT l2.L_ORDERKEY FROM LINEITEM l2 WHERE l2.L_QUANTITY > 45)
+              AND c.C_CUSTKEY = o.O_CUSTKEY AND o.O_ORDERKEY = l.L_ORDERKEY
+            GROUP BY o.O_ORDERKEY
+        """, description="large volume customers (IN subquery + local aggregation)"),
+        QueryDef("q19", "scalar", """
+            SELECT SUM(l.L_EXTENDEDPRICE) AS revenue
+            FROM LINEITEM l, PART p
+            WHERE p.P_PARTKEY = l.L_PARTKEY AND p.P_BRAND = 'Brand#12'
+              AND p.P_SIZE BETWEEN 1 AND 15 AND l.L_QUANTITY BETWEEN 1 AND 20
+              AND l.L_SHIPMODE IN ('AIR', 'REG AIR')
+        """, description="discounted revenue (scalar aggregation, selective join)"),
+        QueryDef("q20", "no_agg", """
+            SELECT s.S_NAME
+            FROM SUPPLIER s, NATION n
+            WHERE s.S_NATIONKEY = n.N_NATIONKEY AND n.N_NAME = 'CANADA'
+              AND s.S_SUPPKEY IN (SELECT ps.PS_SUPPKEY FROM PARTSUPP ps, PART p
+                                  WHERE ps.PS_PARTKEY = p.P_PARTKEY
+                                    AND p.P_NAME LIKE 'forest%' AND ps.PS_AVAILQTY > 100)
+        """, correlated=False, description="potential part promotion (nested IN subquery)"),
+        QueryDef("q21", "local", """
+            SELECT s.S_NAME, COUNT(*) AS numwait
+            FROM SUPPLIER s, LINEITEM l1, ORDERS o, NATION n
+            WHERE s.S_SUPPKEY = l1.L_SUPPKEY AND o.O_ORDERKEY = l1.L_ORDERKEY
+              AND o.O_ORDERSTATUS = 'F' AND l1.L_RECEIPTDATE > l1.L_COMMITDATE
+              AND s.S_NATIONKEY = n.N_NATIONKEY AND n.N_NAME = 'SAUDI ARABIA'
+              AND NOT EXISTS (SELECT l3.L_ORDERKEY FROM LINEITEM l3
+                              WHERE l3.L_ORDERKEY = l1.L_ORDERKEY
+                                AND l3.L_RECEIPTDATE <= l3.L_COMMITDATE)
+            GROUP BY s.S_NAME
+        """, correlated=True, description="suppliers who kept orders waiting (correlated NOT EXISTS)"),
+        QueryDef("q22", "local", """
+            SELECT c.C_MKTSEGMENT, COUNT(*) AS numcust, SUM(c.C_ACCTBAL) AS totacctbal
+            FROM CUSTOMER c
+            WHERE c.C_ACCTBAL > 0
+              AND NOT EXISTS (SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_CUSTKEY = c.C_CUSTKEY)
+            GROUP BY c.C_MKTSEGMENT
+        """, correlated=True, description="global sales opportunity (correlated NOT EXISTS)"),
+    ]
+
+
+def tpch_workload(scale: float = 0.2, seed: int = 7) -> Workload:
+    """Generate the catalog and pair it with the 22 query analogues."""
+    started = time.perf_counter()
+    catalog = generate_tpch(scale=scale, seed=seed)
+    return Workload(
+        name="tpch",
+        catalog=catalog,
+        queries=tpch_queries(),
+        scale=scale,
+        generation_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,131 @@
+"""Expression evaluation semantics (including SQL NULL behaviour)."""
+
+import pytest
+
+from repro.algebra import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    ExpressionError,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    col,
+    conjunction,
+    eq,
+    lit,
+    split_conjuncts,
+)
+
+ROW = {"r.A": 5, "r.B": "hello", "r.C": None, "s.A": 7}
+
+
+class TestColumnRef:
+    def test_qualified_lookup(self):
+        assert col("r.A").evaluate(ROW) == 5
+
+    def test_unqualified_unique_suffix(self):
+        assert ColumnRef("B").evaluate(ROW) == "hello"
+
+    def test_unqualified_ambiguous(self):
+        with pytest.raises(ExpressionError):
+            ColumnRef("A").evaluate(ROW)
+
+    def test_unresolved(self):
+        with pytest.raises(ExpressionError):
+            col("r.MISSING").evaluate(ROW)
+
+    def test_columns_reported(self):
+        assert col("r.A").columns() == frozenset({"r.A"})
+
+
+class TestComparisonsAndArithmetic:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+    )
+    def test_comparison_ops(self, op, expected):
+        assert Comparison(op, col("r.A"), col("s.A")).evaluate(ROW) is expected
+
+    def test_null_comparison_is_false(self):
+        assert Comparison("=", col("r.C"), lit(None)).evaluate(ROW) is False
+        assert Comparison("<", col("r.C"), lit(10)).evaluate(ROW) is False
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", col("r.A"), lit(1))
+
+    @pytest.mark.parametrize("op,expected", [("+", 12), ("-", -2), ("*", 35), ("/", 5 / 7)])
+    def test_arithmetic(self, op, expected):
+        assert Arithmetic(op, col("r.A"), col("s.A")).evaluate(ROW) == expected
+
+    def test_arithmetic_null_propagates(self):
+        assert Arithmetic("+", col("r.C"), lit(1)).evaluate(ROW) is None
+
+    def test_columns_union(self):
+        expr = Comparison("=", col("r.A"), col("s.A"))
+        assert expr.columns() == frozenset({"r.A", "s.A"})
+
+
+class TestBooleanOperators:
+    def test_and_or_not(self):
+        true_cmp = Comparison(">", col("r.A"), lit(1))
+        false_cmp = Comparison(">", col("r.A"), lit(100))
+        assert And([true_cmp, true_cmp]).evaluate(ROW)
+        assert not And([true_cmp, false_cmp]).evaluate(ROW)
+        assert Or([false_cmp, true_cmp]).evaluate(ROW)
+        assert Not(false_cmp).evaluate(ROW)
+
+    def test_operator_overloads(self):
+        true_cmp = Comparison(">", col("r.A"), lit(1))
+        false_cmp = Comparison(">", col("r.A"), lit(100))
+        assert (true_cmp & true_cmp).evaluate(ROW)
+        assert (false_cmp | true_cmp).evaluate(ROW)
+        assert (~false_cmp).evaluate(ROW)
+
+    def test_split_and_rebuild_conjuncts(self):
+        a = Comparison(">", col("r.A"), lit(1))
+        b = Comparison("<", col("r.A"), lit(10))
+        c = Comparison("=", col("r.B"), lit("hello"))
+        joined = conjunction([a, b, c])
+        assert split_conjuncts(joined) == [a, b, c]
+        assert conjunction([]) is None
+        assert conjunction([a]) is a
+        assert split_conjuncts(None) == []
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert IsNull(col("r.C")).evaluate(ROW)
+        assert not IsNull(col("r.A")).evaluate(ROW)
+        assert IsNull(col("r.A"), negated=True).evaluate(ROW)
+
+    def test_in_list(self):
+        assert InList(col("r.A"), [1, 5, 9]).evaluate(ROW)
+        assert not InList(col("r.A"), [1, 2]).evaluate(ROW)
+        assert InList(col("r.A"), [1, 2], negated=True).evaluate(ROW)
+        assert not InList(col("r.C"), [None]).evaluate(ROW)  # NULL never IN
+
+    def test_between(self):
+        assert Between(col("r.A"), lit(1), lit(10)).evaluate(ROW)
+        assert not Between(col("r.A"), lit(6), lit(10)).evaluate(ROW)
+        assert not Between(col("r.C"), lit(0), lit(10)).evaluate(ROW)
+
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [("hello", True), ("he%", True), ("%llo", True), ("h_llo", True), ("%x%", False)],
+    )
+    def test_like(self, pattern, expected):
+        assert Like(col("r.B"), pattern).evaluate(ROW) is expected
+
+    def test_like_negated_and_null(self):
+        assert Like(col("r.B"), "%x%", negated=True).evaluate(ROW)
+        assert not Like(col("r.C"), "%").evaluate(ROW)
+
+    def test_eq_helper(self):
+        assert eq(lit(3), lit(3)).evaluate({})

@@ -1,0 +1,171 @@
+"""QuerySpec semantics: validation, aggregation classes, structural views, builder."""
+
+import pytest
+
+from repro.algebra import (
+    AggFunc,
+    AggregationClass,
+    Comparison,
+    JoinCondition,
+    QueryBuilder,
+    QueryError,
+    col,
+    lit,
+)
+
+
+def three_way_spec():
+    return (
+        QueryBuilder("nco")
+        .table("NATION", "n")
+        .table("CUSTOMER", "c")
+        .table("ORDERS", "o")
+        .join("n", "N_NATIONKEY", "c", "C_NATIONKEY")
+        .join("c", "C_CUSTKEY", "o", "O_CUSTKEY")
+        .select_columns("n.N_NAME", "o.O_ORDERKEY")
+        .build()
+    )
+
+
+class TestValidation:
+    def test_valid_spec(self, mini_catalog):
+        three_way_spec().validate(mini_catalog)
+
+    def test_unknown_table(self, mini_catalog):
+        spec = QueryBuilder("bad").table("MISSING", "m").select_columns("m.X").build()
+        with pytest.raises(QueryError):
+            spec.validate(mini_catalog)
+
+    def test_unknown_join_column(self, mini_catalog):
+        spec = (
+            QueryBuilder("bad")
+            .table("NATION", "n")
+            .table("CUSTOMER", "c")
+            .join("n", "MISSING", "c", "C_NATIONKEY")
+            .build()
+        )
+        with pytest.raises(QueryError):
+            spec.validate(mini_catalog)
+
+    def test_duplicate_alias(self, mini_catalog):
+        spec = QueryBuilder("bad").table("NATION", "n").table("CUSTOMER", "n").build()
+        with pytest.raises(QueryError):
+            spec.validate(mini_catalog)
+
+    def test_empty_query_rejected_by_builder(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("empty").build()
+
+
+class TestStructure:
+    def test_alias_map_and_lookup(self):
+        spec = three_way_spec()
+        assert spec.alias_map() == {"n": "NATION", "c": "CUSTOMER", "o": "ORDERS"}
+        assert spec.table_for("c") == "CUSTOMER"
+        with pytest.raises(QueryError):
+            spec.table_for("zzz")
+
+    def test_join_columns_of(self):
+        spec = three_way_spec()
+        assert spec.join_columns_of("c") == {"C_NATIONKEY", "C_CUSTKEY"}
+        assert spec.join_columns_of("n") == {"N_NATIONKEY"}
+
+    def test_required_columns_include_output_and_filters(self):
+        spec = three_way_spec()
+        spec.add_filter("o", Comparison(">", col("o.O_TOTAL"), lit(10)))
+        assert "O_TOTAL" in spec.required_columns_of("o")
+        assert "O_ORDERKEY" in spec.required_columns_of("o")
+        assert "N_NAME" in spec.required_columns_of("n")
+
+    def test_join_graph_and_connectivity(self):
+        spec = three_way_spec()
+        assert spec.join_graph_edges() == [("c", "n"), ("c", "o")]
+        assert spec.is_connected()
+        disconnected = (
+            QueryBuilder("cross").table("NATION", "n").table("ORDERS", "o").build()
+        )
+        assert not disconnected.is_connected()
+
+    def test_join_condition_helpers(self):
+        condition = JoinCondition("a", "x", "b", "y")
+        assert condition.reversed() == JoinCondition("b", "y", "a", "x")
+        assert condition.side("a") == "x"
+        assert condition.side("b") == "y"
+        assert condition.side("zzz") is None
+        assert condition.aliases() == ("a", "b")
+
+
+class TestAggregationClassification:
+    def test_no_aggregation(self, mini_catalog):
+        assert three_way_spec().aggregation_class(mini_catalog) is AggregationClass.NONE
+
+    def test_scalar(self, mini_catalog):
+        spec = (
+            QueryBuilder("s").table("ORDERS", "o").aggregate(AggFunc.COUNT, None, "cnt").build()
+        )
+        assert spec.aggregation_class(mini_catalog) is AggregationClass.SCALAR
+
+    def test_local_single_column(self, mini_catalog):
+        spec = (
+            QueryBuilder("la")
+            .table("ORDERS", "o")
+            .group_by("o", "O_PRIORITY")
+            .aggregate(AggFunc.SUM, col("o.O_TOTAL"), "total")
+            .build()
+        )
+        assert spec.aggregation_class(mini_catalog) is AggregationClass.LOCAL
+
+    def test_local_when_pk_determines_other_columns(self, mini_catalog):
+        spec = (
+            QueryBuilder("la2")
+            .table("CUSTOMER", "c")
+            .table("ORDERS", "o")
+            .join("c", "C_CUSTKEY", "o", "O_CUSTKEY")
+            .group_by("c", "C_CUSTKEY")
+            .group_by("c", "C_ACCTBAL")
+            .aggregate(AggFunc.COUNT, None, "cnt")
+            .build()
+        )
+        assert spec.aggregation_class(mini_catalog) is AggregationClass.LOCAL
+
+    def test_global_multi_column(self, mini_catalog):
+        spec = (
+            QueryBuilder("ga")
+            .table("ORDERS", "o")
+            .table("CUSTOMER", "c")
+            .join("c", "C_CUSTKEY", "o", "O_CUSTKEY")
+            .group_by("o", "O_PRIORITY")
+            .group_by("c", "C_NATIONKEY")
+            .aggregate(AggFunc.COUNT, None, "cnt")
+            .build()
+        )
+        assert spec.aggregation_class(mini_catalog) is AggregationClass.GLOBAL
+
+    def test_count_requires_no_argument_only(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("bad").table("ORDERS", "o").aggregate(AggFunc.SUM, None, "x").build()
+
+
+class TestBuilder:
+    def test_select_requires_alias_for_expressions(self):
+        builder = QueryBuilder("q").table("ORDERS", "o")
+        with pytest.raises(QueryError):
+            builder.select(Comparison(">", col("o.O_TOTAL"), lit(1)))
+
+    def test_outer_join_recorded(self):
+        from repro.algebra import JoinType
+
+        spec = (
+            QueryBuilder("oj")
+            .table("CUSTOMER", "c")
+            .table("ORDERS", "o")
+            .join("c", "C_CUSTKEY", "o", "O_CUSTKEY", join_type=JoinType.LEFT_OUTER)
+            .build()
+        )
+        assert len(spec.outer_joins) == 1
+        assert spec.outer_join_for(spec.join_conditions[0]) is JoinType.LEFT_OUTER
+
+    def test_distinct_and_count_star(self):
+        spec = QueryBuilder("d").table("ORDERS", "o").distinct().count_star().build()
+        assert spec.distinct
+        assert spec.aggregates[0].function is AggFunc.COUNT

@@ -1,0 +1,250 @@
+"""Tests for the BSP substrate: graph store, engine semantics, aggregators, metrics."""
+
+import pytest
+
+from repro.bsp import (
+    BSPEngine,
+    BSPError,
+    CollectAggregator,
+    CountAggregator,
+    Graph,
+    GraphError,
+    GroupAggregator,
+    HashPartitioner,
+    MaxAggregator,
+    MinAggregator,
+    RoundRobinPartitioner,
+    SinglePartitioner,
+    SumAggregator,
+    SuperstepContext,
+    VertexProgram,
+    payload_size_bytes,
+)
+from repro.bsp.programs import ConnectedComponents, DegreeCount, SingleSourceShortestPaths
+
+
+def line_graph(n: int = 5) -> Graph:
+    graph = Graph("line")
+    for i in range(n):
+        graph.add_vertex(f"v{i}", "node")
+    for i in range(n - 1):
+        graph.add_edge(f"v{i}", f"v{i+1}", "link", {"weight": 1.0}, undirected=True)
+    return graph
+
+
+class TestGraph:
+    def test_add_and_lookup(self):
+        graph = line_graph()
+        assert graph.vertex_count == 5
+        assert graph.edge_count == 8  # 4 undirected edges = 8 directed
+        assert graph.out_degree("v1", "link") == 2
+        assert set(graph.neighbours("v1")) == {"v0", "v2"}
+        assert graph.vertices_with_label("node") == [f"v{i}" for i in range(5)]
+
+    def test_duplicate_vertex_rejected(self):
+        graph = line_graph()
+        with pytest.raises(GraphError):
+            graph.add_vertex("v0", "node")
+
+    def test_edge_requires_known_endpoints(self):
+        graph = line_graph()
+        with pytest.raises(GraphError):
+            graph.add_edge("v0", "missing", "link")
+
+    def test_unknown_vertex_lookup(self):
+        with pytest.raises(GraphError):
+            line_graph().vertex("nope")
+
+    def test_label_index_and_counts(self):
+        graph = line_graph()
+        assert graph.count_by_label() == {"node": 5}
+        assert graph.out_edge_labels("v0") == ["link"]
+
+    def test_remove_vertex(self):
+        graph = line_graph()
+        graph.remove_vertex("v4")
+        assert graph.vertex_count == 4
+        assert not graph.has_vertex("v4")
+
+    def test_state_reset(self):
+        graph = line_graph()
+        graph.vertex("v0").state["x"] = 1
+        graph.reset_all_state()
+        assert graph.vertex("v0").state == {}
+
+
+class TestClassicPrograms:
+    def test_connected_components(self):
+        graph = line_graph(4)
+        graph.add_vertex("w0", "node")
+        graph.add_vertex("w1", "node")
+        graph.add_edge("w0", "w1", "link", undirected=True)
+        engine = BSPEngine(graph)
+        components = engine.run(ConnectedComponents())
+        assert components["v3"] == "v0"
+        assert components["w1"] == "w0"
+        assert components["v0"] != components["w0"]
+
+    def test_sssp(self):
+        graph = line_graph(5)
+        engine = BSPEngine(graph)
+        distances = engine.run(SingleSourceShortestPaths("v0"))
+        assert distances["v4"] == 4.0
+        assert distances["v0"] == 0.0
+
+    def test_degree_count_aggregator(self):
+        graph = line_graph(3)
+        engine = BSPEngine(graph)
+        result = engine.run(DegreeCount(engine))
+        assert result["total"] == graph.edge_count
+        assert result["degrees"]["v1"] == 2
+
+
+class _Broadcast(VertexProgram):
+    """Superstep 0: 'v0' messages every vertex; superstep 1: recipients record."""
+
+    def initial_active_vertices(self, graph):
+        return ["v0"]
+
+    def compute(self, vertex, messages, graph, context):
+        if context.superstep == 0:
+            for target in graph.vertex_ids():
+                if target != vertex.vertex_id:
+                    context.send(target, vertex.vertex_id)
+        else:
+            vertex.state["got"] = list(messages)
+
+
+class TestEngineSemantics:
+    def test_messages_delivered_next_superstep_and_metrics(self):
+        graph = line_graph(4)
+        engine = BSPEngine(graph)
+        engine.run(_Broadcast())
+        metrics = engine.last_metrics
+        assert metrics.superstep_count == 2
+        assert metrics.total_messages == 3
+        assert metrics.supersteps[0].active_vertices == 1
+        assert metrics.supersteps[1].active_vertices == 3
+        assert graph.vertex("v2").state["got"] == ["v0"]
+
+    def test_unknown_message_target_raises(self):
+        graph = line_graph(2)
+        engine = BSPEngine(graph)
+
+        class Bad(VertexProgram):
+            def compute(self, vertex, messages, graph, context):
+                context.send("missing", 1)
+
+        with pytest.raises(BSPError):
+            engine.run(Bad())
+
+    def test_unknown_aggregator_raises(self):
+        graph = line_graph(2)
+        engine = BSPEngine(graph)
+
+        class Bad(VertexProgram):
+            def compute(self, vertex, messages, graph, context):
+                context.aggregate("nope", 1)
+
+        with pytest.raises(BSPError):
+            engine.run(Bad())
+
+    def test_max_superstep_guard(self):
+        graph = line_graph(2)
+        engine = BSPEngine(graph, max_supersteps=3)
+
+        class Forever(VertexProgram):
+            def compute(self, vertex, messages, graph, context):
+                context.send(vertex.vertex_id, "again")
+
+        with pytest.raises(BSPError):
+            engine.run(Forever())
+
+    def test_network_messages_counted_across_partitions(self):
+        graph = line_graph(6)
+        single = BSPEngine(graph, SinglePartitioner())
+        single.run(_Broadcast())
+        assert single.last_metrics.total_network_messages == 0
+
+        multi = BSPEngine(graph, HashPartitioner(3))
+        multi.run(_Broadcast())
+        assert multi.last_metrics.total_messages == 5
+        assert 0 < multi.last_metrics.total_network_messages <= 5
+        assert multi.last_metrics.total_network_bytes > 0
+
+    def test_initial_messages(self):
+        graph = line_graph(3)
+        engine = BSPEngine(graph)
+
+        class Recorder(VertexProgram):
+            def initial_active_vertices(self, graph):
+                return []
+
+            def compute(self, vertex, messages, graph, context):
+                vertex.state["msgs"] = list(messages)
+
+        engine.run(Recorder(), initial_messages={"v1": ["hello"]})
+        assert graph.vertex("v1").state["msgs"] == ["hello"]
+
+
+class TestPartitioners:
+    def test_hash_partitioner_deterministic_and_bounded(self):
+        partitioner = HashPartitioner(4)
+        assert partitioner.partition_of("abc") == partitioner.partition_of("abc")
+        assert 0 <= partitioner.partition_of("abc") < 4
+
+    def test_round_robin_balance(self):
+        graph = line_graph(8)
+        partitioner = RoundRobinPartitioner(4)
+        load = partitioner.load(graph)
+        assert load == [2, 2, 2, 2]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestAggregators:
+    def test_sum_count_min_max(self):
+        total, count = SumAggregator("s"), CountAggregator("c")
+        low, high = MinAggregator("min"), MaxAggregator("max")
+        for value in [3, 1, 2]:
+            total.accumulate(value)
+            count.accumulate(value)
+            low.accumulate(value)
+            high.accumulate(value)
+        assert total.value() == 6
+        assert count.value() == 3
+        assert low.value() == 1
+        assert high.value() == 3
+        total.reset()
+        assert total.value() == 0
+
+    def test_collect_and_group(self):
+        collect = CollectAggregator("rows")
+        collect.accumulate("a")
+        collect.accumulate("b")
+        assert collect.value() == ["a", "b"]
+        group = GroupAggregator("g")
+        group.accumulate(("x", 2))
+        group.accumulate(("x", 3))
+        group.accumulate(("y", 1))
+        assert group.value() == {"x": 5, "y": 1}
+
+
+class TestPayloadSizes:
+    def test_scalar_sizes(self):
+        assert payload_size_bytes(5) == 8
+        assert payload_size_bytes("abcd") == 4
+        assert payload_size_bytes(None) == 1
+        assert payload_size_bytes(True) == 1
+
+    def test_container_sizes(self):
+        assert payload_size_bytes([1, 2, 3]) == 4 + 24
+        assert payload_size_bytes({"a": 1}) == 4 + 1 + 8
+
+    def test_large_lists_sampled(self):
+        small = payload_size_bytes([1] * 8)
+        large = payload_size_bytes([1] * 800)
+        assert large == 4 + 800 * 8
+        assert small == 4 + 8 * 8

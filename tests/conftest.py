@@ -1,0 +1,98 @@
+"""Shared fixtures: small catalogs, TAG graphs and executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import QueryBuilder
+from repro.core import TagJoinExecutor
+from repro.engine import RelationalExecutor
+from repro.relational import Catalog, Column, DataType, ForeignKey, Relation, Schema
+from repro.tag import encode_catalog
+
+
+def make_mini_catalog() -> Catalog:
+    """NATION / CUSTOMER / ORDERS — the running example of the paper's Figure 1."""
+    nation = Relation(
+        Schema(
+            "NATION",
+            [Column("N_NATIONKEY", DataType.INT, nullable=False), Column("N_NAME", DataType.STRING)],
+            primary_key=["N_NATIONKEY"],
+        ),
+        [[1, "USA"], [2, "FRANCE"], [3, "JAPAN"]],
+    )
+    customer = Relation(
+        Schema(
+            "CUSTOMER",
+            [
+                Column("C_CUSTKEY", DataType.INT, nullable=False),
+                Column("C_NATIONKEY", DataType.INT),
+                Column("C_ACCTBAL", DataType.FLOAT),
+            ],
+            primary_key=["C_CUSTKEY"],
+            foreign_keys=[ForeignKey(("C_NATIONKEY",), "NATION", ("N_NATIONKEY",))],
+        ),
+        [[10, 1, 100.0], [11, 1, 250.0], [12, 2, 50.0], [13, 3, 75.0], [14, 2, 0.0]],
+    )
+    orders = Relation(
+        Schema(
+            "ORDERS",
+            [
+                Column("O_ORDERKEY", DataType.INT, nullable=False),
+                Column("O_CUSTKEY", DataType.INT),
+                Column("O_TOTAL", DataType.FLOAT),
+                Column("O_PRIORITY", DataType.STRING),
+            ],
+            primary_key=["O_ORDERKEY"],
+            foreign_keys=[ForeignKey(("O_CUSTKEY",), "CUSTOMER", ("C_CUSTKEY",))],
+        ),
+        [
+            [100, 10, 50.0, "HIGH"],
+            [101, 10, 20.0, "LOW"],
+            [102, 12, 30.0, "HIGH"],
+            [103, 13, 10.0, "LOW"],
+            [104, 14, 5.0, "HIGH"],
+            [105, 99, 7.0, "LOW"],  # dangling customer key
+        ],
+    )
+    catalog = Catalog("mini")
+    for relation in (nation, customer, orders):
+        catalog.add(relation)
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def mini_catalog() -> Catalog:
+    return make_mini_catalog()
+
+
+@pytest.fixture(scope="session")
+def mini_graph(mini_catalog):
+    return encode_catalog(mini_catalog)
+
+
+@pytest.fixture()
+def tag_executor(mini_graph, mini_catalog):
+    return TagJoinExecutor(mini_graph, mini_catalog)
+
+
+@pytest.fixture()
+def rdbms_executor(mini_catalog):
+    return RelationalExecutor(mini_catalog)
+
+
+def brute_force_join_nco(catalog: Catalog):
+    """Reference result for NATION ⋈ CUSTOMER ⋈ ORDERS on the mini catalog."""
+    nation = catalog.relation("NATION").to_dicts()
+    customer = catalog.relation("CUSTOMER").to_dicts()
+    orders = catalog.relation("ORDERS").to_dicts()
+    rows = []
+    for n in nation:
+        for c in customer:
+            if c["C_NATIONKEY"] != n["N_NATIONKEY"]:
+                continue
+            for o in orders:
+                if o["O_CUSTKEY"] != c["C_CUSTKEY"]:
+                    continue
+                rows.append((n["N_NAME"], c["C_CUSTKEY"], o["O_ORDERKEY"], o["O_TOTAL"]))
+    return sorted(rows)

@@ -1,0 +1,164 @@
+"""Query hypergraphs, GYO acyclicity, fractional edge covers, join trees."""
+
+import math
+
+import pytest
+
+from repro.algebra import QueryBuilder
+from repro.core import (
+    JoinTreeError,
+    build_hypergraph,
+    build_join_tree,
+    connected_components,
+    detect_simple_cycle,
+    reroot,
+)
+from repro.workloads.synthetic import triangle_query
+
+
+def chain_spec(length=3):
+    builder = QueryBuilder("chain")
+    for index in range(length):
+        builder.table(f"R{index + 1}", f"r{index + 1}")
+    for index in range(length - 1):
+        builder.join(f"r{index + 1}", f"A{index + 1}", f"r{index + 2}", f"A{index + 1}")
+    return builder.build()
+
+
+class TestHypergraph:
+    def test_join_variables_are_equivalence_classes(self):
+        spec = (
+            QueryBuilder("q")
+            .table("R", "r").table("S", "s").table("T", "t")
+            .join("r", "A", "s", "A")
+            .join("s", "A", "t", "B")
+            .build()
+        )
+        hypergraph = build_hypergraph(spec)
+        assert len(hypergraph.variables) == 1
+        variable = hypergraph.variables[0]
+        assert variable.members == frozenset({("r", "A"), ("s", "A"), ("t", "B")})
+        assert variable.column_of("t") == "B"
+        assert variable.column_of("zzz") is None
+        assert variable.aliases() == {"r", "s", "t"}
+
+    def test_chain_is_acyclic(self):
+        assert build_hypergraph(chain_spec(4)).is_acyclic()
+
+    def test_triangle_is_cyclic(self):
+        assert not build_hypergraph(triangle_query()).is_acyclic()
+
+    def test_star_is_acyclic(self):
+        spec = (
+            QueryBuilder("star")
+            .table("F", "f").table("D1", "d1").table("D2", "d2").table("D3", "d3")
+            .join("f", "K1", "d1", "K1").join("f", "K2", "d2", "K2").join("f", "K3", "d3", "K3")
+            .build()
+        )
+        assert build_hypergraph(spec).is_acyclic()
+
+    def test_triangle_fractional_cover_is_three_halves(self):
+        hypergraph = build_hypergraph(triangle_query())
+        assert hypergraph.fractional_edge_cover_number() == pytest.approx(1.5, abs=1e-6)
+
+    def test_chain_fractional_cover(self):
+        # the hypergraph is over *join* variables (A1, A2); the middle
+        # relation alone covers both, so the cover number is 1
+        hypergraph = build_hypergraph(chain_spec(3))
+        assert hypergraph.fractional_edge_cover_number() == pytest.approx(1.0, abs=1e-6)
+        # a 4-chain needs the two inner relations
+        hypergraph4 = build_hypergraph(chain_spec(4))
+        assert hypergraph4.fractional_edge_cover_number() == pytest.approx(2.0, abs=1e-6)
+
+    def test_agm_bound_triangle(self):
+        hypergraph = build_hypergraph(triangle_query())
+        cardinalities = {"r": 100, "s": 100, "t": 100}
+        assert hypergraph.agm_bound(cardinalities) == pytest.approx(100 ** 1.5, rel=1e-6)
+
+    def test_connected_components(self):
+        spec = (
+            QueryBuilder("two")
+            .table("R", "r").table("S", "s").table("T", "t")
+            .join("r", "A", "s", "A")
+            .build()
+        )
+        assert connected_components(spec) == [["r", "s"], ["t"]]
+
+    def test_detect_simple_cycle(self):
+        assert detect_simple_cycle(triangle_query()) is not None
+        assert detect_simple_cycle(chain_spec(4)) is None
+
+
+class TestJoinTree:
+    def test_chain_tree_structure(self):
+        spec = chain_spec(4)
+        tree = build_join_tree(spec)
+        assert tree.is_acyclic_query
+        assert set(tree.aliases()) == {"r1", "r2", "r3", "r4"}
+        assert len(tree.edges) == 3
+        assert tree.residual_conditions == []
+        # every non-root alias has a parent reachable from the root
+        order = tree.depth_first_order()
+        assert order[0] == tree.root
+        assert set(order) == set(tree.aliases())
+
+    def test_single_relation_tree(self):
+        spec = QueryBuilder("one").table("R", "r").build()
+        tree = build_join_tree(spec)
+        assert tree.root == "r"
+        assert tree.edges == []
+
+    def test_preferred_root(self):
+        tree = build_join_tree(chain_spec(4), preferred_root="r3")
+        assert tree.root == "r3"
+
+    def test_reroot_preserves_edges(self):
+        tree = build_join_tree(chain_spec(4))
+        rerooted = reroot(tree, "r2")
+        assert rerooted.root == "r2"
+        assert len(rerooted.edges) == 3
+        assert set(rerooted.aliases()) == set(tree.aliases())
+
+    def test_reroot_unknown_alias(self):
+        tree = build_join_tree(chain_spec(3))
+        with pytest.raises(JoinTreeError):
+            reroot(tree, "zzz")
+
+    def test_cyclic_query_gets_spanning_tree_with_residuals(self):
+        tree = build_join_tree(triangle_query())
+        assert not tree.is_acyclic_query
+        assert len(tree.edges) == 2
+        assert len(tree.residual_conditions) == 1
+
+    def test_transitive_equality_not_marked_residual(self):
+        # r.A = s.A, s.A = t.A and the redundant r.A = t.A: the third
+        # condition is enforced transitively through the shared variable
+        spec = (
+            QueryBuilder("transitive")
+            .table("R", "r").table("S", "s").table("T", "t")
+            .join("r", "A", "s", "A")
+            .join("s", "A", "t", "A")
+            .join("r", "A", "t", "A")
+            .build()
+        )
+        tree = build_join_tree(spec)
+        assert tree.residual_conditions == []
+
+    def test_multi_attribute_join_residual(self):
+        # R and S join on two attributes: one becomes the tree edge, the
+        # other must be re-checked at assembly
+        spec = (
+            QueryBuilder("multi")
+            .table("R", "r").table("S", "s")
+            .join("r", "A", "s", "A")
+            .join("r", "B", "s", "B")
+            .build()
+        )
+        tree = build_join_tree(spec)
+        assert len(tree.edges) == 1
+        assert len(tree.residual_conditions) == 1
+
+    def test_disconnected_rejected(self):
+        spec = QueryBuilder("x").table("R", "r").table("S", "s").build()
+        with pytest.raises(JoinTreeError):
+            build_join_tree(spec)

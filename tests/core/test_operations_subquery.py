@@ -1,0 +1,196 @@
+"""Partial-aggregate machinery and subquery-to-filter compilation."""
+
+import pytest
+
+from repro.algebra import AggFunc, Comparison, QueryBuilder, col, lit
+from repro.algebra.logical import AggregateSpec, JoinCondition, OutputColumn, SubqueryKind, SubqueryPredicate
+from repro.core import operations as ops
+from repro.core.subquery import SubqueryError, compile_subquery_filters
+
+
+AGGS = [
+    AggregateSpec(AggFunc.COUNT, None, "cnt"),
+    AggregateSpec(AggFunc.SUM, col("r.X"), "total"),
+    AggregateSpec(AggFunc.AVG, col("r.X"), "mean"),
+    AggregateSpec(AggFunc.MIN, col("r.X"), "lo"),
+    AggregateSpec(AggFunc.MAX, col("r.X"), "hi"),
+    AggregateSpec(AggFunc.COUNT_DISTINCT, col("r.X"), "distinct_x"),
+]
+ROWS = [{"r.X": value} for value in [5, 3, 5, None, 8]]
+
+
+class TestPartialAggregates:
+    def test_full_aggregation(self):
+        final = ops.aggregate_rows(AGGS, ROWS)
+        assert final["cnt"] == 5
+        assert final["total"] == 21
+        assert final["mean"] == pytest.approx(21 / 4)
+        assert final["lo"] == 3 and final["hi"] == 8
+        assert final["distinct_x"] == 3
+
+    def test_merge_equals_whole(self):
+        """Splitting rows arbitrarily and merging partials gives the same answer."""
+        whole = ops.partial_of_rows(AGGS, ROWS)
+        left = ops.partial_of_rows(AGGS, ROWS[:2])
+        right = ops.partial_of_rows(AGGS, ROWS[2:])
+        merged = ops.merge_partials(left, right, AGGS)
+        assert ops.finalize_partial(merged, AGGS) == ops.finalize_partial(whole, AGGS)
+
+    def test_merge_with_empty_is_identity(self):
+        partial = ops.partial_of_rows(AGGS, ROWS)
+        merged = ops.merge_partials(partial, ops.empty_partial(AGGS), AGGS)
+        assert ops.finalize_partial(merged, AGGS) == ops.finalize_partial(partial, AGGS)
+
+    def test_empty_finalisation(self):
+        final = ops.finalize_partial(ops.empty_partial(AGGS), AGGS)
+        assert final["cnt"] == 0
+        assert final["mean"] is None
+        assert final["lo"] is None
+
+    def test_count_ignores_nulls_when_given_argument(self):
+        aggregates = [AggregateSpec(AggFunc.COUNT, col("r.X"), "cnt_x")]
+        assert ops.aggregate_rows(aggregates, ROWS)["cnt_x"] == 4
+
+    def test_group_key_and_output_eval(self):
+        row = {"r.A": 1, "r.B": 2}
+        assert ops.group_key(["r.A", "r.B"], row) == (1, 2)
+        outputs = [OutputColumn(col("r.A"), "a")]
+        assert ops.evaluate_output_columns(outputs, row) == {"a": 1}
+
+    def test_deduplicate(self):
+        rows = [{"a": 1}, {"a": 1}, {"a": 2}]
+        assert ops.deduplicate(rows) == [{"a": 1}, {"a": 2}]
+
+    def test_project_and_merge_rows(self):
+        projected = ops.project_tuple("r", {"A": 1, "B": 2}, {"A"})
+        assert projected == {"r.A": 1}
+        assert ops.merge_rows({"r.A": 1}, {"s.B": 2}) == {"r.A": 1, "s.B": 2}
+
+    def test_callable_predicate(self):
+        predicate = ops.CallablePredicate(lambda ctx: ctx["r.A"] > 1, frozenset({"r.A"}))
+        assert predicate.evaluate({"r.A": 5})
+        assert not predicate.evaluate({"r.A": 0})
+        assert predicate.columns() == frozenset({"r.A"})
+
+
+def fake_executor(rows_by_name):
+    """Returns an `execute` callback serving canned rows per subquery spec name."""
+
+    def execute(spec):
+        return rows_by_name[spec.name]
+
+    return execute
+
+
+class TestSubqueryCompilation:
+    def _inner(self, name="subquery"):
+        return QueryBuilder(name).table("ORDERS", "o").select_columns("o.O_CUSTKEY").build()
+
+    def test_correlated_exists(self):
+        inner = self._inner()
+        predicate_spec = SubqueryPredicate(
+            kind=SubqueryKind.EXISTS,
+            query=inner,
+            correlation=[JoinCondition("c", "C_CUSTKEY", "o", "O_CUSTKEY")],
+        )
+        execute = fake_executor({"subquery": [{"o.O_CUSTKEY": 10}, {"o.O_CUSTKEY": 12}]})
+        filters, residuals = compile_subquery_filters([predicate_spec], execute)
+        assert residuals == []
+        check = filters["c"][0]
+        assert check.evaluate({"c.C_CUSTKEY": 10})
+        assert not check.evaluate({"c.C_CUSTKEY": 11})
+        assert not check.evaluate({"c.C_CUSTKEY": None})
+
+    def test_correlated_not_exists(self):
+        inner = self._inner()
+        predicate_spec = SubqueryPredicate(
+            kind=SubqueryKind.NOT_EXISTS,
+            query=inner,
+            correlation=[JoinCondition("c", "C_CUSTKEY", "o", "O_CUSTKEY")],
+        )
+        execute = fake_executor({"subquery": [{"o.O_CUSTKEY": 10}]})
+        filters, _ = compile_subquery_filters([predicate_spec], execute)
+        check = filters["c"][0]
+        assert not check.evaluate({"c.C_CUSTKEY": 10})
+        assert check.evaluate({"c.C_CUSTKEY": 11})
+
+    def test_uncorrelated_in(self):
+        inner = self._inner()
+        predicate_spec = SubqueryPredicate(
+            kind=SubqueryKind.IN,
+            query=inner,
+            outer_expr=col("c.C_CUSTKEY"),
+            inner_column=col("o.O_CUSTKEY"),
+        )
+        execute = fake_executor({"subquery": [{"o.O_CUSTKEY": 10}, {"o.O_CUSTKEY": 13}]})
+        filters, _ = compile_subquery_filters([predicate_spec], execute)
+        check = filters["c"][0]
+        assert check.evaluate({"c.C_CUSTKEY": 13})
+        assert not check.evaluate({"c.C_CUSTKEY": 11})
+
+    def test_not_in_with_null_outer_value(self):
+        inner = self._inner()
+        predicate_spec = SubqueryPredicate(
+            kind=SubqueryKind.NOT_IN,
+            query=inner,
+            outer_expr=col("c.C_CUSTKEY"),
+            inner_column=col("o.O_CUSTKEY"),
+        )
+        execute = fake_executor({"subquery": [{"o.O_CUSTKEY": 10}]})
+        filters, _ = compile_subquery_filters([predicate_spec], execute)
+        check = filters["c"][0]
+        assert check.evaluate({"c.C_CUSTKEY": 11})
+        assert not check.evaluate({"c.C_CUSTKEY": 10})
+
+    def test_scalar_subquery_requires_single_aggregate(self):
+        inner = self._inner()
+        predicate_spec = SubqueryPredicate(
+            kind=SubqueryKind.SCALAR,
+            query=inner,
+            outer_expr=col("c.C_ACCTBAL"),
+            comparison_op="<",
+        )
+        with pytest.raises(SubqueryError):
+            compile_subquery_filters([predicate_spec], fake_executor({"subquery": []}))
+
+    def test_correlated_scalar(self):
+        inner = (
+            QueryBuilder("subquery")
+            .table("ORDERS", "o")
+            .aggregate(AggFunc.AVG, col("o.O_TOTAL"), "avg_total")
+            .build()
+        )
+        predicate_spec = SubqueryPredicate(
+            kind=SubqueryKind.SCALAR,
+            query=inner,
+            outer_expr=col("o2.O_TOTAL"),
+            comparison_op="<",
+            correlation=[JoinCondition("o2", "O_CUSTKEY", "o", "O_CUSTKEY")],
+        )
+        execute = fake_executor(
+            {"subquery": [{"o.O_CUSTKEY": 10, "avg_total": 35.0}, {"o.O_CUSTKEY": 12, "avg_total": 30.0}]}
+        )
+        filters, _ = compile_subquery_filters([predicate_spec], execute)
+        check = filters["o2"][0]
+        assert check.evaluate({"o2.O_CUSTKEY": 10, "o2.O_TOTAL": 20.0})
+        assert not check.evaluate({"o2.O_CUSTKEY": 10, "o2.O_TOTAL": 40.0})
+        assert not check.evaluate({"o2.O_CUSTKEY": 99, "o2.O_TOTAL": 1.0})
+
+    def test_multi_alias_predicate_becomes_residual(self):
+        inner = (
+            QueryBuilder("subquery")
+            .table("ORDERS", "o")
+            .aggregate(AggFunc.AVG, col("o.O_TOTAL"), "avg_total")
+            .build()
+        )
+        predicate_spec = SubqueryPredicate(
+            kind=SubqueryKind.SCALAR,
+            query=inner,
+            outer_expr=col("l.QTY"),
+            comparison_op="<",
+            correlation=[JoinCondition("p", "P_KEY", "o", "O_CUSTKEY")],
+        )
+        execute = fake_executor({"subquery": [{"o.O_CUSTKEY": 1, "avg_total": 5.0}]})
+        filters, residuals = compile_subquery_filters([predicate_spec], execute)
+        assert filters == {}
+        assert len(residuals) == 1

@@ -1,0 +1,157 @@
+"""TAG plan construction and Algorithm 1 (GenSteps), including the paper's Figure 4."""
+
+import pytest
+
+from repro.algebra import QueryBuilder
+from repro.core import (
+    build_hypergraph,
+    build_join_tree,
+    build_tag_plan,
+    build_schedule,
+    full_schedule,
+    generate_label_list,
+    generate_steps,
+    reduction_schedule,
+)
+from repro.core.vertex_program import Phase
+from repro.relational import Catalog, Column, DataType, Relation, Schema
+
+
+def figure4_catalog_and_spec():
+    """The paper's Figure 4 query: R(A) ⋈ S(A,B) ⋈ T(B) ⋈ V(B).
+
+    The join tree is R - S - {T, V} with S joining R on A and T, V on B;
+    Figure 4(c)'s label list is V.B, T.B, T.B, S.B, S.A, R.A.
+    """
+    catalog = Catalog("figure4")
+
+    def relation(name, columns):
+        schema = Schema(name, [Column(column, DataType.INT) for column in columns])
+        rel = Relation(schema, [[i for _ in columns] for i in range(3)])
+        catalog.add(rel)
+        return rel
+
+    relation("R", ["A"])
+    relation("S", ["A", "B"])
+    relation("T", ["B"])
+    relation("V", ["B"])
+    spec = (
+        QueryBuilder("figure4")
+        .table("R", "R").table("S", "S").table("T", "T").table("V", "V")
+        .join("R", "A", "S", "A")
+        .join("S", "B", "T", "B")
+        .join("S", "B", "V", "B")
+        .select_columns("R.A", "S.B")
+        .build()
+    )
+    return catalog, spec
+
+
+def figure4_plan():
+    catalog, spec = figure4_catalog_and_spec()
+    tree = build_join_tree(spec, preferred_root="R")
+    return build_tag_plan(tree, catalog, spec.alias_map()), spec
+
+
+class TestPlanConstruction:
+    def test_nodes_and_edges(self):
+        plan, spec = figure4_plan()
+        relation_aliases = {node.alias for node in plan.relation_nodes()}
+        assert relation_aliases == {"R", "S", "T", "V"}
+        assert len(plan.attribute_nodes()) == 3  # one per join-tree edge
+        assert len(plan.edges) == 6
+        assert plan.node(plan.root).alias == "R"
+
+    def test_rightmost_leaf_is_a_relation(self):
+        plan, _spec = figure4_plan()
+        leaf = plan.node(plan.rightmost_leaf())
+        assert leaf.is_relation
+
+    def test_group_by_root_node(self, mini_catalog):
+        spec = (
+            QueryBuilder("g")
+            .table("CUSTOMER", "c").table("ORDERS", "o")
+            .join("c", "C_CUSTKEY", "o", "O_CUSTKEY")
+            .build()
+        )
+        tree = build_join_tree(spec, preferred_root="c")
+        plan = build_tag_plan(tree, mini_catalog, spec.alias_map(), group_by_root=("c", "C_NATIONKEY"))
+        root = plan.node(plan.root)
+        assert root.is_attribute
+        assert root.variable_name == "c.C_NATIONKEY"
+
+    def test_unknown_column_rejected(self, mini_catalog):
+        spec = (
+            QueryBuilder("g")
+            .table("CUSTOMER", "c").table("ORDERS", "o")
+            .join("c", "C_CUSTKEY", "o", "O_CUSTKEY")
+            .build()
+        )
+        tree = build_join_tree(spec)
+        from repro.core.tag_plan import PlanError
+
+        with pytest.raises(PlanError):
+            build_tag_plan(tree, mini_catalog, spec.alias_map(), group_by_root=(tree.root, "MISSING"))
+
+
+class TestGenSteps:
+    def test_figure4_label_list(self):
+        """Algorithm 1 reproduces the paper's Figure 4(c) exactly."""
+        plan, _spec = figure4_plan()
+        labels = generate_label_list(plan)
+        assert len(labels) == 6
+        # connected bottom-up traversal: starts at a leaf under S.B, visits the
+        # sibling subtree (down and back up), then moves up through S and A to R.
+        assert labels[0] in ("V.B", "T.B")
+        assert labels[1] == labels[2] == ("T.B" if labels[0] == "V.B" else "V.B")
+        assert labels[3] == "S.B"
+        assert labels[4] == "S.A"
+        assert labels[5] == "R.A"
+
+    def test_steps_are_connected(self):
+        plan, _spec = figure4_plan()
+        steps = generate_steps(plan)
+        for previous, current in zip(steps, steps[1:]):
+            assert previous.target == current.source
+
+    def test_steps_end_at_root(self):
+        plan, _spec = figure4_plan()
+        steps = generate_steps(plan)
+        assert steps[-1].target == plan.root
+
+    def test_reduction_schedule_is_palindromic(self):
+        plan, _spec = figure4_plan()
+        up, down = reduction_schedule(plan)
+        assert len(up) == len(down)
+        assert down[0] == up[-1].reversed()
+        assert down[-1] == up[0].reversed()
+
+    def test_full_schedule_length(self):
+        plan, _spec = figure4_plan()
+        assert len(full_schedule(plan)) == 3 * len(generate_steps(plan))
+
+    def test_single_node_plan_has_no_steps(self, mini_catalog):
+        spec = QueryBuilder("one").table("ORDERS", "o").build()
+        tree = build_join_tree(spec)
+        plan = build_tag_plan(tree, mini_catalog, spec.alias_map())
+        assert generate_steps(plan) == []
+
+    def test_schedule_phases(self):
+        plan, _spec = figure4_plan()
+        schedule = build_schedule(plan)
+        phases = [scheduled.phase for scheduled in schedule]
+        third = len(schedule) // 3
+        assert all(phase is Phase.REDUCE_UP for phase in phases[:third])
+        assert all(phase is Phase.REDUCE_DOWN for phase in phases[third:2 * third])
+        assert all(phase is Phase.COLLECT for phase in phases[2 * third:])
+
+
+class TestPaperLemma51:
+    def test_reduction_semantics_on_figure4(self):
+        """Lemma 5.1 / Example 5.3: the bottom-up pass alternates projections
+        (tuple -> attribute steps) and semijoins (attribute -> tuple steps)."""
+        plan, _spec = figure4_plan()
+        steps = generate_steps(plan)
+        for step in steps:
+            source, target = plan.node(step.source), plan.node(step.target)
+            assert source.is_relation != target.is_relation  # bipartite traversal

@@ -1,0 +1,121 @@
+"""Spark-SQL-like distributed baseline: shuffles, broadcasts, correctness."""
+
+import pytest
+
+from repro.algebra import AggFunc, Comparison, QueryBuilder, col, lit
+from repro.distributed import (
+    ShuffleStats,
+    SparkLikeExecutor,
+    SparkLikeOptions,
+    broadcast,
+    gather,
+    scatter,
+    shuffle_by_key,
+)
+from repro.engine import RelationalExecutor
+from tests.conftest import brute_force_join_nco
+
+
+class TestShufflePrimitives:
+    def test_scatter_round_robin(self):
+        partitions = scatter([{"a": i} for i in range(10)], 3)
+        assert [len(partition) for partition in partitions] == [4, 3, 3]
+
+    def test_shuffle_by_key_groups_rows(self):
+        stats = ShuffleStats()
+        partitions = scatter([{"k": i % 4, "v": i} for i in range(20)], 4)
+        shuffled = shuffle_by_key(partitions, ["k"], 4, stats)
+        # a key never spans two partitions (co-location is what makes the
+        # partition-local hash join correct)
+        partition_of_key = {}
+        for index, partition in enumerate(shuffled):
+            for row in partition:
+                assert partition_of_key.setdefault(row["k"], index) == index
+        assert sum(len(partition) for partition in shuffled) == 20
+        assert stats.shuffled_rows > 0
+        assert stats.network_bytes == stats.shuffled_bytes
+
+    def test_broadcast_charges_replication(self):
+        stats = ShuffleStats()
+        partitions = scatter([{"a": i} for i in range(6)], 3)
+        replicated = broadcast(partitions, 3, stats)
+        assert len(replicated) == 6
+        assert stats.broadcast_rows == 6 * 2  # copies for the other two executors
+
+    def test_gather(self):
+        stats = ShuffleStats()
+        rows = gather(scatter([{"a": 1}, {"a": 2}], 2), stats)
+        assert len(rows) == 2
+        assert stats.shuffled_rows == 2
+
+
+class TestSparkLikeExecutor:
+    def spec(self):
+        return (
+            QueryBuilder("nco")
+            .table("NATION", "n").table("CUSTOMER", "c").table("ORDERS", "o")
+            .join("n", "N_NATIONKEY", "c", "C_NATIONKEY")
+            .join("c", "C_CUSTKEY", "o", "O_CUSTKEY")
+            .select_columns("n.N_NAME", "c.C_CUSTKEY", "o.O_ORDERKEY", "o.O_TOTAL")
+            .build()
+        )
+
+    def test_join_matches_brute_force(self, mini_catalog):
+        result = SparkLikeExecutor(mini_catalog).execute(self.spec())
+        expected = brute_force_join_nco(mini_catalog)
+        assert result.to_tuples(["N_NAME", "C_CUSTKEY", "O_ORDERKEY", "O_TOTAL"]) == [
+            tuple(row) for row in expected
+        ]
+
+    def test_shuffle_join_mode_matches_broadcast_mode(self, mini_catalog):
+        broadcast_mode = SparkLikeExecutor(
+            mini_catalog, SparkLikeOptions(broadcast_threshold_rows=10_000)
+        ).execute(self.spec())
+        shuffle_mode = SparkLikeExecutor(
+            mini_catalog, SparkLikeOptions(broadcast_threshold_rows=0)
+        ).execute(self.spec())
+        assert sorted(broadcast_mode.to_tuples()) == sorted(shuffle_mode.to_tuples())
+        # both modes pay network traffic, the shuffle mode for both join sides
+        assert shuffle_mode.metrics.total_network_bytes > 0
+        assert broadcast_mode.metrics.total_network_bytes > 0
+
+    def test_aggregation_matches_rdbms(self, mini_catalog):
+        spec = (
+            QueryBuilder("ga")
+            .table("CUSTOMER", "c").table("ORDERS", "o")
+            .join("c", "C_CUSTKEY", "o", "O_CUSTKEY")
+            .group_by("c", "C_NATIONKEY").group_by("o", "O_PRIORITY")
+            .select(col("c.C_NATIONKEY"), "nation").select(col("o.O_PRIORITY"), "priority")
+            .aggregate(AggFunc.SUM, col("o.O_TOTAL"), "total")
+            .aggregate(AggFunc.COUNT, None, "cnt")
+            .build()
+        )
+        spark = SparkLikeExecutor(mini_catalog).execute(spec)
+        baseline = RelationalExecutor(mini_catalog).execute(spec)
+        assert sorted(spark.to_tuples(baseline.columns)) == sorted(
+            baseline.to_tuples(baseline.columns)
+        )
+
+    def test_subqueries(self, mini_catalog):
+        result = SparkLikeExecutor(mini_catalog).execute_sql(
+            "SELECT c.C_CUSTKEY FROM CUSTOMER c WHERE c.C_CUSTKEY IN "
+            "(SELECT o.O_CUSTKEY FROM ORDERS o WHERE o.O_TOTAL > 25)"
+        )
+        assert sorted(result.to_tuples()) == [(10,), (12,)]
+
+    def test_filters_and_scalar_aggregate(self, mini_catalog):
+        spec = (
+            QueryBuilder("s")
+            .table("ORDERS", "o")
+            .where("o", Comparison(">", col("o.O_TOTAL"), lit(15)))
+            .aggregate(AggFunc.COUNT, None, "cnt")
+            .build()
+        )
+        result = SparkLikeExecutor(mini_catalog).execute(spec)
+        assert result.rows == [{"cnt": 3}]
+
+    def test_shuffle_stats_attached(self, mini_catalog):
+        result = SparkLikeExecutor(mini_catalog).execute(self.spec())
+        stats = result.shuffle_stats
+        assert stats.stages >= 1
+        assert stats.network_bytes == result.metrics.total_network_bytes

@@ -1,0 +1,170 @@
+"""RDBMS-style baseline engine: indexes, physical operators, planner, executor."""
+
+import pytest
+
+from repro.algebra import AggFunc, Comparison, QueryBuilder, col, lit
+from repro.engine import (
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    NestedLoopJoin,
+    Planner,
+    PlannerOptions,
+    Project,
+    RelationalExecutor,
+    SeqScan,
+    SortMergeJoin,
+    build_indexes,
+    indexed_columns,
+)
+from repro.relational.relation import rows_to_multiset
+from tests.conftest import brute_force_join_nco
+
+
+class TestIndexes:
+    def test_indexed_columns_are_pks_and_fks(self, mini_catalog):
+        columns = indexed_columns(mini_catalog)
+        assert ("CUSTOMER", "C_CUSTKEY") in columns
+        assert ("ORDERS", "O_CUSTKEY") in columns
+        assert ("ORDERS", "O_TOTAL") not in columns
+
+    def test_hash_index_lookup(self, mini_catalog):
+        indexes = build_indexes(mini_catalog)
+        index = indexes.hash_index("ORDERS", "O_CUSTKEY")
+        assert len(index.lookup(10)) == 2
+        assert index.lookup(999) == []
+        assert 10 in index
+
+    def test_sorted_index_lookup_and_range(self, mini_catalog):
+        indexes = build_indexes(mini_catalog)
+        index = indexes.sorted_index("ORDERS", "O_ORDERKEY")
+        assert len(index.lookup(100)) == 1
+        assert len(index.range(100, 102)) == 3
+
+    def test_index_catalog_sizes(self, mini_catalog):
+        indexes = build_indexes(mini_catalog)
+        assert indexes.size_bytes() > 0
+        assert indexes.index_count() == 2 * len(indexed_columns(mini_catalog))
+        assert indexes.build_seconds >= 0
+
+
+class TestOperators:
+    def test_seq_scan_with_filter_and_projection(self, mini_catalog):
+        scan = SeqScan(
+            mini_catalog.relation("ORDERS"),
+            "o",
+            predicates=[Comparison(">", col("o.O_TOTAL"), lit(15))],
+            columns=["O_ORDERKEY"],
+        )
+        rows = list(scan)
+        assert sorted(row["o.O_ORDERKEY"] for row in rows) == [100, 101, 102]
+        assert all(len(row) == 1 for row in rows)
+
+    def test_hash_join_matches_nested_loop(self, mini_catalog):
+        def scans():
+            return (
+                SeqScan(mini_catalog.relation("CUSTOMER"), "c"),
+                SeqScan(mini_catalog.relation("ORDERS"), "o"),
+            )
+
+        left, right = scans()
+        hash_rows = list(HashJoin(left, right, ["c.C_CUSTKEY"], ["o.O_CUSTKEY"]))
+        left, right = scans()
+        nl_rows = list(
+            NestedLoopJoin(left, right, [Comparison("=", col("c.C_CUSTKEY"), col("o.O_CUSTKEY"))])
+        )
+        key = lambda row: (row["c.C_CUSTKEY"], row["o.O_ORDERKEY"])
+        assert sorted(map(key, hash_rows)) == sorted(map(key, nl_rows))
+        assert len(hash_rows) == 5  # order 105 dangles
+
+    def test_sort_merge_join_matches_hash_join(self, mini_catalog):
+        left = SeqScan(mini_catalog.relation("CUSTOMER"), "c")
+        right = SeqScan(mini_catalog.relation("ORDERS"), "o")
+        smj_rows = list(SortMergeJoin(left, right, ["c.C_CUSTKEY"], ["o.O_CUSTKEY"]))
+        assert len(smj_rows) == 5
+
+    def test_hash_aggregate(self, mini_catalog):
+        scan = SeqScan(mini_catalog.relation("ORDERS"), "o")
+        from repro.algebra.logical import AggregateSpec, OutputColumn
+
+        aggregate = HashAggregate(
+            scan,
+            ["o.O_PRIORITY"],
+            [AggregateSpec(AggFunc.SUM, col("o.O_TOTAL"), "total")],
+            [OutputColumn(col("o.O_PRIORITY"), "priority")],
+        )
+        rows = {row["priority"]: row["total"] for row in aggregate}
+        assert rows == {"HIGH": 85.0, "LOW": 37.0}
+
+    def test_distinct_and_project(self, mini_catalog):
+        from repro.algebra.logical import OutputColumn
+
+        scan = SeqScan(mini_catalog.relation("ORDERS"), "o")
+        plan = Distinct(Project(scan, [OutputColumn(col("o.O_PRIORITY"), "p")]))
+        assert sorted(row["p"] for row in plan) == ["HIGH", "LOW"]
+
+    def test_filter_operator_and_explain(self, mini_catalog):
+        scan = SeqScan(mini_catalog.relation("ORDERS"), "o")
+        plan = Filter(scan, [Comparison("=", col("o.O_PRIORITY"), lit("HIGH"))])
+        assert len(list(plan)) == 3
+        assert "Filter" in plan.explain() and "SeqScan" in plan.explain()
+
+
+class TestPlannerAndExecutor:
+    def spec(self):
+        return (
+            QueryBuilder("nco")
+            .table("NATION", "n").table("CUSTOMER", "c").table("ORDERS", "o")
+            .join("n", "N_NATIONKEY", "c", "C_NATIONKEY")
+            .join("c", "C_CUSTKEY", "o", "O_CUSTKEY")
+            .select_columns("n.N_NAME", "c.C_CUSTKEY", "o.O_ORDERKEY", "o.O_TOTAL")
+            .build()
+        )
+
+    def test_executor_matches_brute_force(self, mini_catalog):
+        result = RelationalExecutor(mini_catalog).execute(self.spec())
+        expected = brute_force_join_nco(mini_catalog)
+        assert result.to_tuples(["N_NAME", "C_CUSTKEY", "O_ORDERKEY", "O_TOTAL"]) == [
+            tuple(row) for row in expected
+        ]
+
+    @pytest.mark.parametrize("algorithm", ["hash", "sort_merge", "nested_loop"])
+    def test_all_join_algorithms_agree(self, mini_catalog, algorithm):
+        result = RelationalExecutor(mini_catalog, join_algorithm=algorithm).execute(self.spec())
+        assert len(result.rows) == 5
+
+    def test_explain_produces_plan_text(self, mini_catalog):
+        text = RelationalExecutor(mini_catalog).explain(self.spec())
+        assert "HashJoin" in text and "SeqScan" in text
+
+    def test_unknown_join_algorithm(self, mini_catalog):
+        from repro.engine import PlanningError
+
+        executor = RelationalExecutor(mini_catalog, join_algorithm="quantum")
+        with pytest.raises(PlanningError):
+            executor.execute(self.spec())
+
+    def test_subquery_support(self, mini_catalog):
+        result = RelationalExecutor(mini_catalog).execute_sql(
+            "SELECT c.C_CUSTKEY FROM CUSTOMER c WHERE EXISTS "
+            "(SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_CUSTKEY = c.C_CUSTKEY AND o.O_TOTAL > 25)"
+        )
+        assert sorted(result.to_tuples()) == [(10,), (12,)]
+
+    def test_loading_report(self, mini_catalog):
+        report = RelationalExecutor(mini_catalog).loading_report()
+        assert report["data_bytes"] > 0
+        assert report["index_bytes"] > 0
+        assert report["total_bytes"] == report["data_bytes"] + report["index_bytes"]
+
+    def test_scalar_aggregate_on_empty_input(self, mini_catalog):
+        spec = (
+            QueryBuilder("empty")
+            .table("ORDERS", "o")
+            .where("o", Comparison(">", col("o.O_TOTAL"), lit(1e9)))
+            .aggregate(AggFunc.COUNT, None, "cnt")
+            .build()
+        )
+        result = RelationalExecutor(mini_catalog).execute(spec)
+        assert result.rows == [{"cnt": 0}]

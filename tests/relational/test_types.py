@@ -1,0 +1,119 @@
+"""Unit tests for relational value domains and coercion."""
+
+import datetime as dt
+
+import pytest
+
+from repro.relational.types import (
+    NULL,
+    DataType,
+    TypeError_,
+    coerce,
+    coerce_date,
+    comparable,
+    infer_type,
+    value_size_bytes,
+)
+
+
+class TestCoerce:
+    def test_int_from_string(self):
+        assert coerce("42", DataType.INT) == 42
+
+    def test_int_from_float(self):
+        assert coerce(3.0, DataType.INT) == 3
+
+    def test_float_from_string(self):
+        assert coerce("2.5", DataType.FLOAT) == 2.5
+
+    def test_string(self):
+        assert coerce(17, DataType.STRING) == "17"
+
+    def test_text(self):
+        assert coerce("long comment", DataType.TEXT) == "long comment"
+
+    def test_null_passthrough(self):
+        assert coerce(NULL, DataType.INT) is NULL
+
+    def test_date_from_iso(self):
+        assert coerce("1995-03-15", DataType.DATE) == dt.date(1995, 3, 15)
+
+    def test_date_from_datetime(self):
+        assert coerce(dt.datetime(2020, 1, 2, 3, 4), DataType.DATE) == dt.date(2020, 1, 2)
+
+    def test_date_from_days_since_epoch(self):
+        assert coerce_date(1) == dt.date(1970, 1, 2)
+
+    @pytest.mark.parametrize("value,expected", [("true", True), ("f", False), (1, True), (0, False)])
+    def test_bool(self, value, expected):
+        assert coerce(value, DataType.BOOL) is expected
+
+    def test_bool_bad_string(self):
+        with pytest.raises(TypeError_):
+            coerce("maybe", DataType.BOOL)
+
+    def test_bad_int(self):
+        with pytest.raises(TypeError_):
+            coerce("not a number", DataType.INT)
+
+    def test_bad_date(self):
+        with pytest.raises(TypeError_):
+            coerce(object(), DataType.DATE)
+
+
+class TestInferType:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (5, DataType.INT),
+            (5.5, DataType.FLOAT),
+            ("abc", DataType.STRING),
+            (True, DataType.BOOL),
+            (dt.date(2020, 1, 1), DataType.DATE),
+        ],
+    )
+    def test_inference(self, value, expected):
+        assert infer_type(value) is expected
+
+    def test_unknown(self):
+        with pytest.raises(TypeError_):
+            infer_type(object())
+
+
+class TestMaterialisationPolicy:
+    def test_floats_not_materialised(self):
+        assert not DataType.FLOAT.is_materialisable
+
+    def test_text_not_materialised(self):
+        assert not DataType.TEXT.is_materialisable
+
+    @pytest.mark.parametrize("dtype", [DataType.INT, DataType.STRING, DataType.DATE, DataType.BOOL])
+    def test_join_friendly_domains_materialised(self, dtype):
+        assert dtype.is_materialisable
+
+
+class TestSizes:
+    def test_numeric_sizes(self):
+        assert value_size_bytes(12, DataType.INT) == 8
+        assert value_size_bytes(1.5, DataType.FLOAT) == 8
+
+    def test_string_size_is_length(self):
+        assert value_size_bytes("hello", DataType.STRING) == 5
+
+    def test_null_size(self):
+        assert value_size_bytes(NULL) == 1
+
+    def test_date_size(self):
+        assert value_size_bytes(dt.date(2020, 1, 1), DataType.DATE) == 8
+
+
+class TestComparable:
+    def test_numeric_cross_type(self):
+        assert comparable(1, 2.5)
+
+    def test_null_not_comparable(self):
+        assert not comparable(NULL, 1)
+        assert not comparable(1, NULL)
+
+    def test_mixed_types(self):
+        assert not comparable("1", 1)

@@ -1,0 +1,249 @@
+"""SQL lexer, parser and binder tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.algebra import AggFunc, AggregationClass, Comparison, Like
+from repro.algebra.logical import JoinType, SubqueryKind
+from repro.sql import SqlBindError, SqlSyntaxError, parse_and_bind, parse_sql, tokenize
+from repro.sql.ast import (
+    BinaryOpNode,
+    ColumnNode,
+    ExistsNode,
+    FuncNode,
+    InListNode,
+    InSubqueryNode,
+    LiteralNode,
+    ScalarSubqueryNode,
+)
+from repro.sql.lexer import TokenType
+
+
+class TestLexer:
+    def test_keywords_upper_cased(self):
+        tokens = tokenize("select Foo from bar")
+        assert tokens[0].value == "SELECT"
+        assert tokens[1].type is TokenType.IDENTIFIER and tokens[1].value == "Foo"
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("SELECT 42, 3.14")
+        assert tokens[1].value == "42"
+        assert tokens[3].value == "3.14"
+
+    def test_operators_and_punctuation(self):
+        values = [token.value for token in tokenize("a <> b >= 1")]
+        assert "<>" in values and ">=" in values
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- a comment\n , 2")
+        assert [t.value for t in tokens if t.type is TokenType.NUMBER] == ["1", "2"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT #")
+
+
+class TestParser:
+    def test_basic_select(self):
+        statement = parse_sql("SELECT a.X AS x, b.Y FROM A a, B b WHERE a.K = b.K")
+        assert len(statement.items) == 2
+        assert statement.items[0].alias == "x"
+        assert [source.alias for source in statement.sources] == ["a", "b"]
+        assert isinstance(statement.where, BinaryOpNode)
+
+    def test_aggregates_and_group_by(self):
+        statement = parse_sql(
+            "SELECT a.X, SUM(a.Y) AS total, COUNT(*) AS cnt, COUNT(DISTINCT a.Z) AS dz "
+            "FROM A a GROUP BY a.X"
+        )
+        functions = [item.expression for item in statement.items[1:]]
+        assert all(isinstance(function, FuncNode) for function in functions)
+        assert functions[1].argument is None
+        assert functions[2].distinct
+        assert len(statement.group_by) == 1
+
+    def test_explicit_join_syntax(self):
+        statement = parse_sql(
+            "SELECT a.X FROM A a JOIN B b ON a.K = b.K LEFT JOIN C c ON b.M = c.M"
+        )
+        assert len(statement.joins) == 2
+        assert statement.joins[0].kind == "inner"
+        assert statement.joins[1].kind == "left"
+
+    def test_predicates(self):
+        statement = parse_sql(
+            "SELECT a.X FROM A a WHERE a.X BETWEEN 1 AND 5 AND a.Y IN (1, 2, 3) "
+            "AND a.Z LIKE 'foo%' AND a.W IS NOT NULL AND NOT a.V = 2"
+        )
+        assert statement.where is not None
+
+    def test_date_literal(self):
+        statement = parse_sql("SELECT a.X FROM A a WHERE a.D >= DATE '1995-03-15'")
+        comparison = statement.where
+        assert isinstance(comparison.right, LiteralNode)
+        assert comparison.right.value == dt.date(1995, 3, 15)
+
+    def test_exists_subquery(self):
+        statement = parse_sql(
+            "SELECT a.X FROM A a WHERE EXISTS (SELECT b.Y FROM B b WHERE b.K = a.K)"
+        )
+        assert isinstance(statement.where, ExistsNode)
+
+    def test_in_subquery(self):
+        statement = parse_sql(
+            "SELECT a.X FROM A a WHERE a.K IN (SELECT b.K FROM B b)"
+        )
+        assert isinstance(statement.where, InSubqueryNode)
+
+    def test_scalar_subquery_comparison(self):
+        statement = parse_sql(
+            "SELECT a.X FROM A a WHERE a.X < (SELECT AVG(b.X) FROM B b)"
+        )
+        assert isinstance(statement.where.right, ScalarSubqueryNode)
+
+    def test_order_by_and_limit_parsed_but_recorded(self):
+        statement = parse_sql("SELECT a.X FROM A a ORDER BY a.X DESC LIMIT 10")
+        assert statement.limit == 10
+        assert statement.order_by[0].descending
+
+    def test_arithmetic_precedence(self):
+        statement = parse_sql("SELECT a.X FROM A a WHERE a.X + 2 * 3 = 7")
+        comparison = statement.where
+        assert isinstance(comparison.left, BinaryOpNode) and comparison.left.op == "+"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a.X FROM A a extra tokens here (")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT 1")
+
+
+class TestBinder:
+    def test_bind_joins_filters_outputs(self, mini_catalog):
+        spec = parse_and_bind(
+            """
+            SELECT n.N_NAME AS name, o.O_ORDERKEY
+            FROM NATION n, CUSTOMER c, ORDERS o
+            WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY
+              AND o.O_TOTAL > 15 AND n.N_NAME LIKE 'U%'
+            """,
+            mini_catalog,
+        )
+        assert len(spec.tables) == 3
+        assert len(spec.join_conditions) == 2
+        assert len(spec.filters_for("o")) == 1
+        assert isinstance(spec.filters_for("n")[0], Like)
+        assert [column.alias for column in spec.output] == ["name", "O_ORDERKEY"]
+
+    def test_unqualified_columns_resolved(self, mini_catalog):
+        spec = parse_and_bind(
+            "SELECT N_NAME FROM NATION n WHERE N_NATIONKEY = 1", mini_catalog
+        )
+        assert spec.output[0].expression.table == "n"
+        assert spec.filters_for("n")
+
+    def test_ambiguous_column_rejected(self, mini_catalog):
+        with pytest.raises(SqlBindError):
+            parse_and_bind(
+                "SELECT C_NATIONKEY FROM CUSTOMER c, NATION n WHERE N_NATIONKEY = C_NATIONKEY AND O_TOTAL > 1",
+                mini_catalog,
+            )
+
+    def test_unknown_table_and_column(self, mini_catalog):
+        with pytest.raises(SqlBindError):
+            parse_and_bind("SELECT x.A FROM MISSING x", mini_catalog)
+        with pytest.raises(SqlBindError):
+            parse_and_bind("SELECT n.MISSING FROM NATION n", mini_catalog)
+
+    def test_aggregates_and_classification(self, mini_catalog):
+        spec = parse_and_bind(
+            """
+            SELECT c.C_NATIONKEY, COUNT(*) AS cnt, SUM(o.O_TOTAL) AS total
+            FROM CUSTOMER c, ORDERS o
+            WHERE c.C_CUSTKEY = o.O_CUSTKEY
+            GROUP BY c.C_NATIONKEY
+            """,
+            mini_catalog,
+        )
+        assert [aggregate.function for aggregate in spec.aggregates] == [AggFunc.COUNT, AggFunc.SUM]
+        assert spec.aggregation_class(mini_catalog) is AggregationClass.LOCAL
+
+    def test_select_star_expansion(self, mini_catalog):
+        spec = parse_and_bind("SELECT * FROM NATION n", mini_catalog)
+        assert [column.alias for column in spec.output] == ["n.N_NATIONKEY", "n.N_NAME"]
+
+    def test_correlated_exists_extraction(self, mini_catalog):
+        spec = parse_and_bind(
+            """
+            SELECT c.C_CUSTKEY FROM CUSTOMER c
+            WHERE EXISTS (SELECT o.O_ORDERKEY FROM ORDERS o
+                          WHERE o.O_CUSTKEY = c.C_CUSTKEY AND o.O_TOTAL > 25)
+            """,
+            mini_catalog,
+        )
+        assert len(spec.subqueries) == 1
+        subquery = spec.subqueries[0]
+        assert subquery.kind is SubqueryKind.EXISTS
+        assert subquery.is_correlated
+        assert subquery.correlation[0].left_alias == "c"
+        assert subquery.correlation[0].right_alias == "o"
+        # the correlation equality must not remain inside the inner block
+        assert subquery.query.residual_predicates == []
+
+    def test_in_subquery_binding(self, mini_catalog):
+        spec = parse_and_bind(
+            "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_CUSTKEY IN "
+            "(SELECT c.C_CUSTKEY FROM CUSTOMER c WHERE c.C_NATIONKEY = 1)",
+            mini_catalog,
+        )
+        assert spec.subqueries[0].kind is SubqueryKind.IN
+        assert spec.subqueries[0].inner_column.qualified == "c.C_CUSTKEY"
+
+    def test_scalar_subquery_binding(self, mini_catalog):
+        spec = parse_and_bind(
+            "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > "
+            "(SELECT AVG(o2.O_TOTAL) FROM ORDERS o2)",
+            mini_catalog,
+        )
+        assert spec.subqueries[0].kind is SubqueryKind.SCALAR
+        assert spec.subqueries[0].comparison_op == ">"
+
+    def test_outer_join_recorded(self, mini_catalog):
+        spec = parse_and_bind(
+            "SELECT c.C_CUSTKEY FROM CUSTOMER c LEFT JOIN ORDERS o ON c.C_CUSTKEY = o.O_CUSTKEY",
+            mini_catalog,
+        )
+        assert spec.outer_joins[0].join_type is JoinType.LEFT_OUTER
+
+    def test_having_rejected(self, mini_catalog):
+        with pytest.raises(SqlBindError):
+            parse_and_bind(
+                "SELECT C_NATIONKEY, COUNT(*) AS c FROM CUSTOMER GROUP BY C_NATIONKEY HAVING COUNT(*) > 1",
+                mini_catalog,
+            )
+
+    def test_aggregate_in_where_rejected(self, mini_catalog):
+        with pytest.raises(SqlBindError):
+            parse_and_bind("SELECT n.N_NAME FROM NATION n WHERE SUM(n.N_NATIONKEY) > 1", mini_catalog)
+
+    def test_residual_predicate_spanning_aliases(self, mini_catalog):
+        spec = parse_and_bind(
+            """
+            SELECT c.C_CUSTKEY FROM CUSTOMER c, ORDERS o
+            WHERE c.C_CUSTKEY = o.O_CUSTKEY AND c.C_ACCTBAL > o.O_TOTAL
+            """,
+            mini_catalog,
+        )
+        assert len(spec.residual_predicates) == 1
+        assert len(spec.join_conditions) == 1

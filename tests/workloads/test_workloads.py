@@ -1,0 +1,127 @@
+"""Workload generators: schema shape, referential integrity, query sets."""
+
+import pytest
+
+from repro.sql import parse_and_bind
+from repro.workloads import (
+    generate_tpcds,
+    generate_tpch,
+    tpcds_queries,
+    tpcds_workload,
+    tpch_queries,
+    tpch_workload,
+)
+from repro.workloads.base import DataRandom
+
+
+class TestTpchGenerator:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return generate_tpch(scale=0.1, seed=1)
+
+    def test_all_eight_relations_present(self, catalog):
+        assert set(catalog.relation_names) == {
+            "REGION", "NATION", "SUPPLIER", "CUSTOMER", "PART", "PARTSUPP", "ORDERS", "LINEITEM",
+        }
+
+    def test_referential_integrity(self, catalog):
+        assert catalog.validate_foreign_keys() == []
+
+    def test_relative_sizes(self, catalog):
+        assert len(catalog.relation("REGION")) == 5
+        assert len(catalog.relation("NATION")) == 25
+        assert len(catalog.relation("LINEITEM")) > len(catalog.relation("ORDERS"))
+        assert len(catalog.relation("ORDERS")) > len(catalog.relation("CUSTOMER"))
+
+    def test_scaling_is_linear_in_fact_tables(self):
+        small = generate_tpch(scale=0.1, seed=1)
+        large = generate_tpch(scale=0.3, seed=1)
+        ratio = len(large.relation("ORDERS")) / len(small.relation("ORDERS"))
+        assert 2.0 <= ratio <= 4.5
+
+    def test_deterministic_for_seed(self):
+        first = generate_tpch(scale=0.1, seed=9)
+        second = generate_tpch(scale=0.1, seed=9)
+        assert first.relation("ORDERS").rows == second.relation("ORDERS").rows
+
+    def test_all_22_queries_parse_and_bind(self, catalog):
+        queries = tpch_queries()
+        assert len(queries) == 22
+        for query in queries:
+            spec = parse_and_bind(query.sql, catalog, name=query.name)
+            spec.validate(catalog)
+
+    def test_query_categories_cover_paper_classes(self):
+        categories = {query.category for query in tpch_queries()}
+        assert categories == {"no_agg", "local", "global", "scalar"}
+        assert any(query.correlated for query in tpch_queries())
+        assert any(query.cyclic for query in tpch_queries())
+
+    def test_workload_wrapper(self):
+        workload = tpch_workload(scale=0.1)
+        assert workload.query("q5").cyclic
+        assert workload.queries_in_category("scalar")
+        assert workload.generation_seconds > 0
+        with pytest.raises(KeyError):
+            workload.query("q99")
+
+
+class TestTpcdsGenerator:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return generate_tpcds(scale=0.1, seed=1)
+
+    def test_snowflake_relations_present(self, catalog):
+        names = set(catalog.relation_names)
+        assert {"STORE_SALES", "WEB_SALES", "CATALOG_SALES", "DATE_DIM", "ITEM", "CUSTOMER"} <= names
+
+    def test_facts_scale_linearly_dimensions_sublinearly(self):
+        small = generate_tpcds(scale=0.1, seed=1)
+        large = generate_tpcds(scale=0.4, seed=1)
+        fact_ratio = len(large.relation("STORE_SALES")) / len(small.relation("STORE_SALES"))
+        dim_ratio = len(large.relation("ITEM")) / len(small.relation("ITEM"))
+        assert fact_ratio > 3.0
+        assert dim_ratio < fact_ratio  # sub-linear dimension scaling
+
+    def test_fact_tables_contain_nulls(self, catalog):
+        sales = catalog.relation("STORE_SALES")
+        customer_values = sales.column_values("SS_CUSTOMER_SK")
+        assert any(value is None for value in customer_values)
+
+    def test_skewed_foreign_keys(self, catalog):
+        frequencies = catalog.relation("STORE_SALES").value_frequencies("SS_ITEM_SK")
+        counts = sorted(frequencies.values(), reverse=True)
+        # Zipf skew: the hottest item is much more frequent than the median one
+        assert counts[0] >= 5 * counts[len(counts) // 2]
+
+    def test_all_queries_parse_and_bind(self, catalog):
+        queries = tpcds_queries()
+        assert len(queries) == 24
+        for query in queries:
+            spec = parse_and_bind(query.sql, catalog, name=query.name)
+            spec.validate(catalog)
+
+    def test_category_distribution(self):
+        workload = tpcds_workload(scale=0.1)
+        assert len(workload.queries_in_category("no_agg")) == 3
+        assert len(workload.queries_in_category("local")) >= 8
+        assert len(workload.queries_in_category("global")) >= 8
+        assert len(workload.queries_in_category("scalar")) >= 3
+        assert set(workload.categories()) == {"no_agg", "local", "global", "scalar"}
+
+
+class TestDataRandom:
+    def test_zipf_index_bounds_and_skew(self):
+        rng = DataRandom(5)
+        samples = [rng.zipf_index(50, 1.2) for _ in range(3000)]
+        assert min(samples) >= 0 and max(samples) < 50
+        assert samples.count(0) > samples.count(25)
+
+    def test_date_between(self):
+        import datetime as dt
+
+        rng = DataRandom(5)
+        start, end = dt.date(2000, 1, 1), dt.date(2000, 12, 31)
+        for _ in range(50):
+            value = rng.date_between(start, end)
+            assert start <= value <= end
