@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench lint format-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m repro.bench.smoke --scale 0.03 --out benchmarks/results/smoke.json
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+lint:
+	ruff check .
+
+format-check:
+	ruff format --check .

@@ -20,10 +20,10 @@ def loading_rows(workload_name):
     for scale in MINI_SCALES:
         workload = get_workload(workload_name, scale)
         started = time.perf_counter()
-        indexes = build_indexes(workload.catalog)
+        _indexes = build_indexes(workload.catalog)
         rdbms_seconds = time.perf_counter() - started
         started = time.perf_counter()
-        graph = encode_catalog(workload.catalog)
+        _graph = encode_catalog(workload.catalog)
         tag_seconds = time.perf_counter() - started
         rows.append(
             [

@@ -20,7 +20,7 @@ close to the relational algebra the paper manipulates::
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from .expressions import ColumnRef, Expression, col
 from .logical import (

@@ -18,10 +18,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..relational.catalog import Catalog
-from ..relational.schema import SchemaError
 from .expressions import ColumnRef, Expression
 
 

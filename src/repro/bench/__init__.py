@@ -4,6 +4,7 @@ from .harness import (
     QueryRun,
     WorkloadReport,
     default_engines,
+    repeated_execution_report,
     result_checksum,
     run_query,
     run_workload,
@@ -29,6 +30,7 @@ __all__ = [
     "network_table",
     "peak_memory_bytes",
     "per_query_table",
+    "repeated_execution_report",
     "result_checksum",
     "run_query",
     "run_workload",

@@ -36,6 +36,9 @@ class QueryRun:
     network_bytes: int = 0
     compute: int = 0
     supersteps: int = 0
+    compile_seconds: float = 0.0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     checksum: Optional[Tuple] = None
     error: Optional[str] = None
 
@@ -141,6 +144,21 @@ class WorkloadReport:
             counts[engine] = tally
         return counts
 
+    def compile_time_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-engine compile-time totals and plan-cache hit/miss counts."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for run in self.runs:
+            if not run.ok:
+                continue
+            entry = summary.setdefault(
+                run.engine,
+                {"compile_seconds": 0.0, "plan_cache_hits": 0, "plan_cache_misses": 0},
+            )
+            entry["compile_seconds"] += run.compile_seconds
+            entry["plan_cache_hits"] += run.plan_cache_hits
+            entry["plan_cache_misses"] += run.plan_cache_misses
+        return summary
+
     def agreement_failures(self, reference: str) -> List[str]:
         """Queries whose result checksum differs between engines (should be empty)."""
         failures = []
@@ -235,6 +253,9 @@ def run_query(
             network_bytes=metrics.total_network_bytes,
             compute=metrics.total_compute,
             supersteps=metrics.superstep_count,
+            compile_seconds=metrics.compile_seconds,
+            plan_cache_hits=metrics.plan_cache_hits,
+            plan_cache_misses=metrics.plan_cache_misses,
             checksum=result_checksum(result) if with_checksum else None,
         )
     except Exception as exc:  # pragma: no cover - surfaced in reports
@@ -246,6 +267,56 @@ def run_query(
             row_count=0,
             error=f"{type(exc).__name__}: {exc}",
         )
+
+
+def repeated_execution_report(
+    executor: TagJoinExecutor,
+    catalog: Catalog,
+    sql: str,
+    repeats: int = 3,
+    name: str = "repeated",
+) -> Dict[str, Any]:
+    """Execute one query ``repeats`` times and report the plan cache's effect.
+
+    The first execution compiles (cache miss); subsequent executions should
+    hit the cache and spend (near) zero time in compilation.  The returned
+    report carries per-iteration compile/wall times plus the executor's
+    cache counters — this is what the smoke benchmark and CI artifact use
+    to demonstrate the amortization.
+    """
+    spec = parse_and_bind(sql, catalog, name=name)
+    iterations: List[Dict[str, Any]] = []
+    first_rows: Optional[List[Tuple]] = None
+    for index in range(max(1, repeats)):
+        result = executor.execute(spec)
+        if first_rows is None:
+            first_rows = result.to_tuples()
+        elif result.to_tuples() != first_rows:
+            raise AssertionError(
+                f"repeated execution of {name!r} returned differing rows at iteration {index}"
+            )
+        iterations.append(
+            {
+                "iteration": index,
+                "wall_seconds": result.metrics.wall_time_seconds,
+                "compile_seconds": result.metrics.compile_seconds,
+                "plan_cache_hits": result.metrics.plan_cache_hits,
+                "plan_cache_misses": result.metrics.plan_cache_misses,
+                "rows": len(result.rows),
+            }
+        )
+    first_compile = iterations[0]["compile_seconds"]
+    warm = iterations[1:] or iterations
+    warm_compile = sum(item["compile_seconds"] for item in warm) / len(warm)
+    return {
+        "query": name,
+        "repeats": len(iterations),
+        "iterations": iterations,
+        "first_compile_seconds": first_compile,
+        "warm_mean_compile_seconds": warm_compile,
+        "compile_speedup": (first_compile / warm_compile) if warm_compile > 0 else float("inf"),
+        "plan_cache": executor.plan_cache_stats(),
+    }
 
 
 def run_workload(

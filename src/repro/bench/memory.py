@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import tracemalloc
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
-from ..relational.catalog import Catalog
 from ..sql import parse_and_bind
 from ..workloads.base import Workload
 

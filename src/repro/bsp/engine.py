@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from .aggregators import Aggregator, AggregatorRegistry
 from .graph import Edge, Graph, Vertex, VertexId

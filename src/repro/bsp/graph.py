@@ -11,7 +11,7 @@ constantly ask for "my out-edges labelled ``R.A``" (Algorithm 2, lines
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional
 
 VertexId = str
 

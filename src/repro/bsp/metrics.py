@@ -10,7 +10,7 @@ metrics objects here capture all three so benchmarks can report them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 
 def payload_size_bytes(payload: Any) -> int:
@@ -82,6 +82,10 @@ class RunMetrics:
     label: str = "run"
     supersteps: List[SuperstepMetrics] = field(default_factory=list)
     wall_time_seconds: float = 0.0
+    # query planning/compilation accounting (filled by the TAG-join executor)
+    compile_seconds: float = 0.0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def new_superstep(self, superstep: int) -> SuperstepMetrics:
         metrics = SuperstepMetrics(superstep)
@@ -134,6 +138,9 @@ class RunMetrics:
             )
             self.supersteps.append(copied)
         self.wall_time_seconds += other.wall_time_seconds
+        self.compile_seconds += other.compile_seconds
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -145,6 +152,9 @@ class RunMetrics:
             "network_bytes": self.total_network_bytes,
             "compute": self.total_compute,
             "wall_time_seconds": self.wall_time_seconds,
+            "compile_seconds": self.compile_seconds,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -11,7 +11,7 @@ experiments (Figure 16).
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 from .graph import Graph, VertexId
 

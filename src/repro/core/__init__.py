@@ -12,7 +12,14 @@ from .hypergraph import (
     connected_components,
     detect_simple_cycle,
 )
-from .jointree import JoinTree, JoinTreeError, TreeEdge, build_join_tree, reroot
+from .jointree import (
+    JoinTree,
+    JoinTreeError,
+    TreeEdge,
+    build_join_tree,
+    enumerate_rootings,
+    reroot,
+)
 from .operations import CallablePredicate
 from .tag_plan import (
     PlanEdge,
@@ -81,6 +88,7 @@ __all__ = [
     "compile_fragment",
     "connected_components",
     "detect_simple_cycle",
+    "enumerate_rootings",
     "full_schedule",
     "generate_label_list",
     "generate_steps",

@@ -23,10 +23,10 @@ as real messages and accounted exactly.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..bsp.aggregators import CollectAggregator
-from ..bsp.engine import BSPEngine, SuperstepContext, VertexProgram
+from ..bsp.engine import BSPEngine, VertexProgram
 from ..bsp.graph import Graph, Vertex
 from ..bsp.metrics import RunMetrics
 from ..tag.encoder import TUPLE_DATA_KEY, TagGraph

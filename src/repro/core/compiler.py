@@ -15,13 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..algebra.expressions import ColumnRef, Comparison, Expression, col
-from ..algebra.logical import (
-    AggregationClass,
-    JoinCondition,
-    OutputColumn,
-    QueryError,
-    QuerySpec,
-)
+from ..algebra.logical import AggregationClass, JoinCondition, OutputColumn, QuerySpec
 from ..relational.catalog import Catalog
 from .hypergraph import build_hypergraph
 from .jointree import JoinTree, build_join_tree

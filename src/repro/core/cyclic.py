@@ -24,11 +24,11 @@ is what the theta-sweep ablation benchmark exercises.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..algebra.expressions import Expression
-from ..bsp.engine import SuperstepContext, VertexProgram
+from ..bsp.engine import VertexProgram
 from ..bsp.graph import Graph, Vertex
 from ..tag.encoder import TUPLE_DATA_KEY, TagGraph, edge_label
 from . import operations as ops
@@ -172,7 +172,6 @@ class CycleQueryProgram(VertexProgram):
         context.charge(len(rows))
 
         if hop.kind == "relation":
-            relation = self._relation_by_alias(hop.alias)
             tuple_data = vertex.properties.get(TUPLE_DATA_KEY)
             if tuple_data is None:
                 return

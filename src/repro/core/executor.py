@@ -23,11 +23,16 @@ Dispatch logic (paper Section 6.4, "TAG-join algorithm"):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planner import PlanCache, PlanChoice
+    from ..planner.cost import CostModelConfig
+    from ..tag.statistics import CatalogStatistics
 
 from ..algebra.expressions import Expression, col
-from ..algebra.logical import AggregationClass, OutputColumn, QueryError, QuerySpec
+from ..algebra.logical import AggregationClass, OutputColumn, QuerySpec
 from ..bsp.aggregators import CollectAggregator
 from ..bsp.engine import BSPEngine
 from ..bsp.metrics import RunMetrics
@@ -94,7 +99,16 @@ class TagJoinExecutor:
         eager_partial_aggregation: bool = True,
         use_wco_cycles: bool = True,
         max_supersteps: int = 10_000,
+        use_cost_based_planner: bool = True,
+        enable_plan_cache: bool = True,
+        plan_cache: Optional["PlanCache"] = None,
+        cross_check_plans: bool = False,
+        statistics: Optional["CatalogStatistics"] = None,
+        cost_config: Optional["CostModelConfig"] = None,
     ) -> None:
+        # local import: repro.planner depends on repro.core's submodules
+        from ..planner import CostBasedPlanner, PlanCache
+
         self.graph = graph
         self.catalog = catalog
         self.num_workers = num_workers
@@ -102,6 +116,29 @@ class TagJoinExecutor:
         self.eager_partial_aggregation = eager_partial_aggregation
         self.use_wco_cycles = use_wco_cycles
         self.max_supersteps = max_supersteps
+        self.use_cost_based_planner = use_cost_based_planner
+        self.cross_check_plans = cross_check_plans
+        self.planner = CostBasedPlanner(
+            catalog,
+            statistics=statistics,
+            num_workers=num_workers,
+            cost_config=cost_config,
+        )
+        if use_cost_based_planner:
+            # collect statistics at load time, like index building — never
+            # inside a query's timed window (they refresh on catalog changes)
+            self.planner.statistics
+        if plan_cache is None and enable_plan_cache:
+            plan_cache = PlanCache()
+        self.plan_cache = plan_cache
+        #: the planner's verdict for the most recent compiled fragment
+        self.last_plan_choice: Optional["PlanChoice"] = None
+
+    def plan_cache_stats(self) -> Optional[Dict[str, Any]]:
+        """Hit/miss counters of the plan cache (None when caching is off)."""
+        if self.plan_cache is None:
+            return None
+        return self.plan_cache.stats.as_dict()
 
     # ------------------------------------------------------------------
     # public API
@@ -174,14 +211,111 @@ class TagJoinExecutor:
         metrics: RunMetrics,
         raw_rows: bool = False,
     ) -> QueryResult:
-        compiled = compile_fragment(
+        compiled = self._compile_or_fetch(spec, extra_filters, extra_residuals, metrics)
+        result = self._run_compiled(spec, compiled, metrics, raw_rows)
+        if self.cross_check_plans and self.use_cost_based_planner:
+            self._cross_check(spec, extra_filters, extra_residuals, result, raw_rows)
+        return result
+
+    # ------------------------------------------------------------------
+    # compilation: plan cache in front of the cost-based planner
+    # ------------------------------------------------------------------
+    def _compile_or_fetch(
+        self,
+        spec: QuerySpec,
+        extra_filters: Dict[str, List[Expression]],
+        extra_residuals: List[Expression],
+        metrics: RunMetrics,
+    ) -> CompiledFragment:
+        from ..planner.cache import fragment_cache_key, is_cacheable
+
+        started = time.perf_counter()
+        key: Optional[str] = None
+        if self.plan_cache is not None:
+            if is_cacheable(spec, extra_filters, extra_residuals):
+                key = fragment_cache_key(
+                    spec,
+                    self.catalog,
+                    extra_filters=extra_filters,
+                    extra_residuals=extra_residuals,
+                    use_cost_based_planner=self.use_cost_based_planner,
+                    eager_partial_aggregation=self.eager_partial_aggregation,
+                    collect_output_centrally=self.collect_output_centrally,
+                    num_workers=self.num_workers,
+                )
+                cached = self.plan_cache.lookup(key)
+                if cached is not None:
+                    compiled, choice = cached
+                    self.last_plan_choice = choice
+                    metrics.plan_cache_hits += 1
+                    metrics.compile_seconds += time.perf_counter() - started
+                    return compiled
+                metrics.plan_cache_misses += 1
+            else:
+                self.plan_cache.stats.bypasses += 1
+        compiled = self._compile(spec, extra_filters, extra_residuals)
+        if key is not None:
+            self.plan_cache.store(key, (compiled, self.last_plan_choice))
+        metrics.compile_seconds += time.perf_counter() - started
+        return compiled
+
+    def _compile(
+        self,
+        spec: QuerySpec,
+        extra_filters: Dict[str, List[Expression]],
+        extra_residuals: List[Expression],
+        cost_based: Optional[bool] = None,
+    ) -> CompiledFragment:
+        cost_based = self.use_cost_based_planner if cost_based is None else cost_based
+        preferred_root: Optional[str] = None
+        if cost_based:
+            choice = self.planner.choose_root(spec, extra_filters)
+            if choice is not None:
+                preferred_root = choice.root
+            self.last_plan_choice = choice
+        elif not self.use_cost_based_planner:
+            # heuristic-only executors never carry a stale verdict; the
+            # cross-check's heuristic recompile must not clobber the real one
+            self.last_plan_choice = None
+        return compile_fragment(
             spec,
             self.catalog,
             extra_filters=extra_filters,
             extra_residuals=extra_residuals,
             eager_partial_aggregation=self.eager_partial_aggregation,
             collect_output_centrally=self.collect_output_centrally,
+            preferred_root=preferred_root,
         )
+
+    def _cross_check(
+        self,
+        spec: QuerySpec,
+        extra_filters: Dict[str, List[Expression]],
+        extra_residuals: List[Expression],
+        result: QueryResult,
+        raw_rows: bool,
+    ) -> None:
+        """Re-run the fragment with the heuristic root and require equal rows."""
+        compiled = self._compile(spec, extra_filters, extra_residuals, cost_based=False)
+        scratch = RunMetrics(label=f"{spec.name}:cross-check")
+        baseline = self._run_compiled(spec, compiled, scratch, raw_rows)
+        if result.to_tuples() != baseline.to_tuples():
+            raise ExecutionError(
+                f"plan cross-check failed for {spec.name!r}: cost-based plan returned "
+                f"{len(result.rows)} rows, heuristic plan {len(baseline.rows)} rows "
+                "(or differing contents)"
+            )
+
+    # ------------------------------------------------------------------
+    # running one compiled fragment
+    # ------------------------------------------------------------------
+    def _run_compiled(
+        self,
+        spec: QuerySpec,
+        compiled: CompiledFragment,
+        metrics: RunMetrics,
+        raw_rows: bool = False,
+    ) -> QueryResult:
         engine = self._make_engine()
         if compiled.aggregation_class in (AggregationClass.GLOBAL, AggregationClass.SCALAR):
             register_group_aggregator(engine, compiled.config.aggregates)

@@ -15,12 +15,12 @@ each containing the join variables it mentions.  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
-from ..algebra.logical import JoinCondition, QuerySpec
+from ..algebra.logical import QuerySpec
 
 
 class HypergraphError(ValueError):

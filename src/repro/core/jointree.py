@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..algebra.logical import JoinCondition, QuerySpec
-from .hypergraph import Hypergraph, HypergraphError, JoinVariable, alias_adjacency, build_hypergraph
+from .hypergraph import Hypergraph, JoinVariable, alias_adjacency, build_hypergraph
 
 
 class JoinTreeError(ValueError):
@@ -244,6 +244,20 @@ def reroot(tree: JoinTree, new_root: str) -> JoinTree:
         residual_conditions=list(tree.residual_conditions),
         is_acyclic_query=tree.is_acyclic_query,
     )
+
+
+def enumerate_rootings(tree: JoinTree) -> List[JoinTree]:
+    """Every rooting of ``tree``, in deterministic (alias-sorted) order.
+
+    Re-rooting preserves the edge set, edge variables and residual-condition
+    coverage, so each returned tree evaluates the same query; only the
+    traversal (and therefore the message volume) differs.  This is the
+    search space of :class:`repro.planner.planner.CostBasedPlanner`.
+    """
+    return [
+        tree if alias == tree.root else reroot(tree, alias)
+        for alias in sorted(tree.parent)
+    ]
 
 
 def _uncovered_conditions(spec: QuerySpec, tree: JoinTree) -> List[JoinCondition]:

@@ -13,19 +13,10 @@ then probe it from every outer tuple vertex during the reduction phase).
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Set, Tuple
 
-from ..algebra.expressions import ColumnRef, Expression, col
-from ..algebra.logical import (
-    AggregateSpec,
-    JoinCondition,
-    OutputColumn,
-    QueryError,
-    QuerySpec,
-    SubqueryKind,
-    SubqueryPredicate,
-)
+from ..algebra.expressions import ColumnRef, Expression
+from ..algebra.logical import OutputColumn, QuerySpec, SubqueryKind, SubqueryPredicate
 from ..relational.types import NULL
 from .operations import CallablePredicate
 

@@ -17,10 +17,9 @@ rightmost leaf.  The reduction phase runs these steps, then their reverse
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..relational.catalog import Catalog
-from .hypergraph import JoinVariable
 from .jointree import JoinTree, TreeEdge
 
 

@@ -22,10 +22,10 @@ reconstructions, micro-benchmarks and the subquery evaluator.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Set, Tuple
 
-from ..bsp.engine import SuperstepContext, VertexProgram
+from ..bsp.engine import VertexProgram
 from ..bsp.graph import Graph, Vertex
 from ..relational.types import NULL
 from ..tag.encoder import TUPLE_DATA_KEY, TagGraph, edge_label

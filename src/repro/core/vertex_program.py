@@ -32,7 +32,7 @@ from ..algebra.logical import AggregateSpec, AggregationClass, OutputColumn
 from ..bsp.aggregators import GroupAggregator
 from ..bsp.engine import BSPEngine, SuperstepContext, VertexProgram
 from ..bsp.graph import Graph, Vertex, VertexId
-from ..tag.encoder import ATTRIBUTE_VALUE_KEY, TUPLE_DATA_KEY, TagGraph
+from ..tag.encoder import TUPLE_DATA_KEY, TagGraph
 from . import operations as ops
 from .tag_plan import PlanNode, TagPlan, TraversalStep
 

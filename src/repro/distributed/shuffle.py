@@ -10,8 +10,8 @@ inter-machine messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
 
 from ..bsp.metrics import payload_size_bytes
 

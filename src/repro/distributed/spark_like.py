@@ -31,7 +31,6 @@ from .shuffle import (
     ShuffleStats,
     broadcast,
     gather,
-    row_size,
     scatter,
     shuffle_by_key,
 )

@@ -14,7 +14,7 @@ from __future__ import annotations
 import bisect
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..relational.catalog import Catalog
 from ..relational.relation import Relation

@@ -11,7 +11,7 @@ the TAG-join executor evaluates predicates and aggregates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..algebra.expressions import Expression
 from ..algebra.logical import AggregateSpec, OutputColumn

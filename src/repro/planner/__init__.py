@@ -1,0 +1,35 @@
+"""Cost-based join-tree planning and compiled-plan caching.
+
+The TAG-join executor's performance hinges on two query-independent
+choices the paper leaves to the engine:
+
+* **which alias roots the join tree** — the root determines the collection
+  phase's traversal and therefore how many (cross-worker) messages carry
+  joined rows (Section 5.2.1's cost analysis);
+* **how often a query is compiled** — parsing, binding, hypergraph/GYO,
+  plan and schedule construction are pure functions of the query and the
+  catalog, so repeated queries can reuse the compiled fragment wholesale.
+
+:mod:`repro.planner.cost` scores candidate rootings with a message-volume
+model fed by :class:`repro.tag.statistics.CatalogStatistics`;
+:mod:`repro.planner.planner` enumerates rootings of the query hypergraph's
+join tree and picks the cheapest; :mod:`repro.planner.cache` keys compiled
+fragments by a normalized :class:`~repro.algebra.logical.QuerySpec`
+fingerprint plus the catalog version so hits skip compilation entirely.
+"""
+
+from .cache import PlanCache, PlanCacheStats, fragment_cache_key, is_cacheable
+from .cost import CostModelConfig, MessageCostModel, PlanCost
+from .planner import CostBasedPlanner, PlanChoice
+
+__all__ = [
+    "CostBasedPlanner",
+    "CostModelConfig",
+    "MessageCostModel",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanChoice",
+    "PlanCost",
+    "fragment_cache_key",
+    "is_cacheable",
+]

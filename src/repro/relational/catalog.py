@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List
 
 from .relation import Relation
-from .schema import Schema, SchemaError, SchemaGraph
+from .schema import Schema, SchemaGraph
 
 
 class CatalogError(KeyError):
@@ -23,6 +23,7 @@ class Catalog:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self._relations: Dict[str, Relation] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     # population
@@ -31,6 +32,7 @@ class Catalog:
         if relation.name in self._relations and not replace:
             raise CatalogError(f"relation {relation.name!r} already in catalog")
         self._relations[relation.name] = relation
+        self._version += 1
 
     def create(self, schema: Schema) -> Relation:
         """Create and register an empty relation with the given schema."""
@@ -42,6 +44,26 @@ class Catalog:
         if relation_name not in self._relations:
             raise CatalogError(f"relation {relation_name!r} not in catalog")
         del self._relations[relation_name]
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # change tracking (consumed by plan caches and statistics stores)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped whenever the set of relations changes.
+
+        Direct mutation of a relation's rows does not pass through the
+        catalog; callers doing bulk loads into registered relations should
+        call :meth:`note_data_change` so dependent caches invalidate.
+        (Row-count drift is additionally caught by cache keys that include
+        :meth:`total_rows`.)
+        """
+        return self._version
+
+    def note_data_change(self) -> None:
+        """Record an out-of-band data mutation (bulk insert/delete)."""
+        self._version += 1
 
     # ------------------------------------------------------------------
     # lookup

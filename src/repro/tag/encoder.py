@@ -20,13 +20,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..bsp.graph import Graph, Vertex, VertexId
 from ..relational.catalog import Catalog
 from ..relational.relation import Relation
-from ..relational.schema import Column, Schema
-from ..relational.types import NULL, DataType, value_size_bytes
+from ..relational.schema import Schema
+from ..relational.types import NULL, value_size_bytes
 
 #: Property key under which a tuple vertex stores its tuple (a dict
 #: ``column name -> value``).

@@ -1,16 +1,39 @@
-"""Size and shape statistics of TAG graphs.
+"""Size, shape and value statistics backing the TAG-join planner.
 
 Backs the reproduction of Figure 14 (loaded data sizes) and Tables 1/2
 (loading times), and provides the degree/selectivity statistics the
 TAG-join planner uses to pick traversal orders and heavy/light thresholds.
+
+The second half of the module is the catalog-level statistics store the
+cost-based planner consumes: per-relation cardinalities plus per-column
+distinct-value counts (NDV), null counts and derived selectivities,
+gathered in one pass over the loaded catalog.  These numbers feed the
+message-volume cost model of :mod:`repro.planner.cost` and the
+cardinality estimates of the baseline engine's join-order planner.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
+from ..algebra.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
 from ..relational.catalog import Catalog
+from ..relational.relation import Relation
+from ..relational.types import NULL
 from .encoder import TagGraph, edge_label
 
 
@@ -86,3 +109,226 @@ def storage_comparison(graph: TagGraph, catalog: Catalog) -> Dict[str, int]:
         "tag_attribute_bytes": graph.load_report.attribute_bytes,
         "tag_edge_bytes": graph.load_report.edge_bytes,
     }
+
+
+# ----------------------------------------------------------------------
+# catalog-level statistics for the cost-based planner
+# ----------------------------------------------------------------------
+#: selectivity assumed for predicates the estimator has no model for
+DEFAULT_PREDICATE_SELECTIVITY = 1.0 / 3.0
+#: selectivity assumed for range comparisons (<, <=, >, >=)
+RANGE_SELECTIVITY = 1.0 / 3.0
+#: selectivity assumed for BETWEEN predicates
+BETWEEN_SELECTIVITY = 1.0 / 4.0
+#: selectivity assumed for LIKE predicates
+LIKE_SELECTIVITY = 1.0 / 4.0
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Value statistics of one column: distinct and null counts."""
+
+    column: str
+    distinct_values: int
+    null_count: int
+    row_count: int
+
+    @property
+    def selectivity(self) -> float:
+        """Distinct values per row (1.0 means key-like, small means skewed)."""
+        if self.row_count == 0:
+            return 0.0
+        return self.distinct_values / self.row_count
+
+    @property
+    def null_fraction(self) -> float:
+        if self.row_count == 0:
+            return 0.0
+        return self.null_count / self.row_count
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Cardinality and per-column statistics of one base relation."""
+
+    relation: str
+    rows: int
+    bytes: int
+    columns: Dict[str, ColumnStatistics]
+
+    @classmethod
+    def of(cls, relation: Relation) -> "RelationStatistics":
+        distinct: Dict[str, set] = {name: set() for name in relation.schema.column_names}
+        nulls: Dict[str, int] = {name: 0 for name in relation.schema.column_names}
+        names = relation.schema.column_names
+        for row in relation:
+            for name, value in zip(names, row):
+                if value is NULL or value is None:
+                    nulls[name] += 1
+                else:
+                    distinct[name].add(value)
+        row_count = len(relation)
+        columns = {
+            name: ColumnStatistics(
+                column=name,
+                distinct_values=len(distinct[name]),
+                null_count=nulls[name],
+                row_count=row_count,
+            )
+            for name in names
+        }
+        return cls(
+            relation=relation.name,
+            rows=row_count,
+            bytes=relation.data_size_bytes(),
+            columns=columns,
+        )
+
+    def ndv(self, column: str) -> int:
+        stats = self.columns.get(column)
+        return stats.distinct_values if stats is not None else max(1, self.rows)
+
+
+@dataclass
+class CatalogStatistics:
+    """Statistics of a whole catalog, collected once at load time.
+
+    ``collect`` makes a single pass over every relation; the planner holds
+    on to the resulting object for the life of the executor and refreshes
+    it only when the catalog version changes (see
+    :meth:`repro.relational.catalog.Catalog.version`).
+    """
+
+    catalog_name: str
+    catalog_version: int
+    relations: Dict[str, RelationStatistics] = field(default_factory=dict)
+    collection_seconds: float = 0.0
+
+    @classmethod
+    def collect(cls, catalog: Catalog) -> "CatalogStatistics":
+        started = time.perf_counter()
+        relations = {relation.name: RelationStatistics.of(relation) for relation in catalog}
+        return cls(
+            catalog_name=catalog.name,
+            catalog_version=catalog.version,
+            relations=relations,
+            collection_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    def cardinality(self, table: str) -> int:
+        stats = self.relations.get(table)
+        return stats.rows if stats is not None else 1
+
+    def distinct_count(self, table: str, column: str) -> int:
+        stats = self.relations.get(table)
+        if stats is None:
+            return 1
+        return max(1, stats.ndv(column))
+
+    def equality_selectivity(self, table: str, column: str) -> float:
+        """Fraction of rows matching ``column = literal`` under uniformity."""
+        return 1.0 / self.distinct_count(table, column)
+
+    # ------------------------------------------------------------------
+    # predicate selectivity estimation (System-R style heuristics)
+    # ------------------------------------------------------------------
+    def predicate_selectivity(self, table: str, predicate: Expression) -> float:
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(table, predicate)
+        if isinstance(predicate, Between):
+            return BETWEEN_SELECTIVITY
+        if isinstance(predicate, Like):
+            return 1.0 - LIKE_SELECTIVITY if predicate.negated else LIKE_SELECTIVITY
+        if isinstance(predicate, InList):
+            column = _single_column(predicate.operand)
+            if column is not None:
+                ndv = self.distinct_count(table, column)
+                fraction = min(1.0, len(predicate.values) / ndv)
+            else:
+                fraction = DEFAULT_PREDICATE_SELECTIVITY
+            return 1.0 - fraction if predicate.negated else fraction
+        if isinstance(predicate, IsNull):
+            fraction = self._null_fraction(table, predicate.operand)
+            return 1.0 - fraction if predicate.negated else fraction
+        if isinstance(predicate, And):
+            product = 1.0
+            for part in predicate.operands:
+                product *= self.predicate_selectivity(table, part)
+            return product
+        if isinstance(predicate, Or):
+            miss = 1.0
+            for part in predicate.operands:
+                miss *= 1.0 - self.predicate_selectivity(table, part)
+            return 1.0 - miss
+        if isinstance(predicate, Not):
+            return 1.0 - self.predicate_selectivity(table, predicate.operand)
+        return DEFAULT_PREDICATE_SELECTIVITY
+
+    def _comparison_selectivity(self, table: str, predicate: Comparison) -> float:
+        column = _single_column(predicate.left) or _single_column(predicate.right)
+        if predicate.op == "=":
+            if column is not None and _is_constant(predicate.left, predicate.right):
+                return self.equality_selectivity(table, column)
+            return DEFAULT_PREDICATE_SELECTIVITY
+        if predicate.op in ("!=", "<>"):
+            if column is not None and _is_constant(predicate.left, predicate.right):
+                return 1.0 - self.equality_selectivity(table, column)
+            return 1.0 - DEFAULT_PREDICATE_SELECTIVITY
+        if predicate.op in ("<", "<=", ">", ">="):
+            return RANGE_SELECTIVITY
+        return DEFAULT_PREDICATE_SELECTIVITY
+
+    def _null_fraction(self, table: str, operand: Expression) -> float:
+        column = _single_column(operand)
+        stats = self.relations.get(table)
+        if column is None or stats is None:
+            return DEFAULT_PREDICATE_SELECTIVITY
+        column_stats = stats.columns.get(column)
+        return column_stats.null_fraction if column_stats is not None else 0.0
+
+    def estimated_rows(
+        self, table: str, predicates: Sequence[Expression] = ()
+    ) -> float:
+        """Cardinality of ``table`` after applying pushed-down ``predicates``."""
+        rows = float(self.cardinality(table))
+        for predicate in predicates:
+            rows *= self.predicate_selectivity(table, predicate)
+        return max(rows, 0.0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "catalog": self.catalog_name,
+            "version": self.catalog_version,
+            "collection_seconds": self.collection_seconds,
+            "relations": {
+                name: {"rows": stats.rows, "bytes": stats.bytes}
+                for name, stats in self.relations.items()
+            },
+        }
+
+
+def refreshed_statistics(
+    catalog: Catalog, cached: Optional[CatalogStatistics]
+) -> CatalogStatistics:
+    """Return ``cached`` if still valid for ``catalog``, else re-collect.
+
+    The single source of the invalidation rule (catalog version comparison),
+    shared by the TAG cost-based planner and the RDBMS baseline planner so
+    their refresh semantics cannot diverge.
+    """
+    if cached is None or cached.catalog_version != catalog.version:
+        return CatalogStatistics.collect(catalog)
+    return cached
+
+
+def _single_column(expression: Expression) -> Optional[str]:
+    """The bare column name when ``expression`` is a single column reference."""
+    if isinstance(expression, ColumnRef):
+        return expression.column
+    return None
+
+
+def _is_constant(left: Expression, right: Expression) -> bool:
+    """True when exactly one comparison side is a literal (column-vs-constant)."""
+    return isinstance(left, Literal) != isinstance(right, Literal)

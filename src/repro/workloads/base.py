@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import datetime as _dt
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from ..relational.catalog import Catalog
 

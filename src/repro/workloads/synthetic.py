@@ -10,7 +10,7 @@ factorized-output ablation).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..algebra.builder import QueryBuilder
 from ..algebra.logical import QuerySpec

@@ -20,10 +20,9 @@ from __future__ import annotations
 
 import datetime as _dt
 import time
-from typing import Dict, List, Optional
+from typing import List
 
 from ..relational.catalog import Catalog
-from ..relational.relation import Relation
 from ..relational.schema import Column, ForeignKey, Schema
 from ..relational.types import DataType
 from .base import DataRandom, QueryDef, Workload

@@ -12,7 +12,6 @@ from repro.algebra import (
     InList,
     IsNull,
     Like,
-    Literal,
     Not,
     Or,
     col,

@@ -16,7 +16,6 @@ from repro.bsp import (
     RoundRobinPartitioner,
     SinglePartitioner,
     SumAggregator,
-    SuperstepContext,
     VertexProgram,
     payload_size_bytes,
 )

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algebra import QueryBuilder
 from repro.core import TagJoinExecutor
 from repro.engine import RelationalExecutor
 from repro.relational import Catalog, Column, DataType, ForeignKey, Relation, Schema

@@ -1,13 +1,12 @@
 """Worst-case-optimal cycle queries and Cartesian products (paper Section 6)."""
 
-import math
 
 import pytest
 
 from repro.bsp import BSPEngine
 from repro.core import CartesianProductA, CycleQueryProgram, CycleRelation, TriangleQueryProgram
 from repro.core.cartesian import cartesian_product_b, cartesian_product_rows
-from repro.relational import Catalog, Column, DataType, Relation, Schema
+from repro.relational import Catalog
 from repro.relational.relation import rows_to_multiset
 from repro.tag import encode_catalog
 from repro.workloads.synthetic import binary_relation, triangle_catalog

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra import AggFunc, Comparison, JoinCondition, QueryBuilder, col, lit
+from repro.algebra import AggFunc, Comparison, QueryBuilder, col, lit
 from repro.algebra.logical import AggregationClass
 from repro.core import ExecutionError, TagJoinExecutor
 from repro.engine import RelationalExecutor

@@ -1,6 +1,5 @@
 """Query hypergraphs, GYO acyclicity, fractional edge covers, join trees."""
 
-import math
 
 import pytest
 

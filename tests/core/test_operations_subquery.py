@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra import AggFunc, Comparison, QueryBuilder, col, lit
+from repro.algebra import AggFunc, QueryBuilder, col
 from repro.algebra.logical import AggregateSpec, JoinCondition, OutputColumn, SubqueryKind, SubqueryPredicate
 from repro.core import operations as ops
 from repro.core.subquery import SubqueryError, compile_subquery_filters

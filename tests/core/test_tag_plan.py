@@ -4,7 +4,6 @@ import pytest
 
 from repro.algebra import QueryBuilder
 from repro.core import (
-    build_hypergraph,
     build_join_tree,
     build_tag_plan,
     build_schedule,

@@ -1,6 +1,5 @@
 """Spark-SQL-like distributed baseline: shuffles, broadcasts, correctness."""
 
-import pytest
 
 from repro.algebra import AggFunc, Comparison, QueryBuilder, col, lit
 from repro.distributed import (

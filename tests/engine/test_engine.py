@@ -9,8 +9,6 @@ from repro.engine import (
     HashAggregate,
     HashJoin,
     NestedLoopJoin,
-    Planner,
-    PlannerOptions,
     Project,
     RelationalExecutor,
     SeqScan,
@@ -18,7 +16,6 @@ from repro.engine import (
     build_indexes,
     indexed_columns,
 )
-from repro.relational.relation import rows_to_multiset
 from tests.conftest import brute_force_join_nco
 
 
@@ -74,7 +71,9 @@ class TestOperators:
         nl_rows = list(
             NestedLoopJoin(left, right, [Comparison("=", col("c.C_CUSTKEY"), col("o.O_CUSTKEY"))])
         )
-        key = lambda row: (row["c.C_CUSTKEY"], row["o.O_ORDERKEY"])
+        def key(row):
+            return (row["c.C_CUSTKEY"], row["o.O_ORDERKEY"])
+
         assert sorted(map(key, hash_rows)) == sorted(map(key, nl_rows))
         assert len(hash_rows) == 5  # order 105 dangles
 

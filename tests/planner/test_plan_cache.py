@@ -1,0 +1,163 @@
+"""Plan-cache behaviour: hits, literal/schema misses, invalidation, eviction."""
+
+from repro.core import TagJoinExecutor
+from repro.planner import PlanCache, fragment_cache_key, is_cacheable
+from repro.relational import Column, DataType, Relation, Schema
+from repro.sql import parse_and_bind
+from repro.tag import encode_catalog
+
+from tests.conftest import make_mini_catalog
+
+NCO_SQL = (
+    "SELECT n.N_NAME, c.C_CUSTKEY, o.O_ORDERKEY FROM NATION n, CUSTOMER c, ORDERS o "
+    "WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY"
+)
+FILTERED_SQL_HIGH = (
+    "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_PRIORITY = 'HIGH'"
+)
+FILTERED_SQL_LOW = (
+    "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_PRIORITY = 'LOW'"
+)
+
+
+def fresh_executor(**kwargs):
+    catalog = make_mini_catalog()
+    graph = encode_catalog(catalog)
+    return TagJoinExecutor(graph, catalog, **kwargs), catalog
+
+
+class TestCacheKey:
+    def test_identical_sql_same_key(self):
+        catalog = make_mini_catalog()
+        spec_a = parse_and_bind(NCO_SQL, catalog, name="first")
+        spec_b = parse_and_bind(NCO_SQL, catalog, name="second")
+        # display names differ, fingerprints must not
+        assert fragment_cache_key(spec_a, catalog) == fragment_cache_key(spec_b, catalog)
+
+    def test_differing_literals_differ(self):
+        catalog = make_mini_catalog()
+        high = parse_and_bind(FILTERED_SQL_HIGH, catalog)
+        low = parse_and_bind(FILTERED_SQL_LOW, catalog)
+        assert fragment_cache_key(high, catalog) != fragment_cache_key(low, catalog)
+
+    def test_differing_catalogs_differ(self):
+        catalog_a = make_mini_catalog()
+        catalog_b = make_mini_catalog()
+        catalog_b.add(
+            Relation(Schema("EXTRA", [Column("X", DataType.INT)]), [[1]])
+        )
+        spec = parse_and_bind(NCO_SQL, catalog_a)
+        assert fragment_cache_key(spec, catalog_a) != fragment_cache_key(spec, catalog_b)
+
+    def test_flags_partition_the_key_space(self):
+        catalog = make_mini_catalog()
+        spec = parse_and_bind(NCO_SQL, catalog)
+        assert fragment_cache_key(spec, catalog, num_workers=1) != fragment_cache_key(
+            spec, catalog, num_workers=4
+        )
+
+    def test_subquery_closures_are_uncacheable(self):
+        catalog = make_mini_catalog()
+        sql = (
+            "SELECT c.C_CUSTKEY FROM CUSTOMER c WHERE EXISTS "
+            "(SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_CUSTKEY = c.C_CUSTKEY)"
+        )
+        spec = parse_and_bind(sql, catalog)
+        executor, _ = fresh_executor()
+        # the outer fragment compiled from folded subquery filters must bypass
+        from repro.core.subquery import compile_subquery_filters
+
+        extra_filters, extra_residuals = compile_subquery_filters(
+            spec.subqueries, lambda inner: executor.execute(inner).rows
+        )
+        assert not is_cacheable(spec, extra_filters, extra_residuals)
+        assert is_cacheable(spec)  # the spec itself carries no closures
+
+
+class TestExecutorCaching:
+    def test_hit_on_identical_sql(self):
+        executor, catalog = fresh_executor()
+        first = executor.execute_sql(NCO_SQL)
+        second = executor.execute_sql(NCO_SQL)
+        assert first.to_tuples() == second.to_tuples()
+        stats = executor.plan_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert first.metrics.plan_cache_misses == 1
+        assert second.metrics.plan_cache_hits == 1
+
+    def test_miss_on_differing_literals(self):
+        executor, _ = fresh_executor()
+        executor.execute_sql(FILTERED_SQL_HIGH)
+        executor.execute_sql(FILTERED_SQL_LOW)
+        stats = executor.plan_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 0
+
+    def test_invalidation_on_catalog_change(self):
+        executor, catalog = fresh_executor()
+        executor.execute_sql(NCO_SQL)
+        catalog.add(Relation(Schema("EXTRA", [Column("X", DataType.INT)]), [[1]]))
+        executor.execute_sql(NCO_SQL)  # version bump -> new key -> miss
+        stats = executor.plan_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 0
+
+    def test_invalidation_on_bulk_data_change(self):
+        executor, catalog = fresh_executor()
+        executor.execute_sql(FILTERED_SQL_HIGH)
+        catalog.note_data_change()
+        executor.execute_sql(FILTERED_SQL_HIGH)
+        stats = executor.plan_cache_stats()
+        # the version bump changed the key: stale plans are never served
+        assert stats["misses"] == 2
+        assert stats["hits"] == 0
+
+    def test_row_count_drift_invalidates_without_note(self):
+        executor, catalog = fresh_executor()
+        executor.execute_sql(FILTERED_SQL_HIGH)
+        catalog.relation("ORDERS").insert([107, 11, 3.0, "LOW"])
+        executor.execute_sql(FILTERED_SQL_HIGH)
+        stats = executor.plan_cache_stats()
+        assert stats["misses"] == 2  # total_rows is part of the key
+
+    def test_cache_can_be_disabled(self):
+        executor, _ = fresh_executor(enable_plan_cache=False)
+        executor.execute_sql(NCO_SQL)
+        assert executor.plan_cache_stats() is None
+
+    def test_results_identical_across_hits(self):
+        executor, _ = fresh_executor()
+        baseline, _ = fresh_executor(enable_plan_cache=False)
+        warm = [executor.execute_sql(NCO_SQL).to_tuples() for _ in range(3)]
+        cold = baseline.execute_sql(NCO_SQL).to_tuples()
+        assert all(rows == cold for rows in warm)
+
+
+class TestPlanCacheStructure:
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.lookup("a") == 1  # refresh "a"
+        cache.store("c", 3)  # evicts "b"
+        assert "b" not in cache
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") == 1
+        assert cache.lookup("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_clear_counts_invalidations(self):
+        cache = PlanCache()
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+    def test_hit_rate(self):
+        cache = PlanCache()
+        cache.store("a", 1)
+        cache.lookup("a")
+        cache.lookup("missing")
+        assert cache.stats.hit_rate == 0.5

@@ -180,6 +180,75 @@ def test_semi_join_reduction_invariant(r_rows, s_rows):
     assert semi_b <= s_b
 
 
+@SLOW
+@given(r_rows=pairs, s_rows=pairs, t_rows=pairs)
+def test_cost_based_plans_agree_on_random_acyclic_specs(r_rows, s_rows, t_rows):
+    """Cost-based rooting returns exactly the heuristic/baseline rows (chain joins)."""
+    catalog = Catalog("prop")
+    catalog.add(_binary("R", r_rows, ("A", "B")))
+    catalog.add(_binary("S", s_rows, ("B", "C")))
+    catalog.add(_binary("T", t_rows, ("C", "D")))
+    graph = encode_catalog(catalog)
+    spec = (
+        QueryBuilder("chain")
+        .table("R", "r").table("S", "s").table("T", "t")
+        .join("r", "B", "s", "B").join("s", "C", "t", "C")
+        .select_columns("r.A", "s.B", "s.C", "t.D")
+        .build()
+    )
+    # cross_check_plans re-executes with the heuristic root and raises on mismatch
+    planned = TagJoinExecutor(graph, catalog, cross_check_plans=True).execute(spec)
+    baseline = RelationalExecutor(catalog).execute(spec)
+    assert planned.to_tuples() == baseline.to_tuples()
+
+
+@SLOW
+@given(r_rows=pairs, s_rows=pairs, t_rows=pairs)
+def test_cost_based_plans_agree_on_random_cyclic_specs(r_rows, s_rows, t_rows):
+    """Triangle queries through the join-tree path: planned == heuristic == baseline."""
+    catalog = Catalog("prop")
+    catalog.add(_binary("R", r_rows, ("A", "B")))
+    catalog.add(_binary("S", s_rows, ("B", "C")))
+    catalog.add(_binary("T", t_rows, ("C", "A")))
+    graph = encode_catalog(catalog)
+    spec = (
+        QueryBuilder("triangle")
+        .table("R", "r").table("S", "s").table("T", "t")
+        .join("r", "B", "s", "B").join("s", "C", "t", "C").join("t", "A", "r", "A")
+        .select_columns("r.A", "r.B", "s.C")
+        .build()
+    )
+    # use_wco_cycles=False forces the spanning-tree fragment path the planner roots
+    planned = TagJoinExecutor(
+        graph, catalog, cross_check_plans=True, use_wco_cycles=False
+    ).execute(spec)
+    baseline = RelationalExecutor(catalog).execute(spec)
+    assert planned.to_tuples() == baseline.to_tuples()
+
+
+@SLOW
+@given(r_rows=pairs, s_rows=pairs)
+def test_plan_cache_hits_preserve_results(r_rows, s_rows):
+    """Executing the same spec repeatedly through the cache never changes rows."""
+    catalog = Catalog("prop")
+    catalog.add(_binary("R", r_rows, ("A", "B")))
+    catalog.add(_binary("S", s_rows, ("B", "C")))
+    graph = encode_catalog(catalog)
+    spec = (
+        QueryBuilder("repeat")
+        .table("R", "r").table("S", "s")
+        .join("r", "B", "s", "B")
+        .select_columns("r.A", "s.C")
+        .build()
+    )
+    executor = TagJoinExecutor(graph, catalog)
+    first = executor.execute(spec).to_tuples()
+    second = executor.execute(spec).to_tuples()
+    assert first == second
+    stats = executor.plan_cache_stats()
+    assert stats["hits"] >= 1
+
+
 @given(st.data())
 def test_hypergraph_cover_at_least_one_and_at_most_edge_count(data):
     """The fractional edge cover number lies between 1 and the relation count."""

@@ -5,7 +5,6 @@ import os
 import pytest
 
 from repro.relational import (
-    Catalog,
     CatalogError,
     Column,
     DataType,

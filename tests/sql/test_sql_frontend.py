@@ -4,15 +4,13 @@ import datetime as dt
 
 import pytest
 
-from repro.algebra import AggFunc, AggregationClass, Comparison, Like
+from repro.algebra import AggFunc, AggregationClass, Like
 from repro.algebra.logical import JoinType, SubqueryKind
 from repro.sql import SqlBindError, SqlSyntaxError, parse_and_bind, parse_sql, tokenize
 from repro.sql.ast import (
     BinaryOpNode,
-    ColumnNode,
     ExistsNode,
     FuncNode,
-    InListNode,
     InSubqueryNode,
     LiteralNode,
     ScalarSubqueryNode,
