@@ -1,13 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench lint format-check
+.PHONY: test bench-smoke bench examples lint format-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
 	$(PYTHON) -m repro.bench.smoke --scale 0.03 --out benchmarks/results/smoke.json
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/warehouse_analytics.py
+	$(PYTHON) examples/distributed_cluster.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

@@ -1,29 +1,30 @@
 """Distributed scenario: TAG-join on a simulated cluster vs the Spark-like engine.
 
-Reproduces the setting of the paper's Section 8.6 at laptop scale: the
-TPC-DS-like snowflake workload is evaluated with the TAG graph hash
-partitioned over six workers (cross-worker messages are network traffic)
-and with the Spark-like shuffle engine over six partitions.  The script
-prints aggregate runtime and total network traffic for both, plus the
-per-superstep activity of one query to show the BSP execution unfold.
+Reproduces the setting of the paper's Section 8.6 at laptop scale: one
+:class:`repro.Database` configured with six workers serves both the TAG
+graph hash-partitioned over six workers (cross-worker messages are network
+traffic) and the Spark-like shuffle engine over six partitions.  The
+script prints aggregate runtime and total network traffic for both,
+cross-engine EXPLAIN output for one query, and the per-superstep activity
+of that query to show the BSP execution unfold.
 
 Run with:  python examples/distributed_cluster.py
 """
 
+from repro import Database
 from repro.bench import default_engines, network_table, run_workload
 from repro.bench.reporting import aggregate_runtime_table
-from repro.core import TagJoinExecutor
-from repro.sql import parse_and_bind
-from repro.tag import encode_catalog
 from repro.workloads import tpcds_workload
 
 WORKERS = 6
 SELECTED = ["q3", "q7", "q15", "q37", "q42", "q69", "q90", "q96"]
+DRILLDOWN = "q42"
 
 
 def main() -> None:
     workload = tpcds_workload(scale=0.1)
-    graph = encode_catalog(workload.catalog)
+    db = Database.from_catalog(workload.catalog, num_workers=WORKERS)
+    graph = db.tag_graph()
     print("snowflake database:", workload.catalog)
     print("TAG graph:", graph, f"partitioned over {WORKERS} workers")
 
@@ -37,11 +38,15 @@ def main() -> None:
     print("\ntotal network traffic (bytes crossing worker boundaries):")
     print(network_table([report]))
 
-    # drill into one query's superstep-by-superstep behaviour
-    executor = TagJoinExecutor(graph, workload.catalog, num_workers=WORKERS)
-    spec = parse_and_bind(workload.query("q42").sql, workload.catalog, name="q42")
-    result = executor.execute(spec)
-    print("\nquery q42 on the cluster:", len(result.rows), "groups,",
+    # the same query explained by both engines (session.explain is uniform)
+    sql = workload.query(DRILLDOWN).sql
+    for engine in ("tag", "spark"):
+        print(f"\nEXPLAIN on {engine}:")
+        print(db.connect(engine=engine).explain(sql, name=DRILLDOWN))
+
+    # drill into the query's superstep-by-superstep behaviour on the cluster
+    result = db.connect().sql(sql, name=DRILLDOWN)
+    print(f"\nquery {DRILLDOWN} on the cluster:", len(result.rows), "groups,",
           result.metrics.superstep_count, "supersteps")
     print("superstep | active vertices | messages | network bytes")
     for step in result.metrics.supersteps:

@@ -1,15 +1,16 @@
-"""Quickstart: encode a small relational database as a TAG graph and run SQL on it.
+"""Quickstart: open a Database over a small catalog and run SQL through a Session.
 
-Builds a tiny NATION / CUSTOMER / ORDERS database, encodes it once
-(query-independently) into a Tuple-Attribute Graph, and evaluates SQL
-queries with the vertex-centric TAG-join executor — printing the results
-alongside the paper's cost measures (supersteps, messages, per-vertex
-computation).
+Builds a tiny NATION / CUSTOMER / ORDERS database, wraps it in the
+:class:`repro.Database` facade (which owns the query-independent TAG
+encoding, the catalog statistics and one shared plan cache), and runs
+plain, parameterized and EXPLAIN'd queries through a session — printing
+results alongside the paper's cost measures (supersteps, messages,
+per-vertex computation).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import Catalog, Column, DataType, ForeignKey, Relation, Schema, TagJoinExecutor, encode_catalog
+from repro import Catalog, Column, Database, DataType, ForeignKey, Relation, Schema
 
 
 def build_database() -> Catalog:
@@ -61,41 +62,50 @@ def main() -> None:
     catalog = build_database()
     print("1. relational catalog:", catalog)
 
-    # the TAG encoding is query independent and built once (paper Section 3)
-    graph = encode_catalog(catalog)
-    print("2. TAG graph:", graph)
-    print(
-        "   tuple vertices:", graph.load_report.tuple_vertices,
-        "| attribute vertices:", graph.load_report.attribute_vertices,
-        "| edges:", graph.edge_count,
-    )
+    # the Database owns the TAG encoding (built once, query-independently,
+    # paper Section 3), the statistics and a shared plan cache
+    db = Database.from_catalog(catalog)
+    print("2. database:", db)
 
-    executor = TagJoinExecutor(graph, catalog)
+    with db.connect() as session:
+        print("\n3. a join with local aggregation (revenue per nation):")
+        result = session.sql(
+            """
+            SELECT n.N_NAME AS nation, SUM(o.O_TOTAL) AS revenue, COUNT(*) AS orders
+            FROM NATION n, CUSTOMER c, ORDERS o
+            WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY
+            GROUP BY n.N_NAME
+            """
+        )
+        for row in sorted(result.rows, key=lambda r: r["nation"]):
+            print("   ", row)
+        print("   cost:", result.metrics.summary())
 
-    print("\n3. a join with local aggregation (revenue per nation):")
-    result = executor.execute_sql(
-        """
-        SELECT n.N_NAME AS nation, SUM(o.O_TOTAL) AS revenue, COUNT(*) AS orders
-        FROM NATION n, CUSTOMER c, ORDERS o
-        WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY
-        GROUP BY n.N_NAME
-        """
-    )
-    for row in sorted(result.rows, key=lambda r: r["nation"]):
-        print("   ", row)
-    print("   cost:", result.metrics.summary())
+        print("\n4. a prepared statement: one plan, many parameter values:")
+        statement = session.prepare(
+            "SELECT c.C_NAME FROM CUSTOMER c, ORDERS o "
+            "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND o.O_TOTAL > :floor"
+        )
+        for floor in (50.0, 100.0):
+            names = sorted(row["C_NAME"] for row in statement.execute({"floor": floor}).rows)
+            print(f"   orders above {floor:6.1f}: {names}")
+        print("   shared plan cache:", db.cache_stats())
 
-    print("\n4. a correlated subquery (customers whose every order is above 50):")
-    result = executor.execute_sql(
-        """
-        SELECT c.C_NAME
-        FROM CUSTOMER c
-        WHERE NOT EXISTS (SELECT o.O_ORDERKEY FROM ORDERS o
-                          WHERE o.O_CUSTKEY = c.C_CUSTKEY AND o.O_TOTAL < 50)
-          AND EXISTS (SELECT o2.O_ORDERKEY FROM ORDERS o2 WHERE o2.O_CUSTKEY = c.C_CUSTKEY)
-        """
-    )
-    print("   ", sorted(row["C_NAME"] for row in result.rows))
+        print("\n5. EXPLAIN (the chosen rooted join tree + cost breakdown):")
+        print(session.explain(statement.sql, params={"floor": 50.0}))
+
+        print("\n6. the same query on the RDBMS baseline engine:")
+        rdbms = db.connect(engine="rdbms")
+        result = rdbms.sql(
+            """
+            SELECT c.C_NAME
+            FROM CUSTOMER c
+            WHERE NOT EXISTS (SELECT o.O_ORDERKEY FROM ORDERS o
+                              WHERE o.O_CUSTKEY = c.C_CUSTKEY AND o.O_TOTAL < 50)
+              AND EXISTS (SELECT o2.O_ORDERKEY FROM ORDERS o2 WHERE o2.O_CUSTKEY = c.C_CUSTKEY)
+            """
+        )
+        print("   ", sorted(row["C_NAME"] for row in result.rows))
 
 
 if __name__ == "__main__":

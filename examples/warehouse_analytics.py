@@ -1,18 +1,28 @@
-"""Data-warehouse scenario: the TPC-H-like workload on every engine.
+"""Data-warehouse scenario: the TPC-H-like workload on every registered engine.
 
 Generates the TPC-H-like database (the paper's "RDBMS comfort zone":
 3NF schema, PK-FK joins), runs a handful of representative queries —
 local aggregation, a correlated subquery and the 5-way cycle query — on
-the TAG-join executor and on the baseline engines, and prints a small
-comparison table like the paper's Table 3.
+every engine in the registry via the benchmark harness, prints a small
+comparison table like the paper's Table 3, and finishes with a prepared
+statement executed per market segment to show parameterized plan reuse.
 
 Run with:  python examples/warehouse_analytics.py
 """
 
+from repro import Database, available_engines
 from repro.bench import default_engines, per_query_table, run_workload, speedup_table
 from repro.workloads import tpch_workload
 
 SELECTED = ["q3", "q4", "q5", "q6", "q10", "q14", "q17", "q21"]
+
+SEGMENT_REVENUE = """
+    SELECT o.O_ORDERKEY, SUM(l.L_EXTENDEDPRICE) AS revenue
+    FROM CUSTOMER c, ORDERS o, LINEITEM l
+    WHERE c.C_MKTSEGMENT = :segment AND c.C_CUSTKEY = o.O_CUSTKEY
+      AND l.L_ORDERKEY = o.O_ORDERKEY
+    GROUP BY o.O_ORDERKEY
+"""
 
 
 def main() -> None:
@@ -20,6 +30,10 @@ def main() -> None:
     print("generated", workload.catalog)
     for name in ("CUSTOMER", "ORDERS", "LINEITEM"):
         print(f"  {name}: {len(workload.catalog.relation(name))} rows")
+
+    print("\nregistered engines:")
+    for name, description in sorted(available_engines().items()):
+        print(f"  {name:16s} {description}")
 
     engines = default_engines(workload.catalog)
     print("\nrunning", len(SELECTED), "queries on", ", ".join(engines), "...")
@@ -33,6 +47,19 @@ def main() -> None:
 
     failures = report.agreement_failures("rdbms_hash")
     print("\nresult agreement across engines:", "OK" if not failures else failures)
+
+    # one prepared plan serving every market segment (plan-cache warm hits)
+    db = Database.from_catalog(workload.catalog)
+    with db.connect() as session:
+        statement = session.prepare(SEGMENT_REVENUE, name="segment_revenue")
+        for segment in ("BUILDING", "AUTOMOBILE", "MACHINERY"):
+            result = statement.execute({"segment": segment})
+            print(
+                f"\nsegment {segment}: {len(result.rows)} orders, "
+                f"compile {result.metrics.compile_seconds * 1000:.2f} ms, "
+                f"cache hits {result.metrics.plan_cache_hits}"
+            )
+    print("\nshared plan cache:", db.cache_stats())
 
 
 if __name__ == "__main__":

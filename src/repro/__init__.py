@@ -10,13 +10,24 @@ style workload generators).
 
 Quickstart::
 
-    from repro import Catalog, Relation, encode_catalog, TagJoinExecutor, QueryBuilder
+    from repro import Catalog, Database
 
-    catalog = ...                      # build or generate a Catalog
-    graph = encode_catalog(catalog)    # query-independent TAG encoding
-    executor = TagJoinExecutor(graph, catalog)
-    result = executor.execute_sql("SELECT ... FROM ... WHERE ...")
+    catalog = ...                        # build or generate a Catalog
+    db = Database.from_catalog(catalog)  # TAG encoding + stats + plan cache
+    with db.connect() as session:
+        result = session.sql(
+            "SELECT ... FROM ... WHERE x = :v", params={"v": 42})
+        print(session.explain("SELECT ..."))
+
+Engines are selected by registry name (``Database(catalog, engine="rdbms")``
+or per-session ``db.connect(engine="spark")``); all of them answer the same
+queries with identical rows.  Direct executor construction
+(``TagJoinExecutor(graph, catalog)``) still works but is deprecated in
+favour of the facade, which shares one plan cache and statistics store
+across every engine and session.
 """
+
+import warnings as _warnings
 
 from .algebra import (
     AggFunc,
@@ -24,17 +35,50 @@ from .algebra import (
     ColumnRef,
     Comparison,
     JoinCondition,
+    ParameterError,
     QueryBuilder,
     QuerySpec,
     col,
     lit,
 )
+from .api import (
+    Database,
+    PreparedStatement,
+    Session,
+    available_engines,
+    register_engine,
+)
 from .bsp import BSPEngine, Graph, HashPartitioner, RunMetrics, SinglePartitioner
-from .core import QueryResult, TagJoinExecutor
+from .core import QueryResult
 from .relational import Catalog, Column, DataType, ForeignKey, Relation, Schema
 from .tag import TagEncoder, TagGraph, encode_catalog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def connect(catalog: Catalog, engine: str = "tag", **kwargs) -> Session:
+    """One-liner: wrap ``catalog`` in a Database and open a session on it."""
+    return Database.from_catalog(catalog, engine=engine, **kwargs).connect()
+
+
+#: top-level names that now route through the Database facade; importing
+#: them from ``repro`` still works but warns (the deprecation shim)
+_DEPRECATED_TOP_LEVEL = {"TagJoinExecutor"}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_TOP_LEVEL:
+        _warnings.warn(
+            f"importing {name} from the top-level 'repro' package is deprecated; "
+            "use repro.Database / Session (or import it from repro.core directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .core import TagJoinExecutor
+
+        return TagJoinExecutor
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "AggFunc",
@@ -45,22 +89,29 @@ __all__ = [
     "ColumnRef",
     "Comparison",
     "DataType",
+    "Database",
     "ForeignKey",
     "Graph",
     "HashPartitioner",
     "JoinCondition",
+    "ParameterError",
+    "PreparedStatement",
     "QueryBuilder",
     "QueryResult",
     "QuerySpec",
     "Relation",
     "RunMetrics",
     "Schema",
+    "Session",
     "SinglePartitioner",
     "TagEncoder",
     "TagGraph",
     "TagJoinExecutor",
+    "available_engines",
     "col",
+    "connect",
     "encode_catalog",
     "lit",
+    "register_engine",
     "__version__",
 ]

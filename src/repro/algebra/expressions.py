@@ -229,7 +229,12 @@ class IsNull(Expression):
 
 @dataclass(frozen=True)
 class InList(Expression):
-    """``expr IN (v1, v2, ...)`` over literal values."""
+    """``expr IN (v1, v2, ...)``.
+
+    Elements are plain literal values; an element may also be an
+    :class:`Expression` (a query parameter inside the IN-list), evaluated
+    against the row context like any other expression.
+    """
 
     operand: Expression
     values: Tuple[Any, ...]
@@ -244,11 +249,18 @@ class InList(Expression):
         value = self.operand.evaluate(context)
         if value is NULL:
             return False
-        result = value in self.values
+        result = any(
+            value == (item.evaluate(context) if isinstance(item, Expression) else item)
+            for item in self.values
+        )
         return not result if self.negated else result
 
     def columns(self) -> FrozenSet[str]:
-        return self.operand.columns()
+        result = self.operand.columns()
+        for item in self.values:
+            if isinstance(item, Expression):
+                result |= item.columns()
+        return result
 
 
 @dataclass(frozen=True)

@@ -241,6 +241,28 @@ class QuerySpec:
     def has_aggregation(self) -> bool:
         return bool(self.aggregates)
 
+    def result_columns(self) -> List[str]:
+        """The result's column names, identical across every engine.
+
+        Declared outputs come first (in SELECT-list order), then aggregate
+        aliases.  A query with neither — possible through the builder API —
+        falls back to the qualified columns the query references anywhere,
+        alias by alias in FROM order with columns sorted: the projection
+        the TAG engine materialises for such queries, and the narrowest
+        common denominator across engines (the baselines may carry extra
+        columns in their row dicts; those remain accessible via ``rows``
+        but are not part of the declared column order).
+        """
+        columns = [column.alias for column in self.output]
+        columns.extend(aggregate.alias for aggregate in self.aggregates)
+        if columns:
+            return columns
+        for alias in self.aliases():
+            columns.extend(
+                f"{alias}.{column}" for column in sorted(self.required_columns_of(alias))
+            )
+        return columns
+
     # ------------------------------------------------------------------
     # validation & classification
     # ------------------------------------------------------------------

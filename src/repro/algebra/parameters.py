@@ -1,0 +1,215 @@
+"""Query parameters: placeholder expressions plus execution-time bindings.
+
+A :class:`ParameterRef` stands where a literal would appear in a predicate
+(``WHERE o.O_TOTAL > :threshold`` or ``... = ?``).  Because its ``repr``
+— which the plan-cache fingerprint is built from — names the parameter
+rather than any concrete value, every execution of the same parameterized
+query shares one cache entry: the prepared-statement plan is compiled once
+and re-run under different bindings.
+
+Bindings are carried in a :mod:`contextvars` context variable rather than
+being baked into the expression tree, so a compiled fragment cached by one
+session can be executed concurrently by another session with different
+values (each thread sees only its own binding).  Executors never touch
+this module directly; :class:`repro.api.Session` wraps each execution in
+:func:`bind_parameters`.
+"""
+
+from __future__ import annotations
+
+import datetime
+import numbers
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Union
+
+from .expressions import Expression, ExpressionError, RowContext
+
+
+class ParameterError(ValueError):
+    """Raised for missing, unknown or ill-typed query parameters."""
+
+
+#: the parameter assignment of the execution currently in flight (per context)
+_ACTIVE_PARAMETERS: ContextVar[Optional[Mapping[str, Any]]] = ContextVar(
+    "repro_active_parameters", default=None
+)
+
+
+@dataclass(frozen=True)
+class ParameterRef(Expression):
+    """A named query parameter (``:name``; positional ``?`` become ``p0, p1, ...``)."""
+
+    name: str
+
+    def evaluate(self, context: RowContext) -> Any:
+        bound = _ACTIVE_PARAMETERS.get()
+        if bound is None or self.name not in bound:
+            raise ExpressionError(
+                f"unbound query parameter :{self.name} "
+                "(execute through a Session or bind_parameters())"
+            )
+        return bound[self.name]
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        # value-free on purpose: this is what parameter-generic plan-cache
+        # fingerprints hash, so all bindings of :name render identically
+        return f"Param(:{self.name})"
+
+
+@contextmanager
+def bind_parameters(values: Mapping[str, Any]) -> Iterator[None]:
+    """Make ``values`` visible to every :class:`ParameterRef` in this context."""
+    token = _ACTIVE_PARAMETERS.set(dict(values))
+    try:
+        yield
+    finally:
+        _ACTIVE_PARAMETERS.reset(token)
+
+
+def current_parameters() -> Optional[Mapping[str, Any]]:
+    """The binding active in this execution context, if any."""
+    return _ACTIVE_PARAMETERS.get()
+
+
+# ----------------------------------------------------------------------
+# discovering the parameters of an expression / query spec
+# ----------------------------------------------------------------------
+def iter_subexpressions(expression: Expression) -> Iterator[Expression]:
+    """Depth-first walk over an expression tree (the node itself included).
+
+    Works structurally over the frozen dataclasses of
+    :mod:`repro.algebra.expressions`: any field holding an Expression — or a
+    tuple containing Expressions, as ``InList.values`` may once parameters
+    appear inside IN-lists — is descended into.
+    """
+    yield expression
+    if not is_dataclass(expression):
+        return
+    for spec_field in fields(expression):
+        value = getattr(expression, spec_field.name)
+        if isinstance(value, Expression):
+            yield from iter_subexpressions(value)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Expression):
+                    yield from iter_subexpressions(item)
+
+
+def expression_parameters(expression: Expression) -> List[str]:
+    """Names of the parameters referenced by ``expression`` (in walk order)."""
+    names: List[str] = []
+    for node in iter_subexpressions(expression):
+        if isinstance(node, ParameterRef) and node.name not in names:
+            names.append(node.name)
+    return names
+
+
+def spec_parameters(spec: Any) -> List[str]:
+    """Every parameter name appearing anywhere in a QuerySpec (subqueries included)."""
+    names: List[str] = []
+
+    def add(expression: Optional[Expression]) -> None:
+        if expression is None:
+            return
+        for name in expression_parameters(expression):
+            if name not in names:
+                names.append(name)
+
+    def visit(block: Any) -> None:
+        for alias_filters in block.filters.values():
+            for predicate in alias_filters:
+                add(predicate)
+        for predicate in block.residual_predicates:
+            add(predicate)
+        for output_column in block.output:
+            add(output_column.expression)
+        for aggregate in block.aggregates:
+            add(aggregate.argument)
+        for subquery in block.subqueries:
+            add(subquery.outer_expr)
+            visit(subquery.query)
+
+    visit(spec)
+    return names
+
+
+# ----------------------------------------------------------------------
+# normalising user-supplied bindings
+# ----------------------------------------------------------------------
+ParamsInput = Union[Mapping[str, Any], Sequence[Any], None]
+
+
+def positional_name(index: int) -> str:
+    """The synthesized name of the ``index``-th ``?`` placeholder."""
+    return f"p{index}"
+
+
+def normalize_parameters(
+    params: ParamsInput, expected: Sequence[str]
+) -> Dict[str, Any]:
+    """Check a user-supplied binding against a statement's parameter list.
+
+    Accepts a mapping (named parameters; a leading ``:`` on keys is
+    tolerated) or a sequence (positional parameters, matched to ``?``
+    placeholders in order).  Raises :class:`ParameterError` on missing or
+    unknown names so mistakes surface before any engine runs.
+    """
+    expected_names = list(expected)
+    if params is None:
+        if expected_names:
+            raise ParameterError(f"query expects parameters {expected_names}, none given")
+        return {}
+    if isinstance(params, Mapping):
+        provided = {str(key).lstrip(":"): value for key, value in params.items()}
+    else:
+        if isinstance(params, (str, bytes)):
+            raise ParameterError("positional parameters must be a list or tuple of values")
+        provided = {positional_name(i): value for i, value in enumerate(params)}
+    missing = [name for name in expected_names if name not in provided]
+    if missing:
+        raise ParameterError(f"missing parameter values for {missing}")
+    unknown = sorted(set(provided) - set(expected_names))
+    if unknown:
+        raise ParameterError(
+            f"unknown parameters {unknown} (query expects {expected_names or 'none'})"
+        )
+    return provided
+
+
+_TYPE_CHECKS = {
+    "int": lambda value: isinstance(value, numbers.Integral) and not isinstance(value, bool),
+    "float": lambda value: isinstance(value, numbers.Real) and not isinstance(value, bool),
+    "string": lambda value: isinstance(value, str),
+    "text": lambda value: isinstance(value, str),
+    "date": lambda value: isinstance(value, datetime.date),
+    "bool": lambda value: isinstance(value, bool),
+}
+
+
+def check_parameter_types(
+    provided: Mapping[str, Any], declared: Mapping[str, str]
+) -> None:
+    """Validate bound values against column types inferred at bind time.
+
+    ``declared`` maps parameter names to the :class:`~repro.relational.types.DataType`
+    value-string of the column each parameter is compared against (only
+    parameters whose type could be inferred appear).  ``None`` values pass —
+    they mean SQL NULL.
+    """
+    for name, type_name in declared.items():
+        if name not in provided:
+            continue
+        value = provided[name]
+        if value is None:
+            continue
+        check = _TYPE_CHECKS.get(type_name)
+        if check is not None and not check(value):
+            raise ParameterError(
+                f"parameter :{name} expects a {type_name} value, "
+                f"got {type(value).__name__} ({value!r})"
+            )

@@ -1,0 +1,398 @@
+"""The session-oriented public API: ``Database`` -> ``Session`` -> results.
+
+One :class:`Database` owns everything the paper builds *once per dataset*
+— the query-independent TAG encoding, the catalog statistics, one shared
+:class:`~repro.planner.cache.PlanCache` — and hands out lightweight
+:class:`Session` objects that execute SQL (optionally parameterized),
+prepare statements and render cross-engine EXPLAIN plans.  Because every
+executor created through the facade shares the one plan cache and
+statistics store, plan reuse is automatic across sessions and across
+parameter values:
+
+    db = Database.from_catalog(catalog)            # encodes + collects stats
+    with db.connect() as session:
+        hot = session.prepare(
+            "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :t")
+        hot.execute({"t": 50})                     # compiles (one cache miss)
+        hot.execute({"t": 500})                    # warm: plan-cache hit
+        print(session.explain(hot.sql))            # rooted join tree + costs
+
+Data loads go through :meth:`Database.load_rows` (or an explicit
+:meth:`Database.note_data_change` after out-of-band mutation), which bumps
+the catalog version so statistics refresh, drops the shared plan cache and
+schedules the TAG graph for re-encoding — no stale plan can survive a load.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..algebra.expressions import Between, ColumnRef, Comparison, Expression, InList
+from ..algebra.logical import QuerySpec
+from ..algebra.parameters import (
+    ParamsInput,
+    bind_parameters,
+    check_parameter_types,
+    iter_subexpressions,
+    normalize_parameters,
+    spec_parameters,
+)
+from ..core.executor import QueryResult
+from ..planner import PlanCache
+from ..relational.catalog import Catalog
+from ..tag.statistics import CatalogStatistics, refreshed_statistics
+from .registry import Engine, EngineContext, create_engine, resolve_engine_name
+
+
+class Database:
+    """A loaded database plus every engine that can query it.
+
+    Args:
+        catalog: the relational instance all engines share.
+        engine: default engine name for new sessions (registry name/alias).
+        num_workers: simulated worker count for the TAG/distributed engines.
+        plan_cache: a shared compiled-plan cache; one is created when omitted.
+        engine_options: per-engine keyword overrides, e.g.
+            ``{"tag": {"cross_check_plans": True}, "spark": {"num_partitions": 8}}``.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        engine: str = "tag",
+        num_workers: int = 1,
+        plan_cache: Optional[PlanCache] = None,
+        plan_cache_entries: int = 256,
+        engine_options: Optional[Dict[str, Dict[str, Any]]] = None,
+        graph: Optional[Any] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.default_engine = resolve_engine_name(engine)
+        self.num_workers = num_workers
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(plan_cache_entries)
+        self.engine_options = {
+            resolve_engine_name(name): dict(options)
+            for name, options in (engine_options or {}).items()
+        }
+        # accept a pre-encoded TAG graph (bench harnesses encode once and
+        # share it); it is still re-encoded if the data version moves on
+        self._graph: Optional[Any] = graph
+        self._graph_version: Optional[int] = catalog.version if graph is not None else None
+        self._statistics: Optional[CatalogStatistics] = None
+        self._engines: Dict[str, Engine] = {}
+        self._engine_versions: Dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_catalog(cls, catalog: Catalog, **kwargs: Any) -> "Database":
+        """The blessed constructor: wrap an already-populated catalog."""
+        return cls(catalog, **kwargs)
+
+    # ------------------------------------------------------------------
+    # shared, invalidation-aware resources
+    # ------------------------------------------------------------------
+    def tag_graph(self) -> Any:
+        """The TAG encoding of the catalog, built once and per data version."""
+        from ..tag.encoder import encode_catalog
+
+        with self._lock:
+            if self._graph is None or self._graph_version != self.catalog.version:
+                self._graph = encode_catalog(self.catalog)
+                self._graph_version = self.catalog.version
+            return self._graph
+
+    @property
+    def statistics(self) -> CatalogStatistics:
+        """Catalog statistics, recollected whenever the catalog version moves."""
+        with self._lock:
+            self._statistics = refreshed_statistics(self.catalog, self._statistics)
+            return self._statistics
+
+    def engine(self, name: Optional[str] = None) -> Engine:
+        """The (cached) engine instance registered under ``name``.
+
+        Engines are rebuilt lazily after :meth:`note_data_change` so the
+        TAG engine always queries the current encoding.
+        """
+        canonical = resolve_engine_name(name or self.default_engine)
+        with self._lock:
+            cached = self._engines.get(canonical)
+            if cached is not None and self._engine_versions.get(canonical) == self.catalog.version:
+                return cached
+            context = EngineContext(
+                catalog=self.catalog,
+                tag_graph=self.tag_graph,
+                plan_cache=self.plan_cache,
+                statistics=self.statistics,
+                num_workers=self.num_workers,
+                options=self.engine_options.get(canonical, {}),
+            )
+            engine = create_engine(canonical, context)
+            self._engines[canonical] = engine
+            self._engine_versions[canonical] = self.catalog.version
+            return engine
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def connect(self, engine: Optional[str] = None) -> "Session":
+        """Open a session (cheap; any number may be open concurrently)."""
+        return Session(self, engine=engine or self.default_engine)
+
+    # ------------------------------------------------------------------
+    # data changes
+    # ------------------------------------------------------------------
+    def load_rows(self, relation_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-append rows to a relation and invalidate dependent state."""
+        relation = self.catalog.relation(relation_name)
+        before = len(relation)
+        relation.extend(rows)
+        self.note_data_change()
+        return len(relation) - before
+
+    def note_data_change(self) -> None:
+        """Record an out-of-band data mutation: bump the catalog version so
+        statistics and the TAG encoding refresh, and drop all cached plans."""
+        with self._lock:
+            self.catalog.note_data_change()
+            self.plan_cache.clear()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Any]:
+        """Aggregate plan-cache counters across every engine of this database."""
+        with self._lock:
+            return {
+                "entries": len(self.plan_cache),
+                "max_entries": self.plan_cache.max_entries,
+                "shared": True,
+                "engines": sorted(self._engines),
+                **self.plan_cache.stats.as_dict(),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Database({self.catalog.name!r}, default_engine={self.default_engine!r}, "
+            f"{len(self.catalog)} relations)"
+        )
+
+
+class Session:
+    """One logical connection to a :class:`Database`.
+
+    Sessions hold no mutable query state of their own — every execution
+    resolves the engine through the database (so invalidation is
+    transparent) and binds its parameters in a context variable (so
+    concurrent sessions never observe each other's values).
+    """
+
+    def __init__(self, database: Database, engine: Optional[str] = None) -> None:
+        self.database = database
+        self.engine_name = resolve_engine_name(engine or database.default_engine)
+
+    # -- context manager sugar -----------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Sessions are stateless; provided for API symmetry."""
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        return self.database.engine(self.engine_name)
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.database.catalog
+
+    # ------------------------------------------------------------------
+    # executing
+    # ------------------------------------------------------------------
+    def sql(
+        self,
+        sql: str,
+        params: ParamsInput = None,
+        name: str = "query",
+    ) -> QueryResult:
+        """Parse, bind and execute SQL text, with optional parameters.
+
+        Parameters appear in the text as ``:name`` or positional ``?`` and
+        are supplied as a mapping / sequence respectively.  Repeated calls
+        with different values share one compiled plan (the plan-cache
+        fingerprint is parameter-generic).
+        """
+        return self.prepare(sql, name=name).execute(params)
+
+    def execute(self, spec: QuerySpec, params: ParamsInput = None) -> QueryResult:
+        """Execute an already-bound QuerySpec on this session's engine."""
+        expected = spec_parameters(spec)
+        bound = normalize_parameters(params, expected)
+        check_parameter_types(bound, infer_parameter_types(spec, self.catalog))
+        with bind_parameters(bound):
+            return self.engine.execute(spec)
+
+    def prepare(self, sql: str, name: str = "stmt") -> "PreparedStatement":
+        """Parse + bind once; execute any number of times with new values."""
+        from ..sql import parse_and_bind
+
+        spec = parse_and_bind(sql, self.catalog, name=name)
+        return PreparedStatement(
+            session=self,
+            sql=sql,
+            spec=spec,
+            parameter_names=spec_parameters(spec),
+            parameter_types=infer_parameter_types(spec, self.catalog),
+        )
+
+    # ------------------------------------------------------------------
+    # explaining
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: Union[str, QuerySpec],
+        params: ParamsInput = None,
+        analyze: bool = False,
+        name: str = "query",
+    ) -> str:
+        """Render this session's engine plan for ``query``.
+
+        The TAG engine shows the chosen rooted join tree and its
+        message-volume cost breakdown; the baselines show their operator
+        trees.  ``analyze=True`` additionally runs the query (parameters
+        required then, if the query has any) and appends actual totals.
+        """
+        if isinstance(query, str):
+            from ..sql import parse_and_bind
+
+            spec = parse_and_bind(query, self.catalog, name=name)
+        else:
+            spec = query
+        expected = spec_parameters(spec)
+        if params is not None or analyze:
+            bound = normalize_parameters(params, expected)
+            check_parameter_types(bound, infer_parameter_types(spec, self.catalog))
+        else:
+            bound = {}
+        header = f"engine: {self.engine_name}"
+        with bind_parameters(bound):
+            return header + "\n" + self.engine.explain(spec, analyze=analyze)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session({self.database.catalog.name!r}, engine={self.engine_name!r})"
+
+
+class PreparedStatement:
+    """A parsed, bound, plan-cache-friendly statement.
+
+    The expensive work (parse, bind, and — on first execution — join-tree
+    planning) happens once; each :meth:`execute` only validates and binds
+    its parameter values.  All executions share one plan-cache entry
+    because the fingerprint renders parameters by name, not by value.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        sql: str,
+        spec: QuerySpec,
+        parameter_names: List[str],
+        parameter_types: Dict[str, str],
+    ) -> None:
+        self.session = session
+        self.sql = sql
+        self.spec = spec
+        self.parameter_names = parameter_names
+        self.parameter_types = parameter_types
+
+    def execute(self, params: ParamsInput = None) -> QueryResult:
+        bound = normalize_parameters(params, self.parameter_names)
+        check_parameter_types(bound, self.parameter_types)
+        with bind_parameters(bound):
+            return self.session.engine.execute(self.spec)
+
+    def explain(self, params: ParamsInput = None, analyze: bool = False) -> str:
+        return self.session.explain(self.spec, params=params, analyze=analyze)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        placeholders = ", ".join(f":{name}" for name in self.parameter_names) or "none"
+        return f"PreparedStatement({self.spec.name!r}, parameters: {placeholders})"
+
+
+# ----------------------------------------------------------------------
+# bind-time parameter typing
+# ----------------------------------------------------------------------
+def infer_parameter_types(spec: QuerySpec, catalog: Catalog) -> Dict[str, str]:
+    """Map parameter names to the DataType value-name of the column each is
+    compared against, where that is unambiguous.
+
+    Drives the early ``ParameterError`` on type mismatches (e.g. a string
+    bound to ``O_TOTAL > :t``).  Parameters compared against columns of
+    conflicting types — or never compared against a column directly — are
+    left untyped and validated only at evaluation time.
+    """
+    from ..algebra.parameters import ParameterRef
+
+    inferred: Dict[str, str] = {}
+    conflicted: set = set()
+
+    def note(name: str, type_name: Optional[str]) -> None:
+        if type_name is None or name in conflicted:
+            return
+        if name in inferred and inferred[name] != type_name:
+            del inferred[name]
+            conflicted.add(name)
+            return
+        inferred[name] = type_name
+
+    def column_type(alias_map: Mapping[str, str], expression: Expression) -> Optional[str]:
+        if not isinstance(expression, ColumnRef) or expression.table is None:
+            return None
+        table = alias_map.get(expression.table)
+        if table is None or table not in catalog:
+            return None
+        schema = catalog.schema(table)
+        if expression.column not in schema:
+            return None
+        return schema.dtype(expression.column).value
+
+    def visit_expression(alias_map: Mapping[str, str], expression: Expression) -> None:
+        for node in iter_subexpressions(expression):
+            if isinstance(node, Comparison):
+                if isinstance(node.left, ParameterRef):
+                    note(node.left.name, column_type(alias_map, node.right))
+                if isinstance(node.right, ParameterRef):
+                    note(node.right.name, column_type(alias_map, node.left))
+            elif isinstance(node, Between):
+                operand_type = column_type(alias_map, node.operand)
+                for bound in (node.low, node.high):
+                    if isinstance(bound, ParameterRef):
+                        note(bound.name, operand_type)
+            elif isinstance(node, InList):
+                operand_type = column_type(alias_map, node.operand)
+                for item in node.values:
+                    if isinstance(item, ParameterRef):
+                        note(item.name, operand_type)
+
+    def visit(block: QuerySpec) -> None:
+        alias_map = block.alias_map()
+        for alias_filters in block.filters.values():
+            for predicate in alias_filters:
+                visit_expression(alias_map, predicate)
+        for predicate in block.residual_predicates:
+            visit_expression(alias_map, predicate)
+        for subquery in block.subqueries:
+            if subquery.outer_expr is not None:
+                visit_expression(alias_map, subquery.outer_expr)
+            visit(subquery.query)
+
+    visit(spec)
+    return inferred

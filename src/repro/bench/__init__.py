@@ -4,6 +4,7 @@ from .harness import (
     QueryRun,
     WorkloadReport,
     default_engines,
+    parameterized_execution_report,
     repeated_execution_report,
     result_checksum,
     run_query,
@@ -28,6 +29,7 @@ __all__ = [
     "default_engines",
     "format_table",
     "network_table",
+    "parameterized_execution_report",
     "peak_memory_bytes",
     "per_query_table",
     "repeated_execution_report",

@@ -23,15 +23,36 @@ import sys
 import time
 from typing import Any, Dict, Optional, Sequence
 
+from ..api import Database
 from ..core.executor import TagJoinExecutor
 from ..tag.encoder import encode_catalog
 from ..workloads import tpch_workload
-from .harness import default_engines, repeated_execution_report, run_workload
+from .harness import (
+    default_engines,
+    parameterized_execution_report,
+    repeated_execution_report,
+    run_workload,
+)
 
 #: queries covering every aggregation class the paper drills into
 SMOKE_QUERIES = ("q1", "q3", "q5", "q6", "q10")
 #: the Q3-style query used to measure the plan cache's effect
 REPEATED_QUERY = "q3"
+#: a parameterized Q3 variant: one prepared plan, executed per market segment
+PARAMETERIZED_SQL = """
+    SELECT o.O_ORDERKEY, o.O_ORDERDATE, o.O_SHIPPRIORITY,
+           SUM(l.L_EXTENDEDPRICE) AS revenue
+    FROM CUSTOMER c, ORDERS o, LINEITEM l
+    WHERE c.C_MKTSEGMENT = :segment AND c.C_CUSTKEY = o.O_CUSTKEY
+      AND l.L_ORDERKEY = o.O_ORDERKEY
+    GROUP BY o.O_ORDERKEY, o.O_ORDERDATE, o.O_SHIPPRIORITY
+"""
+PARAMETER_SETS = (
+    {"segment": "BUILDING"},
+    {"segment": "AUTOMOBILE"},
+    {"segment": "MACHINERY"},
+    {"segment": "HOUSEHOLD"},
+)
 
 
 def run_smoke(
@@ -71,6 +92,24 @@ def run_smoke(
     cache_stats = repeated["plan_cache"] or {}
     cache_ok = cache_stats.get("hits", 0) >= max(1, repeats - 1)
 
+    # prepared-statement path: same plan, different parameter values — every
+    # execution after the first must hit the shared parameter-generic cache
+    database = Database(
+        workload.catalog,
+        graph=graph,
+        engine_options={"tag": {"cross_check_plans": True}},
+    )
+    parameterized = parameterized_execution_report(
+        database,
+        PARAMETERIZED_SQL,
+        PARAMETER_SETS,
+        name="q3_parameterized",
+    )
+    parameterized_ok = (
+        parameterized["cold_misses"] >= 1
+        and parameterized["warm_hits"] == len(PARAMETER_SETS) - 1
+    )
+
     return {
         "workload": workload.name,
         "scale": scale,
@@ -79,10 +118,12 @@ def run_smoke(
         "aggregate_seconds": report.aggregate_seconds(),
         "compile_time_summary": report.compile_time_summary(),
         "repeated_execution": repeated,
+        "parameterized_execution": parameterized,
         "failures": failures,
         "agreement_failures": disagreements,
         "plan_cache_ok": cache_ok,
-        "ok": not failures and not disagreements and cache_ok,
+        "parameterized_cache_ok": parameterized_ok,
+        "ok": not failures and not disagreements and cache_ok and parameterized_ok,
     }
 
 
@@ -118,6 +159,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {line}", file=sys.stderr)
         if not result["plan_cache_ok"]:
             print("  plan cache produced no hits on repeated execution", file=sys.stderr)
+        if not result["parameterized_cache_ok"]:
+            print(
+                "  parameterized executions missed the cache "
+                "(fingerprint is not parameter-generic?)",
+                file=sys.stderr,
+            )
         return 1
     return 0
 

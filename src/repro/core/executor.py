@@ -22,6 +22,7 @@ Dispatch logic (paper Section 6.4, "TAG-join algorithm"):
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
@@ -55,6 +56,19 @@ from .vertex_program import (
 
 class ExecutionError(RuntimeError):
     """Raised when a query cannot be executed."""
+
+
+_GRAPH_LOCK_GUARD = threading.Lock()
+
+
+def _graph_execution_lock(graph: TagGraph) -> "threading.RLock":
+    """The one execution lock of ``graph``, created on first request."""
+    with _GRAPH_LOCK_GUARD:
+        lock = getattr(graph, "_execution_lock", None)
+        if lock is None:
+            lock = threading.RLock()
+            graph._execution_lock = lock  # type: ignore[attr-defined]
+        return lock
 
 
 @dataclass
@@ -105,10 +119,12 @@ class TagJoinExecutor:
         cross_check_plans: bool = False,
         statistics: Optional["CatalogStatistics"] = None,
         cost_config: Optional["CostModelConfig"] = None,
+        name: str = "tag",
     ) -> None:
         # local import: repro.planner depends on repro.core's submodules
         from ..planner import CostBasedPlanner, PlanCache
 
+        self.name = name
         self.graph = graph
         self.catalog = catalog
         self.num_workers = num_workers
@@ -133,6 +149,12 @@ class TagJoinExecutor:
         self.plan_cache = plan_cache
         #: the planner's verdict for the most recent compiled fragment
         self.last_plan_choice: Optional["PlanChoice"] = None
+        # BSP runs keep per-vertex scratch state on the TAG graph, so two
+        # executions over one graph must never interleave — even from
+        # *different* executors sharing a pre-encoded graph. The lock
+        # therefore lives on the graph; the plan cache stays concurrent
+        # (it has its own lock).
+        self._execution_lock = _graph_execution_lock(graph)
 
     def plan_cache_stats(self) -> Optional[Dict[str, Any]]:
         """Hit/miss counters of the plan cache (None when caching is off)."""
@@ -148,7 +170,8 @@ class TagJoinExecutor:
         spec.validate(self.catalog)
         metrics = RunMetrics(label=spec.name)
         started = time.perf_counter()
-        result = self._execute_block(spec, metrics)
+        with self._execution_lock:
+            result = self._execute_block(spec, metrics)
         metrics.wall_time_seconds = time.perf_counter() - started
         result.metrics = metrics
         return result
@@ -159,6 +182,97 @@ class TagJoinExecutor:
 
         spec = parse_and_bind(sql, self.catalog)
         return self.execute(spec)
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+    def explain(self, spec: QuerySpec, analyze: bool = False) -> str:
+        """The chosen rooted join tree plus the planner's cost breakdown.
+
+        With ``analyze=True`` the query is also executed and the plan is
+        annotated with the observed row count, supersteps and message
+        totals (EXPLAIN ANALYZE).
+        """
+        spec.validate(self.catalog)
+        lines: List[str] = [f"TAG-join plan for {spec.name!r}"]
+
+        components = connected_components(spec)
+        if len(components) > 1:
+            lines.append(
+                f"  disconnected join graph: {len(components)} components combined "
+                "by Cartesian product"
+            )
+        cycle_order = None
+        if self.use_wco_cycles and not spec.group_by and not spec.aggregates:
+            cycle_order = detect_simple_cycle(spec)
+        if cycle_order is not None:
+            lines.append(
+                "  simple cycle: worst-case-optimal heavy/light algorithm over "
+                + " -> ".join(cycle_order)
+            )
+        elif len(components) == 1:
+            # under the execution lock: _compile writes last_plan_choice,
+            # which a concurrent execute would otherwise pair with the
+            # wrong fragment when storing into the shared plan cache
+            with self._execution_lock:
+                compiled = self._compile(spec, {}, [])
+                choice = self.last_plan_choice
+            tree = compiled.join_tree
+            lines.append(f"  aggregation class: {compiled.aggregation_class.value}")
+            lines.append(f"  join tree (root = {tree.root}):")
+            lines.extend(self._render_tree(spec, tree, tree.root, depth=2))
+            if tree.residual_conditions:
+                lines.append(
+                    "  residual join conditions: "
+                    + "; ".join(repr(condition) for condition in tree.residual_conditions)
+                )
+            if choice is not None:
+                cost = choice.cost
+                lines.append(
+                    "  cost model: "
+                    f"reduction={cost.reduction_messages:.1f} msgs, "
+                    f"collection={cost.collection_messages:.1f} msgs, "
+                    f"cross-worker fraction={cost.cross_worker_fraction:.3f}, "
+                    f"total={cost.total:.1f}"
+                )
+                considered = ", ".join(
+                    f"{alias}={total:.1f}" for alias, total in sorted(choice.considered)
+                )
+                lines.append(f"  rootings considered: {considered}")
+            else:
+                lines.append("  cost model: abstained (root dictated by aggregation or trivial)")
+        if spec.subqueries:
+            lines.append(
+                f"  subquery predicates: {len(spec.subqueries)} "
+                "(evaluated first, folded into pushed-down filters)"
+            )
+
+        if analyze:
+            result = self.execute(spec)
+            metrics = result.metrics
+            lines.append(
+                "  actual: "
+                f"{len(result.rows)} rows, {metrics.superstep_count} supersteps, "
+                f"{metrics.total_messages} messages, "
+                f"{metrics.total_network_bytes} network bytes, "
+                f"{metrics.wall_time_seconds:.4f}s wall"
+            )
+        return "\n".join(lines)
+
+    def _render_tree(self, spec: QuerySpec, tree, alias: str, depth: int) -> List[str]:
+        table = spec.alias_map()[alias]
+        annotations = [f"{self.catalog.relation(table).cardinality()} rows"]
+        filter_count = len(spec.filters_for(alias))
+        if filter_count:
+            annotations.append(f"{filter_count} filter{'s' if filter_count > 1 else ''}")
+        edge = tree.edge_to_parent(alias)
+        via = ""
+        if edge is not None:
+            via = f" via {alias}.{edge.child_column} = {edge.parent}.{edge.parent_column}"
+        lines = [f"{'  ' * depth}{alias} ({table}: {', '.join(annotations)}){via}"]
+        for child in tree.children(alias):
+            lines.extend(self._render_tree(spec, tree, child, depth + 1))
+        return lines
 
     # ------------------------------------------------------------------
     # block dispatch
@@ -479,10 +593,9 @@ class TagJoinExecutor:
             outputs = spec.output
             if outputs:
                 produced = [ops.evaluate_output_columns(outputs, row) for row in rows]
-                columns = [column.alias for column in outputs]
             else:
                 produced = rows
-                columns = sorted({key for row in rows for key in row})
+            columns = spec.result_columns()
             if spec.distinct:
                 produced = ops.deduplicate(produced)
             return QueryResult(produced, columns, metrics, AggregationClass.NONE)

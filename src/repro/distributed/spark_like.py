@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..algebra.expressions import Expression
+from ..algebra.expressions import Expression, ExpressionError
 from ..algebra.logical import AggregationClass, JoinCondition, QuerySpec
 from ..bsp.metrics import RunMetrics
 from ..core import operations as ops
@@ -79,6 +79,103 @@ class SparkLikeExecutor:
 
         return self.execute(parse_and_bind(sql, self.catalog))
 
+    def explain(self, spec: QuerySpec, analyze: bool = False) -> str:
+        """The distributed operator tree: scans, join strategies, exchanges.
+
+        Replays the planner's decisions — greedy join order over filtered
+        scan sizes, broadcast vs shuffle per join — without materialising
+        any join.  With ``analyze=True`` the query also runs and the actual
+        row count and shuffle traffic are appended.
+        """
+        spec.validate(self.catalog)
+        lines = [
+            f"spark-like plan for {spec.name!r} "
+            f"({self.options.num_partitions} partitions)"
+        ]
+        if spec.subqueries:
+            lines.append(
+                f"  subquery predicates: {len(spec.subqueries)} "
+                "(evaluated first, folded into scan filters)"
+            )
+        aliases = spec.aliases()
+        sizes: Dict[str, int] = {}
+        for alias in aliases:
+            relation = self.catalog.relation(spec.table_for(alias))
+            predicates = spec.filters_for(alias)
+            size_note = "rows after filters"
+            if predicates:
+                names = relation.schema.column_names
+                try:
+                    matched = 0
+                    for raw in relation:
+                        context = {
+                            f"{alias}.{name}": value for name, value in zip(names, raw)
+                        }
+                        if ops.passes_filters(context, predicates):
+                            matched += 1
+                    sizes[alias] = matched
+                except ExpressionError:
+                    # filters reference unbound query parameters: EXPLAIN
+                    # without values falls back to the unfiltered size
+                    sizes[alias] = len(relation)
+                    size_note = "rows, filters unevaluated (unbound parameters)"
+            else:
+                sizes[alias] = len(relation)
+            filter_note = f", {len(predicates)} filters" if predicates else ""
+            lines.append(
+                f"  scan {alias} ({relation.name}: {sizes[alias]} {size_note}{filter_note})"
+            )
+
+        remaining = set(aliases)
+        current_alias = max(remaining, key=lambda alias: sizes[alias])
+        joined = {current_alias}
+        remaining.discard(current_alias)
+        step = 0
+        while remaining:
+            candidates = []
+            for alias in remaining:
+                conditions = self._conditions_between(spec, joined, alias)
+                candidates.append((not bool(conditions), sizes[alias], alias))
+            candidates.sort()
+            _disconnected, _size, alias = candidates[0]
+            conditions = self._conditions_between(spec, joined, alias)
+            step += 1
+            if not conditions:
+                strategy = "cartesian (broadcast right side)"
+            elif sizes[alias] <= self.options.broadcast_threshold_rows:
+                strategy = f"broadcast hash join ({sizes[alias]} rows replicated)"
+            else:
+                strategy = f"shuffle hash join (repartition both sides on {len(conditions)} keys)"
+            keys = "; ".join(repr(condition) for condition in conditions) or "none"
+            lines.append(f"  join {step}: + {alias} via {strategy} [keys: {keys}]")
+            joined.add(alias)
+            remaining.discard(alias)
+
+        if spec.residual_predicates:
+            lines.append(f"  residual filter: {len(spec.residual_predicates)} predicates")
+        if spec.aggregates:
+            grouping = (
+                ", ".join(group_col.qualified for group_col in spec.group_by) or "<global>"
+            )
+            lines.append(
+                f"  aggregate: partial per partition, exchange on [{grouping}], finalize"
+            )
+        elif spec.distinct:
+            lines.append("  distinct at the driver")
+        if self.options.collect_result_at_driver:
+            lines.append("  collect result at driver")
+
+        if analyze:
+            result = self.execute(spec)
+            stats: ShuffleStats = result.shuffle_stats  # type: ignore[attr-defined]
+            lines.append(
+                "  actual: "
+                f"{len(result.rows)} rows, {stats.network_rows} shuffled rows, "
+                f"{stats.network_bytes} network bytes, "
+                f"{result.metrics.wall_time_seconds:.4f}s wall"
+            )
+        return "\n".join(lines)
+
     # ------------------------------------------------------------------
     def _execute_block(
         self, spec: QuerySpec, stats: ShuffleStats
@@ -109,11 +206,8 @@ class SparkLikeExecutor:
             rows = gather(partitions, stats, charge=self.options.collect_result_at_driver)
             if spec.distinct:
                 rows = ops.deduplicate(rows)
-        columns = [column.alias for column in spec.output] + [
-            aggregate.alias for aggregate in spec.aggregates
-        ]
-        if not columns and rows:
-            columns = sorted(rows[0])
+        # shared across all engines so results line up column for column
+        columns = spec.result_columns()
         return rows, columns, aggregation_class
 
     def _nested_rows(self, inner: QuerySpec, stats: ShuffleStats) -> List[RowDict]:

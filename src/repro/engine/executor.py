@@ -12,7 +12,10 @@ match.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tag.statistics import CatalogStatistics
 
 from ..algebra.expressions import Expression
 from ..algebra.logical import QuerySpec
@@ -35,10 +38,11 @@ class RelationalExecutor:
         join_algorithm: str = "hash",
         build_pk_fk_indexes: bool = True,
         name: Optional[str] = None,
+        statistics: Optional["CatalogStatistics"] = None,
     ) -> None:
         self.catalog = catalog
         self.options = PlannerOptions(join_algorithm=join_algorithm)
-        self.planner = Planner(catalog, self.options)
+        self.planner = Planner(catalog, self.options, statistics=statistics)
         self.indexes: Optional[IndexCatalog] = (
             build_indexes(catalog) if build_pk_fk_indexes else None
         )
@@ -60,10 +64,18 @@ class RelationalExecutor:
 
         return self.execute(parse_and_bind(sql, self.catalog))
 
-    def explain(self, spec: QuerySpec) -> str:
-        """The physical plan as an indented string (EXPLAIN)."""
+    def explain(self, spec: QuerySpec, analyze: bool = False) -> str:
+        """The physical plan as an indented string (EXPLAIN [ANALYZE])."""
+        spec.validate(self.catalog)
         plan = self._plan_block(spec)
-        return plan.explain()
+        rendered = plan.explain()
+        if analyze:
+            result = self.execute(spec)
+            rendered += (
+                f"\nactual: {len(result.rows)} rows, "
+                f"{result.metrics.wall_time_seconds:.4f}s wall"
+            )
+        return rendered
 
     # ------------------------------------------------------------------
     def _execute_block(self, spec: QuerySpec):
@@ -89,14 +101,8 @@ class RelationalExecutor:
         return rows
 
     def _columns(self, spec: QuerySpec) -> List[str]:
-        columns = [column.alias for column in spec.output]
-        columns.extend(aggregate.alias for aggregate in spec.aggregates)
-        if not columns:
-            # SELECT * style fallback: every column of every alias
-            for table_ref in spec.tables:
-                schema = self.catalog.schema(table_ref.table)
-                columns.extend(f"{table_ref.alias}.{name}" for name in schema.column_names)
-        return columns
+        # shared across all engines so results line up column for column
+        return spec.result_columns()
 
     # ------------------------------------------------------------------
     def loading_report(self) -> Dict[str, Any]:

@@ -24,6 +24,7 @@ bypasses the cache for them rather than risk stale reuse.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
@@ -65,45 +66,57 @@ class PlanCacheStats:
 
 
 class PlanCache:
-    """A bounded LRU mapping fragment fingerprints to compiled fragments."""
+    """A bounded LRU mapping fragment fingerprints to compiled fragments.
+
+    One instance may be shared by every executor of a
+    :class:`repro.api.Database` and hit concurrently from several sessions,
+    so all bookkeeping (the LRU order *and* the counters) happens under a
+    lock.  Compiled fragments themselves are immutable once stored.
+    """
 
     def __init__(self, max_entries: int = 256) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = PlanCacheStats()
 
     # ------------------------------------------------------------------
     def lookup(self, key: str) -> Optional[Any]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def store(self, key: str, fragment: Any) -> None:
-        self._entries[key] = fragment
-        self._entries.move_to_end(key)
-        self.stats.stores += 1
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = fragment
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> int:
         """Drop every entry (explicit invalidation); returns the count dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped
+            return dropped
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 # ----------------------------------------------------------------------

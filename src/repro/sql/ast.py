@@ -29,6 +29,19 @@ class LiteralNode(ExprNode):
 
 
 @dataclass(frozen=True)
+class ParameterNode(ExprNode):
+    """A query parameter: named (``:name``) or positional (``?``).
+
+    Positional placeholders are assigned the synthetic names ``p0, p1, ...``
+    in lexical order by the parser, so downstream machinery deals in named
+    parameters only.
+    """
+
+    name: str
+    positional: bool = False
+
+
+@dataclass(frozen=True)
 class BinaryOpNode(ExprNode):
     """Arithmetic or comparison binary operation."""
 

@@ -27,6 +27,7 @@ from ..algebra.expressions import (
     Not,
     Or,
 )
+from ..algebra.parameters import ParameterRef
 from ..algebra.logical import (
     AggFunc,
     AggregateSpec,
@@ -399,7 +400,15 @@ class Binder:
         if isinstance(node, sql_ast.LikeNode):
             return Like(self._bind_scalar(scope, node.operand), node.pattern, node.negated)
         if isinstance(node, sql_ast.InListNode):
-            return InList(self._bind_scalar(scope, node.operand), node.values, node.negated)
+            values = tuple(
+                ParameterRef(value.name)
+                if isinstance(value, sql_ast.ParameterNode)
+                else value
+                for value in node.values
+            )
+            return InList(self._bind_scalar(scope, node.operand), values, node.negated)
+        if isinstance(node, sql_ast.ParameterNode):
+            return ParameterRef(node.name)
         if isinstance(node, (sql_ast.ExistsNode, sql_ast.InSubqueryNode, sql_ast.ScalarSubqueryNode)):
             raise SqlBindError(
                 "subqueries may only appear as top-level WHERE conjuncts in this SQL subset"

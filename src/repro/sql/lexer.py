@@ -18,6 +18,7 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCTUATION = "punctuation"
+    PARAMETER = "parameter"
     END = "end"
 
 
@@ -87,6 +88,20 @@ def tokenize(sql: str) -> List[Token]:
                     seen_dot = True
                 end += 1
             tokens.append(Token(TokenType.NUMBER, sql[index:end], index))
+            index = end
+            continue
+        if character == "?":
+            # positional parameter placeholder; names are assigned by the parser
+            tokens.append(Token(TokenType.PARAMETER, "", index))
+            index += 1
+            continue
+        if character == ":":
+            end = index + 1
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            if end == index + 1:
+                raise SqlSyntaxError(f"expected a parameter name after ':' at position {index}")
+            tokens.append(Token(TokenType.PARAMETER, sql[index + 1 : end], index))
             index = end
             continue
         if character.isalpha() or character == "_":

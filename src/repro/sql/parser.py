@@ -34,6 +34,7 @@ from .ast import (
     LiteralNode,
     NotNode,
     OrderItem,
+    ParameterNode,
     ScalarSubqueryNode,
     SelectItem,
     SelectStatement,
@@ -51,6 +52,7 @@ class Parser:
     def __init__(self, sql: str) -> None:
         self._tokens = tokenize(sql)
         self._index = 0
+        self._positional_parameters = 0
 
     # ------------------------------------------------------------------
     # token plumbing
@@ -346,6 +348,8 @@ class Parser:
             if literal.type is not TokenType.STRING:
                 raise SqlSyntaxError("DATE expects a quoted ISO date")
             return LiteralNode(_dt.date.fromisoformat(literal.value))
+        if token.type is TokenType.PARAMETER:
+            return self._parse_parameter()
         if token.matches_keyword(*_AGGREGATE_KEYWORDS):
             return self._parse_aggregate()
         if token.type is TokenType.IDENTIFIER:
@@ -375,8 +379,19 @@ class Parser:
             return ColumnNode(second.value, first)
         return ColumnNode(first)
 
-    def _parse_literal_value(self) -> Any:
+    def _parse_parameter(self) -> ParameterNode:
         token = self._advance()
+        if token.value:
+            return ParameterNode(token.value)
+        name = f"p{self._positional_parameters}"
+        self._positional_parameters += 1
+        return ParameterNode(name, positional=True)
+
+    def _parse_literal_value(self) -> Any:
+        token = self._peek()
+        if token.type is TokenType.PARAMETER:
+            return self._parse_parameter()
+        self._advance()
         if token.type is TokenType.NUMBER:
             return float(token.value) if "." in token.value else int(token.value)
         if token.type is TokenType.STRING:
@@ -384,7 +399,7 @@ class Parser:
         if token.matches_keyword("DATE"):
             literal = self._advance()
             return _dt.date.fromisoformat(literal.value)
-        raise SqlSyntaxError(f"expected a literal, found {token.value!r}")
+        raise SqlSyntaxError(f"expected a literal or parameter, found {token.value!r}")
 
 
 def parse_sql(sql: str) -> SelectStatement:

@@ -31,6 +31,7 @@ from ..algebra.expressions import (
     Not,
     Or,
 )
+from ..algebra.parameters import ParameterRef
 from ..relational.catalog import Catalog
 from ..relational.relation import Relation
 from ..relational.types import NULL
@@ -330,5 +331,14 @@ def _single_column(expression: Expression) -> Optional[str]:
 
 
 def _is_constant(left: Expression, right: Expression) -> bool:
-    """True when exactly one comparison side is a literal (column-vs-constant)."""
-    return isinstance(left, Literal) != isinstance(right, Literal)
+    """True when exactly one side is a constant (literal or bound parameter).
+
+    Query parameters count as constants: a prepared ``column = :v`` filter
+    has the same shape as ``column = literal`` for estimation purposes even
+    though the value is only known at execution time.
+    """
+
+    def constant(expression: Expression) -> bool:
+        return isinstance(expression, (Literal, ParameterRef))
+
+    return constant(left) != constant(right)

@@ -1,0 +1,152 @@
+"""Thread-safety: concurrent sessions sharing one Database (cache + statistics).
+
+Two (and more) sessions hammer the same parameterized statements from
+separate threads.  Every thread must see only its own parameter binding
+(no cross-talk through the shared plan cache) and the shared cache's
+counters must stay consistent under the concurrent hits.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import Database
+
+THREADS = 4
+ITERATIONS = 25
+
+#: nation key -> customer count in the mini catalog
+EXPECTED_CUSTOMERS = {1: 2, 2: 2, 3: 1}
+
+PARAMETERIZED_SQL = (
+    "SELECT COUNT(*) AS n FROM CUSTOMER c, ORDERS o "
+    "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND c.C_NATIONKEY = :nation"
+)
+#: nation key -> order count through the join (customer 99 is dangling)
+EXPECTED_ORDERS = {1: 2, 2: 2, 3: 1}
+
+
+def run_in_threads(worker, count=THREADS):
+    """Run ``worker(index)`` in ``count`` threads; re-raise any failure."""
+    errors = []
+
+    def wrapped(index):
+        try:
+            worker(index)
+        except Exception as exc:  # pragma: no cover - surfaced via raise below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestConcurrentSessions:
+    def test_two_sessions_disjoint_bindings(self, mini_catalog):
+        db = Database.from_catalog(mini_catalog)
+        sessions = [db.connect() for _ in range(THREADS)]
+
+        def worker(index):
+            session = sessions[index]
+            nation = (index % 3) + 1
+            for _ in range(ITERATIONS):
+                result = session.sql(
+                    "SELECT COUNT(*) AS n FROM CUSTOMER c WHERE c.C_NATIONKEY = :nation",
+                    params={"nation": nation},
+                )
+                assert result.single_value() == EXPECTED_CUSTOMERS[nation]
+
+        run_in_threads(worker)
+        stats = db.cache_stats()
+        # one parameter-generic plan, shared by every thread and binding
+        assert stats["entries"] == 1
+        assert stats["misses"] + stats["hits"] == THREADS * ITERATIONS
+        assert stats["hits"] >= THREADS * ITERATIONS - THREADS  # at most one miss per racer
+
+    def test_concurrent_join_queries_share_cache_consistently(self, mini_catalog):
+        db = Database.from_catalog(mini_catalog)
+        statement = db.connect().prepare(PARAMETERIZED_SQL)
+
+        def worker(index):
+            nation = (index % 3) + 1
+            for _ in range(ITERATIONS):
+                result = statement.execute({"nation": nation})
+                assert result.single_value() == EXPECTED_ORDERS[nation]
+
+        run_in_threads(worker)
+        stats = db.cache_stats()
+        lookups = stats["hits"] + stats["misses"]
+        assert lookups == THREADS * ITERATIONS
+        assert stats["entries"] == 1
+        # counters stay internally consistent under the lock
+        assert stats["stores"] >= 1
+        assert stats["evictions"] == 0
+
+    def test_mixed_engines_concurrently(self, mini_catalog):
+        """TAG + RDBMS sessions running together over one Database."""
+        db = Database.from_catalog(mini_catalog)
+        engines = ["tag", "rdbms", "tag", "rdbms"]
+
+        def worker(index):
+            session = db.connect(engine=engines[index])
+            for _ in range(ITERATIONS):
+                result = session.sql(
+                    "SELECT COUNT(*) AS n FROM CUSTOMER c, ORDERS o "
+                    "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND o.O_TOTAL > :v",
+                    params={"v": 15.0},
+                )
+                assert result.single_value() == 3
+
+        run_in_threads(worker)
+
+    def test_concurrent_statistics_refresh_is_single_instance(self, mini_catalog):
+        db = Database.from_catalog(mini_catalog)
+        seen = []
+
+        def worker(index):
+            seen.append(db.statistics)
+
+        run_in_threads(worker)
+        assert all(stats is seen[0] for stats in seen)
+        assert db.statistics.cardinality("ORDERS") == 6
+
+    def test_executors_sharing_a_graph_share_one_execution_lock(self, mini_catalog):
+        """The BSP scratch state lives on the graph, so the lock must too."""
+        from repro.core import TagJoinExecutor
+        from repro.tag import encode_catalog
+
+        graph = encode_catalog(mini_catalog)
+        first = TagJoinExecutor(graph, mini_catalog)
+        second = TagJoinExecutor(graph, mini_catalog)
+        assert first._execution_lock is second._execution_lock
+        other = TagJoinExecutor(encode_catalog(mini_catalog), mini_catalog)
+        assert other._execution_lock is not first._execution_lock
+
+    def test_eviction_pressure_under_concurrency(self, mini_catalog):
+        """A tiny cache being thrashed from several threads stays consistent."""
+        db = Database.from_catalog(mini_catalog, plan_cache_entries=2)
+        queries = [
+            "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :v",
+            "SELECT COUNT(*) AS n FROM CUSTOMER c WHERE c.C_NATIONKEY = :v",
+            "SELECT COUNT(*) AS n FROM NATION n WHERE n.N_NATIONKEY = :v",
+            "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_ORDERKEY = :v",
+        ]
+
+        def worker(index):
+            session = db.connect()
+            for iteration in range(ITERATIONS):
+                session.sql(queries[(index + iteration) % len(queries)], params={"v": 1})
+
+        run_in_threads(worker)
+        stats = db.cache_stats()
+        assert len(db.plan_cache) <= 2
+        assert stats["hits"] + stats["misses"] == THREADS * ITERATIONS
+        assert stats["stores"] == stats["misses"]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

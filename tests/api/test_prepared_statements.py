@@ -1,0 +1,187 @@
+"""Prepared statements: named/positional parameters, typing, IN/BETWEEN, reuse."""
+
+import pytest
+
+from repro.api import Database, ParameterError
+
+
+@pytest.fixture()
+def session(mini_catalog):
+    return Database.from_catalog(mini_catalog).connect()
+
+
+class TestNamedParameters:
+    def test_named_parameter_binds_and_filters(self, session):
+        result = session.sql(
+            "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > :floor",
+            params={"floor": 25.0},
+        )
+        assert sorted(row["O_ORDERKEY"] for row in result.rows) == [100, 102]
+
+    def test_colon_prefix_on_keys_tolerated(self, session):
+        result = session.sql(
+            "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_PRIORITY = :p",
+            params={":p": "HIGH"},
+        )
+        assert result.single_value() == 3
+
+    def test_one_name_used_twice_binds_once(self, session):
+        result = session.sql(
+            "SELECT COUNT(*) AS n FROM ORDERS o "
+            "WHERE o.O_TOTAL > :v OR o.O_ORDERKEY = :v",
+            params={"v": 100},
+        )
+        # no total exceeds 100, but order 100 matches the second use of :v
+        assert result.single_value() == 1
+
+
+class TestPositionalParameters:
+    def test_question_marks_bind_in_order(self, session):
+        result = session.sql(
+            "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > ? AND o.O_PRIORITY = ?",
+            params=[15.0, "HIGH"],
+        )
+        assert sorted(row["O_ORDERKEY"] for row in result.rows) == [100, 102]
+
+    def test_too_few_positional_values_raise(self, session):
+        with pytest.raises(ParameterError, match="missing parameter"):
+            session.sql(
+                "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > ? AND o.O_PRIORITY = ?",
+                params=[15.0],
+            )
+
+    def test_string_not_accepted_as_positional_list(self, session):
+        with pytest.raises(ParameterError, match="list or tuple"):
+            session.sql(
+                "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_PRIORITY = ?",
+                params="HIGH",
+            )
+
+
+class TestParameterValidation:
+    def test_missing_named_parameter_raises(self, session):
+        with pytest.raises(ParameterError, match="expects parameters"):
+            session.sql("SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > :v")
+
+    def test_partially_missing_named_parameters_raise(self, session):
+        with pytest.raises(ParameterError, match="missing parameter"):
+            session.sql(
+                "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL BETWEEN :lo AND :hi",
+                params={"lo": 1.0},
+            )
+
+    def test_unknown_parameter_raises(self, session):
+        with pytest.raises(ParameterError, match="unknown parameters"):
+            session.sql(
+                "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > :v",
+                params={"v": 1.0, "extra": 2},
+            )
+
+    def test_type_mismatch_string_for_float_column(self, session):
+        with pytest.raises(ParameterError, match="expects a float"):
+            session.sql(
+                "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > :v",
+                params={"v": "twenty"},
+            )
+
+    def test_type_mismatch_int_for_string_column(self, session):
+        with pytest.raises(ParameterError, match="expects a string"):
+            session.sql(
+                "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_PRIORITY = :p",
+                params={"p": 7},
+            )
+
+    def test_int_accepted_for_int_column_and_bool_rejected(self, session):
+        ok = session.sql(
+            "SELECT COUNT(*) AS n FROM CUSTOMER c WHERE c.C_NATIONKEY = :k",
+            params={"k": 1},
+        )
+        assert ok.single_value() == 2
+        with pytest.raises(ParameterError, match="expects a int"):
+            session.sql(
+                "SELECT COUNT(*) AS n FROM CUSTOMER c WHERE c.C_NATIONKEY = :k",
+                params={"k": True},
+            )
+
+
+class TestParametersInsideCompoundPredicates:
+    def test_parameters_in_in_list(self, session):
+        statement = session.database.connect().prepare(
+            "SELECT c.C_CUSTKEY FROM CUSTOMER c WHERE c.C_NATIONKEY IN (:a, :b)"
+        )
+        usa_france = statement.execute({"a": 1, "b": 2})
+        assert sorted(row["C_CUSTKEY"] for row in usa_france.rows) == [10, 11, 12, 14]
+        japan_only = statement.execute({"a": 3, "b": 3})
+        assert sorted(row["C_CUSTKEY"] for row in japan_only.rows) == [13]
+
+    def test_mixed_literals_and_parameters_in_in_list(self, session):
+        result = session.sql(
+            "SELECT c.C_CUSTKEY FROM CUSTOMER c WHERE c.C_NATIONKEY IN (1, :other)",
+            params={"other": 3},
+        )
+        assert sorted(row["C_CUSTKEY"] for row in result.rows) == [10, 11, 13]
+
+    def test_parameters_in_between(self, session):
+        statement = session.prepare(
+            "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL BETWEEN :lo AND :hi"
+        )
+        mid = statement.execute({"lo": 10.0, "hi": 30.0})
+        assert sorted(row["O_ORDERKEY"] for row in mid.rows) == [101, 102, 103]
+        wide = statement.execute({"lo": 0.0, "hi": 100.0})
+        assert len(wide.rows) == 6
+
+    def test_between_type_mismatch_caught(self, session):
+        with pytest.raises(ParameterError, match="expects a float"):
+            session.sql(
+                "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL BETWEEN :lo AND :hi",
+                params={"lo": "a", "hi": "z"},
+            )
+
+
+class TestPreparedStatementReuse:
+    def test_metadata_exposed(self, session):
+        statement = session.prepare(
+            "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > :floor AND o.O_PRIORITY = ?"
+        )
+        assert statement.parameter_names == ["floor", "p0"]
+        assert statement.parameter_types == {"floor": "float", "p0": "string"}
+
+    def test_plan_compiled_once_across_values(self, mini_catalog):
+        db = Database.from_catalog(mini_catalog)
+        statement = db.connect().prepare(
+            "SELECT c.C_CUSTKEY FROM CUSTOMER c, ORDERS o "
+            "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND o.O_TOTAL > :v"
+        )
+        for value in (5.0, 15.0, 25.0, 35.0):
+            statement.execute({"v": value})
+        stats = db.cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 3
+        assert stats["entries"] == 1
+
+    def test_same_sql_different_literal_values_also_share_plan(self, mini_catalog):
+        """session.sql re-prepares, but parameterized text still hits the cache."""
+        db = Database.from_catalog(mini_catalog)
+        session = db.connect()
+        sql = "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :v"
+        counts = [
+            session.sql(sql, params={"v": value}).single_value()
+            for value in (0.0, 20.0, 45.0)
+        ]
+        assert counts == [6, 2, 1]
+        assert db.cache_stats()["misses"] == 1
+        assert db.cache_stats()["hits"] == 2
+
+    def test_unbound_execution_outside_session_fails(self, mini_catalog):
+        """Specs with parameters cannot run without a binding (no silent NULLs)."""
+        from repro.algebra.expressions import ExpressionError
+        from repro.core import TagJoinExecutor
+        from repro.sql import parse_and_bind
+        from repro.tag import encode_catalog
+
+        spec = parse_and_bind(
+            "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > :v", mini_catalog
+        )
+        executor = TagJoinExecutor(encode_catalog(mini_catalog), mini_catalog)
+        with pytest.raises(ExpressionError, match="unbound query parameter"):
+            executor.execute(spec)

@@ -1,0 +1,112 @@
+"""Engine registry: lookup, aliases, custom registration, protocol conformance."""
+
+import pytest
+
+from repro.api import (
+    EngineContext,
+    EngineError,
+    available_engines,
+    builtin_engine_names,
+    create_engine,
+    engine_aliases,
+    register_engine,
+    resolve_engine_name,
+)
+from repro.core import TagJoinExecutor
+from repro.distributed import SparkLikeExecutor
+from repro.engine import RelationalExecutor
+from repro.tag import encode_catalog
+
+
+def make_context(catalog, **kwargs):
+    return EngineContext(catalog=catalog, tag_graph=lambda: encode_catalog(catalog), **kwargs)
+
+
+class TestRegistryLookup:
+    def test_builtins_registered(self):
+        names = available_engines()
+        for expected in builtin_engine_names():
+            assert expected in names
+
+    def test_aliases_resolve_to_canonical_names(self):
+        assert resolve_engine_name("rdbms_hash") == "rdbms"
+        assert resolve_engine_name("spark_like") == "spark"
+        assert resolve_engine_name("tag_join") == "tag"
+        assert resolve_engine_name("tag") == "tag"
+        assert engine_aliases()["rdbms_hash"] == "rdbms"
+
+    def test_unknown_engine_raises_with_available_names(self):
+        with pytest.raises(EngineError, match="unknown engine"):
+            resolve_engine_name("postgres")
+
+    def test_duplicate_registration_rejected_without_replace(self):
+        with pytest.raises(EngineError):
+            register_engine("tag", lambda context: None)
+
+    def test_builtin_alias_cannot_be_hijacked(self):
+        """A third-party engine must not silently capture 'spark_like' etc."""
+        with pytest.raises(EngineError, match="already registered"):
+            register_engine("spark_like", lambda context: None)
+        with pytest.raises(EngineError, match="already registered"):
+            register_engine("my-engine-xyz", lambda context: None, aliases=("rdbms_hash",))
+        assert resolve_engine_name("spark_like") == "spark"
+        assert "my-engine-xyz" not in available_engines()
+
+
+class TestEngineCreation:
+    def test_create_all_builtins(self, mini_catalog):
+        expectations = {
+            "tag": TagJoinExecutor,
+            "rdbms": RelationalExecutor,
+            "rdbms_sortmerge": RelationalExecutor,
+            "spark": SparkLikeExecutor,
+        }
+        for name, engine_type in expectations.items():
+            engine = create_engine(name, make_context(mini_catalog))
+            assert isinstance(engine, engine_type), name
+
+    def test_rdbms_variants_differ_in_join_algorithm(self, mini_catalog):
+        hash_engine = create_engine("rdbms_hash", make_context(mini_catalog))
+        merge_engine = create_engine("rdbms_sortmerge", make_context(mini_catalog))
+        assert hash_engine.options.join_algorithm == "hash"
+        assert merge_engine.options.join_algorithm == "sort_merge"
+
+    def test_engine_protocol_surface(self, mini_catalog):
+        """Every built-in engine exposes name/execute/execute_sql/explain."""
+        for name in builtin_engine_names():
+            engine = create_engine(name, make_context(mini_catalog))
+            assert isinstance(engine.name, str) and engine.name
+            for method in ("execute", "execute_sql", "explain"):
+                assert callable(getattr(engine, method)), f"{name}.{method}"
+
+    def test_context_options_forwarded(self, mini_catalog):
+        context = make_context(mini_catalog, options={"num_partitions": 3})
+        engine = create_engine("spark", context)
+        assert engine.options.num_partitions == 3
+
+    def test_custom_engine_registration(self, mini_catalog):
+        class EchoEngine:
+            name = "echo"
+
+            def __init__(self, catalog):
+                self.catalog = catalog
+
+            def execute(self, spec):
+                return spec
+
+            def execute_sql(self, sql):
+                return sql
+
+            def explain(self, spec, analyze=False):
+                return "echo"
+
+        register_engine(
+            "echo-test",
+            lambda context: EchoEngine(context.catalog),
+            description="test double",
+            replace=True,
+        )
+        engine = create_engine("echo-test", make_context(mini_catalog))
+        assert isinstance(engine, EchoEngine)
+        assert engine.catalog is mini_catalog
+        assert "echo-test" in available_engines()

@@ -65,6 +65,12 @@ def mini_catalog() -> Catalog:
     return make_mini_catalog()
 
 
+@pytest.fixture()
+def mini_catalog_copy() -> Catalog:
+    """A fresh mini catalog safe to mutate (bulk loads, version bumps)."""
+    return make_mini_catalog()
+
+
 @pytest.fixture(scope="session")
 def mini_graph(mini_catalog):
     return encode_catalog(mini_catalog)

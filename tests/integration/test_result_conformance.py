@@ -1,0 +1,68 @@
+"""QueryResult conformance: identical columns and accessor semantics everywhere.
+
+The engine-agreement suite checks row *contents*; this one pins down the
+result *shape*: all three engines must produce the same ``columns`` list
+(same names, same order), equal ``to_tuples()`` output and the same
+``single_value()`` behaviour on the TPC-H query set — so callers can swap
+engines through the Database facade without reshaping their result
+handling.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.core.executor import ExecutionError
+from repro.workloads import tpch_workload
+
+TPCH = tpch_workload(scale=0.05, seed=11)
+DB = Database.from_catalog(TPCH.catalog)
+ENGINES = ("tag", "rdbms", "spark")
+
+
+def rounded(tuples):
+    return [
+        tuple(round(value, 6) if isinstance(value, float) else value for value in row)
+        for row in tuples
+    ]
+
+
+@pytest.mark.parametrize("query_name", [query.name for query in TPCH.queries])
+def test_columns_and_tuples_conform_across_engines(query_name):
+    sql = TPCH.query(query_name).sql
+    results = {
+        engine: DB.connect(engine=engine).sql(sql, name=query_name) for engine in ENGINES
+    }
+    reference = results["rdbms"]
+    assert reference.columns, query_name  # every TPC-H query declares outputs
+    for engine, result in results.items():
+        assert result.columns == reference.columns, f"{engine} columns on {query_name}"
+        assert rounded(result.to_tuples()) == rounded(reference.to_tuples()), (
+            f"{engine} tuples on {query_name}"
+        )
+        # rows only carry declared columns (no stray keys leaking through)
+        for row in result.rows[:5]:
+            assert set(row) <= set(reference.columns), f"{engine} row keys on {query_name}"
+
+
+def test_single_value_semantics_conform():
+    sql = "SELECT COUNT(*) AS n FROM ORDERS o"
+    values = {engine: DB.connect(engine=engine).sql(sql).single_value() for engine in ENGINES}
+    assert len(set(values.values())) == 1
+
+    multi_column = "SELECT o.O_ORDERKEY, o.O_CUSTKEY FROM ORDERS o"
+    for engine in ENGINES:
+        with pytest.raises(ExecutionError):
+            DB.connect(engine=engine).sql(multi_column).single_value()
+
+
+def test_to_tuples_explicit_column_order_conforms():
+    sql = (
+        "SELECT n.N_NAME AS nation, COUNT(*) AS customers "
+        "FROM NATION n, CUSTOMER c WHERE n.N_NATIONKEY = c.C_NATIONKEY "
+        "GROUP BY n.N_NAME"
+    )
+    picked = [
+        DB.connect(engine=engine).sql(sql).to_tuples(columns=["customers", "nation"])
+        for engine in ENGINES
+    ]
+    assert picked[0] == picked[1] == picked[2]

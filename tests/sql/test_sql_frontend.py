@@ -6,6 +6,7 @@ import pytest
 
 from repro.algebra import AggFunc, AggregationClass, Like
 from repro.algebra.logical import JoinType, SubqueryKind
+from repro.algebra.parameters import ParameterRef, spec_parameters
 from repro.sql import SqlBindError, SqlSyntaxError, parse_and_bind, parse_sql, tokenize
 from repro.sql.ast import (
     BinaryOpNode,
@@ -13,6 +14,7 @@ from repro.sql.ast import (
     FuncNode,
     InSubqueryNode,
     LiteralNode,
+    ParameterNode,
     ScalarSubqueryNode,
 )
 from repro.sql.lexer import TokenType
@@ -245,3 +247,81 @@ class TestBinder:
         )
         assert len(spec.residual_predicates) == 1
         assert len(spec.join_conditions) == 1
+
+
+class TestParameters:
+    """Lexing, parsing and binding of :name and ? query parameters."""
+
+    def test_lexer_emits_parameter_tokens(self):
+        tokens = tokenize("SELECT 1 FROM T t WHERE t.X = :val AND t.Y = ?")
+        parameters = [t for t in tokens if t.type is TokenType.PARAMETER]
+        assert [t.value for t in parameters] == ["val", ""]
+
+    def test_lexer_rejects_bare_colon(self):
+        with pytest.raises(SqlSyntaxError, match="parameter name"):
+            tokenize("SELECT 1 WHERE x = :")
+
+    def test_parser_names_positional_parameters_in_order(self):
+        statement = parse_sql("SELECT a.X FROM A a WHERE a.X > ? AND a.Y < ? AND a.Z = :named")
+        conjuncts = statement.where.operands
+        assert isinstance(conjuncts[0].right, ParameterNode)
+        assert conjuncts[0].right.name == "p0" and conjuncts[0].right.positional
+        assert conjuncts[1].right.name == "p1"
+        assert conjuncts[2].right.name == "named" and not conjuncts[2].right.positional
+
+    def test_binder_produces_parameter_refs(self, mini_catalog):
+        spec = parse_and_bind(
+            "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > :v", mini_catalog
+        )
+        predicate = spec.filters["o"][0]
+        assert isinstance(predicate.right, ParameterRef)
+        assert predicate.right.name == "v"
+        assert spec_parameters(spec) == ["v"]
+
+    def test_parameters_in_in_list_and_between(self, mini_catalog):
+        spec = parse_and_bind(
+            "SELECT o.O_ORDERKEY FROM ORDERS o "
+            "WHERE o.O_PRIORITY IN (:a, 'LOW') AND o.O_TOTAL BETWEEN ? AND ?",
+            mini_catalog,
+        )
+        assert spec_parameters(spec) == ["a", "p0", "p1"]
+
+    def test_parameter_repr_is_value_free(self):
+        assert repr(ParameterRef("v")) == "Param(:v)"
+
+    def test_parameterized_fingerprint_is_value_generic(self, mini_catalog):
+        """Identical parameterized SQL fingerprints identically; literal SQL does not."""
+        from repro.planner.cache import fragment_cache_key
+
+        spec_a = parse_and_bind(
+            "SELECT o.O_ORDERKEY FROM ORDERS o, CUSTOMER c "
+            "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND o.O_TOTAL > :v",
+            mini_catalog,
+        )
+        spec_b = parse_and_bind(
+            "SELECT o.O_ORDERKEY FROM ORDERS o, CUSTOMER c "
+            "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND o.O_TOTAL > :v",
+            mini_catalog,
+        )
+        literal = parse_and_bind(
+            "SELECT o.O_ORDERKEY FROM ORDERS o, CUSTOMER c "
+            "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND o.O_TOTAL > 10",
+            mini_catalog,
+        )
+        assert fragment_cache_key(spec_a, mini_catalog) == fragment_cache_key(
+            spec_b, mini_catalog
+        )
+        assert fragment_cache_key(spec_a, mini_catalog) != fragment_cache_key(
+            literal, mini_catalog
+        )
+
+    def test_evaluation_requires_binding(self, mini_catalog):
+        from repro.algebra import ExpressionError, bind_parameters
+
+        reference = ParameterRef("v")
+        with pytest.raises(ExpressionError, match="unbound query parameter"):
+            reference.evaluate({})
+        with bind_parameters({"v": 42}):
+            assert reference.evaluate({}) == 42
+        with pytest.raises(ExpressionError):
+            reference.evaluate({})  # binding is scoped to the context manager
