@@ -1,10 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench examples lint format-check
+.PHONY: test test-stress bench-smoke bench examples lint format-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-stress:
+	$(PYTHON) -m pytest -m stress -q
 
 bench-smoke:
 	$(PYTHON) -m repro.bench.smoke --scale 0.03 --out benchmarks/results/smoke.json

@@ -19,8 +19,7 @@ from __future__ import annotations
 
 import datetime
 import numbers
-from contextlib import contextmanager
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Union
 
@@ -61,14 +60,30 @@ class ParameterRef(Expression):
         return f"Param(:{self.name})"
 
 
-@contextmanager
-def bind_parameters(values: Mapping[str, Any]) -> Iterator[None]:
-    """Make ``values`` visible to every :class:`ParameterRef` in this context."""
-    token = _ACTIVE_PARAMETERS.set(dict(values))
-    try:
-        yield
-    finally:
-        _ACTIVE_PARAMETERS.reset(token)
+class bind_parameters:
+    """Make ``values`` visible to every :class:`ParameterRef` in this context.
+
+    A plain (re-usable per instance, but not re-entrant) context manager
+    rather than a generator so the reset is structural: ``__exit__``
+    unconditionally restores the previous binding, which guarantees an
+    execution that raises mid-run — a failing parameterized query, a
+    planner error, a BSP protocol violation — can never leak its bound
+    values into the next query executed on the same thread.  The values
+    are snapshot (``dict(values)``) *before* the contextvar is touched, so
+    a bad ``values`` object cannot leave a half-installed binding either.
+    """
+
+    def __init__(self, values: Mapping[str, Any]) -> None:
+        self._values = dict(values)
+        self._token: Optional[Token] = None
+
+    def __enter__(self) -> None:
+        self._token = _ACTIVE_PARAMETERS.set(self._values)
+
+    def __exit__(self, *exc_info: Any) -> None:
+        token, self._token = self._token, None
+        if token is not None:
+            _ACTIVE_PARAMETERS.reset(token)
 
 
 def current_parameters() -> Optional[Mapping[str, Any]]:

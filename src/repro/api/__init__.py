@@ -8,6 +8,7 @@ executor class.  See :mod:`repro.api.database` for a usage sketch.
 """
 
 from ..algebra.parameters import ParameterError, bind_parameters
+from ..core.executor import StaleEngineError
 from .database import Database, PreparedStatement, Session, infer_parameter_types
 from .registry import (
     Engine,
@@ -29,6 +30,7 @@ __all__ = [
     "ParameterError",
     "PreparedStatement",
     "Session",
+    "StaleEngineError",
     "available_engines",
     "bind_parameters",
     "builtin_engine_names",

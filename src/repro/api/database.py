@@ -25,8 +25,10 @@ schedules the TAG graph for re-encoding — no stale plan can survive a load.
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..algebra.expressions import Between, ColumnRef, Comparison, Expression, InList
 from ..algebra.logical import QuerySpec
@@ -38,7 +40,7 @@ from ..algebra.parameters import (
     normalize_parameters,
     spec_parameters,
 )
-from ..core.executor import QueryResult
+from ..core.executor import QueryResult, StaleEngineError
 from ..planner import PlanCache
 from ..relational.catalog import Catalog
 from ..tag.statistics import CatalogStatistics, refreshed_statistics
@@ -121,7 +123,11 @@ class Database:
         canonical = resolve_engine_name(name or self.default_engine)
         with self._lock:
             cached = self._engines.get(canonical)
-            if cached is not None and self._engine_versions.get(canonical) == self.catalog.version:
+            if (
+                cached is not None
+                and not getattr(cached, "retired", False)
+                and self._engine_versions.get(canonical) == self.catalog.version
+            ):
                 return cached
             context = EngineContext(
                 catalog=self.catalog,
@@ -144,6 +150,127 @@ class Database:
         return Session(self, engine=engine or self.default_engine)
 
     # ------------------------------------------------------------------
+    # batched concurrent execution
+    # ------------------------------------------------------------------
+    def execute_many(
+        self,
+        queries: Sequence[Union[str, QuerySpec, Tuple[Union[str, QuerySpec], ParamsInput]]],
+        params: Optional[Sequence[ParamsInput]] = None,
+        engine: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        mode: str = "thread",
+    ) -> List["QueryResult"]:
+        """Execute a batch of queries concurrently; results in input order.
+
+        Each entry of ``queries`` is SQL text, a bound :class:`QuerySpec`,
+        or a ``(query, params)`` pair; alternatively ``params`` supplies one
+        binding per query positionally.  Executions fan out over
+        ``max_workers`` workers (default ``min(4, cpu_count, len(batch))``)
+        against the one immutable encoded graph: per-run vertex state is
+        run-scoped and parameter bindings are context-local, so no
+        serialization happens anywhere on the query path and every worker's
+        result is identical to what a serial loop would produce.
+
+        ``mode`` selects the worker kind:
+
+        * ``"thread"`` (default) — a thread pool.  Plan-cache and
+          statistics counters accumulate normally; per-query wall time is
+          unchanged, and throughput is bounded by the interpreter (the GIL
+          serializes pure-Python compute even though nothing in this
+          library does anymore).
+        * ``"process"`` — fork-based worker processes (POSIX only; falls
+          back to threads where ``fork`` is unavailable).  Children inherit
+          the encoded graph, statistics and warm plan cache copy-on-write,
+          so the batch runs with real hardware parallelism; cache/statistic
+          counter updates made inside children are not reflected back.
+          Queries and results must be picklable.  The known query-path
+          locks are held across the fork, but forking while *other*
+          threads are concurrently executing against or mutating this
+          database is not supported (the usual ``fork``-plus-threads
+          caveat); run process batches from a quiet point.
+
+        The first failing query's exception is re-raised after the batch
+        drains.
+        """
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown execute_many mode {mode!r} (thread or process)")
+        if params is not None:
+            if len(params) != len(queries):
+                raise ValueError(
+                    f"params supplies {len(params)} bindings for {len(queries)} queries"
+                )
+            if any(isinstance(query, tuple) for query in queries):
+                raise ValueError(
+                    "pass bindings either inline as (query, params) tuples or "
+                    "positionally via params=, not both"
+                )
+            items: List[Tuple[Union[str, QuerySpec], ParamsInput]] = list(zip(queries, params))
+        else:
+            items = [
+                item if isinstance(item, tuple) else (item, None)  # type: ignore[list-item]
+                for item in queries
+            ]
+        if not items:
+            return []
+        session = self.connect(engine=engine)
+        session.engine  # resolve (and lazily build) the engine once, up front
+        if max_workers is None:
+            max_workers = min(4, os.cpu_count() or 1, len(items))
+        max_workers = max(1, max_workers)
+
+        def run_one(item: Tuple[Union[str, QuerySpec], ParamsInput]) -> "QueryResult":
+            query, bindings = item
+            if isinstance(query, QuerySpec):
+                return session.execute(query, params=bindings)
+            return session.sql(query, params=bindings)
+
+        if max_workers == 1:
+            return [run_one(item) for item in items]
+        if mode == "process" and hasattr(os, "fork"):
+            return self._execute_many_forked(items, session.engine_name, max_workers)
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(run_one, item) for item in items]
+            return [future.result() for future in futures]
+
+    def _execute_many_forked(
+        self,
+        items: List[Tuple[Union[str, QuerySpec], ParamsInput]],
+        engine_name: str,
+        max_workers: int,
+    ) -> List["QueryResult"]:
+        """Fan a batch out over forked worker processes.
+
+        The workers are forked *after* the engine, graph, statistics and
+        plan cache are warm, so they share the expensive read-only state
+        with the parent copy-on-write.  The database reaches each worker
+        through the pool's *initializer* — with the fork start method its
+        arguments are inherited by reference, never pickled — so a worker
+        respawned later (e.g. after an OOM kill) rebinds the right
+        database too.  The locks every child query path acquires (this
+        database's, the shared plan cache's, the engine registry's) are
+        held across the initial fork; the forking thread survives into
+        each child as its main thread and the locks are re-entrant or
+        released, so children start with them in an acquirable state.
+        """
+        import multiprocessing
+
+        from .registry import _REGISTRY_LOCK
+
+        context = multiprocessing.get_context("fork")
+        chunksize = max(1, len(items) // (max_workers * 4))
+        with self._lock, self.plan_cache._lock, _REGISTRY_LOCK:
+            pool = context.Pool(
+                processes=max_workers,
+                initializer=_forked_worker_init,
+                initargs=(self, engine_name),
+            )
+        try:
+            return pool.map(_forked_batch_worker, items, chunksize=chunksize)
+        finally:
+            pool.close()
+            pool.join()
+
+    # ------------------------------------------------------------------
     # data changes
     # ------------------------------------------------------------------
     def load_rows(self, relation_name: str, rows: Iterable[Sequence[Any]]) -> int:
@@ -156,10 +283,28 @@ class Database:
 
     def note_data_change(self) -> None:
         """Record an out-of-band data mutation: bump the catalog version so
-        statistics and the TAG encoding refresh, and drop all cached plans."""
+        statistics and the TAG encoding refresh, drop all cached plans and
+        eagerly retire every cached engine.
+
+        Retiring the engines matters for correctness, not just freshness:
+        an executor built against the old encoding would otherwise keep
+        serving the stale graph to sessions that captured a reference.
+        The next :meth:`engine` call builds a fresh executor bound to the
+        re-encoded graph; retired executors refuse further queries with
+        :class:`~repro.core.executor.StaleEngineError`.
+        """
         with self._lock:
             self.catalog.note_data_change()
             self.plan_cache.clear()
+            for engine in self._engines.values():
+                retire = getattr(engine, "retire", None)
+                if callable(retire):
+                    retire(
+                        f"catalog {self.catalog.name!r} re-encoded at version "
+                        f"{self.catalog.version}"
+                    )
+            self._engines.clear()
+            self._engine_versions.clear()
 
     # ------------------------------------------------------------------
     # observability
@@ -180,6 +325,28 @@ class Database:
             f"Database({self.catalog.name!r}, default_engine={self.default_engine!r}, "
             f"{len(self.catalog)} relations)"
         )
+
+
+# ----------------------------------------------------------------------
+# fork-mode plumbing for Database.execute_many(mode="process")
+# ----------------------------------------------------------------------
+#: set inside each forked worker by the pool initializer: the database and
+#: engine name the worker serves (inherited memory, not a pickle round-trip)
+_FORK_STATE: Optional[Tuple[Database, str]] = None
+
+
+def _forked_worker_init(database: Database, engine_name: str) -> None:
+    global _FORK_STATE
+    _FORK_STATE = (database, engine_name)
+
+
+def _forked_batch_worker(item: Tuple[Union[str, QuerySpec], ParamsInput]) -> "QueryResult":
+    database, engine_name = _FORK_STATE
+    session = database.connect(engine=engine_name)
+    query, bindings = item
+    if isinstance(query, QuerySpec):
+        return session.execute(query, params=bindings)
+    return session.sql(query, params=bindings)
 
 
 class Session:
@@ -214,6 +381,20 @@ class Session:
     def catalog(self) -> Catalog:
         return self.database.catalog
 
+    def _run_rebinding(self, call: Any) -> Any:
+        """Run ``call(engine)``, re-resolving once if the engine was retired.
+
+        A concurrent :meth:`Database.note_data_change` may retire the
+        executor between this session resolving it and the query running;
+        re-resolving picks up the fresh engine bound to the re-encoded
+        graph, which is the transparent-rebind behaviour sessions promise.
+        A second retirement mid-retry (a continuous writer) propagates.
+        """
+        try:
+            return call(self.engine)
+        except StaleEngineError:
+            return call(self.engine)
+
     # ------------------------------------------------------------------
     # executing
     # ------------------------------------------------------------------
@@ -238,7 +419,7 @@ class Session:
         bound = normalize_parameters(params, expected)
         check_parameter_types(bound, infer_parameter_types(spec, self.catalog))
         with bind_parameters(bound):
-            return self.engine.execute(spec)
+            return self._run_rebinding(lambda engine: engine.execute(spec))
 
     def prepare(self, sql: str, name: str = "stmt") -> "PreparedStatement":
         """Parse + bind once; execute any number of times with new values."""
@@ -284,7 +465,10 @@ class Session:
             bound = {}
         header = f"engine: {self.engine_name}"
         with bind_parameters(bound):
-            return header + "\n" + self.engine.explain(spec, analyze=analyze)
+            rendered = self._run_rebinding(
+                lambda engine: engine.explain(spec, analyze=analyze)
+            )
+        return header + "\n" + rendered
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Session({self.database.catalog.name!r}, engine={self.engine_name!r})"
@@ -317,7 +501,7 @@ class PreparedStatement:
         bound = normalize_parameters(params, self.parameter_names)
         check_parameter_types(bound, self.parameter_types)
         with bind_parameters(bound):
-            return self.session.engine.execute(self.spec)
+            return self.session._run_rebinding(lambda engine: engine.execute(self.spec))
 
     def explain(self, params: ParamsInput = None, analyze: bool = False) -> str:
         return self.session.explain(self.spec, params=params, analyze=analyze)

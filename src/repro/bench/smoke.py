@@ -3,10 +3,13 @@
 Runs a tiny-scale-factor subset of the TPC-H-like workload on the TAG-join
 executor and the RDBMS baseline, cross-checks their result checksums,
 re-executes a Q3-style query repeatedly to demonstrate the plan cache's
-compile-time amortization, and writes everything as a JSON report (the CI
-artifact).  A non-zero exit code means a query crashed, engines disagreed,
-or the plan cache failed to produce hits — so CI catches harness rot and
-planner/cache regressions without paying for the full benchmark suite.
+compile-time amortization, runs a concurrent batch through
+``Database.execute_many`` against an emulation of the old lock-serialized
+execution path, and writes everything as a JSON report (the CI artifact).
+A non-zero exit code means a query crashed, engines disagreed, the plan
+cache failed to produce hits, or concurrent execution diverged from the
+serial baseline — so CI catches harness rot and planner/cache/concurrency
+regressions without paying for the full benchmark suite.
 
 Usage::
 
@@ -28,6 +31,7 @@ from ..core.executor import TagJoinExecutor
 from ..tag.encoder import encode_catalog
 from ..workloads import tpch_workload
 from .harness import (
+    concurrent_execution_report,
     default_engines,
     parameterized_execution_report,
     repeated_execution_report,
@@ -53,6 +57,9 @@ PARAMETER_SETS = (
     {"segment": "MACHINERY"},
     {"segment": "HOUSEHOLD"},
 )
+#: worker count and batch size of the concurrent-execution section
+CONCURRENT_WORKERS = 4
+CONCURRENT_BATCH = 32
 
 
 def run_smoke(
@@ -110,6 +117,20 @@ def run_smoke(
         and parameterized["warm_hits"] == len(PARAMETER_SETS) - 1
     )
 
+    # concurrent batched execution: run-scoped vertex state lets N workers
+    # share one immutable encoded graph; the report compares execute_many
+    # against an emulation of the old lock-serialized, state-resetting path
+    concurrent = concurrent_execution_report(
+        database,
+        PARAMETERIZED_SQL,
+        PARAMETER_SETS,
+        threads=CONCURRENT_WORKERS,
+        batch_size=CONCURRENT_BATCH,
+        name="q3_concurrent",
+    )
+    concurrent_ok = concurrent["results_match"]
+
+    ok = not failures and not disagreements and cache_ok and parameterized_ok and concurrent_ok
     return {
         "workload": workload.name,
         "scale": scale,
@@ -119,11 +140,13 @@ def run_smoke(
         "compile_time_summary": report.compile_time_summary(),
         "repeated_execution": repeated,
         "parameterized_execution": parameterized,
+        "concurrent_execution": concurrent,
         "failures": failures,
         "agreement_failures": disagreements,
         "plan_cache_ok": cache_ok,
         "parameterized_cache_ok": parameterized_ok,
-        "ok": not failures and not disagreements and cache_ok and parameterized_ok,
+        "concurrent_ok": concurrent_ok,
+        "ok": ok,
     }
 
 
@@ -163,6 +186,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 "  parameterized executions missed the cache "
                 "(fingerprint is not parameter-generic?)",
+                file=sys.stderr,
+            )
+        if not result["concurrent_ok"]:
+            print(
+                "  concurrent executions diverged from the serial baseline",
                 file=sys.stderr,
             )
         return 1

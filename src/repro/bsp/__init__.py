@@ -10,7 +10,7 @@ from .aggregators import (
     MinAggregator,
     SumAggregator,
 )
-from .engine import BSPEngine, BSPError, SuperstepContext, VertexProgram
+from .engine import BSPEngine, BSPError, RunState, SuperstepContext, VertexProgram
 from .graph import Edge, Graph, GraphError, Vertex, VertexId
 from .metrics import RunMetrics, SuperstepMetrics, payload_size_bytes
 from .partition import (
@@ -37,6 +37,7 @@ __all__ = [
     "Partitioner",
     "RoundRobinPartitioner",
     "RunMetrics",
+    "RunState",
     "SinglePartitioner",
     "SumAggregator",
     "SuperstepContext",

@@ -17,13 +17,24 @@ The engine is single-process but partition-aware: a
 :class:`~repro.bsp.partition.Partitioner` assigns vertices to workers and
 the metrics distinguish intra-worker from cross-worker (network) messages,
 which is what the paper's distributed experiments measure.
+
+Per-run scratch state is **run-scoped**: each :meth:`BSPEngine.run` owns a
+fresh :class:`RunState` mapping vertex ids to scratch dictionaries, exposed
+to vertex programs as ``context.state(vertex)``.  Nothing a program writes
+during a run ever lands on the shared :class:`~repro.bsp.graph.Graph`, so
+any number of runs — including runs driven by different threads — may
+execute concurrently over one immutable graph.  A :class:`BSPEngine`
+instance itself is single-run plumbing (outbox, metrics); callers that
+execute concurrently create one engine per run, which is exactly what
+:class:`repro.core.executor.TagJoinExecutor` does.
 """
 
 from __future__ import annotations
 
 import time
 from collections import defaultdict
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from types import MappingProxyType
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, Union
 
 from .aggregators import Aggregator, AggregatorRegistry
 from .graph import Edge, Graph, Vertex, VertexId
@@ -35,21 +46,75 @@ class BSPError(RuntimeError):
     """Raised for protocol violations (e.g. messaging an unknown vertex)."""
 
 
+# immutable so a stray write through a peek() result raises instead of
+# leaking into every RunState's view of every untouched vertex
+_EMPTY_STATE: Mapping[str, Any] = MappingProxyType({})
+
+
+class RunState:
+    """Per-run vertex scratch state: ``vertex_id -> {key: value}``.
+
+    One instance lives exactly as long as one :meth:`BSPEngine.run` and is
+    never attached to the shared graph, which is what makes concurrent
+    executions over a single graph safe: each run's marked edges, partial
+    join tables and algorithm-specific scratch values are private to it.
+    Entries are created lazily, so a run over a huge graph that touches a
+    handful of vertices costs memory proportional to the touched set — and
+    tearing a run down is dropping one object, not an :math:`O(|V|)` sweep
+    over every vertex of the graph.
+    """
+
+    __slots__ = ("_by_vertex",)
+
+    def __init__(self) -> None:
+        self._by_vertex: Dict[VertexId, Dict[str, Any]] = {}
+
+    def of(self, vertex: Union[Vertex, VertexId]) -> Dict[str, Any]:
+        """The (lazily created) scratch dict of ``vertex`` for this run."""
+        vertex_id = vertex.vertex_id if isinstance(vertex, Vertex) else vertex
+        state = self._by_vertex.get(vertex_id)
+        if state is None:
+            state = self._by_vertex[vertex_id] = {}
+        return state
+
+    def peek(self, vertex: Union[Vertex, VertexId]) -> Mapping[str, Any]:
+        """Read-only view: the vertex's scratch dict, or an empty mapping.
+
+        Unlike :meth:`of` this never allocates, so result assembly can scan
+        a whole graph without materialising entries for untouched vertices.
+        (The empty mapping is immutable; use :meth:`of` to write.)
+        """
+        vertex_id = vertex.vertex_id if isinstance(vertex, Vertex) else vertex
+        return self._by_vertex.get(vertex_id, _EMPTY_STATE)
+
+    def touched_vertices(self) -> Iterator[VertexId]:
+        """Ids of the vertices that acquired scratch state during the run."""
+        return iter(self._by_vertex)
+
+    def __len__(self) -> int:
+        return len(self._by_vertex)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunState({len(self._by_vertex)} vertices touched)"
+
+
 class SuperstepContext:
     """Per-superstep facade handed to ``VertexProgram.compute``.
 
-    Provides message sending, aggregator access, cost charging and the
-    current superstep number.  All communication accounting flows through
-    this object.
+    Provides message sending, aggregator access, run-scoped vertex state,
+    cost charging and the current superstep number.  All communication
+    accounting flows through this object.
     """
 
     def __init__(
         self,
         engine: "BSPEngine",
         superstep: int,
+        run_state: Optional[RunState] = None,
     ) -> None:
         self._engine = engine
         self.superstep = superstep
+        self.run_state = run_state if run_state is not None else RunState()
         self._outbox: Dict[VertexId, List[Any]] = defaultdict(list)
         self._aggregator_inbox: List[Tuple[str, Any]] = []
         self._messages_sent = 0
@@ -81,6 +146,19 @@ class SuperstepContext:
     def send_along(self, edge: Edge, payload: Any) -> None:
         """Send a message across ``edge`` (to its target)."""
         self.send(edge.target, payload)
+
+    # ------------------------------------------------------------------
+    # run-scoped vertex state
+    # ------------------------------------------------------------------
+    def state(self, vertex: Union[Vertex, VertexId]) -> Dict[str, Any]:
+        """The scratch dict of ``vertex``, private to the current run.
+
+        This replaces the old pattern of mutating ``vertex.state`` on the
+        shared graph: the returned dict lives in the run's
+        :class:`RunState`, so concurrent runs over one graph never observe
+        each other's scratch values and no cross-run reset is needed.
+        """
+        return self.run_state.of(vertex)
 
     # ------------------------------------------------------------------
     # aggregators
@@ -129,8 +207,16 @@ class VertexProgram:
     """User-defined vertex program (paper Section 2).
 
     Subclasses implement ``compute``; they may override the lifecycle hooks
-    to drive multi-phase computations.
+    to drive multi-phase computations.  Cross-superstep per-vertex scratch
+    values go through ``context.state(vertex)`` — the engine binds the
+    run's :class:`RunState` to :attr:`run_state` before the first superstep
+    so ``result`` can read what ``compute`` wrote.  One instance serves one
+    run at a time: concurrent runs need one program (and one engine) each.
     """
+
+    #: the scratch state of the run currently executing this program
+    #: (bound by :meth:`BSPEngine.run`; None before the program has run)
+    run_state: Optional[RunState] = None
 
     def initial_active_vertices(self, graph: Graph) -> Iterable[VertexId]:
         """Vertices active at superstep 0 (default: all)."""
@@ -192,8 +278,8 @@ class BSPEngine:
         self,
         program: VertexProgram,
         metrics: Optional[RunMetrics] = None,
-        reset_vertex_state: bool = True,
         initial_messages: Optional[Dict[VertexId, List[Any]]] = None,
+        run_state: Optional[RunState] = None,
     ) -> Any:
         """Execute ``program`` to completion and return ``program.result``.
 
@@ -202,12 +288,23 @@ class BSPEngine:
             metrics: optional metrics accumulator (a fresh one is created
                 otherwise and attached to the return value via
                 ``engine.last_metrics``).
-            reset_vertex_state: clear per-vertex scratch state before the run.
             initial_messages: optional messages delivered at superstep 0 (in
                 addition to the program's initial active set).
+            run_state: the run's scratch state; a fresh, empty
+                :class:`RunState` is created when omitted.  The graph itself
+                is never written to, so no cross-run reset happens here —
+                external programs still using the legacy ``vertex.state``
+                slot must call ``graph.reset_all_state()`` themselves
+                between runs (the engine no longer does it for them).
+
+        A program instance is **single-run**: the engine binds the run's
+        state to ``program.run_state`` and programs accumulate results on
+        themselves, so concurrent runs must each construct their own
+        program (as :class:`repro.core.executor.TagJoinExecutor` does per
+        query).  Sequential reuse of an instance re-binds cleanly.
         """
-        if reset_vertex_state:
-            self.graph.reset_all_state()
+        run_state = run_state if run_state is not None else RunState()
+        program.run_state = run_state
         run_metrics = metrics if metrics is not None else RunMetrics(
             label=type(program).__name__
         )
@@ -224,7 +321,7 @@ class BSPEngine:
         while superstep < self.max_supersteps:
             if not active and not inbox:
                 break
-            context = SuperstepContext(self, superstep)
+            context = SuperstepContext(self, superstep, run_state)
             step_metrics = run_metrics.new_superstep(superstep)
 
             program.before_superstep(superstep, self.graph, context)

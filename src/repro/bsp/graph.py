@@ -35,12 +35,20 @@ class Edge:
 
 @dataclass
 class Vertex:
-    """A labelled vertex with a property map and mutable per-query state.
+    """A labelled vertex with a property map.
 
     ``properties`` holds the durable data loaded into the graph (for TAG:
-    the tuple values, or the attribute value); ``state`` holds scratch data
-    written by vertex programs (marked edges, accumulated partial joins) and
-    is cleared between queries.
+    the tuple values, or the attribute value).  Per-query scratch data
+    (marked edges, accumulated partial joins) no longer lives here: vertex
+    programs keep it in the run-scoped
+    :class:`~repro.bsp.engine.RunState` via ``context.state(vertex)``, so
+    the graph stays immutable during execution and concurrent runs never
+    interfere.
+
+    ``state`` is a **legacy** slot kept for external programs written
+    against the old shared-scratch model and for the serialized-baseline
+    emulation in the bench harness; the engine and every built-in program
+    neither read, write nor clear it.
     """
 
     vertex_id: VertexId
@@ -49,6 +57,7 @@ class Vertex:
     state: Dict[str, Any] = field(default_factory=dict)
 
     def reset_state(self) -> None:
+        """Legacy: clear the deprecated shared scratch slot."""
         self.state.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -182,7 +191,14 @@ class Graph:
         return {label: len(ids) for label, ids in self._vertices_by_label.items()}
 
     def reset_all_state(self) -> None:
-        """Clear per-query scratch state on every vertex (between queries)."""
+        """Legacy: the O(|V|) sweep the engine used to run between queries.
+
+        Run-scoped state (:class:`~repro.bsp.engine.RunState`) made this
+        unnecessary — no built-in code calls it anymore.  It is retained for
+        external programs still using ``vertex.state`` and so the bench
+        harness can faithfully reproduce the cost of the old serialized
+        execution path when measuring the concurrency speedup.
+        """
         for vertex in self._vertices.values():
             if vertex.state:
                 vertex.state.clear()

@@ -3,7 +3,10 @@
 These are not part of TAG-join itself; they exist to validate the BSP
 substrate against well-known algorithms (connected components, SSSP,
 degree counting) exactly as one would sanity-check a new Pregel engine
-before layering a novel workload on top of it.
+before layering a novel workload on top of it.  They also demonstrate the
+run-scoped state idiom: cross-superstep values go through
+``context.state(vertex)`` during the run and are read back from
+``self.run_state`` in ``result``, never touching the shared graph.
 """
 
 from __future__ import annotations
@@ -24,19 +27,20 @@ class ConnectedComponents(VertexProgram):
     def compute(
         self, vertex: Vertex, messages: List[Any], graph: Graph, context: SuperstepContext
     ) -> None:
-        current = vertex.state.get(self.STATE_KEY)
+        state = context.state(vertex)
+        current = state.get(self.STATE_KEY)
         candidate = min(messages) if messages else None
         if context.superstep == 0:
             candidate = vertex.vertex_id if candidate is None else min(candidate, vertex.vertex_id)
         if current is None or (candidate is not None and candidate < current):
-            vertex.state[self.STATE_KEY] = candidate
+            state[self.STATE_KEY] = candidate
             for edge in graph.out_edges(vertex.vertex_id):
                 context.charge()
                 context.send(edge.target, candidate)
 
     def result(self, graph: Graph, aggregators) -> Dict[str, Any]:
         return {
-            vertex.vertex_id: vertex.state.get(self.STATE_KEY, vertex.vertex_id)
+            vertex.vertex_id: self.run_state.peek(vertex).get(self.STATE_KEY, vertex.vertex_id)
             for vertex in graph.vertices()
         }
 
@@ -56,14 +60,15 @@ class SingleSourceShortestPaths(VertexProgram):
     def compute(
         self, vertex: Vertex, messages: List[Any], graph: Graph, context: SuperstepContext
     ) -> None:
-        best = vertex.state.get(self.STATE_KEY)
+        state = context.state(vertex)
+        best = state.get(self.STATE_KEY)
         incoming = min(messages) if messages else None
         if context.superstep == 0 and vertex.vertex_id == self.source:
             incoming = 0.0
         if incoming is None:
             return
         if best is None or incoming < best:
-            vertex.state[self.STATE_KEY] = incoming
+            state[self.STATE_KEY] = incoming
             for edge in graph.out_edges(vertex.vertex_id):
                 weight = edge.properties.get(self.weight_property, 1.0)
                 context.charge()
@@ -71,7 +76,7 @@ class SingleSourceShortestPaths(VertexProgram):
 
     def result(self, graph: Graph, aggregators) -> Dict[str, Optional[float]]:
         return {
-            vertex.vertex_id: vertex.state.get(self.STATE_KEY)
+            vertex.vertex_id: self.run_state.peek(vertex).get(self.STATE_KEY)
             for vertex in graph.vertices()
         }
 
@@ -91,12 +96,14 @@ class DegreeCount(VertexProgram):
         if context.superstep > 0:
             return
         degree = graph.out_degree(vertex.vertex_id)
-        vertex.state["degree"] = degree
+        context.state(vertex)["degree"] = degree
         context.charge(degree)
         context.aggregate(self.AGGREGATOR, degree)
 
     def result(self, graph: Graph, aggregators) -> Dict[str, Any]:
         return {
-            "degrees": {v.vertex_id: v.state.get("degree", 0) for v in graph.vertices()},
+            "degrees": {
+                v.vertex_id: self.run_state.peek(v).get("degree", 0) for v in graph.vertices()
+            },
             "total": aggregators.get(self.AGGREGATOR).value(),
         }

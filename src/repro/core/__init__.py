@@ -3,7 +3,7 @@
 from .cartesian import CartesianProductA, cartesian_product_b, cartesian_product_rows
 from .compiler import CompiledFragment, CompileError, compile_fragment
 from .cyclic import CycleQueryProgram, CycleRelation, TriangleQueryProgram
-from .executor import ExecutionError, QueryResult, TagJoinExecutor
+from .executor import ExecutionError, QueryResult, StaleEngineError, TagJoinExecutor
 from .hypergraph import (
     Hypergraph,
     HypergraphError,
@@ -72,6 +72,7 @@ __all__ = [
     "QueryResult",
     "ScheduledStep",
     "SemiJoinProgram",
+    "StaleEngineError",
     "TagJoinExecutor",
     "TagJoinProgram",
     "TagPlan",

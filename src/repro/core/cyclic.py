@@ -58,6 +58,7 @@ class _Hop:
     alias: Optional[str] = None  # for relation hops
 
 
+# context.state(vertex) key at the meeting vertices (run-scoped, not on the graph)
 _MEET_KEY = "cycle_meet"
 
 
@@ -239,7 +240,7 @@ class CycleQueryProgram(VertexProgram):
         rows: List[Dict[str, Any]],
         context,
     ) -> None:
-        store = vertex.state.setdefault(_MEET_KEY, {"L": {}, "R": {}})
+        store = context.state(vertex).setdefault(_MEET_KEY, {"L": {}, "R": {}})
         other = "R" if direction == "L" else "L"
         # join the new arrivals against what the other direction already sent
         other_rows = store[other].get(origin, [])

@@ -58,17 +58,19 @@ class ExecutionError(RuntimeError):
     """Raised when a query cannot be executed."""
 
 
-_GRAPH_LOCK_GUARD = threading.Lock()
+class StaleEngineError(ExecutionError):
+    """Raised when a retired executor is asked to run another query.
 
-
-def _graph_execution_lock(graph: TagGraph) -> "threading.RLock":
-    """The one execution lock of ``graph``, created on first request."""
-    with _GRAPH_LOCK_GUARD:
-        lock = getattr(graph, "_execution_lock", None)
-        if lock is None:
-            lock = threading.RLock()
-            graph._execution_lock = lock  # type: ignore[attr-defined]
-        return lock
+    The TAG graph is encoded per catalog *version*; after a bulk load (or
+    an explicit :meth:`repro.api.Database.note_data_change`) the catalog
+    version moves on and the executor's graph no longer reflects the
+    data.  The database retires the executors it built against the old
+    encoding and hands out fresh ones transparently; a directly captured
+    reference to a retired executor fails loudly here instead of silently
+    querying the stale encoding.  (Executors constructed by hand — outside
+    a ``Database`` — are never retired; their callers own the encoding
+    lifecycle, as the plan-cache invalidation tests do.)
+    """
 
 
 @dataclass
@@ -102,7 +104,19 @@ class QueryResult:
 
 
 class TagJoinExecutor:
-    """Evaluate SQL queries vertex-centrically over a TAG graph."""
+    """Evaluate SQL queries vertex-centrically over a TAG graph.
+
+    Executions are fully concurrent: the encoded graph is immutable while
+    queries run, every run's vertex scratch state lives in a per-run
+    :class:`~repro.bsp.engine.RunState` (one fresh :class:`BSPEngine` per
+    run), parameter bindings travel in a contextvar, and the plan cache has
+    its own lock — so any number of threads (or sessions sharing one
+    executor, or executors sharing one pre-encoded graph) may call
+    :meth:`execute` simultaneously without serialization.  The only
+    per-execution executor attribute, :attr:`last_plan_choice`, is
+    thread-local so concurrent queries cannot clobber each other's planner
+    verdicts.
+    """
 
     def __init__(
         self,
@@ -147,14 +161,50 @@ class TagJoinExecutor:
         if plan_cache is None and enable_plan_cache:
             plan_cache = PlanCache()
         self.plan_cache = plan_cache
-        #: the planner's verdict for the most recent compiled fragment
-        self.last_plan_choice: Optional["PlanChoice"] = None
-        # BSP runs keep per-vertex scratch state on the TAG graph, so two
-        # executions over one graph must never interleave — even from
-        # *different* executors sharing a pre-encoded graph. The lock
-        # therefore lives on the graph; the plan cache stays concurrent
-        # (it has its own lock).
-        self._execution_lock = _graph_execution_lock(graph)
+        # per-thread planner verdict (see the last_plan_choice property)
+        self._thread_state = threading.local()
+        #: the catalog version the executor was built against (the version
+        #: its TAG encoding reflects) — observability plus retirement checks
+        self.bound_catalog_version = catalog.version
+        self._retired_reason: Optional[str] = None
+
+    @property
+    def last_plan_choice(self) -> Optional["PlanChoice"]:
+        """The planner's verdict for this thread's most recent fragment.
+
+        Thread-local: concurrent executions each see the verdict of their
+        own query, and the plan cache pairs each compiled fragment with the
+        choice produced alongside it rather than whichever execution wrote
+        the attribute last.
+        """
+        return getattr(self._thread_state, "plan_choice", None)
+
+    @last_plan_choice.setter
+    def last_plan_choice(self, choice: Optional["PlanChoice"]) -> None:
+        self._thread_state.plan_choice = choice
+
+    def retire(self, reason: Optional[str] = None) -> None:
+        """Mark this executor stale; further queries raise :class:`StaleEngineError`.
+
+        Called by :meth:`repro.api.Database.note_data_change` when the
+        catalog moves past the encoding this executor queries.
+        """
+        self._retired_reason = reason or (
+            f"catalog {self.catalog.name!r} moved past version "
+            f"{self.bound_catalog_version}"
+        )
+
+    @property
+    def retired(self) -> bool:
+        return self._retired_reason is not None
+
+    def _check_not_stale(self) -> None:
+        if self._retired_reason is not None:
+            raise StaleEngineError(
+                f"executor {self.name!r} was retired ({self._retired_reason}); "
+                "re-resolve the engine through Database.engine() — sessions do "
+                "this automatically on their next query"
+            )
 
     def plan_cache_stats(self) -> Optional[Dict[str, Any]]:
         """Hit/miss counters of the plan cache (None when caching is off)."""
@@ -166,12 +216,17 @@ class TagJoinExecutor:
     # public API
     # ------------------------------------------------------------------
     def execute(self, spec: QuerySpec) -> QueryResult:
-        """Execute a query block and return its result rows plus metrics."""
+        """Execute a query block and return its result rows plus metrics.
+
+        Safe to call from any number of threads at once: all per-run state
+        is run-scoped, so executions over the shared immutable graph
+        proceed without any serialization.
+        """
+        self._check_not_stale()
         spec.validate(self.catalog)
         metrics = RunMetrics(label=spec.name)
         started = time.perf_counter()
-        with self._execution_lock:
-            result = self._execute_block(spec, metrics)
+        result = self._execute_block(spec, metrics)
         metrics.wall_time_seconds = time.perf_counter() - started
         result.metrics = metrics
         return result
@@ -191,8 +246,11 @@ class TagJoinExecutor:
 
         With ``analyze=True`` the query is also executed and the plan is
         annotated with the observed row count, supersteps and message
-        totals (EXPLAIN ANALYZE).
+        totals (EXPLAIN ANALYZE).  The analyze run uses the same run-scoped
+        state as a regular execution, so it leaves no residue on the shared
+        graph and may interleave freely with concurrent queries.
         """
+        self._check_not_stale()
         spec.validate(self.catalog)
         lines: List[str] = [f"TAG-join plan for {spec.name!r}"]
 
@@ -211,12 +269,10 @@ class TagJoinExecutor:
                 + " -> ".join(cycle_order)
             )
         elif len(components) == 1:
-            # under the execution lock: _compile writes last_plan_choice,
-            # which a concurrent execute would otherwise pair with the
-            # wrong fragment when storing into the shared plan cache
-            with self._execution_lock:
-                compiled = self._compile(spec, {}, [])
-                choice = self.last_plan_choice
+            # last_plan_choice is thread-local, so a concurrent execute on
+            # another thread cannot pair this fragment with its verdict
+            compiled = self._compile(spec, {}, [])
+            choice = self.last_plan_choice
             tree = compiled.join_tree
             lines.append(f"  aggregation class: {compiled.aggregation_class.value}")
             lines.append(f"  join tree (root = {tree.root}):")
@@ -366,7 +422,7 @@ class TagJoinExecutor:
                     return compiled
                 metrics.plan_cache_misses += 1
             else:
-                self.plan_cache.stats.bypasses += 1
+                self.plan_cache.note_bypass()
         compiled = self._compile(spec, extra_filters, extra_residuals)
         if key is not None:
             self.plan_cache.store(key, (compiled, self.last_plan_choice))

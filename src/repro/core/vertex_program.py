@@ -56,7 +56,8 @@ GLOBAL_GROUPS_AGGREGATOR = "tagjoin:groups"
 #: Name of the collector used when the client asks for centralized output.
 GLOBAL_OUTPUT_AGGREGATOR = "tagjoin:output"
 
-# vertex.state keys (scoped per program run; the engine clears state between runs)
+# context.state(vertex) keys — live in the run's RunState, never on the
+# shared graph, so concurrent executions of one graph cannot interfere
 _MARKED_KEY = "tj_marked"  # plan edge id -> set of neighbour vertex ids
 _VALUE_KEY = "tj_value"  # plan node id -> list of result rows
 
@@ -166,7 +167,7 @@ class TagJoinProgram(VertexProgram):
             self._send(vertex, schedule[superstep], context)
         else:
             # final superstep: the root's values are complete at this vertex
-            rows = vertex.state.get(_VALUE_KEY, {}).get(received.step.target, [])
+            rows = context.state(vertex).get(_VALUE_KEY, {}).get(received.step.target, [])
             self._assemble(vertex, rows, context)
 
     # ------------------------------------------------------------------
@@ -188,7 +189,7 @@ class TagJoinProgram(VertexProgram):
                 vertex, target_node.alias
             ):
                 return False
-            marked = vertex.state.setdefault(_MARKED_KEY, {})
+            marked = context.state(vertex).setdefault(_MARKED_KEY, {})
             marked[step.edge.edge_id] = set(messages)
             return True
 
@@ -216,7 +217,7 @@ class TagJoinProgram(VertexProgram):
         else:
             rows = incoming
         context.charge(len(rows))
-        values = vertex.state.setdefault(_VALUE_KEY, {})
+        values = context.state(vertex).setdefault(_VALUE_KEY, {})
         values[step.target] = rows
         return True
 
@@ -240,7 +241,9 @@ class TagJoinProgram(VertexProgram):
                 context.send(edge.target, vertex.vertex_id)
             return
 
-        marked: Set[VertexId] = vertex.state.get(_MARKED_KEY, {}).get(step.edge.edge_id, set())
+        marked: Set[VertexId] = (
+            context.state(vertex).get(_MARKED_KEY, {}).get(step.edge.edge_id, set())
+        )
         if scheduled.phase is Phase.REDUCE_DOWN:
             for edge in edges:
                 if edge.target in marked:
@@ -249,7 +252,7 @@ class TagJoinProgram(VertexProgram):
 
         # collection phase: propagate this node's value along marked edges
         source_node = self.config.plan.node(step.source)
-        values = vertex.state.get(_VALUE_KEY, {})
+        values = context.state(vertex).get(_VALUE_KEY, {})
         table = values.get(step.source)
         if table is None and source_node.is_relation:
             table = [self._own_row(vertex, source_node)]

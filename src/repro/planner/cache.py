@@ -102,6 +102,12 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def note_bypass(self) -> None:
+        """Count an uncacheable fragment (kept under the lock like every
+        other counter, so concurrent executions cannot lose updates)."""
+        with self._lock:
+            self.stats.bypasses += 1
+
     def clear(self) -> int:
         """Drop every entry (explicit invalidation); returns the count dropped."""
         with self._lock:

@@ -1,0 +1,85 @@
+"""Parameter-binding hygiene: no leaks across executions, even on failure."""
+
+import pytest
+
+from repro.algebra.parameters import ParameterRef, bind_parameters, current_parameters
+from repro.api import Database
+from repro.bsp import BSPError
+
+
+class TestBindParameters:
+    def test_binding_visible_inside_and_reset_outside(self):
+        assert current_parameters() is None
+        with bind_parameters({"v": 1}):
+            assert current_parameters() == {"v": 1}
+        assert current_parameters() is None
+
+    def test_exception_inside_the_block_still_resets(self):
+        with pytest.raises(RuntimeError):
+            with bind_parameters({"v": 1}):
+                raise RuntimeError("mid-run failure")
+        assert current_parameters() is None
+
+    def test_nested_bindings_restore_the_outer_one(self):
+        with bind_parameters({"outer": 1}):
+            with bind_parameters({"inner": 2}):
+                assert current_parameters() == {"inner": 2}
+            assert current_parameters() == {"outer": 1}
+        assert current_parameters() is None
+
+    def test_double_exit_is_tolerated(self):
+        binding = bind_parameters({"v": 1})
+        binding.__enter__()
+        binding.__exit__(None, None, None)
+        binding.__exit__(None, None, None)  # idempotent, no stray reset
+        assert current_parameters() is None
+
+    def test_values_snapshot_before_install(self):
+        values = {"v": 1}
+        with bind_parameters(values):
+            values["v"] = 2  # caller mutation after entry is invisible
+            assert current_parameters() == {"v": 1}
+
+    def test_unbound_parameter_raises_clearly(self):
+        from repro.algebra.expressions import ExpressionError
+
+        with pytest.raises(ExpressionError, match="unbound query parameter"):
+            ParameterRef("ghost").evaluate({})
+
+
+class TestExecutionLeakRegression:
+    def test_failing_parameterized_query_does_not_leak_into_the_next(
+        self, mini_catalog
+    ):
+        """A query that raises mid-run (after its parameters are bound) must
+        not leave its binding behind for the next query on the same thread."""
+        broken = Database.from_catalog(
+            mini_catalog, engine_options={"tag": {"max_supersteps": 2}}
+        )
+        session = broken.connect()
+        join_sql = (
+            "SELECT n.N_NAME, o.O_ORDERKEY FROM NATION n, CUSTOMER c, ORDERS o "
+            "WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY "
+            "AND o.O_TOTAL > :floor"
+        )
+        with pytest.raises(BSPError):
+            # binding installed, then the BSP run blows past max_supersteps
+            session.sql(join_sql, params={"floor": 5.0})
+        assert current_parameters() is None
+
+        # an unparameterized query on the same thread runs cleanly, and a
+        # healthy engine still sees no stale binding either
+        assert (
+            session.sql("SELECT COUNT(*) AS n FROM ORDERS o").single_value() == 6
+        )
+        healthy = Database.from_catalog(mini_catalog)
+        result = healthy.connect().sql(
+            "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :floor",
+            params={"floor": 25.0},
+        )
+        assert result.single_value() == 2
+        assert current_parameters() is None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

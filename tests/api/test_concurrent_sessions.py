@@ -114,17 +114,64 @@ class TestConcurrentSessions:
         assert all(stats is seen[0] for stats in seen)
         assert db.statistics.cardinality("ORDERS") == 6
 
-    def test_executors_sharing_a_graph_share_one_execution_lock(self, mini_catalog):
-        """The BSP scratch state lives on the graph, so the lock must too."""
+    def test_executors_sharing_a_graph_run_concurrently_without_a_lock(self, mini_catalog):
+        """Run-scoped BSP state means shared-graph executors need no lock."""
         from repro.core import TagJoinExecutor
+        from repro.sql import parse_and_bind
         from repro.tag import encode_catalog
 
         graph = encode_catalog(mini_catalog)
-        first = TagJoinExecutor(graph, mini_catalog)
-        second = TagJoinExecutor(graph, mini_catalog)
-        assert first._execution_lock is second._execution_lock
-        other = TagJoinExecutor(encode_catalog(mini_catalog), mini_catalog)
-        assert other._execution_lock is not first._execution_lock
+        executors = [TagJoinExecutor(graph, mini_catalog) for _ in range(THREADS)]
+        assert not hasattr(executors[0], "_execution_lock")
+        assert not hasattr(graph, "_execution_lock")
+        spec = parse_and_bind(
+            "SELECT n.N_NAME, o.O_ORDERKEY FROM NATION n, CUSTOMER c, ORDERS o "
+            "WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY",
+            mini_catalog,
+        )
+        baseline = executors[0].execute(spec).to_tuples()
+
+        def worker(index):
+            for _ in range(ITERATIONS):
+                assert executors[index].execute(spec).to_tuples() == baseline
+
+        run_in_threads(worker)
+        # the shared graph accumulated no scratch residue from any run
+        assert all(not vertex.state for vertex in graph.vertices())
+
+    def test_stale_executor_is_invalidated_by_note_data_change(self, mini_catalog_copy):
+        """Re-encoding retires executors bound to the old graph."""
+        from repro.core import StaleEngineError
+
+        db = Database.from_catalog(mini_catalog_copy)
+        session = db.connect()
+        stale = db.engine("tag")
+        old_graph = db.tag_graph()
+        assert session.sql("SELECT COUNT(*) AS n FROM ORDERS o").single_value() == 6
+
+        db.load_rows("ORDERS", [[106, 10, 99.0, "HIGH"]])
+        # a directly captured executor fails loudly instead of serving the
+        # stale encoding ...
+        with pytest.raises(StaleEngineError):
+            stale.execute_sql("SELECT COUNT(*) AS n FROM ORDERS o")
+        # ... while the session transparently rebinds to a fresh executor
+        # built over the re-encoded graph
+        assert session.sql("SELECT COUNT(*) AS n FROM ORDERS o").single_value() == 7
+        fresh = db.engine("tag")
+        assert fresh is not stale
+        assert fresh.graph is not old_graph
+        assert fresh.graph is db.tag_graph()
+
+    def test_session_rebinds_when_engine_retired_mid_query(self, mini_catalog_copy):
+        """A data change racing a session's execute triggers one transparent
+        retry against the freshly built engine, not a StaleEngineError."""
+        db = Database.from_catalog(mini_catalog_copy)
+        session = db.connect()
+        session.sql("SELECT COUNT(*) AS n FROM ORDERS o")  # build the engine
+        # retire the resolved engine at the worst moment: after resolution,
+        # before execution — emulated by retiring it directly
+        db.engine("tag").retire("raced by a writer")
+        assert session.sql("SELECT COUNT(*) AS n FROM ORDERS o").single_value() == 6
 
     def test_eviction_pressure_under_concurrency(self, mini_catalog):
         """A tiny cache being thrashed from several threads stays consistent."""

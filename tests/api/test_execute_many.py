@@ -1,0 +1,106 @@
+"""Database.execute_many: the batched concurrent entry point."""
+
+import os
+
+import pytest
+
+from repro.api import Database
+from repro.bsp import BSPError
+from repro.sql import parse_and_bind
+
+COUNT_BY_NATION = (
+    "SELECT COUNT(*) AS n FROM CUSTOMER c, ORDERS o "
+    "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND c.C_NATIONKEY = :nation"
+)
+#: nation key -> order count through the join (customer 99 is dangling)
+EXPECTED_ORDERS = {1: 2, 2: 2, 3: 1}
+
+
+@pytest.fixture()
+def db(mini_catalog):
+    return Database.from_catalog(mini_catalog)
+
+
+class TestExecuteMany:
+    def test_tuple_items_preserve_input_order(self, db):
+        items = [(COUNT_BY_NATION, {"nation": nation}) for nation in (1, 2, 3, 1, 3, 2)]
+        results = db.execute_many(items, max_workers=4)
+        assert [r.single_value() for r in results] == [2, 2, 1, 2, 1, 2]
+
+    def test_positional_params_sequence(self, db):
+        results = db.execute_many(
+            [COUNT_BY_NATION] * 3,
+            params=[{"nation": 1}, {"nation": 2}, {"nation": 3}],
+            max_workers=2,
+        )
+        assert [r.single_value() for r in results] == [2, 2, 1]
+
+    def test_query_specs_accepted(self, db, mini_catalog):
+        spec = parse_and_bind(COUNT_BY_NATION, mini_catalog)
+        results = db.execute_many([(spec, {"nation": 2}), (spec, {"nation": 3})])
+        assert [r.single_value() for r in results] == [2, 1]
+
+    def test_plain_sql_without_parameters(self, db):
+        results = db.execute_many(["SELECT COUNT(*) AS n FROM ORDERS o"] * 4)
+        assert [r.single_value() for r in results] == [6, 6, 6, 6]
+
+    def test_single_worker_path(self, db):
+        results = db.execute_many(
+            [(COUNT_BY_NATION, {"nation": 1})] * 3, max_workers=1
+        )
+        assert [r.single_value() for r in results] == [2, 2, 2]
+
+    def test_empty_batch(self, db):
+        assert db.execute_many([]) == []
+
+    def test_results_equal_serial_execution(self, db):
+        session = db.connect()
+        items = [(COUNT_BY_NATION, {"nation": (i % 3) + 1}) for i in range(24)]
+        serial = [session.sql(sql, params=params).to_tuples() for sql, params in items]
+        concurrent = db.execute_many(items, max_workers=4)
+        assert [r.to_tuples() for r in concurrent] == serial
+
+    def test_mismatched_params_length_raises(self, db):
+        with pytest.raises(ValueError, match="bindings for"):
+            db.execute_many([COUNT_BY_NATION] * 2, params=[{"nation": 1}])
+
+    def test_tuple_items_plus_params_argument_rejected(self, db):
+        with pytest.raises(ValueError, match="not both"):
+            db.execute_many(
+                [(COUNT_BY_NATION, {"nation": 1})], params=[{"nation": 2}]
+            )
+
+    def test_unknown_mode_raises(self, db):
+        with pytest.raises(ValueError, match="unknown execute_many mode"):
+            db.execute_many(["SELECT COUNT(*) AS n FROM ORDERS o"], mode="fibers")
+
+    def test_failing_query_propagates(self, db):
+        broken = Database.from_catalog(
+            db.catalog, engine_options={"tag": {"max_supersteps": 1}}
+        )
+        join_sql = (
+            "SELECT n.N_NAME, o.O_ORDERKEY FROM NATION n, CUSTOMER c, ORDERS o "
+            "WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY"
+        )
+        with pytest.raises(BSPError):
+            broken.execute_many([join_sql] * 3, max_workers=2)
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-based mode is POSIX only")
+    def test_process_mode_matches_thread_mode(self, db):
+        items = [(COUNT_BY_NATION, {"nation": (i % 3) + 1}) for i in range(8)]
+        threaded = db.execute_many(items, max_workers=2)
+        forked = db.execute_many(items, max_workers=2, mode="process")
+        assert [r.to_tuples() for r in forked] == [r.to_tuples() for r in threaded]
+        assert [r.single_value() for r in forked] == [
+            EXPECTED_ORDERS[(i % 3) + 1] for i in range(8)
+        ]
+
+    def test_engine_choice_respected(self, db):
+        results = db.execute_many(
+            [(COUNT_BY_NATION, {"nation": 1})] * 2, engine="rdbms", max_workers=2
+        )
+        assert [r.single_value() for r in results] == [2, 2]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

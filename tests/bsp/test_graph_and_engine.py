@@ -65,7 +65,9 @@ class TestGraph:
         assert graph.vertex_count == 4
         assert not graph.has_vertex("v4")
 
-    def test_state_reset(self):
+    def test_legacy_state_slot_and_reset(self):
+        # vertex.state is retained for external programs and the bench's
+        # serialized-baseline emulation; the engine itself never touches it
         graph = line_graph()
         graph.vertex("v0").state["x"] = 1
         graph.reset_all_state()
@@ -111,20 +113,23 @@ class _Broadcast(VertexProgram):
                 if target != vertex.vertex_id:
                     context.send(target, vertex.vertex_id)
         else:
-            vertex.state["got"] = list(messages)
+            context.state(vertex)["got"] = list(messages)
 
 
 class TestEngineSemantics:
     def test_messages_delivered_next_superstep_and_metrics(self):
         graph = line_graph(4)
         engine = BSPEngine(graph)
-        engine.run(_Broadcast())
+        program = _Broadcast()
+        engine.run(program)
         metrics = engine.last_metrics
         assert metrics.superstep_count == 2
         assert metrics.total_messages == 3
         assert metrics.supersteps[0].active_vertices == 1
         assert metrics.supersteps[1].active_vertices == 3
-        assert graph.vertex("v2").state["got"] == ["v0"]
+        assert program.run_state.peek("v2")["got"] == ["v0"]
+        # nothing leaked onto the shared graph
+        assert all(not vertex.state for vertex in graph.vertices())
 
     def test_unknown_message_target_raises(self):
         graph = line_graph(2)
@@ -180,10 +185,80 @@ class TestEngineSemantics:
                 return []
 
             def compute(self, vertex, messages, graph, context):
-                vertex.state["msgs"] = list(messages)
+                context.state(vertex)["msgs"] = list(messages)
 
-        engine.run(Recorder(), initial_messages={"v1": ["hello"]})
-        assert graph.vertex("v1").state["msgs"] == ["hello"]
+        recorder = Recorder()
+        engine.run(recorder, initial_messages={"v1": ["hello"]})
+        assert recorder.run_state.peek("v1")["msgs"] == ["hello"]
+
+
+class _Accumulator(VertexProgram):
+    """Counts, per vertex, how many supersteps it stayed active in run state."""
+
+    def initial_active_vertices(self, graph):
+        return ["v0"]
+
+    def compute(self, vertex, messages, graph, context):
+        state = context.state(vertex)
+        state["ticks"] = state.get("ticks", 0) + 1
+        if context.superstep < 2:
+            context.send(vertex.vertex_id, "again")
+
+
+class TestRunState:
+    def test_fresh_state_per_run(self):
+        from repro.bsp import RunState
+
+        graph = line_graph(3)
+        engine = BSPEngine(graph)
+        first, second = _Accumulator(), _Accumulator()
+        engine.run(first)
+        engine.run(second)
+        # each run accumulated independently from a clean slate
+        assert first.run_state.peek("v0")["ticks"] == 3
+        assert second.run_state.peek("v0")["ticks"] == 3
+        assert first.run_state is not second.run_state
+        assert isinstance(first.run_state, RunState)
+
+    def test_concurrent_runs_on_one_graph_do_not_interfere(self):
+        import threading
+
+        graph = line_graph(3)
+        results = [None] * 8
+
+        def worker(index):
+            program = _Accumulator()
+            BSPEngine(graph).run(program)
+            results[index] = program.run_state.peek("v0")["ticks"]
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == [3] * 8
+        assert all(not vertex.state for vertex in graph.vertices())
+
+    def test_peek_never_allocates_and_of_does(self):
+        from repro.bsp import RunState
+
+        state = RunState()
+        assert state.peek("v0") == {}
+        assert len(state) == 0
+        state.of("v0")["x"] = 1
+        assert len(state) == 1
+        assert state.peek("v0") == {"x": 1}
+        assert list(state.touched_vertices()) == ["v0"]
+
+    def test_of_accepts_vertex_objects(self):
+        from repro.bsp import RunState
+
+        graph = line_graph(2)
+        state = RunState()
+        vertex = graph.vertex("v1")
+        state.of(vertex)["k"] = "v"
+        assert state.peek("v1") == {"k": "v"}
+        assert state.peek(vertex) == {"k": "v"}
 
 
 class TestPartitioners:

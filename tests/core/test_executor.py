@@ -295,3 +295,101 @@ class TestCostAccounting:
         selective.add_filter("n", Comparison("=", col("n.N_NAME"), lit("JAPAN")))
         filtered = executor.execute(selective)
         assert filtered.metrics.total_messages < unfiltered.metrics.total_messages
+
+
+class TestRunScopedExecution:
+    """Run-scoped BSP state: concurrency, EXPLAIN ANALYZE hygiene, retirement."""
+
+    def test_explain_analyze_leaves_no_residue_on_the_graph(self, mini_catalog):
+        graph = encode_catalog(mini_catalog)
+        executor = TagJoinExecutor(graph, mini_catalog)
+        plan = executor.explain(join_spec(), analyze=True)
+        assert "actual:" in plan
+        assert all(not vertex.state for vertex in graph.vertices())
+
+    def test_interleaved_explain_analyze_calls_do_not_corrupt_each_other(
+        self, mini_catalog
+    ):
+        import threading
+
+        graph = encode_catalog(mini_catalog)
+        executor = TagJoinExecutor(graph, mini_catalog)
+        full = join_spec()
+        selective = join_spec()
+        selective.add_filter("n", Comparison("=", col("n.N_NAME"), lit("JAPAN")))
+        expected = {
+            id(full): len(executor.execute(full).rows),
+            id(selective): len(executor.execute(selective).rows),
+        }
+        assert expected[id(full)] != expected[id(selective)]
+        errors = []
+
+        def worker(spec):
+            try:
+                for _ in range(10):
+                    plan = executor.explain(spec, analyze=True)
+                    assert f"actual: {expected[id(spec)]} rows" in plan
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(spec,))
+            for spec in (full, selective, full, selective)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        assert all(not vertex.state for vertex in graph.vertices())
+
+    def test_concurrent_executes_on_one_executor_match_serial(self, mini_catalog):
+        import threading
+
+        executor = TagJoinExecutor(encode_catalog(mini_catalog), mini_catalog)
+        baseline = executor.execute(join_spec()).to_tuples()
+        results = [None] * 6
+
+        def worker(index):
+            results[index] = executor.execute(join_spec()).to_tuples()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(result == baseline for result in results)
+
+    def test_retired_executor_raises_stale_engine_error(self, mini_catalog):
+        from repro.core import StaleEngineError
+
+        executor = TagJoinExecutor(encode_catalog(mini_catalog), mini_catalog)
+        executor.execute(join_spec())
+        executor.retire("test retirement")
+        assert executor.retired
+        with pytest.raises(StaleEngineError, match="test retirement"):
+            executor.execute(join_spec())
+        with pytest.raises(StaleEngineError):
+            executor.explain(join_spec())
+
+    def test_last_plan_choice_is_thread_local(self, mini_catalog):
+        import threading
+
+        executor = TagJoinExecutor(encode_catalog(mini_catalog), mini_catalog)
+        executor.execute(join_spec())
+        main_choice = executor.last_plan_choice
+        assert main_choice is not None
+        seen = {}
+
+        def worker():
+            seen["before"] = executor.last_plan_choice
+            executor.execute(join_spec())
+            seen["after"] = executor.last_plan_choice
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["before"] is None  # fresh thread starts with no verdict
+        assert seen["after"] is not None
+        assert executor.last_plan_choice is main_choice  # untouched by the thread
