@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stress bench-smoke bench examples lint format-check
+.PHONY: test test-stress bench-smoke bench-micro bench examples lint format-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,6 +11,9 @@ test-stress:
 
 bench-smoke:
 	$(PYTHON) -m repro.bench.smoke --scale 0.03 --out benchmarks/results/smoke.json
+
+bench-micro:
+	$(PYTHON) -m repro.bench.microbench --scale 0.03 --out benchmarks/results/microbench.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

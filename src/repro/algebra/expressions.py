@@ -302,8 +302,14 @@ class Like(Expression):
         return self.operand.columns()
 
 
-def _like_match(value: str, pattern: str) -> bool:
-    """Match SQL LIKE patterns via a translated regular expression."""
+def like_regex(pattern: str):
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a regex.
+
+    The single source of truth for LIKE semantics: both the interpreted
+    :class:`Like` evaluation and the slot compiler's precompiled variant
+    (:mod:`repro.exec.expr`) translate through here, so the two execution
+    paths cannot diverge.
+    """
     import re
 
     regex_parts: List[str] = []
@@ -314,7 +320,12 @@ def _like_match(value: str, pattern: str) -> bool:
             regex_parts.append(".")
         else:
             regex_parts.append(re.escape(character))
-    return re.fullmatch("".join(regex_parts), value) is not None
+    return re.compile("".join(regex_parts))
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """Match SQL LIKE patterns via a translated regular expression."""
+    return like_regex(pattern).fullmatch(value) is not None
 
 
 # ----------------------------------------------------------------------

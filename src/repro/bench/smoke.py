@@ -37,6 +37,7 @@ from .harness import (
     repeated_execution_report,
     run_workload,
 )
+from .microbench import hot_path_report
 
 #: queries covering every aggregation class the paper drills into
 SMOKE_QUERIES = ("q1", "q3", "q5", "q6", "q10")
@@ -130,7 +131,19 @@ def run_smoke(
     )
     concurrent_ok = concurrent["results_match"]
 
-    ok = not failures and not disagreements and cache_ok and parameterized_ok and concurrent_ok
+    # hot path: slotted vs dict row representation on a row-heavy fan-out
+    # join over the same encoded graph, with result equality asserted
+    hot_path = hot_path_report(catalog=workload.catalog, graph=graph, scale=scale)
+    hot_path_ok = hot_path["results_match"]
+
+    ok = (
+        not failures
+        and not disagreements
+        and cache_ok
+        and parameterized_ok
+        and concurrent_ok
+        and hot_path_ok
+    )
     return {
         "workload": workload.name,
         "scale": scale,
@@ -141,11 +154,13 @@ def run_smoke(
         "repeated_execution": repeated,
         "parameterized_execution": parameterized,
         "concurrent_execution": concurrent,
+        "hot_path": hot_path,
         "failures": failures,
         "agreement_failures": disagreements,
         "plan_cache_ok": cache_ok,
         "parameterized_cache_ok": parameterized_ok,
         "concurrent_ok": concurrent_ok,
+        "hot_path_ok": hot_path_ok,
         "ok": ok,
     }
 
@@ -191,6 +206,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not result["concurrent_ok"]:
             print(
                 "  concurrent executions diverged from the serial baseline",
+                file=sys.stderr,
+            )
+        if not result["hot_path_ok"]:
+            print(
+                "  slotted hot path diverged from the dict-row baseline",
                 file=sys.stderr,
             )
         return 1

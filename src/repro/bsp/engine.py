@@ -34,7 +34,19 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from types import MappingProxyType
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .aggregators import Aggregator, AggregatorRegistry
 from .graph import Edge, Graph, Vertex, VertexId
@@ -146,6 +158,55 @@ class SuperstepContext:
     def send_along(self, edge: Edge, payload: Any) -> None:
         """Send a message across ``edge`` (to its target)."""
         self.send(edge.target, payload)
+
+    def send_to_many(self, targets: Sequence[VertexId], payload: Any) -> None:
+        """Batched variant of :meth:`send`: one payload fanned out to many targets.
+
+        Semantically identical to calling :meth:`send` once per target:
+        the same messages land in the same inboxes, with the same message
+        count and the same cross-worker attribution.  Byte accounting is
+        cheaper, not identical — the payload is sized once for the whole
+        fan-out and row *tables* (lists) are always sized by first-row
+        sampling, so ``message_bytes`` for a small table of uneven rows
+        may differ slightly from the per-target :meth:`send` total (which
+        walks containers of up to eight elements exactly).  The slotted
+        TAG-join program uses this to ship its per-superstep row batches
+        (one list of slotted tuples per destination vertex) without paying
+        the per-edge bookkeeping of the row-at-a-time path.
+        """
+        if not targets:
+            return
+        engine = self._engine
+        graph = engine.graph
+        outbox = self._outbox
+        if type(payload) is list and payload:
+            # a collection-phase row table: sample one row instead of
+            # walking up to eight (the small-container exact path)
+            size = 4 + len(payload) * payload_size_bytes(payload[0])
+        else:
+            size = payload_size_bytes(payload)
+        current = self._current_vertex
+        network = 0
+        if current is None or engine.num_workers == 1:
+            # single-worker runs can never cross a partition boundary, so
+            # skip the per-target partition lookups entirely
+            for target in targets:
+                if not graph.has_vertex(target):
+                    raise BSPError(f"message sent to unknown vertex {target!r}")
+                outbox[target].append(payload)
+        else:
+            source_partition = engine.partition_of(current.vertex_id)
+            for target in targets:
+                if not graph.has_vertex(target):
+                    raise BSPError(f"message sent to unknown vertex {target!r}")
+                outbox[target].append(payload)
+                if engine.partition_of(target) != source_partition:
+                    network += 1
+        count = len(targets)
+        self._messages_sent += count
+        self._message_bytes += size * count
+        self._network_messages += network
+        self._network_bytes += network * size
 
     # ------------------------------------------------------------------
     # run-scoped vertex state
@@ -331,12 +392,17 @@ class BSPEngine:
                 break
 
             step_metrics.active_vertices = len(active)
+            graph = self.graph
+            graph_vertex = graph.vertex
+            inbox_get = inbox.get
+            compute = program.compute
             for vertex_id in active:
-                vertex = self.graph.vertex(vertex_id)
-                messages = inbox.get(vertex_id, [])
-                context._set_current_vertex(vertex)
-                program.compute(vertex, messages, self.graph, context)
-            context._set_current_vertex(None)
+                vertex = graph_vertex(vertex_id)
+                context._current_vertex = vertex
+                # vertices active without messages get a fresh empty list
+                # (never a shared one: programs may use messages as scratch)
+                compute(vertex, inbox_get(vertex_id) or [], graph, context)
+            context._current_vertex = None
 
             program.after_superstep(superstep, self.graph, context)
 
@@ -344,10 +410,10 @@ class BSPEngine:
             self._record(step_metrics, context, active_count=len(active))
 
             # barrier: messages sent now are delivered next superstep, and
-            # only their recipients are active then (paper Section 2).
-            inbox = defaultdict(list)
-            for target, payloads in context._outbox.items():
-                inbox[target].extend(payloads)
+            # only their recipients are active then (paper Section 2).  The
+            # context is dropped right after, so its outbox *is* the next
+            # inbox — no per-superstep copy of every message list.
+            inbox = context._outbox
             active = set(inbox)
             superstep += 1
             if context._halt_requested:

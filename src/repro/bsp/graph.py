@@ -164,6 +164,18 @@ class Graph:
             edges.extend(edge_list)
         return edges
 
+    def edge_targets(self, vertex_id: VertexId, label: str) -> List[VertexId]:
+        """Target ids of the ``label``-edges out of a vertex, without copying edges.
+
+        The hot-path variant of ``[e.target for e in out_edges(v, label)]``:
+        :meth:`out_edges` defensively copies the edge list on every call,
+        which the TAG-join send loops pay once per vertex per superstep.
+        """
+        edges = self._out_edges.get(vertex_id, {}).get(label)
+        if not edges:
+            return []
+        return [edge.target for edge in edges]
+
     def out_edge_labels(self, vertex_id: VertexId) -> List[str]:
         return list(self._out_edges.get(vertex_id, {}))
 

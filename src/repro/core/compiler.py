@@ -12,7 +12,10 @@ from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.fragment import SlottedFragment
 
 from ..algebra.expressions import ColumnRef, Comparison, Expression, col
 from ..algebra.logical import AggregationClass, JoinCondition, OutputColumn, QuerySpec
@@ -29,12 +32,20 @@ class CompileError(ValueError):
 
 @dataclass
 class CompiledFragment:
-    """A fragment config together with the structures it was derived from."""
+    """A fragment config together with the structures it was derived from.
+
+    ``slotted`` is the compiled slotted-row execution plan (schemas, merge
+    closures, slot-compiled filters/outputs/aggregates) derived from the
+    same schedule; it rides along in the plan cache so warm executions get
+    ready-to-run closures.  None only for configs that cannot be
+    specialised — the executor falls back to the dict-row program then.
+    """
 
     config: FragmentConfig
     join_tree: JoinTree
     plan: TagPlan
     aggregation_class: AggregationClass
+    slotted: Optional["SlottedFragment"] = None
 
 
 def choose_group_by_root(
@@ -198,9 +209,15 @@ def compile_fragment(
         eager_partial_aggregation=eager_partial_aggregation,
         collect_output_centrally=collect_output_centrally,
     )
+    # derive the slotted-row execution plan once, here, so plan-cache hits
+    # (and every execution after the first) start from compiled closures
+    from ..exec.fragment import compile_slotted_fragment  # local: breaks import cycle
+
+    slotted = compile_slotted_fragment(config, catalog)
     return CompiledFragment(
         config=config,
         join_tree=join_tree,
         plan=plan,
         aggregation_class=aggregation_class,
+        slotted=slotted,
     )

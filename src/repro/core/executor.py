@@ -38,6 +38,8 @@ from ..bsp.aggregators import CollectAggregator
 from ..bsp.engine import BSPEngine
 from ..bsp.metrics import RunMetrics
 from ..bsp.partition import HashPartitioner, Partitioner, SinglePartitioner
+from ..exec.operations import deduplicate_rows
+from ..exec.program import SlottedTagJoinProgram, register_slotted_group_aggregator
 from ..relational.catalog import Catalog
 from ..tag.encoder import TagGraph
 from . import operations as ops
@@ -86,12 +88,20 @@ class QueryResult:
         return len(self.rows)
 
     def to_tuples(self, columns: Optional[Sequence[str]] = None) -> List[Tuple[Any, ...]]:
-        """Rows as tuples in a fixed column order (sorted, for comparisons)."""
+        """Rows as tuples in a fixed column order (sorted, for comparisons).
+
+        Decorate-sort-undecorate: the stringified sort key is computed
+        exactly once per row, never again during comparisons.
+        """
         ordered = list(columns or self.columns)
-        return sorted(
-            (tuple(row.get(column) for column in ordered) for row in self.rows),
-            key=lambda item: tuple(str(part) for part in item),
-        )
+        decorated = [
+            (tuple(str(part) for part in values), values)
+            for values in (
+                tuple(row.get(column) for column in ordered) for row in self.rows
+            )
+        ]
+        decorated.sort(key=lambda pair: pair[0])
+        return [values for _key, values in decorated]
 
     def single_value(self) -> Any:
         """Convenience accessor for scalar results (one row, one column)."""
@@ -133,6 +143,8 @@ class TagJoinExecutor:
         cross_check_plans: bool = False,
         statistics: Optional["CatalogStatistics"] = None,
         cost_config: Optional["CostModelConfig"] = None,
+        use_slotted_rows: bool = True,
+        cross_check_rows: bool = False,
         name: str = "tag",
     ) -> None:
         # local import: repro.planner depends on repro.core's submodules
@@ -148,6 +160,12 @@ class TagJoinExecutor:
         self.max_supersteps = max_supersteps
         self.use_cost_based_planner = use_cost_based_planner
         self.cross_check_plans = cross_check_plans
+        #: run fragments over slotted tuple rows (the compiled hot path);
+        #: False opts back onto the original dict-per-row vertex program
+        self.use_slotted_rows = use_slotted_rows
+        #: execute every fragment on BOTH row representations and require
+        #: identical results (a correctness harness, not a production mode)
+        self.cross_check_rows = cross_check_rows
         self.planner = CostBasedPlanner(
             catalog,
             statistics=statistics,
@@ -385,6 +403,17 @@ class TagJoinExecutor:
         result = self._run_compiled(spec, compiled, metrics, raw_rows)
         if self.cross_check_plans and self.use_cost_based_planner:
             self._cross_check(spec, extra_filters, extra_residuals, result, raw_rows)
+        if self.cross_check_rows and self.use_slotted_rows and compiled.slotted is not None:
+            scratch = RunMetrics(label=f"{spec.name}:row-cross-check")
+            baseline = self._run_compiled(
+                spec, compiled, scratch, raw_rows, force_dict_rows=True
+            )
+            if result.to_tuples() != baseline.to_tuples():
+                raise ExecutionError(
+                    f"row-representation cross-check failed for {spec.name!r}: slotted "
+                    f"path returned {len(result.rows)} rows, dict path "
+                    f"{len(baseline.rows)} rows (or differing contents)"
+                )
         return result
 
     # ------------------------------------------------------------------
@@ -485,34 +514,68 @@ class TagJoinExecutor:
         compiled: CompiledFragment,
         metrics: RunMetrics,
         raw_rows: bool = False,
+        force_dict_rows: bool = False,
     ) -> QueryResult:
+        # the slotted hot path runs whenever the fragment compiled to slot
+        # closures; the dict program remains the opt-out / cross-check twin
+        slotted = (
+            compiled.slotted
+            if self.use_slotted_rows and not force_dict_rows
+            else None
+        )
         engine = self._make_engine()
         if compiled.aggregation_class in (AggregationClass.GLOBAL, AggregationClass.SCALAR):
-            register_group_aggregator(engine, compiled.config.aggregates)
+            if slotted is not None:
+                register_slotted_group_aggregator(engine, slotted.aggregates)
+            else:
+                register_group_aggregator(engine, compiled.config.aggregates)
         if self.collect_output_centrally:
             engine.register_aggregator(CollectAggregator(GLOBAL_OUTPUT_AGGREGATOR))
 
-        program = TagJoinProgram(self.graph, compiled.config)
+        if slotted is not None:
+            program = SlottedTagJoinProgram(self.graph, compiled.config, slotted)
+        else:
+            program = TagJoinProgram(self.graph, compiled.config)
         engine.run(program)
         metrics.merge(engine.last_metrics)
 
         if raw_rows or compiled.aggregation_class is AggregationClass.NONE:
-            rows = program.output_rows
-            if spec.distinct and not raw_rows:
-                rows = ops.deduplicate(rows)
             columns = [column.alias for column in compiled.config.output_columns]
+            if slotted is not None:
+                produced = program.output_rows
+                if spec.distinct and not raw_rows:
+                    produced = deduplicate_rows(produced)
+                # the only dict per row on the slotted path: the public
+                # result boundary
+                rows = [dict(zip(columns, values)) for values in produced]
+            else:
+                rows = program.output_rows
+                if spec.distinct and not raw_rows:
+                    rows = ops.deduplicate(rows)
             return QueryResult(rows, columns, metrics, compiled.aggregation_class)
 
+        columns = [column.alias for column in spec.output] + [
+            aggregate.alias for aggregate in spec.aggregates
+        ]
         if compiled.aggregation_class is AggregationClass.LOCAL:
-            rows = program.local_groups
-            columns = [column.alias for column in spec.output] + [
-                aggregate.alias for aggregate in spec.aggregates
-            ]
+            if slotted is not None:
+                rows = [dict(zip(columns, values)) for values in program.local_groups]
+            else:
+                rows = program.local_groups
             return QueryResult(rows, columns, metrics, compiled.aggregation_class)
 
         # GLOBAL / SCALAR: finalize the partial aggregates gathered globally
         groups = engine.aggregators.get(GLOBAL_GROUPS_AGGREGATOR).value()
         rows = []
+        if slotted is not None:
+            aggregates = slotted.aggregates
+            for _key, (partial, sample) in groups.items():
+                values = slotted.output(sample) + aggregates.finalize(partial)
+                rows.append(dict(zip(columns, values)))
+            if compiled.aggregation_class is AggregationClass.SCALAR and not rows:
+                empty = aggregates.finalize(aggregates.empty())
+                rows = [dict(zip(aggregates.aliases, empty))]
+            return QueryResult(rows, columns, metrics, compiled.aggregation_class)
         for _key, payload in groups.items():
             final = ops.finalize_partial(payload["partial"], compiled.config.aggregates)
             row = ops.evaluate_output_columns(spec.output, payload["sample"])
@@ -523,9 +586,6 @@ class TagJoinExecutor:
                 ops.empty_partial(compiled.config.aggregates), compiled.config.aggregates
             )
             rows = [empty]
-        columns = [column.alias for column in spec.output] + [
-            aggregate.alias for aggregate in spec.aggregates
-        ]
         return QueryResult(rows, columns, metrics, compiled.aggregation_class)
 
     # ------------------------------------------------------------------

@@ -211,12 +211,34 @@ def rows_passing(rows: Iterable[RowContext], predicates: Sequence[Expression]) -
     return [row for row in rows if all(predicate.evaluate(row) for predicate in predicates)]
 
 
+#: sentinel prefixing the keys of shape-mismatched rows so they can never
+#: collide with a fixed-order value tuple of the reference shape
+_MIXED_SHAPE = object()
+
+
 def deduplicate(rows: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
-    """Remove duplicate result rows (SELECT DISTINCT)."""
+    """Remove duplicate result rows (SELECT DISTINCT).
+
+    The column order is computed once from the first row and every
+    same-shaped row is keyed on its fixed-order value tuple — not on a
+    per-row ``sorted(row.items())`` rebuild, which re-sorted the column
+    names for every single row.  Rows with a different column set (they do
+    not occur on the executor paths, where all rows of one result share
+    one shape) fall back to the old sorted-items key, kept distinct from
+    value keys by a sentinel.
+    """
     seen = set()
     unique: List[Dict[str, Any]] = []
+    reference_keys = None
+    columns: Tuple[str, ...] = ()
     for row in rows:
-        key = tuple(sorted(row.items(), key=lambda item: item[0]))
+        if reference_keys is None:
+            reference_keys = row.keys()
+            columns = tuple(sorted(reference_keys))
+        if row.keys() == reference_keys:
+            key: Tuple[Any, ...] = tuple(map(row.__getitem__, columns))
+        else:
+            key = (_MIXED_SHAPE, tuple(sorted(row.items(), key=lambda item: item[0])))
         if key not in seen:
             seen.add(key)
             unique.append(row)

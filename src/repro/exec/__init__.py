@@ -1,0 +1,41 @@
+"""Slotted-row execution: the compiled TAG-join hot path.
+
+This package replaces dict-per-row processing on the TAG-join inner loop
+with tuples shaped by compile-time :class:`RowSchema` objects:
+
+* :mod:`repro.exec.schema` — column -> slot mapping and merge compilation;
+* :mod:`repro.exec.expr` — slot-compiling expression evaluator (with a
+  dict-context fallback for opaque predicates);
+* :mod:`repro.exec.operations` — slotted aggregates, outputs, group keys;
+* :mod:`repro.exec.fragment` — per-plan symbolic schedule replay producing
+  a :class:`SlottedFragment`;
+* :mod:`repro.exec.program` — the slotted vertex program itself.
+
+The public query API is unchanged: results still surface as dict rows;
+``TagJoinExecutor(use_slotted_rows=False)`` opts a fragment back onto the
+dict path (and ``cross_check_rows=True`` runs both, asserting equality).
+"""
+
+from .expr import compile_expression, compile_predicates, slot_resolver
+from .fragment import SlottedFragment, compile_slotted_fragment, provenance_key
+from .operations import SlottedAggregates, compile_group_key, compile_output, deduplicate_rows
+from .program import SlottedTagJoinProgram, register_slotted_group_aggregator
+from .schema import RowSchema, SlotError, merge_schemas
+
+__all__ = [
+    "RowSchema",
+    "SlotError",
+    "SlottedAggregates",
+    "SlottedFragment",
+    "SlottedTagJoinProgram",
+    "compile_expression",
+    "compile_group_key",
+    "compile_output",
+    "compile_predicates",
+    "compile_slotted_fragment",
+    "deduplicate_rows",
+    "merge_schemas",
+    "provenance_key",
+    "register_slotted_group_aggregator",
+    "slot_resolver",
+]

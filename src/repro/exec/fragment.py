@@ -1,0 +1,187 @@
+"""Compile a :class:`~repro.core.vertex_program.FragmentConfig` to slotted form.
+
+The TAG-join collection phase is driven by a *statically known* schedule
+(the Euler traversal of the plan), which means the shape of every
+intermediate result table — which columns, in which order — is fully
+determined at plan-compile time.  ``compile_slotted_fragment`` walks the
+collection steps once, symbolically, propagating a :class:`RowSchema`
+through the plan exactly as the vertex program will propagate row tables
+at run time, and compiles each per-step merge, every filter, the residual
+predicates, the output list, the GROUP BY key and the aggregate
+accumulators into slot-index closures.
+
+The result rides along inside the cached
+:class:`~repro.core.compiler.CompiledFragment`, so a plan-cache hit hands
+back ready-to-run closures and the per-row work left at execution time is
+tuple indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..relational.catalog import Catalog
+from .expr import compile_predicates, tuple_data_context, tuple_data_resolver
+from .operations import (
+    SlottedAggregates,
+    compile_group_key,
+    compile_output,
+    compile_residual,
+)
+from .schema import RowSchema, SlottedRow, merge_schemas
+
+
+def provenance_key(alias: Optional[str]) -> str:
+    """The hidden per-alias provenance column (same name as the dict path's)."""
+    return f"__vid.{alias}"
+
+
+class OwnRowSpec:
+    """How one relation alias projects a tuple vertex into a slotted row."""
+
+    __slots__ = ("alias", "columns", "schema")
+
+    def __init__(self, alias: str, columns: Tuple[str, ...]) -> None:
+        self.alias = alias
+        self.columns = columns
+        qualified = tuple(f"{alias}.{column}" for column in columns)
+        self.schema = RowSchema(qualified + (provenance_key(alias),))
+
+    def build(self, tuple_data: Dict[str, Any], vertex_id: str) -> SlottedRow:
+        return tuple(map(tuple_data.__getitem__, self.columns)) + (vertex_id,)
+
+
+@dataclass(frozen=True)
+class CollectAction:
+    """Compiled receive behaviour of one collection step.
+
+    ``merge`` is None at attribute nodes (tables pass through by
+    concatenation); at relation nodes it combines an incoming row with the
+    vertex's own row.  ``prov_slot`` is the provenance column's slot in
+    the *incoming* schema when present — rows whose recorded contributor
+    for this alias is a different vertex are dropped, mirroring the dict
+    path's ``row.get(provenance, vid) == vid`` check.
+    """
+
+    merge: Optional[Callable[[SlottedRow, SlottedRow], SlottedRow]] = None
+    prov_slot: Optional[int] = None
+    concat: bool = False  # merge is a plain tuple concatenation (fast path)
+    identity: bool = False  # incoming row already carries this alias's columns
+
+
+@dataclass
+class SlottedFragment:
+    """Everything the slotted vertex program needs, compiled once per plan."""
+
+    own: Dict[str, OwnRowSpec]  # alias -> own-row projection
+    collect: Dict[int, CollectAction]  # schedule index -> compiled receive
+    root_schema: RowSchema
+    filters: Dict[str, Callable[[Dict[str, Any]], bool]]  # alias -> tuple-data predicate
+    residual: Optional[Callable[[SlottedRow], bool]]
+    output: Callable[[SlottedRow], Tuple[Any, ...]]
+    output_columns: Tuple[str, ...]
+    group_key: Callable[[SlottedRow], Tuple[Any, ...]]
+    aggregates: Optional[SlottedAggregates]
+
+
+def compile_slotted_fragment(config: Any, catalog: Catalog) -> Optional[SlottedFragment]:
+    """Derive the slotted execution plan of one fragment config.
+
+    Returns None when the config cannot be specialised (hand-built configs
+    with open-ended ``required_columns``); the executor then runs the dict
+    path for that fragment.
+    """
+    from ..core.vertex_program import Phase  # local: avoid import cycle at package init
+
+    plan = config.plan
+
+    # 1. own-row projections (one fixed shape per alias)
+    own: Dict[str, OwnRowSpec] = {}
+    for node in plan.relation_nodes():
+        alias = node.alias
+        required = config.required_columns.get(alias)
+        if required is None:
+            return None
+        table_columns = catalog.schema(config.alias_tables[alias]).column_names
+        # keep only columns the tuple vertices actually store, in a fixed
+        # deterministic order (mirrors project_tuple's membership filter)
+        columns = tuple(sorted(column for column in required if column in table_columns))
+        own[alias] = OwnRowSpec(alias, columns)
+
+    # 2. pushed-down filters, compiled against the raw tuple-data dict
+    filters: Dict[str, Callable[[Dict[str, Any]], bool]] = {}
+    for alias, predicates in config.filters.items():
+        table = config.alias_tables.get(alias)
+        table_columns = catalog.schema(table).column_names if table else ()
+        compiled = compile_predicates(
+            predicates,
+            tuple_data_resolver(alias, table_columns),
+            tuple_data_context(alias),
+        )
+        if compiled is not None:
+            filters[alias] = compiled
+
+    # 3. symbolic replay of the collection schedule: propagate schemas and
+    #    compile one merge per step, exactly as rows will flow at run time
+    schema_at: Dict[str, RowSchema] = {}
+    collect: Dict[int, CollectAction] = {}
+    for index, scheduled in enumerate(config.schedule):
+        if scheduled.phase is not Phase.COLLECT:
+            continue
+        step = scheduled.step
+        source_node = plan.node(step.source)
+        target_node = plan.node(step.target)
+        source_schema = schema_at.get(step.source)
+        if source_schema is None:
+            if not source_node.is_relation:
+                return None  # malformed schedule; let the dict path handle it
+            source_schema = own[source_node.alias].schema
+        if not target_node.is_relation:
+            collect[index] = CollectAction()
+            schema_at[step.target] = source_schema
+            continue
+        own_spec = own[target_node.alias]
+        prov_slot = source_schema.slot_or_none(provenance_key(target_node.alias))
+        if all(column in source_schema for column in own_spec.schema.columns):
+            # Euler re-ascent: the incoming rows already carry this alias's
+            # columns, and the provenance filter (prov_slot is necessarily
+            # set) guarantees they came from this very vertex's own row —
+            # the merge is the identity on the incoming row.
+            collect[index] = CollectAction(
+                merge=lambda left, right: left, prov_slot=prov_slot, identity=True
+            )
+            schema_at[step.target] = source_schema
+            continue
+        merged_schema, merge = merge_schemas(source_schema, own_spec.schema)
+        concat = not any(column in source_schema for column in own_spec.schema.columns)
+        collect[index] = CollectAction(merge=merge, prov_slot=prov_slot, concat=concat)
+        schema_at[step.target] = merged_schema
+
+    # 4. the root's table schema is what assembly sees
+    root_schema = schema_at.get(config.root_node_id)
+    if root_schema is None:
+        root_node = plan.node(config.root_node_id)
+        if not root_node.is_relation:
+            return None
+        root_schema = own[root_node.alias].schema
+
+    residual = compile_residual(config.residual_predicates, root_schema)
+    output = compile_output(config.output_columns, root_schema)
+    output_columns = tuple(column.alias for column in config.output_columns)
+    group_key = compile_group_key(config.group_by_columns, root_schema)
+    aggregates = (
+        SlottedAggregates(config.aggregates, root_schema) if config.aggregates else None
+    )
+
+    return SlottedFragment(
+        own=own,
+        collect=collect,
+        root_schema=root_schema,
+        filters=filters,
+        residual=residual,
+        output=output,
+        output_columns=output_columns,
+        group_key=group_key,
+        aggregates=aggregates,
+    )

@@ -1,0 +1,297 @@
+"""The slotted TAG-join vertex program: Algorithm 2 over tuple rows.
+
+:class:`SlottedTagJoinProgram` executes the same three-phase schedule as
+:class:`~repro.core.vertex_program.TagJoinProgram` — the reduction and
+collection logic, supersteps and message topology are identical — but
+every intermediate result row is a plain tuple shaped by the compile-time
+:class:`~repro.exec.fragment.SlottedFragment`:
+
+* pushed-down filters run directly over a tuple vertex's stored data
+  (no per-vertex row-context dict is ever built);
+* the collection phase's joins are precompiled merges — tuple
+  concatenation in the common case — gated by a slot-indexed provenance
+  check;
+* messages are shipped through the batched
+  :meth:`~repro.bsp.engine.SuperstepContext.send_to_many`, one payload
+  sizing per fan-out instead of one per edge;
+* result assembly evaluates slot-compiled residuals/outputs/aggregates
+  and accumulates output rows as tuples; the executor converts to the
+  public dict rows once, at the result boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..algebra.logical import AggregationClass
+from ..bsp.aggregators import GroupAggregator
+from ..bsp.engine import BSPEngine, SuperstepContext
+from ..bsp.graph import Graph, Vertex
+from ..core.vertex_program import (
+    _MARKED_KEY,
+    _VALUE_KEY,
+    GLOBAL_GROUPS_AGGREGATOR,
+    GLOBAL_OUTPUT_AGGREGATOR,
+    FragmentConfig,
+    Phase,
+    ScheduledStep,
+    TagJoinProgram,
+)
+from ..tag.encoder import TUPLE_DATA_KEY, TagGraph
+from .fragment import SlottedFragment
+from .operations import SlottedAggregates
+from .schema import SlottedRow
+
+
+class SlottedTagJoinProgram(TagJoinProgram):
+    """Vertex-centric TAG-join over slotted (tuple) rows.
+
+    ``output_rows`` and ``local_groups`` hold tuples here (shaped by
+    ``slotted.output_columns`` / + aggregate aliases); the executor owns
+    the conversion to public dict rows.
+    """
+
+    def __init__(
+        self, graph: TagGraph, config: FragmentConfig, slotted: SlottedFragment
+    ) -> None:
+        super().__init__(graph, config)
+        self.slotted = slotted
+        self.output_rows: List[SlottedRow] = []
+        self.local_groups: List[SlottedRow] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle (same schedule drive as the dict program, with the step
+    # index threaded through so receives can look up their compiled action)
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        vertex: Vertex,
+        messages: List[Any],
+        graph: Graph,
+        context: SuperstepContext,
+    ) -> None:
+        superstep = context.superstep
+        schedule = self.config.schedule
+
+        if superstep == 0:
+            if not schedule:
+                self._assemble(vertex, self._initial_value(vertex, self._start_node), context)
+                return
+            self._send(vertex, schedule[0], context, is_initial=True)
+            return
+
+        received = schedule[superstep - 1]
+        accepted = self._receive_indexed(vertex, superstep - 1, received, messages, context)
+        if not accepted:
+            return
+        if superstep < len(schedule):
+            self._send(vertex, schedule[superstep], context)
+        else:
+            rows = context.state(vertex).get(_VALUE_KEY, {}).get(received.step.target, [])
+            self._assemble(vertex, rows, context)
+
+    # ------------------------------------------------------------------
+    # receive
+    # ------------------------------------------------------------------
+    def _receive_indexed(
+        self,
+        vertex: Vertex,
+        step_index: int,
+        scheduled: ScheduledStep,
+        messages: List[Any],
+        context: SuperstepContext,
+    ) -> bool:
+        step = scheduled.step
+        target_node = self.config.plan.node(step.target)
+        context.charge(len(messages))
+
+        if scheduled.phase in (Phase.REDUCE_UP, Phase.REDUCE_DOWN):
+            if target_node.is_relation and not self._tuple_passes_filters(
+                vertex, target_node.alias
+            ):
+                return False
+            marked = context.state(vertex).setdefault(_MARKED_KEY, {})
+            marked[step.edge.edge_id] = set(messages)
+            return True
+
+        # collection: combine incoming tables per the compiled step action.
+        # A single incoming table — the common case at relation vertices —
+        # is consumed as-is; tables are never mutated after delivery, so
+        # sharing the sender's list is safe.
+        if len(messages) == 1:
+            incoming: List[SlottedRow] = messages[0]
+        else:
+            incoming = []
+            for table in messages:
+                incoming.extend(table)
+        action = self.slotted.collect[step_index]
+        if action.merge is None:
+            rows = incoming
+        else:
+            own_row = self._own_row(vertex, target_node)
+            if incoming:
+                vid = vertex.vertex_id
+                prov_slot = action.prov_slot
+                if action.identity:
+                    rows = [row for row in incoming if row[prov_slot] == vid]
+                elif prov_slot is None:
+                    if action.concat:
+                        rows = [row + own_row for row in incoming]
+                    else:
+                        merge = action.merge
+                        rows = [merge(row, own_row) for row in incoming]
+                elif action.concat:
+                    rows = [row + own_row for row in incoming if row[prov_slot] == vid]
+                else:
+                    merge = action.merge
+                    rows = [
+                        merge(row, own_row) for row in incoming if row[prov_slot] == vid
+                    ]
+            else:
+                rows = [own_row]
+        context.charge(len(rows))
+        values = context.state(vertex).setdefault(_VALUE_KEY, {})
+        values[step.target] = rows
+        return True
+
+    # ------------------------------------------------------------------
+    # send (batched: one payload, many targets)
+    # ------------------------------------------------------------------
+    def _send(
+        self,
+        vertex: Vertex,
+        scheduled: ScheduledStep,
+        context: SuperstepContext,
+        is_initial: bool = False,
+    ) -> None:
+        step = scheduled.step
+        targets = self.graph.edge_targets(vertex.vertex_id, step.label)
+        context.charge(len(targets))
+
+        if scheduled.phase is Phase.REDUCE_UP:
+            context.send_to_many(targets, vertex.vertex_id)
+            return
+
+        marked = context.state(vertex).get(_MARKED_KEY, {}).get(step.edge.edge_id, set())
+        if scheduled.phase is Phase.REDUCE_DOWN:
+            context.send_to_many(
+                [target for target in targets if target in marked],
+                vertex.vertex_id,
+            )
+            return
+
+        source_node = self.config.plan.node(step.source)
+        values = context.state(vertex).get(_VALUE_KEY, {})
+        table = values.get(step.source)
+        if table is None and source_node.is_relation:
+            table = [self._own_row(vertex, source_node)]
+        if not table:
+            return
+        context.send_to_many(
+            [target for target in targets if target in marked], table
+        )
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        vertex: Vertex,
+        rows: List[SlottedRow],
+        context: SuperstepContext,
+    ) -> None:
+        config = self.config
+        slotted = self.slotted
+        if slotted.residual is not None:
+            residual = slotted.residual
+            rows = [row for row in rows if residual(row)]
+        if not rows:
+            return
+        context.charge(len(rows))
+
+        if config.aggregation_class is AggregationClass.NONE:
+            output = slotted.output
+            produced = [output(row) for row in rows]
+            if config.collect_output_centrally:
+                for row in produced:
+                    context.aggregate(GLOBAL_OUTPUT_AGGREGATOR, row)
+            self.output_rows.extend(produced)
+            return
+
+        aggregates = slotted.aggregates
+        if config.aggregation_class is AggregationClass.LOCAL:
+            partial = aggregates.empty()
+            for row in rows:
+                aggregates.accumulate(partial, row)
+            self.local_groups.append(
+                slotted.output(rows[0]) + aggregates.finalize(partial)
+            )
+            return
+
+        # GLOBAL / SCALAR: contribute (key, (partial, sample)) payloads
+        group_key = slotted.group_key
+        if config.eager_partial_aggregation:
+            by_group: Dict[Tuple[Any, ...], List[Any]] = {}
+            samples: Dict[Tuple[Any, ...], SlottedRow] = {}
+            for row in rows:
+                key = group_key(row)
+                partial = by_group.get(key)
+                if partial is None:
+                    by_group[key] = partial = aggregates.empty()
+                    samples[key] = row
+                aggregates.accumulate(partial, row)
+            for key, partial in by_group.items():
+                context.aggregate(GLOBAL_GROUPS_AGGREGATOR, (key, (partial, samples[key])))
+        else:
+            for row in rows:
+                partial = aggregates.empty()
+                aggregates.accumulate(partial, row)
+                context.aggregate(GLOBAL_GROUPS_AGGREGATOR, (group_key(row), (partial, row)))
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _tuple_passes_filters(self, vertex: Vertex, alias: Optional[str]) -> bool:
+        if alias is None:
+            return True
+        predicate = self.slotted.filters.get(alias)
+        if predicate is None:
+            return True
+        tuple_data = vertex.properties.get(TUPLE_DATA_KEY)
+        if tuple_data is None:
+            return True
+        return predicate(tuple_data)
+
+    def _own_row(self, vertex: Vertex, node) -> SlottedRow:
+        return self.slotted.own[node.alias].build(
+            vertex.properties[TUPLE_DATA_KEY], vertex.vertex_id
+        )
+
+    def _initial_value(self, vertex: Vertex, node) -> List[SlottedRow]:
+        if not self._tuple_passes_filters(vertex, node.alias):
+            return []
+        return [self._own_row(vertex, node)]
+
+
+def register_slotted_group_aggregator(
+    engine: BSPEngine, aggregates: SlottedAggregates
+) -> None:
+    """Register the global GROUP BY aggregator for slotted partial payloads.
+
+    Payloads are ``(group_key, (partial_list, sample_row))``; merging is the
+    compiled :meth:`SlottedAggregates.merge`, which never mutates its inputs
+    (the aggregator requirement the dict path satisfies with fresh dicts).
+    """
+
+    def combine(current: Any, update: Any) -> Any:
+        if current == 0:  # the GroupAggregator's neutral element
+            return update
+        return (aggregates.merge(current[0], update[0]), current[1])
+
+    engine.register_aggregator(GroupAggregator(GLOBAL_GROUPS_AGGREGATOR, combine=combine))
+
+
+__all__ = [
+    "SlottedTagJoinProgram",
+    "register_slotted_group_aggregator",
+]

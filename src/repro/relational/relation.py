@@ -23,6 +23,10 @@ class Relation:
     def __init__(self, schema: Schema, rows: Optional[Iterable[Sequence[Any]]] = None) -> None:
         self.schema = schema
         self._rows: List[Row] = []
+        # memoized per-column statistics (distinct sets, value frequencies);
+        # every mutation clears the cache, so repeated planner passes over an
+        # unchanged catalog stop rescanning the row store
+        self._stats_cache: Dict[Tuple[str, str], Any] = {}
         if rows is not None:
             for row in rows:
                 self.insert(row)
@@ -89,6 +93,8 @@ class Relation:
                     f"NULL in non-nullable column {self.schema.name}.{column.name}"
                 )
         self._rows.append(coerced)
+        if self._stats_cache:
+            self._stats_cache.clear()
 
     def insert_dict(self, record: Dict[str, Any]) -> None:
         self.insert([record.get(column.name, NULL) for column in self.schema.columns])
@@ -101,6 +107,8 @@ class Relation:
         """Delete all rows satisfying ``predicate``; return the number removed."""
         before = len(self._rows)
         self._rows = [row for row in self._rows if not predicate(row)]
+        if self._stats_cache:
+            self._stats_cache.clear()
         return before - len(self._rows)
 
     # ------------------------------------------------------------------
@@ -112,6 +120,12 @@ class Relation:
 
     @property
     def rows(self) -> List[Row]:
+        """The live row list.  Mutate through :meth:`insert` /
+        :meth:`extend` / :meth:`delete_where`, which keep the memoized
+        statistics fresh.  Direct count-changing edits (append/pop) are
+        caught by a row-count guard, but same-count in-place replacement
+        through this list bypasses both schema coercion and statistics
+        invalidation — don't."""
         return self._rows
 
     def __len__(self) -> int:
@@ -128,8 +142,36 @@ class Relation:
         return [row[position] for row in self._rows]
 
     def distinct_values(self, column_name: str) -> set:
+        return set(self._distinct_frozen(column_name))
+
+    def _cached_stat(self, key: Tuple[str, str], compute: Callable[[], Any]) -> Any:
+        """Memoize one statistic, guarded against out-of-band row mutation.
+
+        Mutations are expected to go through :meth:`insert` / :meth:`extend`
+        / :meth:`delete_where` (which clear the cache eagerly), but the
+        :attr:`rows` property hands out the live row list; entries therefore
+        remember the row count they were computed at and self-invalidate
+        when it no longer matches.  This catches count-changing edits
+        (append/pop) through the property — same-count in-place row
+        replacement is outside the guard and outside the API contract.
+        """
+        count = len(self._rows)
+        cached = self._stats_cache.get(key)
+        if cached is not None and cached[0] == count:
+            return cached[1]
+        value = compute()
+        self._stats_cache[key] = (count, value)
+        return value
+
+    def _distinct_frozen(self, column_name: str) -> frozenset:
+        """Memoized distinct non-NULL values (immutable master copy)."""
         position = self.schema.position(column_name)
-        return {row[position] for row in self._rows if row[position] is not NULL}
+        return self._cached_stat(
+            ("distinct", column_name),
+            lambda: frozenset(
+                row[position] for row in self._rows if row[position] is not NULL
+            ),
+        )
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         names = self.schema.column_names
@@ -149,7 +191,7 @@ class Relation:
         return len(self._rows)
 
     def distinct_count(self, column_name: str) -> int:
-        return len(self.distinct_values(column_name))
+        return len(self._distinct_frozen(column_name))
 
     def data_size_bytes(self) -> int:
         """Approximate base-table footprint in bytes (no indexes)."""
@@ -160,14 +202,19 @@ class Relation:
         return total
 
     def value_frequencies(self, column_name: str) -> Dict[Any, int]:
-        position = self.schema.position(column_name)
-        frequencies: Dict[Any, int] = {}
-        for row in self._rows:
-            value = row[position]
-            if value is NULL:
-                continue
-            frequencies[value] = frequencies.get(value, 0) + 1
-        return frequencies
+        def compute() -> Dict[Any, int]:
+            position = self.schema.position(column_name)
+            frequencies: Dict[Any, int] = {}
+            for row in self._rows:
+                value = row[position]
+                if value is NULL:
+                    continue
+                frequencies[value] = frequencies.get(value, 0) + 1
+            return frequencies
+
+        # hand out a copy: callers historically received a fresh dict they
+        # may mutate, and the memoized master must stay pristine
+        return dict(self._cached_stat(("frequencies", column_name), compute))
 
     # ------------------------------------------------------------------
     # equality helpers for tests

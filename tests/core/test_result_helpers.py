@@ -1,0 +1,64 @@
+"""Satellite regressions: deduplicate's fixed-order keys, to_tuples sort keys."""
+
+from repro.bsp.metrics import RunMetrics
+from repro.core import operations as ops
+from repro.core.executor import QueryResult
+
+
+class TestDeduplicate:
+    def test_removes_duplicates_keeps_first_order(self):
+        rows = [
+            {"a": 1, "b": 2},
+            {"a": 1, "b": 3},
+            {"a": 1, "b": 2},
+            {"a": 0, "b": 9},
+        ]
+        assert ops.deduplicate(rows) == [
+            {"a": 1, "b": 2},
+            {"a": 1, "b": 3},
+            {"a": 0, "b": 9},
+        ]
+
+    def test_key_order_does_not_depend_on_insertion_order(self):
+        """{a,b} and {b,a} with equal values are duplicates (as before the fix)."""
+        rows = [{"a": 1, "b": 2}, {"b": 2, "a": 1}]
+        assert ops.deduplicate(rows) == [{"a": 1, "b": 2}]
+
+    def test_mixed_shapes_do_not_collide(self):
+        """A row whose *values* are pairs must not collide with sorted items."""
+        rows = [{"x": ("x", 1)}, {"x": 1}, {"x": ("x", 1)}]
+        deduped = ops.deduplicate(rows)
+        assert deduped == [{"x": ("x", 1)}, {"x": 1}]
+
+    def test_different_shapes_kept_distinct(self):
+        rows = [{"a": 1}, {"b": 1}, {"a": 1}]
+        assert ops.deduplicate(rows) == [{"a": 1}, {"b": 1}]
+
+    def test_empty_input(self):
+        assert ops.deduplicate([]) == []
+
+
+class TestToTuples:
+    def result(self, rows, columns):
+        return QueryResult(rows, columns, RunMetrics())
+
+    def test_sorted_by_stringified_key(self):
+        result = self.result(
+            [{"k": 10, "v": "b"}, {"k": 2, "v": "a"}, {"k": None, "v": "c"}],
+            ["k", "v"],
+        )
+        # string ordering: "10" < "2" < "None" — the historical contract
+        assert result.to_tuples() == [(10, "b"), (2, "a"), (None, "c")]
+
+    def test_explicit_column_order(self):
+        result = self.result([{"k": 1, "v": "x"}], ["k", "v"])
+        assert result.to_tuples(["v", "k"]) == [("x", 1)]
+
+    def test_missing_column_yields_none(self):
+        result = self.result([{"k": 1}], ["k"])
+        assert result.to_tuples(["k", "gone"]) == [(1, None)]
+
+    def test_mixed_incomparable_types_sort_without_error(self):
+        """The whole point of the string key: ints and strs sort together."""
+        result = self.result([{"k": "z"}, {"k": 5}], ["k"])
+        assert result.to_tuples() == [(5,), ("z",)]

@@ -1,0 +1,78 @@
+"""SuperstepContext.send_to_many: batched fan-out with identical accounting."""
+
+import pytest
+
+from repro.bsp import BSPEngine
+from repro.bsp.engine import BSPError, SuperstepContext
+from repro.bsp.graph import Graph
+from repro.bsp.partition import HashPartitioner
+
+
+def make_graph(n=6):
+    graph = Graph("fanout")
+    for i in range(n):
+        graph.add_vertex(f"v{i}", "node")
+    return graph
+
+
+def test_batched_send_delivers_to_every_target():
+    graph = make_graph()
+    engine = BSPEngine(graph)
+    context = SuperstepContext(engine, 0)
+    context._set_current_vertex(graph.vertex("v0"))
+    context.send_to_many(["v1", "v2", "v3"], ("row", 1))
+    assert dict(context._outbox) == {
+        "v1": [("row", 1)],
+        "v2": [("row", 1)],
+        "v3": [("row", 1)],
+    }
+
+
+def test_batched_accounting_matches_per_target_sends():
+    graph = make_graph()
+    payload = [("a", 1, 2.5), ("b", 2, 3.5)] * 3
+    targets = [f"v{i}" for i in range(1, 6)]
+
+    engine = BSPEngine(graph, HashPartitioner(3))
+    batched = SuperstepContext(engine, 0)
+    batched._set_current_vertex(graph.vertex("v0"))
+    batched.send_to_many(targets, payload)
+
+    loop = SuperstepContext(engine, 0)
+    loop._set_current_vertex(graph.vertex("v0"))
+    for target in targets:
+        loop.send(target, payload)
+
+    assert batched._messages_sent == loop._messages_sent == len(targets)
+    assert batched._network_messages == loop._network_messages
+    assert batched._message_bytes == loop._message_bytes
+    assert batched._network_bytes == loop._network_bytes
+    assert dict(batched._outbox) == dict(loop._outbox)
+
+
+def test_single_worker_skips_network_attribution():
+    graph = make_graph()
+    engine = BSPEngine(graph)  # SinglePartitioner
+    context = SuperstepContext(engine, 0)
+    context._set_current_vertex(graph.vertex("v0"))
+    context.send_to_many(["v1", "v2"], "x")
+    assert context._messages_sent == 2
+    assert context._network_messages == 0
+    assert context._network_bytes == 0
+
+
+def test_unknown_target_raises():
+    graph = make_graph()
+    engine = BSPEngine(graph)
+    context = SuperstepContext(engine, 0)
+    with pytest.raises(BSPError):
+        context.send_to_many(["v1", "ghost"], "x")
+
+
+def test_empty_target_list_is_a_no_op():
+    graph = make_graph()
+    engine = BSPEngine(graph)
+    context = SuperstepContext(engine, 0)
+    context.send_to_many([], "x")
+    assert context._messages_sent == 0
+    assert not context._outbox

@@ -1,0 +1,138 @@
+"""Executor-level behaviour of the slotted hot path and its opt-outs."""
+
+import pytest
+
+from repro.api import Database
+from repro.core import TagJoinExecutor
+from repro.core.executor import ExecutionError
+from repro.exec.program import SlottedTagJoinProgram
+from repro.sql import parse_and_bind
+
+NCO_SQL = """
+    SELECT n.N_NAME, c.C_CUSTKEY, o.O_ORDERKEY, o.O_TOTAL
+    FROM NATION n, CUSTOMER c, ORDERS o
+    WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY
+"""
+
+
+class TestSlottedFlag:
+    def test_slotted_on_by_default(self, mini_graph, mini_catalog):
+        executor = TagJoinExecutor(mini_graph, mini_catalog)
+        assert executor.use_slotted_rows is True
+        compiled = executor._compile(
+            parse_and_bind(NCO_SQL, mini_catalog), {}, []
+        )
+        assert compiled.slotted is not None
+
+    def test_opt_out_matches_slotted(self, mini_graph, mini_catalog):
+        spec = parse_and_bind(NCO_SQL, mini_catalog)
+        slotted = TagJoinExecutor(mini_graph, mini_catalog).execute(spec)
+        opted_out = TagJoinExecutor(
+            mini_graph, mini_catalog, use_slotted_rows=False
+        ).execute(spec)
+        assert slotted.to_tuples() == opted_out.to_tuples()
+        assert slotted.columns == opted_out.columns
+
+    def test_distinct_and_filters_match(self, mini_graph, mini_catalog):
+        sql = """
+            SELECT DISTINCT o.O_PRIORITY
+            FROM CUSTOMER c, ORDERS o
+            WHERE c.C_CUSTKEY = o.O_CUSTKEY AND o.O_TOTAL > 10
+        """
+        spec = parse_and_bind(sql, mini_catalog)
+        slotted = TagJoinExecutor(mini_graph, mini_catalog).execute(spec)
+        baseline = TagJoinExecutor(
+            mini_graph, mini_catalog, use_slotted_rows=False
+        ).execute(spec)
+        assert sorted(slotted.to_tuples()) == sorted(baseline.to_tuples())
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # local aggregation (GROUP BY a materialised key attribute)
+            """
+            SELECT c.C_CUSTKEY, SUM(o.O_TOTAL) AS total, COUNT(*) AS cnt
+            FROM CUSTOMER c, ORDERS o
+            WHERE c.C_CUSTKEY = o.O_CUSTKEY
+            GROUP BY c.C_CUSTKEY
+            """,
+            # global aggregation grouped on a non-key column
+            """
+            SELECT o.O_PRIORITY, AVG(o.O_TOTAL) AS avg_total, MIN(c.C_ACCTBAL) AS low
+            FROM CUSTOMER c, ORDERS o
+            WHERE c.C_CUSTKEY = o.O_CUSTKEY
+            GROUP BY o.O_PRIORITY
+            """,
+            # scalar aggregation
+            """
+            SELECT COUNT(*) AS orders, MAX(o.O_TOTAL) AS biggest
+            FROM CUSTOMER c, ORDERS o
+            WHERE c.C_CUSTKEY = o.O_CUSTKEY
+            """,
+        ],
+    )
+    def test_aggregation_classes_match(self, mini_graph, mini_catalog, sql):
+        spec = parse_and_bind(sql, mini_catalog)
+        slotted = TagJoinExecutor(mini_graph, mini_catalog).execute(spec)
+        baseline = TagJoinExecutor(
+            mini_graph, mini_catalog, use_slotted_rows=False
+        ).execute(spec)
+        assert slotted.to_tuples() == baseline.to_tuples()
+        assert slotted.aggregation_class == baseline.aggregation_class
+
+    def test_subquery_filters_match(self, mini_graph, mini_catalog):
+        sql = """
+            SELECT c.C_CUSTKEY FROM CUSTOMER c
+            WHERE c.C_CUSTKEY IN (SELECT o.O_CUSTKEY FROM ORDERS o WHERE o.O_TOTAL > 15)
+        """
+        spec = parse_and_bind(sql, mini_catalog)
+        slotted = TagJoinExecutor(mini_graph, mini_catalog).execute(spec)
+        baseline = TagJoinExecutor(
+            mini_graph, mini_catalog, use_slotted_rows=False
+        ).execute(spec)
+        assert sorted(slotted.to_tuples()) == sorted(baseline.to_tuples())
+
+
+class TestCrossCheckRows:
+    def test_cross_check_passes_on_agreement(self, mini_graph, mini_catalog):
+        executor = TagJoinExecutor(mini_graph, mini_catalog, cross_check_rows=True)
+        result = executor.execute(parse_and_bind(NCO_SQL, mini_catalog))
+        assert len(result.rows) > 0
+
+    def test_cross_check_detects_divergence(self, mini_graph, mini_catalog, monkeypatch):
+        """A corrupted slotted assembly must trip the cross-check loudly."""
+        executor = TagJoinExecutor(mini_graph, mini_catalog, cross_check_rows=True)
+        original = SlottedTagJoinProgram._assemble
+
+        def corrupting(self, vertex, rows, context):
+            return original(self, vertex, rows[1:], context)  # drop a row
+
+        monkeypatch.setattr(SlottedTagJoinProgram, "_assemble", corrupting)
+        with pytest.raises(ExecutionError, match="row-representation cross-check"):
+            executor.execute(parse_and_bind(NCO_SQL, mini_catalog))
+
+
+class TestDatabaseIntegration:
+    def test_engine_options_opt_out(self, mini_catalog):
+        database = Database(
+            mini_catalog, engine_options={"tag": {"use_slotted_rows": False}}
+        )
+        engine = database.engine("tag")
+        assert engine.use_slotted_rows is False
+        default_db = Database(mini_catalog)
+        assert default_db.engine("tag").use_slotted_rows is True
+        reference = default_db.connect().sql(NCO_SQL)
+        opted_out = database.connect().sql(NCO_SQL)
+        assert reference.to_tuples() == opted_out.to_tuples()
+
+    def test_prepared_statement_on_slotted_path(self, mini_catalog):
+        database = Database(mini_catalog)
+        session = database.connect()
+        statement = session.prepare(
+            "SELECT o.O_ORDERKEY FROM ORDERS o WHERE o.O_TOTAL > :floor"
+        )
+        high = statement.execute({"floor": 25.0})
+        low = statement.execute({"floor": 5.0})
+        assert len(high.rows) < len(low.rows)
+        # the second execution re-used the compiled (slotted) plan
+        assert low.metrics.plan_cache_hits >= 1

@@ -1,0 +1,66 @@
+"""Golden equality: slotted vs dict rows vs the RDBMS baseline, full query sets.
+
+Runs every TPC-H and TPC-DS workload query three ways — the slotted
+compiled hot path, the ``use_slotted_rows=False`` dict path, and the
+relational baseline engine — and requires identical results.  This is the
+representation-change safety net: any divergence between the two TAG row
+representations, or between TAG and the reference engine, fails here.
+"""
+
+import pytest
+
+from repro.core import TagJoinExecutor
+from repro.engine import RelationalExecutor
+from repro.sql import parse_and_bind
+from repro.tag import encode_catalog
+from repro.workloads import tpcds_workload, tpch_workload
+
+TPCH = tpch_workload(scale=0.05, seed=7)
+TPCDS = tpcds_workload(scale=0.05, seed=7)
+TPCH_GRAPH = encode_catalog(TPCH.catalog)
+TPCDS_GRAPH = encode_catalog(TPCDS.catalog)
+
+TPCH_ENGINES = {
+    "slotted": TagJoinExecutor(TPCH_GRAPH, TPCH.catalog, use_slotted_rows=True),
+    "dict": TagJoinExecutor(TPCH_GRAPH, TPCH.catalog, use_slotted_rows=False),
+    "rdbms": RelationalExecutor(TPCH.catalog),
+}
+TPCDS_ENGINES = {
+    "slotted": TagJoinExecutor(TPCDS_GRAPH, TPCDS.catalog, use_slotted_rows=True),
+    "dict": TagJoinExecutor(TPCDS_GRAPH, TPCDS.catalog, use_slotted_rows=False),
+    "rdbms": RelationalExecutor(TPCDS.catalog),
+}
+
+
+def _rounded(tuples):
+    return [
+        tuple(round(part, 6) if isinstance(part, float) else part for part in row)
+        for row in tuples
+    ]
+
+
+def _assert_golden(workload, engines, query_name):
+    query = workload.query(query_name)
+    spec = parse_and_bind(query.sql, workload.catalog, name=query.name)
+    results = {name: engine.execute(spec) for name, engine in engines.items()}
+    slotted = results["slotted"]
+    # dict path must agree *exactly* (same engine, same plan, other rows)
+    assert slotted.to_tuples() == results["dict"].to_tuples(), (
+        f"slotted and dict rows diverge on {query_name}"
+    )
+    assert slotted.columns == results["dict"].columns
+    # the baseline agrees modulo float rounding (different summation orders)
+    reference = results["rdbms"]
+    assert _rounded(slotted.to_tuples(reference.columns)) == _rounded(
+        reference.to_tuples(reference.columns)
+    ), f"slotted TAG result diverges from the rdbms baseline on {query_name}"
+
+
+@pytest.mark.parametrize("query_name", [query.name for query in TPCH.queries])
+def test_tpch_golden_equality(query_name):
+    _assert_golden(TPCH, TPCH_ENGINES, query_name)
+
+
+@pytest.mark.parametrize("query_name", [query.name for query in TPCDS.queries])
+def test_tpcds_golden_equality(query_name):
+    _assert_golden(TPCDS, TPCDS_ENGINES, query_name)

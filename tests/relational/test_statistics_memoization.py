@@ -1,0 +1,66 @@
+"""Memoized per-relation statistics and their dirty-bit invalidation."""
+
+from repro.relational import Column, DataType, Relation, Schema
+
+
+def make_relation():
+    schema = Schema(
+        "T",
+        [Column("K", DataType.INT, nullable=False), Column("G", DataType.STRING)],
+    )
+    return Relation(schema, [[1, "a"], [2, "a"], [3, "b"], [3, "b"]])
+
+
+def test_distinct_count_is_cached():
+    relation = make_relation()
+    assert relation.distinct_count("K") == 3
+    assert ("distinct", "K") in relation._stats_cache
+    # cached master reused; result stays correct
+    assert relation.distinct_count("K") == 3
+
+
+def test_value_frequencies_cached_and_copy_isolated():
+    relation = make_relation()
+    first = relation.value_frequencies("G")
+    assert first == {"a": 2, "b": 2}
+    first["a"] = 999  # mutate the caller's copy
+    assert relation.value_frequencies("G") == {"a": 2, "b": 2}
+
+
+def test_distinct_values_returns_mutable_copy():
+    relation = make_relation()
+    values = relation.distinct_values("G")
+    values.add("zzz")
+    assert relation.distinct_values("G") == {"a", "b"}
+
+
+def test_insert_invalidates_cache():
+    relation = make_relation()
+    assert relation.distinct_count("K") == 3
+    relation.insert([9, "c"])
+    assert relation.distinct_count("K") == 4
+    assert relation.value_frequencies("G")["c"] == 1
+
+
+def test_extend_invalidates_cache():
+    relation = make_relation()
+    assert relation.distinct_count("G") == 2
+    relation.extend([[10, "x"], [11, "y"]])
+    assert relation.distinct_count("G") == 4
+
+
+def test_delete_where_invalidates_cache():
+    relation = make_relation()
+    assert relation.value_frequencies("K") == {1: 1, 2: 1, 3: 2}
+    removed = relation.delete_where(lambda row: row[0] == 3)
+    assert removed == 2
+    assert relation.value_frequencies("K") == {1: 1, 2: 1}
+    assert relation.distinct_count("K") == 2
+
+
+def test_sample_starts_with_fresh_cache():
+    relation = make_relation()
+    relation.distinct_count("K")
+    sampled = relation.sample(2, seed=1)
+    assert not sampled._stats_cache
+    assert sampled.distinct_count("K") <= 2
