@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stress bench-smoke bench-micro bench examples lint format-check
+.PHONY: test test-stress test-differential bench-smoke bench-micro bench examples lint format-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-stress:
 	$(PYTHON) -m pytest -m stress -q
+
+# deep randomized cross-engine sweep; size/seed via env:
+#   DIFFERENTIAL_EXAMPLES=500 (generated queries)
+#   DIFFERENTIAL_SEED_MODE=fixed|random (derandomized vs fresh entropy)
+test-differential:
+	$(PYTHON) -m pytest -m differential -q tests/differential
 
 bench-smoke:
 	$(PYTHON) -m repro.bench.smoke --scale 0.03 --out benchmarks/results/smoke.json

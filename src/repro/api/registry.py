@@ -11,14 +11,16 @@ graph, one :class:`~repro.planner.cache.PlanCache` and one
 
 Built-in names (auto-registered on import):
 
-========== ======================= ==========================================
-name       aliases                 engine
-========== ======================= ==========================================
-tag        tag_join                vertex-centric TAG-join executor
-rdbms      rdbms_hash              RDBMS-style baseline, hash joins
-rdbms_sortmerge                    RDBMS-style baseline, sort-merge joins
-spark      spark_like              distributed shuffle/broadcast baseline
-========== ======================= ==========================================
+=============== ======================= =========================================
+name            aliases                 engine
+=============== ======================= =========================================
+tag             tag_join, tag_slotted   TAG-join executor (slotted hot path)
+tag_vectorized  vectorized              TAG-join over columnar numpy batches
+tag_dict        tag_dict_rows           TAG-join over dict rows (reference path)
+rdbms           rdbms_hash              RDBMS-style baseline, hash joins
+rdbms_sortmerge                         RDBMS-style baseline, sort-merge joins
+spark           spark_like              distributed shuffle/broadcast baseline
+=============== ======================= =========================================
 
 Third parties register their own with :func:`register_engine`.
 """
@@ -157,10 +159,11 @@ def create_engine(name: str, context: EngineContext) -> Any:
 # ----------------------------------------------------------------------
 # built-in engines
 # ----------------------------------------------------------------------
-def _tag_factory(context: EngineContext) -> Any:
+def _tag_factory(context: EngineContext, **defaults: Any) -> Any:
     from ..core.executor import TagJoinExecutor
 
-    options = dict(context.options)
+    options = dict(defaults)
+    options.update(context.options)
     executor = TagJoinExecutor(
         context.tag_graph(),
         context.catalog,
@@ -170,6 +173,20 @@ def _tag_factory(context: EngineContext) -> Any:
         **options,
     )
     return executor
+
+
+def _tag_variant_factory(**defaults: Any) -> EngineFactory:
+    """A TAG engine entry with pinned row-representation defaults.
+
+    User-supplied ``engine_options`` still win, so e.g.
+    ``{"tag_vectorized": {"cross_check_rows": True}}`` composes with the
+    variant's pinned kernel choice.
+    """
+
+    def factory(context: EngineContext) -> Any:
+        return _tag_factory(context, **defaults)
+
+    return factory
 
 
 def _rdbms_factory(join_algorithm: str) -> EngineFactory:
@@ -204,7 +221,19 @@ def _register_builtins() -> None:
         "tag",
         _tag_factory,
         description="vertex-centric TAG-join executor (the paper's TAG_tg)",
-        aliases=("tag_join",),
+        aliases=("tag_join", "tag_slotted"),
+    )
+    register_engine(
+        "tag_vectorized",
+        _tag_variant_factory(use_vectorized_kernel=True, name="tag_vectorized"),
+        description="TAG-join over columnar numpy batches (vectorized superstep kernel)",
+        aliases=("vectorized",),
+    )
+    register_engine(
+        "tag_dict",
+        _tag_variant_factory(use_slotted_rows=False, name="tag_dict"),
+        description="TAG-join over dict rows (the original reference representation)",
+        aliases=("tag_dict_rows",),
     )
     register_engine(
         "rdbms",
@@ -230,4 +259,4 @@ _register_builtins()
 
 def builtin_engine_names() -> List[str]:
     """The canonical names registered by this module itself."""
-    return ["tag", "rdbms", "rdbms_sortmerge", "spark"]
+    return ["tag", "tag_vectorized", "tag_dict", "rdbms", "rdbms_sortmerge", "spark"]

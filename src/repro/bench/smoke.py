@@ -37,7 +37,7 @@ from .harness import (
     repeated_execution_report,
     run_workload,
 )
-from .microbench import hot_path_report
+from .microbench import hot_path_report, vectorized_kernel_report
 
 #: queries covering every aggregation class the paper drills into
 SMOKE_QUERIES = ("q1", "q3", "q5", "q6", "q10")
@@ -131,10 +131,16 @@ def run_smoke(
     )
     concurrent_ok = concurrent["results_match"]
 
-    # hot path: slotted vs dict row representation on a row-heavy fan-out
-    # join over the same encoded graph, with result equality asserted
+    # hot path: dict vs slotted vs vectorized row representations on a
+    # row-heavy fan-out join over the same encoded graph, equality asserted
     hot_path = hot_path_report(catalog=workload.catalog, graph=graph, scale=scale)
     hot_path_ok = hot_path["results_match"]
+
+    # the columnar kernel's own micro: large per-vertex batches, residual
+    # mask + whole-column aggregate reductions (smaller fan-out than the
+    # dedicated bench-micro run, to keep the smoke suite fast)
+    vectorized = vectorized_kernel_report(fanout=16, repeats=2)
+    vectorized_ok = vectorized["results_match"]
 
     ok = (
         not failures
@@ -143,6 +149,7 @@ def run_smoke(
         and parameterized_ok
         and concurrent_ok
         and hot_path_ok
+        and vectorized_ok
     )
     return {
         "workload": workload.name,
@@ -155,12 +162,14 @@ def run_smoke(
         "parameterized_execution": parameterized,
         "concurrent_execution": concurrent,
         "hot_path": hot_path,
+        "vectorized_kernel": vectorized,
         "failures": failures,
         "agreement_failures": disagreements,
         "plan_cache_ok": cache_ok,
         "parameterized_cache_ok": parameterized_ok,
         "concurrent_ok": concurrent_ok,
         "hot_path_ok": hot_path_ok,
+        "vectorized_ok": vectorized_ok,
         "ok": ok,
     }
 
@@ -210,7 +219,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         if not result["hot_path_ok"]:
             print(
-                "  slotted hot path diverged from the dict-row baseline",
+                "  slotted/vectorized hot path diverged from the dict-row baseline",
+                file=sys.stderr,
+            )
+        if not result["vectorized_ok"]:
+            print(
+                "  vectorized kernel diverged on the columnar fan-out micro",
                 file=sys.stderr,
             )
         return 1

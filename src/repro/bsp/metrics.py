@@ -48,6 +48,11 @@ def payload_size_bytes(payload: Any) -> int:
         )
     if hasattr(payload, "isoformat"):  # date / datetime
         return 8
+    # columnar batches (and any future table-like payload) size themselves;
+    # duck-typed so this module never imports the execution layer
+    hint = getattr(payload, "payload_size_hint", None)
+    if hint is not None:
+        return hint()
     return 16
 
 

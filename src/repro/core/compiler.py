@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec.fragment import SlottedFragment
+    from ..exec.vectorized.fragment import VectorizedFragment
 
 from ..algebra.expressions import ColumnRef, Comparison, Expression, col
 from ..algebra.logical import AggregationClass, JoinCondition, OutputColumn, QuerySpec
@@ -39,6 +40,12 @@ class CompiledFragment:
     same schedule; it rides along in the plan cache so warm executions get
     ready-to-run closures.  None only for configs that cannot be
     specialised — the executor falls back to the dict-row program then.
+
+    ``vectorized`` is the columnar twin: whole-batch residual masks,
+    output gathers and ``np.unique``-based aggregate reductions compiled
+    against the same schemas.  It also rides in the plan cache (warm hits
+    return ready batch closures) and is None exactly when ``slotted`` is —
+    or when numpy is unavailable.
     """
 
     config: FragmentConfig
@@ -46,6 +53,7 @@ class CompiledFragment:
     plan: TagPlan
     aggregation_class: AggregationClass
     slotted: Optional["SlottedFragment"] = None
+    vectorized: Optional["VectorizedFragment"] = None
 
 
 def choose_group_by_root(
@@ -213,11 +221,25 @@ def compile_fragment(
     # (and every execution after the first) start from compiled closures
     from ..exec.fragment import compile_slotted_fragment  # local: breaks import cycle
 
+    try:
+        # the vectorized subpackage hard-imports numpy below its top level;
+        # without numpy the fragment simply compiles with vectorized=None
+        # and the executor runs the slotted/dict program instead
+        from ..exec.vectorized.fragment import compile_vectorized_fragment
+    except ImportError:  # pragma: no cover - numpy-less environments only
+        compile_vectorized_fragment = None  # type: ignore[assignment]
+
     slotted = compile_slotted_fragment(config, catalog)
+    vectorized = (
+        compile_vectorized_fragment(config, slotted)
+        if compile_vectorized_fragment is not None
+        else None
+    )
     return CompiledFragment(
         config=config,
         join_tree=join_tree,
         plan=plan,
         aggregation_class=aggregation_class,
         slotted=slotted,
+        vectorized=vectorized,
     )

@@ -90,12 +90,17 @@ class QueryResult:
     def to_tuples(self, columns: Optional[Sequence[str]] = None) -> List[Tuple[Any, ...]]:
         """Rows as tuples in a fixed column order (sorted, for comparisons).
 
-        Decorate-sort-undecorate: the stringified sort key is computed
-        exactly once per row, never again during comparisons.
+        Decorate-sort-undecorate: the sort key is computed exactly once per
+        row, never again during comparisons.  Each key part carries the
+        value's type name alongside its string form — ``str`` alone made
+        the order between e.g. NULL (``str(None) == 'None'``) and the
+        string ``'None'``, or ``1`` and ``'1'``, depend on input order,
+        so two executions of one query could sort identical multisets
+        differently and fail an equality cross-check spuriously.
         """
         ordered = list(columns or self.columns)
         decorated = [
-            (tuple(str(part) for part in values), values)
+            (tuple((part.__class__.__name__, str(part)) for part in values), values)
             for values in (
                 tuple(row.get(column) for column in ordered) for row in self.rows
             )
@@ -144,6 +149,8 @@ class TagJoinExecutor:
         statistics: Optional["CatalogStatistics"] = None,
         cost_config: Optional["CostModelConfig"] = None,
         use_slotted_rows: bool = True,
+        use_vectorized_kernel: bool = False,
+        vectorized_batch_threshold: Optional[int] = None,
         cross_check_rows: bool = False,
         name: str = "tag",
     ) -> None:
@@ -163,8 +170,17 @@ class TagJoinExecutor:
         #: run fragments over slotted tuple rows (the compiled hot path);
         #: False opts back onto the original dict-per-row vertex program
         self.use_slotted_rows = use_slotted_rows
-        #: execute every fragment on BOTH row representations and require
-        #: identical results (a correctness harness, not a production mode)
+        #: run fragments over columnar numpy batches (the vectorized
+        #: superstep kernel layered on the slotted substrate); fragments
+        #: that cannot be vectorized fall back per the flags above
+        self.use_vectorized_kernel = use_vectorized_kernel
+        #: table size at which the vectorized program converts a tuple-row
+        #: table to columns (None = kernel default; 0 = always columnar,
+        #: the setting the correctness suites use for maximal coverage)
+        self.vectorized_batch_threshold = vectorized_batch_threshold
+        #: execute every fragment on EVERY available row representation
+        #: (dict, slotted, vectorized) and require identical results — a
+        #: correctness harness, not a production mode
         self.cross_check_rows = cross_check_rows
         self.planner = CostBasedPlanner(
             catalog,
@@ -293,6 +309,13 @@ class TagJoinExecutor:
             choice = self.last_plan_choice
             tree = compiled.join_tree
             lines.append(f"  aggregation class: {compiled.aggregation_class.value}")
+            representation = self._row_representation(compiled)
+            descriptions = {
+                "vectorized": "vectorized columnar batches (numpy array per slot)",
+                "slotted": "slotted tuple rows (slot-compiled closures)",
+                "dict": "dict rows (per-row name resolution)",
+            }
+            lines.append(f"  row representation: {descriptions[representation]}")
             lines.append(f"  join tree (root = {tree.root}):")
             lines.extend(self._render_tree(spec, tree, tree.root, depth=2))
             if tree.residual_conditions:
@@ -403,18 +426,39 @@ class TagJoinExecutor:
         result = self._run_compiled(spec, compiled, metrics, raw_rows)
         if self.cross_check_plans and self.use_cost_based_planner:
             self._cross_check(spec, extra_filters, extra_residuals, result, raw_rows)
-        if self.cross_check_rows and self.use_slotted_rows and compiled.slotted is not None:
-            scratch = RunMetrics(label=f"{spec.name}:row-cross-check")
+        if self.cross_check_rows:
+            self._cross_check_representations(spec, compiled, result, raw_rows)
+        return result
+
+    def _cross_check_representations(
+        self,
+        spec: QuerySpec,
+        compiled: CompiledFragment,
+        result: QueryResult,
+        raw_rows: bool,
+    ) -> None:
+        """Re-run the fragment on every *other* available row representation
+        and require identical results (dict vs slotted vs vectorized)."""
+        primary = self._row_representation(compiled)
+        alternates = ["dict"]
+        if compiled.slotted is not None:
+            alternates.append("slotted")
+        if compiled.vectorized is not None:
+            alternates.append("vectorized")
+        reference = result.to_tuples()
+        for mode in alternates:
+            if mode == primary:
+                continue
+            scratch = RunMetrics(label=f"{spec.name}:row-cross-check:{mode}")
             baseline = self._run_compiled(
-                spec, compiled, scratch, raw_rows, force_dict_rows=True
+                spec, compiled, scratch, raw_rows, force_rows=mode
             )
-            if result.to_tuples() != baseline.to_tuples():
+            if reference != baseline.to_tuples():
                 raise ExecutionError(
-                    f"row-representation cross-check failed for {spec.name!r}: slotted "
-                    f"path returned {len(result.rows)} rows, dict path "
+                    f"row-representation cross-check failed for {spec.name!r}: "
+                    f"{primary} path returned {len(result.rows)} rows, {mode} path "
                     f"{len(baseline.rows)} rows (or differing contents)"
                 )
-        return result
 
     # ------------------------------------------------------------------
     # compilation: plan cache in front of the cost-based planner
@@ -508,21 +552,28 @@ class TagJoinExecutor:
     # ------------------------------------------------------------------
     # running one compiled fragment
     # ------------------------------------------------------------------
+    def _row_representation(self, compiled: CompiledFragment) -> str:
+        """Which row representation this executor runs ``compiled`` on."""
+        if self.use_vectorized_kernel and compiled.vectorized is not None:
+            return "vectorized"
+        if self.use_slotted_rows and compiled.slotted is not None:
+            return "slotted"
+        return "dict"
+
     def _run_compiled(
         self,
         spec: QuerySpec,
         compiled: CompiledFragment,
         metrics: RunMetrics,
         raw_rows: bool = False,
-        force_dict_rows: bool = False,
+        force_rows: Optional[str] = None,
     ) -> QueryResult:
-        # the slotted hot path runs whenever the fragment compiled to slot
-        # closures; the dict program remains the opt-out / cross-check twin
-        slotted = (
-            compiled.slotted
-            if self.use_slotted_rows and not force_dict_rows
-            else None
-        )
+        # pick the row representation: the vectorized columnar kernel when
+        # enabled and compiled, else the slotted hot path, else dict rows;
+        # ``force_rows`` pins one explicitly (cross-check harness)
+        mode = force_rows or self._row_representation(compiled)
+        slotted = compiled.slotted if mode in ("slotted", "vectorized") else None
+        vectorized = compiled.vectorized if mode == "vectorized" else None
         engine = self._make_engine()
         if compiled.aggregation_class in (AggregationClass.GLOBAL, AggregationClass.SCALAR):
             if slotted is not None:
@@ -532,7 +583,23 @@ class TagJoinExecutor:
         if self.collect_output_centrally:
             engine.register_aggregator(CollectAggregator(GLOBAL_OUTPUT_AGGREGATOR))
 
-        if slotted is not None:
+        if vectorized is not None:
+            from ..exec.vectorized.program import (
+                DEFAULT_COLUMNAR_THRESHOLD,
+                VectorizedTagJoinProgram,
+            )
+
+            threshold = self.vectorized_batch_threshold
+            program = VectorizedTagJoinProgram(
+                self.graph,
+                compiled.config,
+                slotted,
+                vectorized,
+                columnar_threshold=(
+                    DEFAULT_COLUMNAR_THRESHOLD if threshold is None else threshold
+                ),
+            )
+        elif slotted is not None:
             program = SlottedTagJoinProgram(self.graph, compiled.config, slotted)
         else:
             program = TagJoinProgram(self.graph, compiled.config)
@@ -542,11 +609,15 @@ class TagJoinExecutor:
         if raw_rows or compiled.aggregation_class is AggregationClass.NONE:
             columns = [column.alias for column in compiled.config.output_columns]
             if slotted is not None:
-                produced = program.output_rows
+                if vectorized is not None:
+                    # columnar batches plus any sub-threshold tuple tables
+                    produced = program.output_rows + program.collected_output_tuples()
+                else:
+                    produced = program.output_rows
                 if spec.distinct and not raw_rows:
                     produced = deduplicate_rows(produced)
-                # the only dict per row on the slotted path: the public
-                # result boundary
+                # the only dict per row on the slotted/vectorized paths:
+                # the public result boundary
                 rows = [dict(zip(columns, values)) for values in produced]
             else:
                 rows = program.output_rows

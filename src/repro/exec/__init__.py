@@ -9,7 +9,11 @@ with tuples shaped by compile-time :class:`RowSchema` objects:
 * :mod:`repro.exec.operations` — slotted aggregates, outputs, group keys;
 * :mod:`repro.exec.fragment` — per-plan symbolic schedule replay producing
   a :class:`SlottedFragment`;
-* :mod:`repro.exec.program` — the slotted vertex program itself.
+* :mod:`repro.exec.program` — the slotted vertex program itself;
+* :mod:`repro.exec.vectorized` — the columnar (struct-of-arrays) superstep
+  kernel layered on the slotted substrate (imported lazily; enable with
+  ``TagJoinExecutor(use_vectorized_kernel=True)`` or engine
+  ``tag_vectorized``).
 
 The public query API is unchanged: results still surface as dict rows;
 ``TagJoinExecutor(use_slotted_rows=False)`` opts a fragment back onto the

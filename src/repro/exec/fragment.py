@@ -29,7 +29,7 @@ from .operations import (
     compile_output,
     compile_residual,
 )
-from .schema import RowSchema, SlottedRow, merge_schemas
+from .schema import RowSchema, SlottedRow, merge_gather_plan, merge_schemas
 
 
 def provenance_key(alias: Optional[str]) -> str:
@@ -68,6 +68,10 @@ class CollectAction:
     prov_slot: Optional[int] = None
     concat: bool = False  # merge is a plain tuple concatenation (fast path)
     identity: bool = False  # incoming row already carries this alias's columns
+    #: per-output-slot gather recipe ``(take_from_incoming, source_slot)`` for
+    #: overlapping merges; None for concat/identity/passthrough.  The
+    #: vectorized kernel turns it into column gathers + own-value broadcasts.
+    plan: Optional[Tuple[Tuple[bool, int], ...]] = None
 
 
 @dataclass
@@ -155,7 +159,10 @@ def compile_slotted_fragment(config: Any, catalog: Catalog) -> Optional[SlottedF
             continue
         merged_schema, merge = merge_schemas(source_schema, own_spec.schema)
         concat = not any(column in source_schema for column in own_spec.schema.columns)
-        collect[index] = CollectAction(merge=merge, prov_slot=prov_slot, concat=concat)
+        gather = None if concat else merge_gather_plan(source_schema, own_spec.schema)
+        collect[index] = CollectAction(
+            merge=merge, prov_slot=prov_slot, concat=concat, plan=gather
+        )
         schema_at[step.target] = merged_schema
 
     # 4. the root's table schema is what assembly sees

@@ -137,11 +137,7 @@ def merge_schemas(
 
     appended = tuple(name for name in right.columns if name not in left)
     merged = RowSchema(left.columns + appended)
-    # (take_from_left, slot_in_source) per output slot
-    plan: Tuple[Tuple[bool, int], ...] = tuple(
-        (False, right.slot(name)) if name in right else (True, left.slot(name))
-        for name in merged.columns
-    )
+    plan = merge_gather_plan(left, right)
 
     def merge(left_row: SlottedRow, right_row: SlottedRow) -> SlottedRow:
         return tuple(
@@ -149,3 +145,21 @@ def merge_schemas(
         )
 
     return merged, merge
+
+
+def merge_gather_plan(
+    left: RowSchema, right: RowSchema
+) -> Tuple[Tuple[bool, int], ...]:
+    """The gather recipe behind :func:`merge_schemas`, as inspectable data.
+
+    One ``(take_from_left, slot_in_source)`` pair per merged output slot —
+    the form the vectorized kernel consumes directly (a left entry becomes
+    a column gather of the incoming batch, a right entry a broadcast of the
+    vertex's own value).
+    """
+    appended = tuple(name for name in right.columns if name not in left)
+    merged_columns = left.columns + appended
+    return tuple(
+        (False, right.slot(name)) if name in right else (True, left.slot(name))
+        for name in merged_columns
+    )

@@ -1,0 +1,46 @@
+"""Columnar (struct-of-arrays) TAG-join execution: the vectorized kernel.
+
+The fourth execution representation, layered on the slotted substrate:
+
+* :mod:`repro.exec.vectorized.batch` — :class:`ColumnBatch`, one numpy
+  array per slot with an object-dtype fallback for opaque values;
+* :mod:`repro.exec.vectorized.expr` — whole-batch expression compiler
+  (filters as boolean masks, NULL-aware);
+* :mod:`repro.exec.vectorized.operations` — ``np.unique``-based GROUP BY
+  factorization and aggregate reductions with slotted-compatible partials;
+* :mod:`repro.exec.vectorized.fragment` — per-plan compilation riding in
+  :class:`~repro.core.compiler.CompiledFragment`;
+* :mod:`repro.exec.vectorized.program` — the batch vertex program.
+
+Enable per executor with ``TagJoinExecutor(use_vectorized_kernel=True)``,
+or by name through the engine registry (``tag_vectorized``).
+"""
+
+from .batch import HAVE_NUMPY, ColumnBatch, column_array, concat_columns, full_column
+from .expr import (
+    as_mask,
+    compile_batch_expression,
+    compile_batch_outputs,
+    compile_batch_predicates,
+)
+from .fragment import VectorizedFragment, compile_vectorized_fragment
+from .operations import VectorizedAggregates, compile_batch_group_key, factorize_groups
+from .program import VectorizedTagJoinProgram
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ColumnBatch",
+    "VectorizedAggregates",
+    "VectorizedFragment",
+    "VectorizedTagJoinProgram",
+    "as_mask",
+    "column_array",
+    "compile_batch_expression",
+    "compile_batch_group_key",
+    "compile_batch_outputs",
+    "compile_batch_predicates",
+    "concat_columns",
+    "compile_vectorized_fragment",
+    "factorize_groups",
+    "full_column",
+]

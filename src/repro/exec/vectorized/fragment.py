@@ -1,0 +1,93 @@
+"""Compile the batch-level execution plan of one TAG-join fragment.
+
+A :class:`VectorizedFragment` is the columnar twin of a
+:class:`~repro.exec.fragment.SlottedFragment` and is derived *from* one:
+the slotted compiler already fixed every intermediate table's
+:class:`~repro.exec.schema.RowSchema` and every collection step's merge
+recipe, so all that is left here is compiling the fragment-level row
+operators — residual predicates, the SELECT list, the GROUP BY key and the
+aggregates — into whole-batch closures.
+
+The per-step collection behaviour needs no separate compilation: the
+vectorized program reads the same
+:class:`~repro.exec.fragment.CollectAction` table the slotted program
+runs from (``identity`` -> provenance mask, ``concat`` -> gather + own
+broadcast, ``plan`` -> column gather plan), which guarantees the two
+representations can never disagree about the shape of a step.
+
+Like the slotted plan, the compiled result rides inside the cached
+:class:`~repro.core.compiler.CompiledFragment`, so a plan-cache hit hands
+back ready-to-run batch closures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from ...algebra.expressions import ColumnRef
+from ..fragment import SlottedFragment
+from ..schema import SlotError
+from .batch import HAVE_NUMPY, ColumnBatch
+from .expr import compile_batch_outputs, compile_batch_predicates
+from .operations import VectorizedAggregates, compile_batch_group_key
+
+
+@dataclass
+class VectorizedFragment:
+    """Batch-level operators of one fragment, compiled once per plan."""
+
+    #: AND of the residual predicates as one batch -> bool-mask closure
+    residual: Optional[Callable[[ColumnBatch], Any]]
+    #: SELECT list as a batch -> output-columns closure
+    outputs: Callable[[ColumnBatch], List[Any]]
+    #: output slots when every output is a plain column pick (else None);
+    #: used to evaluate the output list on single sample rows cheaply
+    output_slots: Optional[Tuple[int, ...]]
+    #: GROUP BY key columns of a batch
+    group_key_columns: Callable[[ColumnBatch], List[Any]]
+    #: whole-batch aggregate evaluation (slotted-compatible partials)
+    aggregates: Optional[VectorizedAggregates]
+
+
+def compile_vectorized_fragment(
+    config: Any, slotted: Optional[SlottedFragment]
+) -> Optional[VectorizedFragment]:
+    """Derive the columnar execution plan from a compiled slotted fragment.
+
+    Returns None when there is nothing to derive it from (the fragment
+    could not be slot-specialised) or numpy is unavailable — the executor
+    then runs the slotted or dict program for the fragment.
+    """
+    if slotted is None or not HAVE_NUMPY:
+        return None
+
+    root_schema = slotted.root_schema
+    residual = compile_batch_predicates(config.residual_predicates, root_schema)
+    outputs = compile_batch_outputs(config.output_columns, root_schema)
+
+    output_slots: Optional[Tuple[int, ...]] = None
+    if all(
+        isinstance(column.expression, ColumnRef) for column in config.output_columns
+    ):
+        try:
+            output_slots = tuple(
+                root_schema.resolve(column.expression.column, column.expression.table)
+                for column in config.output_columns
+            )
+        except SlotError:
+            output_slots = None
+
+    group_key_columns = compile_batch_group_key(config.group_by_columns, root_schema)
+    aggregates = (
+        VectorizedAggregates(config.aggregates, root_schema, slotted.aggregates)
+        if config.aggregates
+        else None
+    )
+    return VectorizedFragment(
+        residual=residual,
+        outputs=outputs,
+        output_slots=output_slots,
+        group_key_columns=group_key_columns,
+        aggregates=aggregates,
+    )

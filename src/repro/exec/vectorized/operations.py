@@ -1,0 +1,201 @@
+"""Vectorized aggregates, GROUP BY factorization and group keys.
+
+Per-vertex aggregation folds a whole :class:`ColumnBatch` at once: every
+aggregate argument is evaluated column-wise exactly once per batch, groups
+are factorized with ``np.unique`` (native single-column keys) or one hash
+pass (everything else), and each group's reduction runs over an index
+gather of the argument column.
+
+The *partial* payload format is exactly
+:class:`~repro.exec.operations.SlottedAggregates`' — a list with one entry
+per aggregate spec — so cross-vertex merging and finalisation reuse the
+slotted machinery unchanged, and the global-aggregator protocol is
+identical across both compiled representations.
+
+Determinism note: SUM/AVG accumulate with a *sequential left-to-right*
+Python ``sum`` over the gathered values (a single C-level loop), not
+``np.sum`` — numpy's pairwise summation would differ from the row-at-a-time
+paths in the last float ulps, and the differential harness asserts exact
+equality between the TAG representations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...algebra.logical import AggFunc, AggregateSpec
+from ...relational.types import NULL
+from ..operations import Partial, SlottedAggregates
+from ..schema import RowSchema, SlottedRow
+from .batch import ColumnBatch
+from .expr import BatchCompiled, compile_batch_expression
+
+
+def factorize_groups(
+    key_columns: Sequence["np.ndarray"], length: int
+) -> List[Tuple[Tuple[Any, ...], "np.ndarray"]]:
+    """Split a batch into groups: ``[(key_tuple, row_indices), ...]``.
+
+    Single native-dtype keys factorize entirely inside numpy
+    (``np.unique(return_inverse=True)`` + a stable argsort of the inverse);
+    object or multi-column keys fall back to one hash pass over the zipped
+    key values.  Row indices always come back in row order, so the first
+    index of each group is the group's first-occurrence sample — the same
+    sample the row-at-a-time paths pick.
+    """
+    if not key_columns:
+        return [((), np.arange(length))]
+    if len(key_columns) == 1 and key_columns[0].dtype.kind in "biuf":
+        column = key_columns[0]
+        uniques, inverse = np.unique(column, return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        boundaries = np.searchsorted(inverse[order], np.arange(len(uniques)))
+        splits = np.split(order, boundaries[1:])
+        keys = uniques.tolist()
+        return [((key,), indices) for key, indices in zip(keys, splits)]
+    by_key: dict = {}
+    for index, key in enumerate(zip(*[column.tolist() for column in key_columns])):
+        bucket = by_key.get(key)
+        if bucket is None:
+            by_key[key] = bucket = []
+        bucket.append(index)
+    return [
+        (key, np.asarray(indices, dtype=np.intp)) for key, indices in by_key.items()
+    ]
+
+
+def compile_batch_group_key(
+    group_columns: Sequence[str], schema: RowSchema
+) -> Callable[[ColumnBatch], List["np.ndarray"]]:
+    """Compile qualified GROUP BY names into a batch -> key-columns closure.
+
+    Mirrors the slotted rule (``row.get``): a column missing from the
+    schema contributes a constant-None key column, never an error.
+    """
+    slots = [schema.slot_or_none(column) for column in group_columns]
+
+    def key_columns(batch: ColumnBatch) -> List["np.ndarray"]:
+        columns: List["np.ndarray"] = []
+        for slot in slots:
+            if slot is None:
+                columns.append(np.full(batch.length, None, dtype=object))
+            else:
+                columns.append(batch.arrays[slot])
+        return columns
+
+    return key_columns
+
+
+class VectorizedAggregates:
+    """Whole-batch aggregate evaluation producing slotted-compatible partials."""
+
+    __slots__ = ("slotted", "_arguments", "_functions")
+
+    def __init__(
+        self, aggregates: Sequence[AggregateSpec], schema: RowSchema, slotted: SlottedAggregates
+    ) -> None:
+        self.slotted = slotted  # merge/finalize/aliases delegate here
+        self._functions: Tuple[AggFunc, ...] = tuple(
+            spec.function for spec in aggregates
+        )
+        self._arguments: Tuple[Optional[BatchCompiled], ...] = tuple(
+            compile_batch_expression(spec.argument, schema)
+            if spec.argument is not None
+            else None
+            for spec in aggregates
+        )
+
+    # ------------------------------------------------------------------
+    def argument_columns(self, batch: ColumnBatch) -> List[Optional[List[Any]]]:
+        """Evaluate every aggregate argument once over the whole batch.
+
+        Returns plain Python lists (row order preserved); ``None`` entries
+        are argument-less COUNT(*) specs.
+        """
+        columns: List[Optional[List[Any]]] = []
+        for argument in self._arguments:
+            if argument is None:
+                columns.append(None)
+                continue
+            value = argument(batch)
+            if isinstance(value, np.ndarray):
+                columns.append(value.tolist())
+            else:
+                columns.append([value] * batch.length)
+        return columns
+
+    def partial_for(
+        self, indices: "np.ndarray", columns: Sequence[Optional[List[Any]]]
+    ) -> Partial:
+        """One group's partial payload, gathered from the argument columns."""
+        partial: Partial = []
+        index_list = indices.tolist()
+        for position, function in enumerate(self._functions):
+            column = columns[position]
+            if column is None:
+                # argument-less specs: COUNT(*) counts the group, anything
+                # else keeps its neutral element (mirrors the row-at-a-time
+                # accumulate, which skips specs without an argument)
+                if function is AggFunc.COUNT:
+                    partial.append(len(index_list))
+                elif function is AggFunc.AVG:
+                    partial.append((0, 0))
+                elif function in (AggFunc.MIN, AggFunc.MAX):
+                    partial.append(None)
+                elif function is AggFunc.COUNT_DISTINCT:
+                    partial.append(set())
+                else:
+                    partial.append(0)
+                continue
+            values = [
+                value
+                for value in (column[index] for index in index_list)
+                if value is not NULL
+            ]
+            if function is AggFunc.COUNT:
+                partial.append(len(values))
+            elif function is AggFunc.SUM:
+                partial.append(sum(values) if values else 0)
+            elif function is AggFunc.AVG:
+                partial.append((sum(values) if values else 0, len(values)))
+            elif function is AggFunc.MIN:
+                partial.append(min(values) if values else None)
+            elif function is AggFunc.MAX:
+                partial.append(max(values) if values else None)
+            elif function is AggFunc.COUNT_DISTINCT:
+                partial.append(set(values))
+            else:  # pragma: no cover - exhaustive over AggFunc
+                raise ValueError(f"unsupported aggregate {function}")
+        return partial
+
+    def batch_partial(self, batch: ColumnBatch) -> Partial:
+        """The whole batch folded into one partial (LOCAL aggregation)."""
+        return self.partial_for(
+            np.arange(batch.length), self.argument_columns(batch)
+        )
+
+    # slotted-compatible surface --------------------------------------
+    def merge(self, left: Partial, right: Partial) -> Partial:
+        return self.slotted.merge(left, right)
+
+    def finalize(self, partial: Partial) -> Tuple[Any, ...]:
+        return self.slotted.finalize(partial)
+
+    @property
+    def aliases(self) -> Tuple[str, ...]:
+        return self.slotted.aliases
+
+
+def first_row_output(
+    output_slots: Optional[Sequence[int]],
+    output: Callable[[SlottedRow], Tuple[Any, ...]],
+    batch: ColumnBatch,
+    index: int,
+) -> Tuple[Any, ...]:
+    """Evaluate the output list on one row of a batch (LOCAL group heads)."""
+    row = batch.row(index)
+    if output_slots is not None:
+        return tuple(row[slot] for slot in output_slots)
+    return output(row)

@@ -1,0 +1,258 @@
+"""The columnar TAG-join vertex program: Algorithm 2 over column batches.
+
+:class:`VectorizedTagJoinProgram` runs the exact schedule of its parent
+:class:`~repro.exec.program.SlottedTagJoinProgram` — same supersteps, same
+message topology, same provenance discipline — but intermediate result
+tables become :class:`~repro.exec.vectorized.batch.ColumnBatch` objects
+(struct-of-arrays) once they are large enough to pay for it:
+
+* the TAG topology itself is the hash bucketing of the join: attribute
+  vertices partition rows by join value, so each collection step's merge
+  is a per-bucket gather-join — a boolean provenance mask, column gathers
+  (``take``) of the incoming batch and ``repeat``-broadcasts of the
+  vertex's own values, all C loops over whole columns;
+* sibling tables union by per-slot ``np.concatenate``;
+* pushed-down filters still run per tuple vertex (they see exactly one
+  stored row); residuals, outputs, GROUP BY keys and aggregate arguments
+  evaluate as whole-column mask/gather expressions at result assembly;
+* one :meth:`~repro.bsp.engine.SuperstepContext.send_to_many` ships a
+  whole batch per fan-out — no per-row message ever exists.
+
+**Adaptive columnarization.**  numpy pays a fixed per-array cost that a
+three-row table never recoups, and most TAG tables are tiny (a leaf
+relation vertex's own row, an attribute vertex's handful of children).
+Tables therefore *start* as slotted tuple rows and convert to columns at
+the first concatenation whose combined size reaches
+``columnar_threshold``; from then on they stay columnar (batches only
+grow along the collection phase).  Small tables take the parent class's
+slotted code paths verbatim, so the two regimes cannot diverge
+semantically.  A threshold of 0 forces every table columnar — the setting
+the differential/golden test suites use to maximise kernel coverage.
+
+Rows crossing any boundary (samples, result tuples, aggregator payloads)
+are converted back to pure-Python values, so results are byte-identical to
+the tuple paths'.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+import numpy as np
+
+from ...algebra.logical import AggregationClass
+from ...bsp.engine import SuperstepContext
+from ...bsp.graph import Vertex
+from ...core.vertex_program import (
+    _VALUE_KEY,
+    GLOBAL_GROUPS_AGGREGATOR,
+    GLOBAL_OUTPUT_AGGREGATOR,
+    FragmentConfig,
+    Phase,
+    ScheduledStep,
+)
+from ...tag.encoder import TagGraph
+from ..fragment import SlottedFragment
+from ..program import SlottedTagJoinProgram
+from ..schema import SlottedRow
+from .batch import ColumnBatch, full_column
+from .expr import as_mask
+from .fragment import VectorizedFragment
+from .operations import factorize_groups, first_row_output
+
+#: default table size at which a concatenation converts to columns; numpy's
+#: fixed per-array cost breaks even against per-row tuple work at roughly
+#: fifty to a couple of hundred rows per table (see the bench-micro artifact)
+DEFAULT_COLUMNAR_THRESHOLD = 64
+
+
+class VectorizedTagJoinProgram(SlottedTagJoinProgram):
+    """Vertex-centric TAG-join over columnar (struct-of-arrays) batches."""
+
+    def __init__(
+        self,
+        graph: TagGraph,
+        config: FragmentConfig,
+        slotted: SlottedFragment,
+        vectorized: VectorizedFragment,
+        columnar_threshold: int = DEFAULT_COLUMNAR_THRESHOLD,
+    ) -> None:
+        super().__init__(graph, config, slotted)
+        self.vectorized = vectorized
+        self.columnar_threshold = columnar_threshold
+        self.output_batches: List[ColumnBatch] = []
+
+    # ------------------------------------------------------------------
+    # receive: batch combine + gather/repeat merge
+    # ------------------------------------------------------------------
+    def _receive_indexed(
+        self,
+        vertex: Vertex,
+        step_index: int,
+        scheduled: ScheduledStep,
+        messages: List[Any],
+        context: SuperstepContext,
+    ) -> bool:
+        if scheduled.phase is not Phase.COLLECT:
+            return super()._receive_indexed(
+                vertex, step_index, scheduled, messages, context
+            )
+        # dispatch: stay in the slotted regime while the combined table is
+        # below the columnar threshold (the single-message case is by far
+        # the most common, so it avoids any iteration)
+        if len(messages) == 1:
+            first = messages[0]
+            if type(first) is not ColumnBatch:
+                if len(first) < self.columnar_threshold:
+                    return super()._receive_indexed(
+                        vertex, step_index, scheduled, messages, context
+                    )
+                batches = [ColumnBatch.from_rows(first)]
+            else:
+                batches = messages
+        else:
+            any_batch = False
+            total = 0
+            for message in messages:
+                if type(message) is ColumnBatch:
+                    any_batch = True
+                else:
+                    total += len(message)
+            if not any_batch and total < self.columnar_threshold:
+                return super()._receive_indexed(
+                    vertex, step_index, scheduled, messages, context
+                )
+            batches = [
+                message
+                if type(message) is ColumnBatch
+                else ColumnBatch.from_rows(message)
+                for message in messages
+            ]
+        step = scheduled.step
+        target_node = self.config.plan.node(step.target)
+        context.charge(len(messages))
+
+        incoming = batches[0] if len(batches) == 1 else ColumnBatch.concat(batches)
+        action = self.slotted.collect[step_index]
+        if action.merge is None:
+            rows: ColumnBatch = incoming
+        else:
+            own_row = self._own_row(vertex, target_node)
+            if incoming:
+                prov_slot = action.prov_slot
+                if prov_slot is not None:
+                    keep = np.equal(incoming.arrays[prov_slot], vertex.vertex_id)
+                    masked = incoming.mask(keep)
+                else:
+                    masked = incoming
+                if action.identity or not masked:
+                    rows = masked
+                elif action.concat:
+                    length = masked.length
+                    rows = masked.with_appended(
+                        [full_column(length, value) for value in own_row]
+                    )
+                else:
+                    length = masked.length
+                    arrays = masked.arrays
+                    rows = ColumnBatch(
+                        [
+                            arrays[index]
+                            if from_incoming
+                            else full_column(length, own_row[index])
+                            for from_incoming, index in action.plan
+                        ],
+                        length,
+                    )
+            else:
+                rows = ColumnBatch.from_row(own_row)
+        context.charge(len(rows))
+        values = context.state(vertex).setdefault(_VALUE_KEY, {})
+        values[step.target] = rows
+        return True
+
+    # note: _send needs no override — the parent ships whatever table the
+    # state holds (list or batch) through one send_to_many, and a batch
+    # sizes itself via its payload_size_hint
+
+    # ------------------------------------------------------------------
+    # assembly: masks, column gathers, np.unique group reductions
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        vertex: Vertex,
+        rows: Any,
+        context: SuperstepContext,
+    ) -> None:
+        if type(rows) is not ColumnBatch:
+            # a table that never crossed the columnar threshold: the
+            # slotted assemble is both correct and faster at this size
+            super()._assemble(vertex, rows, context)
+            return
+        if not rows:
+            return
+        config = self.config
+        vectorized = self.vectorized
+        if vectorized.residual is not None:
+            rows = rows.mask(as_mask(vectorized.residual(rows), rows))
+            if not rows:
+                return
+        context.charge(len(rows))
+
+        if config.aggregation_class is AggregationClass.NONE:
+            produced = ColumnBatch(vectorized.outputs(rows), rows.length)
+            self.output_batches.append(produced)
+            if config.collect_output_centrally:
+                for row in produced.to_tuples():
+                    context.aggregate(GLOBAL_OUTPUT_AGGREGATOR, row)
+            return
+
+        aggregates = vectorized.aggregates
+        if config.aggregation_class is AggregationClass.LOCAL:
+            partial = aggregates.batch_partial(rows)
+            head = first_row_output(
+                vectorized.output_slots, self.slotted.output, rows, 0
+            )
+            self.local_groups.append(head + aggregates.finalize(partial))
+            return
+
+        # GLOBAL / SCALAR: one (key, (partial, sample)) payload per group
+        if config.eager_partial_aggregation:
+            key_columns = vectorized.group_key_columns(rows)
+            argument_columns = aggregates.argument_columns(rows)
+            for key, indices in factorize_groups(key_columns, rows.length):
+                partial = aggregates.partial_for(indices, argument_columns)
+                sample = rows.row(int(indices[0]))
+                context.aggregate(GLOBAL_GROUPS_AGGREGATOR, (key, (partial, sample)))
+        else:
+            slotted_aggregates = self.slotted.aggregates
+            group_key = self.slotted.group_key
+            for row in rows.to_tuples():
+                partial = slotted_aggregates.empty()
+                slotted_aggregates.accumulate(partial, row)
+                context.aggregate(
+                    GLOBAL_GROUPS_AGGREGATOR, (group_key(row), (partial, row))
+                )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _initial_value(self, vertex: Vertex, node) -> Any:
+        rows = super()._initial_value(vertex, node)
+        if rows and len(rows) >= self.columnar_threshold:
+            return ColumnBatch.from_rows(rows)
+        return rows
+
+    def collected_output_tuples(self) -> List[SlottedRow]:
+        """All columnar output rows as pure-Python tuples (result boundary).
+
+        Output rows assembled below the columnar threshold live in
+        ``self.output_rows`` (the parent's accumulator) instead; the
+        executor concatenates both.
+        """
+        if not self.output_batches:
+            return []
+        return ColumnBatch.concat(self.output_batches).to_tuples()
+
+
+__all__ = ["DEFAULT_COLUMNAR_THRESHOLD", "VectorizedTagJoinProgram"]

@@ -37,18 +37,55 @@ class TestDeduplicate:
     def test_empty_input(self):
         assert ops.deduplicate([]) == []
 
+    # -- NULL-bearing rows (previously untested on both key paths) -------
+    def test_null_values_deduplicate(self):
+        rows = [
+            {"a": None, "b": 1},
+            {"a": None, "b": 1},
+            {"a": None, "b": None},
+            {"a": None, "b": None},
+        ]
+        assert ops.deduplicate(rows) == [
+            {"a": None, "b": 1},
+            {"a": None, "b": None},
+        ]
+
+    def test_null_distinct_from_string_none(self):
+        """SQL NULL and the literal string 'None' are different rows."""
+        rows = [{"a": None}, {"a": "None"}, {"a": None}]
+        assert ops.deduplicate(rows) == [{"a": None}, {"a": "None"}]
+
+    def test_mixed_shape_fallback_with_nulls(self):
+        """Shape-mismatched NULL rows go through the sentinel key unharmed."""
+        rows = [
+            {"a": None, "b": 2},
+            {"a": None},  # different shape: sentinel-guarded sorted-items key
+            {"a": None},
+            {"a": None, "b": 2},
+        ]
+        assert ops.deduplicate(rows) == [{"a": None, "b": 2}, {"a": None}]
+
+    def test_mixed_shape_null_does_not_collide_with_value_tuple(self):
+        """A same-shape row whose value IS a sorted-items-like tuple must not
+        collide with a shape-mismatched row's sentinel key."""
+        rows = [{"a": (("a", None),)}, {"z": 1, "a": None}, {"a": (("a", None),)}]
+        deduped = ops.deduplicate(rows)
+        assert deduped == [{"a": (("a", None),)}, {"z": 1, "a": None}]
+
 
 class TestToTuples:
     def result(self, rows, columns):
         return QueryResult(rows, columns, RunMetrics())
 
-    def test_sorted_by_stringified_key(self):
+    def test_sorted_by_type_tagged_stringified_key(self):
         result = self.result(
             [{"k": 10, "v": "b"}, {"k": 2, "v": "a"}, {"k": None, "v": "c"}],
             ["k", "v"],
         )
-        # string ordering: "10" < "2" < "None" — the historical contract
-        assert result.to_tuples() == [(10, "b"), (2, "a"), (None, "c")]
+        # keys sort as (type name, str(value)): NULL rows group under
+        # "NoneType" before "int", and within a type string order applies
+        # ("10" < "2") — fully deterministic regardless of input order
+        assert result.to_tuples() == [(None, "c"), (10, "b"), (2, "a")]
 
     def test_explicit_column_order(self):
         result = self.result([{"k": 1, "v": "x"}], ["k", "v"])
@@ -62,3 +99,25 @@ class TestToTuples:
         """The whole point of the string key: ints and strs sort together."""
         result = self.result([{"k": "z"}, {"k": 5}], ["k"])
         assert result.to_tuples() == [(5,), ("z",)]
+
+    # -- NULL-bearing rows: ordering must not depend on input order ------
+    def test_null_rows_sort_deterministically(self):
+        """NULL (str(None) == 'None') and the string 'None' used to share a
+        sort key, so their relative order followed input order and two
+        executions of one query could sort equal multisets differently.
+        The type-tagged key makes the order a function of the values only."""
+        rows = [{"k": None, "v": 1}, {"k": "None", "v": 2}]
+        forward = self.result(list(rows), ["k", "v"]).to_tuples()
+        backward = self.result(list(reversed(rows)), ["k", "v"]).to_tuples()
+        assert forward == backward == [(None, 1), ("None", 2)]
+
+    def test_numeric_string_twins_sort_deterministically(self):
+        """Same instability for 1 vs '1': both stringify to '1'."""
+        rows = [{"k": "1"}, {"k": 1}]
+        forward = self.result(list(rows), ["k"]).to_tuples()
+        backward = self.result(list(reversed(rows)), ["k"]).to_tuples()
+        assert forward == backward == [(1,), ("1",)]
+
+    def test_all_null_rows(self):
+        result = self.result([{"k": None}, {"k": None}], ["k"])
+        assert result.to_tuples() == [(None,), (None,)]

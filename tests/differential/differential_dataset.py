@@ -1,0 +1,122 @@
+"""The differential harness's catalog: small, typed, NULL-bearing, FK-linked.
+
+Four tables in a chain (REGION -> CUST -> ORD -> ITEM) sized so that
+generated joins produce non-trivial but fast results.  Join-key columns
+are never NULL (NULL join semantics differ per SQL dialect and are not
+what this harness probes); every *other* column family is represented —
+ints, floats, strings, dates, and nullable columns holding real NULLs —
+so generated filters and aggregates exercise the NULL paths of every
+execution engine.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+from repro.relational import Catalog, Column, DataType, ForeignKey, Relation, Schema
+
+#: deterministic dataset: the harness's seeds vary the *queries*, not the data
+DATA_SEED = 20260726
+
+REGION_COUNT = 6
+CUST_COUNT = 40
+ORD_COUNT = 120
+ITEM_COUNT = 300
+
+STATUSES = ("OPEN", "SHIPPED", "RETURNED", "HELD")
+TIERS = ("GOLD", "SILVER", "BRONZE")
+TAGS = ("fragile", "bulk", "express", "gift")
+
+
+def build_catalog() -> Catalog:
+    rng = random.Random(DATA_SEED)
+    region = Relation(
+        Schema(
+            "REGION",
+            [
+                Column("R_ID", DataType.INT, nullable=False),
+                Column("R_NAME", DataType.STRING, nullable=False),
+            ],
+            primary_key=["R_ID"],
+        ),
+        [[index, f"region-{index}"] for index in range(REGION_COUNT)],
+    )
+    cust = Relation(
+        Schema(
+            "CUST",
+            [
+                Column("C_ID", DataType.INT, nullable=False),
+                Column("C_REGION", DataType.INT, nullable=False),
+                Column("C_NAME", DataType.STRING, nullable=False),
+                Column("C_SCORE", DataType.FLOAT),  # nullable
+                Column("C_SINCE", DataType.DATE, nullable=False),
+                Column("C_TIER", DataType.STRING),  # nullable
+            ],
+            primary_key=["C_ID"],
+            foreign_keys=[ForeignKey(("C_REGION",), "REGION", ("R_ID",))],
+        ),
+        [
+            [
+                index,
+                rng.randrange(REGION_COUNT),
+                f"cust-{index:03d}",
+                None if rng.random() < 0.2 else round(rng.uniform(0, 100), 2),
+                dt.date(2020, 1, 1) + dt.timedelta(days=rng.randrange(1500)),
+                None if rng.random() < 0.25 else rng.choice(TIERS),
+            ]
+            for index in range(CUST_COUNT)
+        ],
+    )
+    ord_rel = Relation(
+        Schema(
+            "ORD",
+            [
+                Column("O_ID", DataType.INT, nullable=False),
+                Column("O_CUST", DataType.INT, nullable=False),
+                Column("O_STATUS", DataType.STRING, nullable=False),
+                Column("O_TOTAL", DataType.FLOAT, nullable=False),
+                Column("O_PRIO", DataType.INT),  # nullable
+            ],
+            primary_key=["O_ID"],
+            foreign_keys=[ForeignKey(("O_CUST",), "CUST", ("C_ID",))],
+        ),
+        [
+            [
+                index,
+                rng.randrange(CUST_COUNT),
+                rng.choice(STATUSES),
+                round(rng.uniform(5, 2000), 2),
+                None if rng.random() < 0.3 else rng.randrange(1, 6),
+            ]
+            for index in range(ORD_COUNT)
+        ],
+    )
+    item = Relation(
+        Schema(
+            "ITEM",
+            [
+                Column("I_ID", DataType.INT, nullable=False),
+                Column("I_ORD", DataType.INT, nullable=False),
+                Column("I_QTY", DataType.INT, nullable=False),
+                Column("I_PRICE", DataType.FLOAT, nullable=False),
+                Column("I_TAG", DataType.STRING),  # nullable
+            ],
+            primary_key=["I_ID"],
+            foreign_keys=[ForeignKey(("I_ORD",), "ORD", ("O_ID",))],
+        ),
+        [
+            [
+                index,
+                rng.randrange(ORD_COUNT),
+                rng.randint(1, 40),
+                round(rng.uniform(0.5, 300), 2),
+                None if rng.random() < 0.2 else rng.choice(TAGS),
+            ]
+            for index in range(ITEM_COUNT)
+        ],
+    )
+    catalog = Catalog("differential")
+    for relation in (region, cust, ord_rel, item):
+        catalog.add(relation)
+    return catalog

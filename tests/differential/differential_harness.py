@@ -1,0 +1,437 @@
+"""Randomized cross-engine differential harness.
+
+Hypothesis strategies generate :class:`QueryCase` objects — SQL text plus
+parameter bindings covering joins along the dataset's FK chain, filters
+with comparisons / IN / BETWEEN / LIKE / IS NULL, residual column-column
+predicates, parameters, and GROUP BY / scalar aggregates — and
+:func:`run_case` executes each across every execution path of the
+reproduction:
+
+========== =====================================================
+engine     execution path
+========== =====================================================
+tag_dict   TAG-join, dict rows (the original reference)
+tag        TAG-join, slotted tuple rows
+tag_vectorized TAG-join, columnar numpy batches (threshold 0)
+rdbms      iterator-model relational baseline
+spark      distributed shuffle/broadcast baseline
+========== =====================================================
+
+Row *multiset* equality is asserted (ordering is not part of any engine's
+contract), with floats rounded to 6 decimals across engine families and
+**exact** equality required inside the TAG family.  A failing case raises
+with a standalone, seed-free repro script embedded in the message, so a
+falsifying example from CI can be replayed locally by copy-paste.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import datetime as dt
+
+from hypothesis import strategies as st
+
+from differential_dataset import build_catalog
+from repro.api import Database
+
+ENGINE_NAMES = ("tag_dict", "tag", "tag_vectorized", "rdbms", "spark")
+TAG_FAMILY = ("tag_dict", "tag", "tag_vectorized")
+
+#: engine options every database of the harness uses: the vectorized
+#: engine pins its columnarization threshold to 0 so every generated query
+#: executes through the columnar code paths, however small its tables
+ENGINE_OPTIONS = {"tag_vectorized": {"vectorized_batch_threshold": 0}}
+
+#: FK edges of the dataset: (child table, child column, parent table, parent column)
+FK_EDGES = (
+    ("CUST", "C_REGION", "REGION", "R_ID"),
+    ("ORD", "O_CUST", "CUST", "C_ID"),
+    ("ITEM", "I_ORD", "ORD", "O_ID"),
+)
+
+#: per-table column typing used by the generators
+INT_COLUMNS = {
+    "REGION": ["R_ID"],
+    "CUST": ["C_ID", "C_REGION"],
+    "ORD": ["O_ID", "O_CUST", "O_PRIO"],
+    "ITEM": ["I_ID", "I_ORD", "I_QTY"],
+}
+FLOAT_COLUMNS = {
+    "REGION": [],
+    "CUST": ["C_SCORE"],
+    "ORD": ["O_TOTAL"],
+    "ITEM": ["I_PRICE"],
+}
+STRING_COLUMNS = {
+    "REGION": ["R_NAME"],
+    "CUST": ["C_NAME", "C_TIER"],
+    "ORD": ["O_STATUS"],
+    "ITEM": ["I_TAG"],
+}
+DATE_COLUMNS = {"REGION": [], "CUST": ["C_SINCE"], "ORD": [], "ITEM": []}
+NULLABLE_COLUMNS = {
+    "REGION": [],
+    "CUST": ["C_SCORE", "C_TIER"],
+    "ORD": ["O_PRIO"],
+    "ITEM": ["I_TAG"],
+}
+#: columns safe for GROUP BY keys (non-null, low-to-medium cardinality)
+GROUPABLE_COLUMNS = {
+    "REGION": ["R_ID", "R_NAME"],
+    "CUST": ["C_REGION"],
+    "ORD": ["O_STATUS", "O_CUST"],
+    "ITEM": ["I_QTY"],
+}
+
+_CATALOG = build_catalog()
+
+#: sample pools of actual column values, so generated literals frequently
+#: select something (all-empty results would test very little)
+VALUE_POOLS: Dict[Tuple[str, str], List[Any]] = {}
+for _relation in _CATALOG.relations():
+    for _column in _relation.schema.columns:
+        _values = sorted(
+            {value for value in _relation.column_values(_column.name) if value is not None},
+            key=lambda value: (type(value).__name__, str(value)),
+        )
+        VALUE_POOLS[(_relation.name, _column.name)] = _values[:64]
+
+
+@dataclass
+class QueryCase:
+    """One generated differential query: SQL text plus parameter bindings."""
+
+    sql: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def repro_script(self) -> str:
+        """A standalone script replaying this exact case across all engines."""
+        return f'''# differential-harness repro (paste into a file at the repo root and run)
+import sys
+sys.path[:0] = ["src", "tests/differential"]
+from differential_dataset import build_catalog
+from repro.api import Database
+
+db = Database(build_catalog(), engine_options={ENGINE_OPTIONS!r})
+sql = """{self.sql}"""
+params = {self.params!r}
+for engine in {ENGINE_NAMES!r}:
+    result = db.connect(engine=engine).sql(sql, params=params or None)
+    print(engine, len(result.rows), sorted(result.to_tuples())[:10])
+'''
+
+
+def sql_literal(value: Any) -> str:
+    if isinstance(value, dt.date):
+        return f"DATE '{value.isoformat()}'"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def join_trees(draw) -> List[Tuple[str, str, Optional[Tuple[str, str, str, str]]]]:
+    """A connected alias tree along FK edges.
+
+    Returns ``[(alias, table, join)]`` where ``join`` is
+    ``(alias_column, other_alias, other_column, other_table)`` — None for
+    the root.  Self-joins arise naturally when the same table is attached
+    twice (two ITEM aliases under one ORD, say).
+    """
+    tables = ("REGION", "CUST", "ORD", "ITEM")
+    root = draw(st.sampled_from(tables))
+    aliases: List[Tuple[str, str, Optional[Tuple[str, str, str, str]]]] = [
+        ("t0", root, None)
+    ]
+    extra = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(extra):
+        # candidate attachments: any FK edge touching any existing alias
+        candidates = []
+        for alias, table, _join in aliases:
+            for child, child_col, parent, parent_col in FK_EDGES:
+                if table == child:
+                    candidates.append((parent, parent_col, alias, child_col))
+                if table == parent:
+                    candidates.append((child, child_col, alias, parent_col))
+        new_table, new_column, other_alias, other_column = draw(
+            st.sampled_from(sorted(set(candidates)))
+        )
+        other_table = next(t for a, t, _ in aliases if a == other_alias)
+        aliases.append(
+            (
+                f"t{len(aliases)}",
+                new_table,
+                (new_column, other_alias, other_column, other_table),
+            )
+        )
+    return aliases
+
+
+@st.composite
+def filter_predicates(draw, alias: str, table: str) -> Tuple[str, Optional[Any]]:
+    """One WHERE predicate for an alias; returns (sql, parameter value or None).
+
+    When a parameter value is returned, the SQL contains ``{param}`` where
+    the caller must splice the parameter's name.
+    """
+    kinds = ["compare_num", "in_list", "between"]
+    if STRING_COLUMNS[table]:
+        kinds += ["compare_str", "like"]
+    if NULLABLE_COLUMNS[table]:
+        kinds.append("is_null")
+    if DATE_COLUMNS[table]:
+        kinds.append("compare_date")
+    kind = draw(st.sampled_from(kinds))
+
+    def pool(column: str) -> List[Any]:
+        return VALUE_POOLS[(table, column)] or [0]
+
+    if kind == "is_null":
+        column = draw(st.sampled_from(NULLABLE_COLUMNS[table]))
+        negated = draw(st.booleans())
+        return (f"{alias}.{column} IS {'NOT ' if negated else ''}NULL", None)
+
+    if kind == "like":
+        column = draw(st.sampled_from(STRING_COLUMNS[table]))
+        value = str(draw(st.sampled_from(pool(column))))
+        shape = draw(st.sampled_from(["prefix", "suffix", "infix", "underscore"]))
+        if shape == "prefix":
+            pattern = value[: max(1, len(value) // 2)] + "%"
+        elif shape == "suffix":
+            pattern = "%" + value[len(value) // 2 :]
+        elif shape == "infix":
+            pattern = "%" + value[1:-1] + "%" if len(value) > 2 else value
+        else:
+            pattern = "_" + value[1:] if value else "%"
+        negated = draw(st.booleans())
+        return (f"{alias}.{column} {'NOT ' if negated else ''}LIKE {sql_literal(pattern)}", None)
+
+    if kind == "in_list":
+        columns = INT_COLUMNS[table] + STRING_COLUMNS[table]
+        column = draw(st.sampled_from(columns))
+        members = draw(
+            st.lists(st.sampled_from(pool(column)), min_size=2, max_size=4, unique=True)
+        )
+        # occasionally poison the list with a member of the *wrong* type:
+        # SQL-wise it can simply never match, and every engine must agree
+        # (this is exactly where dtype-promotion bugs hide)
+        if draw(st.integers(min_value=0, max_value=3)) == 0:
+            # (positive literal: the SQL grammar has no unary minus)
+            odd = "zz-no-match" if isinstance(members[0], int) else 987654
+            members = members + [odd]
+        negated = draw(st.booleans())
+        rendered = ", ".join(sql_literal(member) for member in members)
+        return (f"{alias}.{column} {'NOT ' if negated else ''}IN ({rendered})", None)
+
+    if kind == "between":
+        columns = INT_COLUMNS[table] + FLOAT_COLUMNS[table]
+        column = draw(st.sampled_from(columns))
+        values = pool(column)
+        low, high = sorted(
+            [draw(st.sampled_from(values)), draw(st.sampled_from(values))]
+        )
+        return (f"{alias}.{column} BETWEEN {sql_literal(low)} AND {sql_literal(high)}", None)
+
+    if kind == "compare_str":
+        column = draw(st.sampled_from(STRING_COLUMNS[table]))
+        op = draw(st.sampled_from(["=", "!=", "<", ">="]))
+        value = draw(st.sampled_from(pool(column)))
+    elif kind == "compare_date":
+        column = draw(st.sampled_from(DATE_COLUMNS[table]))
+        op = draw(st.sampled_from(["<", "<=", ">", ">="]))
+        value = draw(st.sampled_from(pool(column)))
+    else:  # compare_num
+        columns = INT_COLUMNS[table] + FLOAT_COLUMNS[table]
+        column = draw(st.sampled_from(columns))
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        value = draw(st.sampled_from(pool(column)))
+    # numeric/string comparisons may become prepared-statement parameters
+    parameterize = kind != "compare_date" and draw(st.booleans())
+    if parameterize:
+        return (f"{alias}.{column} {op} {{param}}", value)
+    return (f"{alias}.{column} {op} {sql_literal(value)}", None)
+
+
+@st.composite
+def query_cases(draw) -> QueryCase:
+    """A complete differential query: joins + filters + projection/aggregates."""
+    tree = draw(join_trees())
+    alias_tables = [(alias, table) for alias, table, _ in tree]
+
+    from_clause = ", ".join(f"{table} {alias}" for alias, table, _ in tree)
+    where: List[str] = []
+    params: Dict[str, Any] = {}
+    for alias, _table, join in tree:
+        if join is not None:
+            column, other_alias, other_column, _other_table = join
+            where.append(f"{alias}.{column} = {other_alias}.{other_column}")
+
+    # per-alias filters
+    filter_count = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(filter_count):
+        alias, table = draw(st.sampled_from(alias_tables))
+        predicate, value = draw(filter_predicates(alias, table))
+        if value is not None:
+            name = f"p{len(params)}"
+            params[name] = value
+            predicate = predicate.format(param=f":{name}")
+        where.append(predicate)
+
+    # cross-alias OR disjunction: cannot be pushed down to either alias, so
+    # it lands in residual position and exercises the batch expression
+    # compiler's literal comparison / IN / LIKE paths (single-alias filters
+    # run per tuple vertex and would never reach them)
+    if len(alias_tables) >= 2 and draw(st.booleans()):
+        (alias_a, table_a), (alias_b, table_b) = draw(
+            st.lists(st.sampled_from(alias_tables), min_size=2, max_size=2, unique=True)
+        )
+        disjuncts = []
+        for alias_x, table_x in ((alias_a, table_a), (alias_b, table_b)):
+            predicate, value = draw(filter_predicates(alias_x, table_x))
+            if value is not None:
+                name = f"p{len(params)}"
+                params[name] = value
+                predicate = predicate.format(param=f":{name}")
+            disjuncts.append(predicate)
+        where.append(f"({disjuncts[0]} OR {disjuncts[1]})")
+
+    # residual column-column predicate across two aliases (same type family)
+    if len(alias_tables) >= 2 and draw(st.booleans()):
+        (alias_a, table_a), (alias_b, table_b) = draw(
+            st.lists(st.sampled_from(alias_tables), min_size=2, max_size=2, unique=True)
+        )
+        float_a, float_b = FLOAT_COLUMNS[table_a], FLOAT_COLUMNS[table_b]
+        int_a, int_b = INT_COLUMNS[table_a], INT_COLUMNS[table_b]
+        if float_a and float_b and draw(st.booleans()):
+            col_a, col_b = draw(st.sampled_from(float_a)), draw(st.sampled_from(float_b))
+        else:
+            col_a, col_b = draw(st.sampled_from(int_a)), draw(st.sampled_from(int_b))
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "!="]))
+        where.append(f"{alias_a}.{col_a} {op} {alias_b}.{col_b}")
+
+    shape = draw(st.sampled_from(["plain", "plain", "group", "scalar"]))
+    if shape == "plain":
+        count = draw(st.integers(min_value=1, max_value=4))
+        outputs = []
+        for index in range(count):
+            alias, table = draw(st.sampled_from(alias_tables))
+            column = draw(
+                st.sampled_from(
+                    INT_COLUMNS[table]
+                    + FLOAT_COLUMNS[table]
+                    + STRING_COLUMNS[table]
+                    + DATE_COLUMNS[table]
+                )
+            )
+            outputs.append(f"{alias}.{column} AS c{index}")
+        distinct = "DISTINCT " if draw(st.booleans()) else ""
+        select = f"SELECT {distinct}{', '.join(outputs)}"
+        group_clause = ""
+    else:
+        aggregates = []
+        aggregate_count = draw(st.integers(min_value=1, max_value=3))
+        for index in range(aggregate_count):
+            alias, table = draw(st.sampled_from(alias_tables))
+            numeric = INT_COLUMNS[table] + FLOAT_COLUMNS[table]
+            choice = draw(
+                st.sampled_from(["count_star", "count", "count_distinct", "sum", "avg", "min", "max"])
+            )
+            if choice == "count_star":
+                aggregates.append(f"COUNT(*) AS a{index}")
+                continue
+            column = draw(st.sampled_from(numeric))
+            if choice == "count":
+                aggregates.append(f"COUNT({alias}.{column}) AS a{index}")
+            elif choice == "count_distinct":
+                aggregates.append(f"COUNT(DISTINCT {alias}.{column}) AS a{index}")
+            else:
+                aggregates.append(f"{choice.upper()}({alias}.{column}) AS a{index}")
+        if shape == "group":
+            group_count = draw(st.integers(min_value=1, max_value=2))
+            keys = []
+            for _ in range(group_count):
+                alias, table = draw(st.sampled_from(alias_tables))
+                column = draw(st.sampled_from(GROUPABLE_COLUMNS[table]))
+                key = f"{alias}.{column}"
+                if key not in keys:
+                    keys.append(key)
+            outputs = [f"{key} AS g{index}" for index, key in enumerate(keys)]
+            select = f"SELECT {', '.join(outputs + aggregates)}"
+            group_clause = f" GROUP BY {', '.join(keys)}"
+        else:
+            select = f"SELECT {', '.join(aggregates)}"
+            group_clause = ""
+
+    sql = f"{select} FROM {from_clause}"
+    if where:
+        sql += f" WHERE {' AND '.join(where)}"
+    sql += group_clause
+    return QueryCase(sql=sql, params=params, description=shape)
+
+
+# ----------------------------------------------------------------------
+# execution + comparison
+# ----------------------------------------------------------------------
+def make_database() -> Database:
+    return Database(build_catalog(), engine_options=dict(ENGINE_OPTIONS))
+
+
+def canonical_rows(result: Any, columns: List[str]) -> Counter:
+    """Order-insensitive, float-rounded view of a result (multiset)."""
+    rows = []
+    for row in result.rows:
+        values = []
+        for column in columns:
+            value = row.get(column)
+            if isinstance(value, float):
+                value = round(value, 6)
+            values.append(value)
+        rows.append(tuple(values))
+    return Counter(rows)
+
+
+def run_case(database: Database, case: QueryCase) -> None:
+    """Execute ``case`` on every engine and assert row-multiset equality."""
+    results = {}
+    for engine in ENGINE_NAMES:
+        results[engine] = database.connect(engine=engine).sql(
+            case.sql, params=case.params or None
+        )
+    reference = results["tag"]
+    columns = list(reference.columns)
+    expected = canonical_rows(reference, columns)
+
+    failures = []
+    for engine, result in results.items():
+        observed = canonical_rows(result, columns)
+        if observed != expected:
+            missing = expected - observed
+            extra = observed - expected
+            failures.append(
+                f"{engine}: {sum(observed.values())} rows vs {sum(expected.values())} "
+                f"(missing {list(missing)[:3]}, extra {list(extra)[:3]})"
+            )
+    # the TAG family must agree *exactly*, down to the float ulp
+    tag_reference = results["tag"].to_tuples(columns)
+    for engine in TAG_FAMILY:
+        if results[engine].to_tuples(columns) != tag_reference:
+            failures.append(f"{engine}: exact-equality mismatch inside the TAG family")
+    if failures:
+        raise AssertionError(
+            "differential mismatch on:\n  "
+            + case.sql
+            + "\n  params: "
+            + repr(case.params)
+            + "\n  "
+            + "\n  ".join(failures)
+            + "\n--- repro script ---\n"
+            + case.repro_script()
+        )

@@ -1,0 +1,48 @@
+"""Randomized differential testing across all five execution paths.
+
+Two layers:
+
+* ``test_engines_agree_quick`` runs in the tier-1 suite with a small
+  example budget — a smoke check that the harness itself works and the
+  engines agree on a few dozen generated queries.
+* ``test_engines_agree_deep`` (``-m differential``) is the real sweep:
+  500+ generated queries by default, sized via ``DIFFERENTIAL_EXAMPLES``.
+  CI runs it twice — once derandomized (a fixed, reproducible example
+  sequence) and once with hypothesis's own entropy
+  (``DIFFERENTIAL_SEED_MODE=random``) so every run also explores fresh
+  queries.  Failures print a standalone repro script (see
+  ``QueryCase.repro_script``) plus hypothesis's falsifying example.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from differential_harness import make_database, query_cases, run_case
+
+DEEP_EXAMPLES = int(os.environ.get("DIFFERENTIAL_EXAMPLES", "500"))
+DEEP_DERANDOMIZE = os.environ.get("DIFFERENTIAL_SEED_MODE", "fixed") != "random"
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return make_database()
+
+
+@settings(max_examples=30, derandomize=True, **_COMMON)
+@given(case=query_cases())
+def test_engines_agree_quick(database, case):
+    run_case(database, case)
+
+
+@pytest.mark.differential
+@settings(max_examples=DEEP_EXAMPLES, derandomize=DEEP_DERANDOMIZE, **_COMMON)
+@given(case=query_cases())
+def test_engines_agree_deep(database, case):
+    run_case(database, case)

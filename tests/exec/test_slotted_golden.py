@@ -1,10 +1,12 @@
-"""Golden equality: slotted vs dict rows vs the RDBMS baseline, full query sets.
+"""Golden equality: dict vs slotted vs vectorized rows vs the RDBMS baseline.
 
-Runs every TPC-H and TPC-DS workload query three ways — the slotted
-compiled hot path, the ``use_slotted_rows=False`` dict path, and the
-relational baseline engine — and requires identical results.  This is the
-representation-change safety net: any divergence between the two TAG row
-representations, or between TAG and the reference engine, fails here.
+Runs every TPC-H and TPC-DS workload query four ways — the vectorized
+columnar kernel (with the columnarization threshold pinned to 0 so every
+table takes the batch code paths), the slotted compiled hot path, the
+``use_slotted_rows=False`` dict path, and the relational baseline engine —
+and requires identical results.  This is the representation-change safety
+net: any divergence between the three TAG row representations, or between
+TAG and the reference engine, fails here.
 """
 
 import pytest
@@ -20,16 +22,20 @@ TPCDS = tpcds_workload(scale=0.05, seed=7)
 TPCH_GRAPH = encode_catalog(TPCH.catalog)
 TPCDS_GRAPH = encode_catalog(TPCDS.catalog)
 
-TPCH_ENGINES = {
-    "slotted": TagJoinExecutor(TPCH_GRAPH, TPCH.catalog, use_slotted_rows=True),
-    "dict": TagJoinExecutor(TPCH_GRAPH, TPCH.catalog, use_slotted_rows=False),
-    "rdbms": RelationalExecutor(TPCH.catalog),
-}
-TPCDS_ENGINES = {
-    "slotted": TagJoinExecutor(TPCDS_GRAPH, TPCDS.catalog, use_slotted_rows=True),
-    "dict": TagJoinExecutor(TPCDS_GRAPH, TPCDS.catalog, use_slotted_rows=False),
-    "rdbms": RelationalExecutor(TPCDS.catalog),
-}
+
+def _engines(graph, catalog):
+    return {
+        "slotted": TagJoinExecutor(graph, catalog, use_slotted_rows=True),
+        "vectorized": TagJoinExecutor(
+            graph, catalog, use_vectorized_kernel=True, vectorized_batch_threshold=0
+        ),
+        "dict": TagJoinExecutor(graph, catalog, use_slotted_rows=False),
+        "rdbms": RelationalExecutor(catalog),
+    }
+
+
+TPCH_ENGINES = _engines(TPCH_GRAPH, TPCH.catalog)
+TPCDS_ENGINES = _engines(TPCDS_GRAPH, TPCDS.catalog)
 
 
 def _rounded(tuples):
@@ -44,11 +50,13 @@ def _assert_golden(workload, engines, query_name):
     spec = parse_and_bind(query.sql, workload.catalog, name=query.name)
     results = {name: engine.execute(spec) for name, engine in engines.items()}
     slotted = results["slotted"]
-    # dict path must agree *exactly* (same engine, same plan, other rows)
-    assert slotted.to_tuples() == results["dict"].to_tuples(), (
-        f"slotted and dict rows diverge on {query_name}"
-    )
-    assert slotted.columns == results["dict"].columns
+    # the TAG representations must agree *exactly* (same engine, same
+    # plan, same accumulation order — only the rows' in-memory shape differs)
+    for twin in ("dict", "vectorized"):
+        assert slotted.to_tuples() == results[twin].to_tuples(), (
+            f"slotted and {twin} rows diverge on {query_name}"
+        )
+        assert slotted.columns == results[twin].columns
     # the baseline agrees modulo float rounding (different summation orders)
     reference = results["rdbms"]
     assert _rounded(slotted.to_tuples(reference.columns)) == _rounded(

@@ -1,0 +1,314 @@
+"""Unit tests for the columnar kernel: batches, masks, reductions, wiring."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.expressions import Between, Comparison, InList, IsNull, Like, col, lit
+from repro.api import Database, available_engines
+from repro.core import TagJoinExecutor
+from repro.exec.schema import RowSchema
+from repro.exec.vectorized import (
+    ColumnBatch,
+    column_array,
+    compile_batch_expression,
+    compile_batch_predicates,
+    factorize_groups,
+    full_column,
+)
+from repro.sql import parse_and_bind
+from repro.tag import encode_catalog
+
+
+# ----------------------------------------------------------------------
+# ColumnBatch fundamentals
+# ----------------------------------------------------------------------
+class TestColumnBatch:
+    def test_native_dtypes_for_clean_columns(self):
+        batch = ColumnBatch.from_rows([(1, 1.5, "a"), (2, 2.5, "b")])
+        kinds = [array.dtype.kind for array in batch.arrays]
+        assert kinds == ["i", "f", "O"]
+
+    def test_object_fallback_for_nulls_and_mixed(self):
+        assert column_array([1, None, 3]).dtype == object
+        assert column_array([1.0, None]).dtype == object  # None->nan is NOT allowed
+        assert column_array([True, None]).dtype == object  # None->False is NOT allowed
+        assert column_array([2**70, 1]).dtype == object  # int64 overflow
+
+    def test_boundary_values_are_pure_python(self):
+        batch = ColumnBatch.from_rows([(1, 2.5, True, None, "x")])
+        (row,) = batch.to_tuples()
+        assert [type(part) for part in row] == [int, float, bool, type(None), str]
+        assert batch.row(0) == row
+
+    def test_concat_mixed_dtype_slot_stays_pure(self):
+        left = ColumnBatch.from_rows([(1,), (2,)])  # int64 column
+        right = ColumnBatch.from_rows([(None,)])  # object column
+        merged = ColumnBatch.concat([left, right])
+        assert merged.arrays[0].dtype == object
+        values = merged.column_list(0)
+        assert values == [1, 2, None]
+        assert all(not isinstance(value, np.generic) for value in values)
+
+    def test_mask_and_full_column(self):
+        batch = ColumnBatch.from_rows([(1, "a"), (2, "b"), (3, "c")])
+        kept = batch.mask(np.array([True, False, True]))
+        assert kept.to_tuples() == [(1, "a"), (3, "c")]
+        widened = kept.with_appended([full_column(2, 9.5)])
+        assert widened.to_tuples() == [(1, "a", 9.5), (3, "c", 9.5)]
+
+    def test_zero_width_tables_keep_their_row_count(self):
+        batch = ColumnBatch((), 3)
+        assert batch.to_tuples() == [(), (), ()]
+
+
+# ----------------------------------------------------------------------
+# batch expression compiler: NULL-aware masks
+# ----------------------------------------------------------------------
+SCHEMA = RowSchema(("t.num", "t.txt", "t.opt"))
+
+
+def _batch(rows):
+    return ColumnBatch.from_rows(rows)
+
+
+class TestBatchExpressions:
+    def test_comparison_native(self):
+        predicate = compile_batch_expression(
+            Comparison("<", col("t.num"), lit(3)), SCHEMA
+        )
+        batch = _batch([(1, "a", 1), (5, "b", 2)])
+        assert predicate(batch).tolist() == [True, False]
+
+    def test_null_comparisons_are_false_even_negated(self):
+        batch = _batch([(1, "a", None), (2, "b", 7)])
+        eq = compile_batch_expression(Comparison("=", col("t.opt"), lit(7)), SCHEMA)
+        ne = compile_batch_expression(Comparison("!=", col("t.opt"), lit(7)), SCHEMA)
+        assert eq(batch).tolist() == [False, True]
+        # SQL three-valued logic: NULL != 7 is *not* true
+        assert ne(batch).tolist() == [False, False]
+
+    def test_null_scalar_side(self):
+        batch = _batch([(1, "a", 1)])
+        predicate = compile_batch_expression(
+            Comparison(">", col("t.num"), lit(None)), SCHEMA
+        )
+        assert predicate(batch).tolist() == [False]
+
+    def test_between_in_like_isnull(self):
+        batch = _batch([(1, "alpha", None), (4, "beta", 5), (9, "gamma", 6)])
+        between = compile_batch_expression(
+            Between(col("t.num"), lit(2), lit(8)), SCHEMA
+        )
+        assert between(batch).tolist() == [False, True, False]
+        in_list = compile_batch_expression(
+            InList(col("t.txt"), ("alpha", "gamma")), SCHEMA
+        )
+        assert in_list(batch).tolist() == [True, False, True]
+        not_in = compile_batch_expression(
+            InList(col("t.opt"), (5,), negated=True), SCHEMA
+        )
+        # NULL NOT IN (...) is False, not True
+        assert not_in(batch).tolist() == [False, False, True]
+        like = compile_batch_expression(Like(col("t.txt"), "%a"), SCHEMA)
+        assert like(batch).tolist() == [True, True, True]
+        like2 = compile_batch_expression(Like(col("t.txt"), "al%"), SCHEMA)
+        assert like2(batch).tolist() == [True, False, False]
+        is_null = compile_batch_expression(IsNull(col("t.opt")), SCHEMA)
+        assert is_null(batch).tolist() == [True, False, False]
+
+    def test_mixed_type_in_list_on_native_column(self):
+        """np.isin must not let a stray string member promote the whole
+        member list to strings (which silently matched nothing)."""
+        predicate = compile_batch_expression(
+            InList(col("t.num"), (3, "x")), SCHEMA
+        )
+        batch = _batch([(3, "a", 0), (4, "b", 0)])
+        assert predicate(batch).tolist() == [True, False]
+        negated = compile_batch_expression(
+            InList(col("t.num"), (3, "x"), negated=True), SCHEMA
+        )
+        assert negated(batch).tolist() == [False, True]
+
+    def test_type_mismatched_equality_is_false_not_an_error(self):
+        """= / != between a native column and a string must follow Python
+        == semantics (False / True), not raise a numpy UFuncTypeError."""
+        batch = _batch([(1, "a", 0), (2, "b", 0)])
+        eq = compile_batch_expression(Comparison("=", col("t.num"), lit("x")), SCHEMA)
+        assert eq(batch).tolist() == [False, False]
+        ne = compile_batch_expression(Comparison("!=", col("t.num"), lit("x")), SCHEMA)
+        assert ne(batch).tolist() == [True, True]
+
+    def test_incomparable_ordering_still_raises_like_the_dict_path(self):
+        batch = _batch([(1, "a", 0)])
+        lt = compile_batch_expression(Comparison("<", col("t.num"), lit("x")), SCHEMA)
+        with pytest.raises(TypeError):
+            lt(batch)
+
+    def test_predicate_conjunction(self):
+        predicate = compile_batch_predicates(
+            [
+                Comparison(">", col("t.num"), lit(1)),
+                Comparison("<", col("t.num"), lit(9)),
+            ],
+            SCHEMA,
+        )
+        batch = _batch([(1, "a", 0), (4, "b", 0), (9, "c", 0)])
+        assert predicate(batch).tolist() == [False, True, False]
+
+    def test_arithmetic_propagates_null(self):
+        from repro.algebra.expressions import Arithmetic
+
+        expression = compile_batch_expression(
+            Comparison(">", Arithmetic("+", col("t.opt"), lit(1)), lit(5)), SCHEMA
+        )
+        batch = _batch([(0, "a", None), (0, "b", 10)])
+        assert expression(batch).tolist() == [False, True]
+
+
+# ----------------------------------------------------------------------
+# group factorization
+# ----------------------------------------------------------------------
+class TestFactorize:
+    def test_native_single_key_uses_unique(self):
+        column = np.array([3, 1, 3, 2, 1, 3])
+        groups = factorize_groups([column], 6)
+        as_dict = {key: indices.tolist() for key, indices in groups}
+        assert as_dict == {(1,): [1, 4], (2,): [3], (3,): [0, 2, 5]}
+
+    def test_object_multi_key_hash_path(self):
+        key_a = np.array(["x", "y", "x", None], dtype=object)
+        key_b = np.array([1, 1, 1, 2], dtype=object)
+        groups = factorize_groups([key_a, key_b], 4)
+        as_dict = {key: indices.tolist() for key, indices in groups}
+        assert as_dict == {("x", 1): [0, 2], ("y", 1): [1], (None, 2): [3]}
+
+    def test_empty_key_is_one_group(self):
+        groups = factorize_groups([], 5)
+        assert len(groups) == 1 and groups[0][0] == ()
+        assert groups[0][1].tolist() == [0, 1, 2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# executor + registry wiring
+# ----------------------------------------------------------------------
+class TestExecutorWiring:
+    def test_vectorized_flag_runs_columnar(self, mini_graph, mini_catalog):
+        executor = TagJoinExecutor(
+            mini_graph,
+            mini_catalog,
+            use_vectorized_kernel=True,
+            vectorized_batch_threshold=0,
+        )
+        spec = parse_and_bind(
+            "SELECT c.C_CUSTKEY, o.O_TOTAL FROM CUSTOMER c, ORDERS o "
+            "WHERE c.C_CUSTKEY = o.O_CUSTKEY",
+            mini_catalog,
+        )
+        baseline = TagJoinExecutor(mini_graph, mini_catalog).execute(spec)
+        result = executor.execute(spec)
+        assert result.to_tuples() == baseline.to_tuples()
+
+    def test_explain_reports_row_representation(self, mini_graph, mini_catalog):
+        spec = parse_and_bind(
+            "SELECT c.C_CUSTKEY FROM CUSTOMER c, ORDERS o WHERE c.C_CUSTKEY = o.O_CUSTKEY",
+            mini_catalog,
+        )
+        vectorized = TagJoinExecutor(mini_graph, mini_catalog, use_vectorized_kernel=True)
+        assert "row representation: vectorized columnar batches" in vectorized.explain(spec)
+        slotted = TagJoinExecutor(mini_graph, mini_catalog)
+        assert "row representation: slotted tuple rows" in slotted.explain(spec)
+        dict_rows = TagJoinExecutor(mini_graph, mini_catalog, use_slotted_rows=False)
+        assert "row representation: dict rows" in dict_rows.explain(spec)
+
+    def test_cross_check_rows_covers_all_representations(self, mini_graph, mini_catalog):
+        executor = TagJoinExecutor(
+            mini_graph,
+            mini_catalog,
+            use_vectorized_kernel=True,
+            vectorized_batch_threshold=0,
+            cross_check_rows=True,
+        )
+        spec = parse_and_bind(
+            "SELECT n.N_NAME, COUNT(*) AS cnt FROM NATION n, CUSTOMER c "
+            "WHERE n.N_NATIONKEY = c.C_NATIONKEY GROUP BY n.N_NAME",
+            mini_catalog,
+        )
+        assert len(executor.execute(spec).rows) > 0
+
+    def test_registry_engines(self, mini_catalog_copy):
+        names = available_engines()
+        assert "tag_vectorized" in names and "tag_dict" in names
+        database = Database(mini_catalog_copy)
+        sql = (
+            "SELECT c.C_CUSTKEY, o.O_TOTAL FROM CUSTOMER c, ORDERS o "
+            "WHERE c.C_CUSTKEY = o.O_CUSTKEY"
+        )
+        results = {
+            engine: database.connect(engine=engine).sql(sql)
+            for engine in ("tag", "tag_vectorized", "tag_dict", "vectorized")
+        }
+        reference = results["tag"].to_tuples()
+        for engine, result in results.items():
+            assert result.to_tuples() == reference, engine
+        vectorized_engine = database.engine("tag_vectorized")
+        assert vectorized_engine.use_vectorized_kernel
+        assert not database.engine("tag_dict").use_slotted_rows
+
+    def test_distinct_and_parameters_on_vectorized(self, mini_graph, mini_catalog):
+        executor = TagJoinExecutor(
+            mini_graph,
+            mini_catalog,
+            use_vectorized_kernel=True,
+            vectorized_batch_threshold=0,
+        )
+        catalog = mini_catalog
+        database_spec = parse_and_bind(
+            "SELECT DISTINCT o.O_PRIORITY FROM ORDERS o WHERE o.O_TOTAL > :floor",
+            catalog,
+        )
+        from repro.algebra.parameters import bind_parameters
+
+        with bind_parameters({"floor": 6.0}):
+            result = executor.execute(database_spec)
+            baseline = TagJoinExecutor(mini_graph, catalog).execute(database_spec)
+        assert result.to_tuples() == baseline.to_tuples()
+
+
+class TestLocalAggregationVectorized:
+    def test_local_group_by(self, mini_graph, mini_catalog):
+        spec = parse_and_bind(
+            "SELECT c.C_CUSTKEY, SUM(o.O_TOTAL) AS total, MIN(o.O_TOTAL) AS lo "
+            "FROM CUSTOMER c, ORDERS o WHERE c.C_CUSTKEY = o.O_CUSTKEY "
+            "GROUP BY c.C_CUSTKEY",
+            mini_catalog,
+        )
+        vectorized = TagJoinExecutor(
+            mini_graph,
+            mini_catalog,
+            use_vectorized_kernel=True,
+            vectorized_batch_threshold=0,
+        ).execute(spec)
+        slotted = TagJoinExecutor(mini_graph, mini_catalog).execute(spec)
+        assert vectorized.to_tuples() == slotted.to_tuples()
+
+    @pytest.mark.parametrize("eager", [True, False])
+    def test_global_aggregation_both_eagerness_modes(
+        self, mini_graph, mini_catalog, eager
+    ):
+        spec = parse_and_bind(
+            "SELECT n.N_NAME, o.O_PRIORITY, COUNT(*) AS cnt, AVG(o.O_TOTAL) AS mean "
+            "FROM NATION n, CUSTOMER c, ORDERS o WHERE n.N_NATIONKEY = c.C_NATIONKEY "
+            "AND c.C_CUSTKEY = o.O_CUSTKEY GROUP BY n.N_NAME, o.O_PRIORITY",
+            mini_catalog,
+        )
+        vectorized = TagJoinExecutor(
+            mini_graph,
+            mini_catalog,
+            use_vectorized_kernel=True,
+            vectorized_batch_threshold=0,
+            eager_partial_aggregation=eager,
+        ).execute(spec)
+        slotted = TagJoinExecutor(
+            mini_graph, mini_catalog, eager_partial_aggregation=eager
+        ).execute(spec)
+        assert vectorized.to_tuples() == slotted.to_tuples()
