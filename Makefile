@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stress test-differential bench-smoke bench-micro bench examples lint format-check
+.PHONY: test test-stress test-differential bench-smoke bench-micro bench serve-bench examples lint format-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,13 @@ bench-smoke:
 
 bench-micro:
 	$(PYTHON) -m repro.bench.microbench --scale 0.03 --out benchmarks/results/microbench.json
+
+# closed-loop serving benchmark against a live query server; exits non-zero
+# if sustained QPS is zero, any response frame fails schema validation, or
+# the warm-started server recompiles a manifest-covered query shape
+serve-bench:
+	$(PYTHON) -m repro.serve.driver --scale 0.05 --duration 6 --qps 80 \
+		--out benchmarks/results/BENCH_serving.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

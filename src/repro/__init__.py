@@ -21,13 +21,13 @@ Quickstart::
 
 Engines are selected by registry name (``Database(catalog, engine="rdbms")``
 or per-session ``db.connect(engine="spark")``); all of them answer the same
-queries with identical rows.  Direct executor construction
-(``TagJoinExecutor(graph, catalog)``) still works but is deprecated in
-favour of the facade, which shares one plan cache and statistics store
-across every engine and session.
+queries with identical rows — ``repro.list_engines()`` enumerates the
+registry.  The facade shares one plan cache and statistics store across
+every engine and session; direct executor construction remains available
+as ``repro.core.TagJoinExecutor`` for callers that manage their own
+encoding lifecycle.  For out-of-process access, :mod:`repro.serve`
+provides an asyncio JSON-line query server plus ``repro.serve.client``.
 """
-
-import warnings as _warnings
 
 from .algebra import (
     AggFunc,
@@ -46,6 +46,7 @@ from .api import (
     PreparedStatement,
     Session,
     available_engines,
+    list_engines,
     register_engine,
 )
 from .bsp import BSPEngine, Graph, HashPartitioner, RunMetrics, SinglePartitioner
@@ -53,31 +54,12 @@ from .core import QueryResult
 from .relational import Catalog, Column, DataType, ForeignKey, Relation, Schema
 from .tag import TagEncoder, TagGraph, encode_catalog
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def connect(catalog: Catalog, engine: str = "tag", **kwargs) -> Session:
     """One-liner: wrap ``catalog`` in a Database and open a session on it."""
     return Database.from_catalog(catalog, engine=engine, **kwargs).connect()
-
-
-#: top-level names that now route through the Database facade; importing
-#: them from ``repro`` still works but warns (the deprecation shim)
-_DEPRECATED_TOP_LEVEL = {"TagJoinExecutor"}
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED_TOP_LEVEL:
-        _warnings.warn(
-            f"importing {name} from the top-level 'repro' package is deprecated; "
-            "use repro.Database / Session (or import it from repro.core directly)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from .core import TagJoinExecutor
-
-        return TagJoinExecutor
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
 __all__ = [
@@ -106,11 +88,11 @@ __all__ = [
     "SinglePartitioner",
     "TagEncoder",
     "TagGraph",
-    "TagJoinExecutor",
     "available_engines",
     "col",
     "connect",
     "encode_catalog",
+    "list_engines",
     "lit",
     "register_engine",
     "__version__",

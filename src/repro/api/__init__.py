@@ -18,6 +18,7 @@ from .registry import (
     builtin_engine_names,
     create_engine,
     engine_aliases,
+    list_engines,
     register_engine,
     resolve_engine_name,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "create_engine",
     "engine_aliases",
     "infer_parameter_types",
+    "list_engines",
     "register_engine",
     "resolve_engine_name",
 ]

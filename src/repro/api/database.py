@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -55,9 +56,16 @@ class Database:
         engine: default engine name for new sessions (registry name/alias).
         num_workers: simulated worker count for the TAG/distributed engines.
         plan_cache: a shared compiled-plan cache; one is created when omitted.
+        plan_cache_path: when set, :meth:`close` persists a statement
+            manifest here and :meth:`warm_plan_cache` replays it at startup
+            so a restarted process skips recompilation (the serving layer's
+            warm start).
         engine_options: per-engine keyword overrides, e.g.
             ``{"tag": {"cross_check_plans": True}, "spark": {"num_partitions": 8}}``.
     """
+
+    #: prepared-statement recipes retained for manifest persistence (LRU)
+    _STATEMENT_LOG_ENTRIES = 512
 
     def __init__(
         self,
@@ -66,6 +74,7 @@ class Database:
         num_workers: int = 1,
         plan_cache: Optional[PlanCache] = None,
         plan_cache_entries: int = 256,
+        plan_cache_path: Optional[str] = None,
         engine_options: Optional[Dict[str, Dict[str, Any]]] = None,
         graph: Optional[Any] = None,
     ) -> None:
@@ -73,6 +82,7 @@ class Database:
         self.default_engine = resolve_engine_name(engine)
         self.num_workers = num_workers
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(plan_cache_entries)
+        self.plan_cache_path = plan_cache_path
         self.engine_options = {
             resolve_engine_name(name): dict(options)
             for name, options in (engine_options or {}).items()
@@ -84,6 +94,10 @@ class Database:
         self._statistics: Optional[CatalogStatistics] = None
         self._engines: Dict[str, Engine] = {}
         self._engine_versions: Dict[str, int] = {}
+        #: (engine, sql) -> bound QuerySpec, recorded by Session.prepare so
+        #: close() can persist a warm-start manifest of every query shape
+        self._statement_log: "OrderedDict[Tuple[str, str], QuerySpec]" = OrderedDict()
+        self._closed = False
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -122,6 +136,7 @@ class Database:
         """
         canonical = resolve_engine_name(name or self.default_engine)
         with self._lock:
+            self._check_open()
             cached = self._engines.get(canonical)
             if (
                 cached is not None
@@ -147,7 +162,145 @@ class Database:
     # ------------------------------------------------------------------
     def connect(self, engine: Optional[str] = None) -> "Session":
         """Open a session (cheap; any number may be open concurrently)."""
+        self._check_open()
         return Session(self, engine=engine or self.default_engine)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"Database({self.catalog.name!r}) is closed; create a new one "
+                "to keep querying"
+            )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Database":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Retire every executor and flush the persisted plan-cache manifest.
+
+        Idempotent.  When ``plan_cache_path`` is configured the statement
+        manifest is written *before* the executors go away, so the next
+        process can :meth:`warm_plan_cache` from it.  After closing, new
+        sessions/engines raise ``RuntimeError``; sessions already holding
+        this database fail on their next engine resolution.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            if self.plan_cache_path is not None:
+                try:
+                    self.flush_plan_manifest()
+                except OSError:
+                    pass  # a read-only disk must not wedge shutdown
+            for engine in self._engines.values():
+                retire = getattr(engine, "retire", None)
+                if callable(retire):
+                    retire(f"database {self.catalog.name!r} closed")
+            self._engines.clear()
+            self._engine_versions.clear()
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # persisted plan cache (warm starts)
+    # ------------------------------------------------------------------
+    def _record_statement(self, engine_name: str, sql: str, spec: QuerySpec) -> None:
+        """Remember a prepared statement's recipe for manifest persistence."""
+        key = (engine_name, sql)
+        with self._lock:
+            self._statement_log[key] = spec
+            self._statement_log.move_to_end(key)
+            while len(self._statement_log) > self._STATEMENT_LOG_ENTRIES:
+                self._statement_log.popitem(last=False)
+
+    def flush_plan_manifest(self, path: Optional[str] = None) -> Optional[str]:
+        """Persist every recorded statement as a warm-start manifest.
+
+        Returns the path written, or ``None`` when no path is configured.
+        Fingerprints are computed at flush time against the *current*
+        catalog version, so a manifest is always internally consistent
+        even if statements were prepared before a data change.
+        """
+        from ..planner.persist import PlanManifest, PlanManifestEntry, save_manifest
+
+        path = path if path is not None else self.plan_cache_path
+        if path is None:
+            return None
+        with self._lock:
+            recorded = list(self._statement_log.items())
+        entries = []
+        for (engine_name, sql), spec in recorded:
+            fingerprint = None
+            try:
+                fingerprinter = getattr(self.engine(engine_name), "fragment_fingerprint", None)
+                if callable(fingerprinter):
+                    fingerprint = fingerprinter(spec)
+            except Exception:
+                fingerprint = None  # unfingerprintable shapes still warm from SQL
+            entries.append(PlanManifestEntry(engine=engine_name, sql=sql, fingerprint=fingerprint))
+        manifest = PlanManifest.for_catalog(self.catalog, entries)
+        return save_manifest(path, manifest)
+
+    def warm_plan_cache(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Replay a persisted manifest: parse, bind and compile every entry.
+
+        Warming happens through each engine's ``prepare_plan`` hook, which
+        stores compiled fragments in the shared plan cache without
+        executing anything — afterwards the first live execution of every
+        warmed shape is a cache hit (zero compilations).  Entries are
+        skipped (never fatal) when the manifest is missing/corrupt, was
+        recorded against a different catalog version, names an engine
+        without a plan cache, or no longer parses.  Returns a report:
+        ``{"path", "matched", "entries", "warmed", "skipped"}``.
+        """
+        from ..planner.persist import load_manifest
+        from ..sql import parse_and_bind
+
+        path = path if path is not None else self.plan_cache_path
+        report: Dict[str, Any] = {
+            "path": path,
+            "matched": False,
+            "entries": 0,
+            "warmed": 0,
+            "skipped": 0,
+        }
+        if path is None:
+            return report
+        manifest = load_manifest(path)
+        if manifest is None:
+            return report
+        report["entries"] = len(manifest.entries)
+        if not manifest.matches_catalog(self.catalog):
+            report["skipped"] = len(manifest.entries)
+            return report
+        report["matched"] = True
+        for entry in manifest.entries:
+            try:
+                canonical = resolve_engine_name(entry.engine)
+                prepare = getattr(self.engine(canonical), "prepare_plan", None)
+                if not callable(prepare):
+                    report["skipped"] += 1
+                    continue
+                spec = parse_and_bind(entry.sql, self.catalog, name="warm")
+                if prepare(spec):
+                    report["warmed"] += 1
+                    # keep the recipe alive so the next close() re-persists it
+                    self._record_statement(canonical, entry.sql, spec)
+                else:
+                    report["skipped"] += 1
+            except Exception:
+                report["skipped"] += 1  # schema drift etc.; warm the rest
+        return report
 
     # ------------------------------------------------------------------
     # batched concurrent execution
@@ -413,19 +566,36 @@ class Session:
         """
         return self.prepare(sql, name=name).execute(params)
 
-    def execute(self, spec: QuerySpec, params: ParamsInput = None) -> QueryResult:
-        """Execute an already-bound QuerySpec on this session's engine."""
-        expected = spec_parameters(spec)
+    def execute(
+        self,
+        query: Union[str, QuerySpec],
+        params: ParamsInput = None,
+        name: str = "query",
+    ) -> QueryResult:
+        """Execute SQL text or an already-bound QuerySpec — one front door.
+
+        Callers no longer pre-parse just to pick an entry point: text goes
+        through parse/bind/prepare (sharing the parameter-generic plan
+        cache), a :class:`~repro.algebra.logical.QuerySpec` executes
+        directly.  ``Database.execute_many`` accepts the same union per
+        batch item.
+        """
+        if isinstance(query, str):
+            return self.prepare(query, name=name).execute(params)
+        expected = spec_parameters(query)
         bound = normalize_parameters(params, expected)
-        check_parameter_types(bound, infer_parameter_types(spec, self.catalog))
+        check_parameter_types(bound, infer_parameter_types(query, self.catalog))
         with bind_parameters(bound):
-            return self._run_rebinding(lambda engine: engine.execute(spec))
+            return self._run_rebinding(lambda engine: engine.execute(query))
 
     def prepare(self, sql: str, name: str = "stmt") -> "PreparedStatement":
         """Parse + bind once; execute any number of times with new values."""
         from ..sql import parse_and_bind
 
         spec = parse_and_bind(sql, self.catalog, name=name)
+        # remember the recipe so Database.close() can persist a warm-start
+        # manifest covering every statement this process prepared
+        self.database._record_statement(self.engine_name, sql, spec)
         return PreparedStatement(
             session=self,
             sql=sql,

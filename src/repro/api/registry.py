@@ -148,6 +148,27 @@ def engine_aliases() -> Dict[str, str]:
         return dict(_ALIASES)
 
 
+def list_engines() -> List[Dict[str, Any]]:
+    """Structured registry introspection: every engine, with its aliases.
+
+    The public counterpart of :func:`available_engines` — one record per
+    canonical engine, JSON-serialisable as-is.  This is what the query
+    server's ``list_engines`` endpoint returns and what
+    ``repro.list_engines()`` re-exports, so out-of-process clients see
+    exactly the same lineup as in-process callers.
+    """
+    with _REGISTRY_LOCK:
+        registrations = sorted(_REGISTRY.values(), key=lambda reg: reg.name)
+        return [
+            {
+                "name": reg.name,
+                "description": reg.description,
+                "aliases": sorted(reg.aliases),
+            }
+            for reg in registrations
+        ]
+
+
 def create_engine(name: str, context: EngineContext) -> Any:
     """Instantiate the engine registered under ``name`` for ``context``."""
     canonical = resolve_engine_name(name)

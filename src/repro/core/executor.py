@@ -117,6 +117,46 @@ class QueryResult:
             raise ExecutionError(f"expected a single column, got {sorted(row)}")
         return next(iter(row.values()))
 
+    # ------------------------------------------------------------------
+    # stable wire serialization (shared by the server, the client library
+    # and the serving result-set cache — see repro.core.wire)
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-serialisable payload with explicit NULL/date/float handling.
+
+        Rows are packed as value arrays in ``columns`` order; dates and
+        non-finite floats are type-tagged so :meth:`from_json` restores
+        the exact relational values (see :mod:`repro.core.wire`).
+        """
+        from .wire import encode_result_payload
+
+        return encode_result_payload(self)
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "QueryResult":
+        """Rebuild a :class:`QueryResult` from a :meth:`to_json` payload.
+
+        The reconstructed metrics carry the producer's timing summary
+        (wall/compile seconds, cache counters) on a fresh
+        :class:`~repro.bsp.metrics.RunMetrics`; superstep-level detail
+        does not travel over the wire.
+        """
+        from .wire import decode_result_payload
+
+        decoded = decode_result_payload(payload)
+        metrics = RunMetrics(label="wire")
+        summary = decoded["metrics"]
+        metrics.wall_time_seconds = float(summary.get("wall_time_seconds", 0.0))
+        metrics.compile_seconds = float(summary.get("compile_seconds", 0.0))
+        metrics.plan_cache_hits = int(summary.get("plan_cache_hits", 0))
+        metrics.plan_cache_misses = int(summary.get("plan_cache_misses", 0))
+        return cls(
+            rows=decoded["rows"],
+            columns=decoded["columns"],
+            metrics=metrics,
+            aggregation_class=AggregationClass(decoded["aggregation_class"]),
+        )
+
 
 class TagJoinExecutor:
     """Evaluate SQL queries vertex-centrically over a TAG graph.
@@ -245,6 +285,59 @@ class TagJoinExecutor:
         if self.plan_cache is None:
             return None
         return self.plan_cache.stats.as_dict()
+
+    def fragment_fingerprint(self, spec: QuerySpec) -> Optional[str]:
+        """The plan-cache key ``spec`` compiles under, or ``None``.
+
+        Exactly the fingerprint :meth:`_compile_or_fetch` would use for a
+        top-level execution (no subquery-derived extra filters), so the
+        persisted manifest records the same identity the live cache keys
+        on.  ``None`` for uncacheable shapes or cache-less executors.
+        """
+        from ..planner.cache import fragment_cache_key, is_cacheable
+
+        if self.plan_cache is None or spec.subqueries:
+            return None
+        if not is_cacheable(spec, {}, []):
+            return None
+        return fragment_cache_key(
+            spec,
+            self.catalog,
+            extra_filters={},
+            extra_residuals=[],
+            use_cost_based_planner=self.use_cost_based_planner,
+            eager_partial_aggregation=self.eager_partial_aggregation,
+            collect_output_centrally=self.collect_output_centrally,
+            num_workers=self.num_workers,
+        )
+
+    def prepare_plan(self, spec: QuerySpec) -> bool:
+        """Compile ``spec`` into the plan cache without executing it.
+
+        The warm-start hook: :meth:`repro.api.Database.warm_plan_cache`
+        replays a persisted statement manifest through this method at
+        startup so the first live execution of every known query shape is
+        a cache hit.  Returns ``True`` when a compiled fragment is now
+        cached (either freshly compiled or already present), ``False``
+        when the spec is uncacheable or caching is disabled.  Subquery
+        blocks are skipped — their pushed-down filters depend on inner
+        results, so there is nothing reusable to warm.
+        """
+        from ..planner.cache import is_cacheable
+
+        self._check_not_stale()
+        if self.plan_cache is None:
+            return False
+        spec.validate(self.catalog)
+        if spec.subqueries or not is_cacheable(spec, {}, []):
+            return False
+        if len(connected_components(spec)) > 1:
+            return False
+        if self.use_wco_cycles and not spec.group_by and not spec.aggregates:
+            if detect_simple_cycle(spec) is not None:
+                return False
+        self._compile_or_fetch(spec, {}, [], RunMetrics(label=f"warm:{spec.name}"))
+        return True
 
     # ------------------------------------------------------------------
     # public API

@@ -1,0 +1,217 @@
+"""Stable wire serialization for query values and result sets.
+
+The serving layer (``repro.serve``) ships :class:`QueryResult` objects,
+parameter bindings and loaded rows across a JSON-line protocol, and the
+server's result-set cache stores the encoded payloads verbatim.  Plain
+``json.dumps`` is not enough for the relational value domains:
+
+* **NULL** — SQL NULL maps to JSON ``null`` in both directions (the only
+  value for which ``None`` appears on the wire).
+* **dates** — JSON has no date type; a bare ISO string would come back as
+  a *string*, silently changing the domain of e.g. ``O_ORDERDATE`` and the
+  behaviour of every comparison against it.
+* **floats** — finite floats round-trip natively (JSON numbers preserve
+  the int/float distinction in Python), but ``nan``/``inf``/``-inf`` are
+  not valid strict JSON and would either crash encoding or emit
+  non-portable literals.
+
+Following the type-tagged sort-key convention the differential harness
+uses (a value is its *type name* plus its rendering, never the rendering
+alone), non-native values are encoded as a small tag object::
+
+    datetime.date(1995, 3, 15)  ->  {"$t": "date", "v": "1995-03-15"}
+    float("nan")                ->  {"$t": "float", "v": "nan"}
+    float("inf")                ->  {"$t": "float", "v": "inf"}
+
+Everything else (``None``/bool/int/str and finite floats) passes through
+as its native JSON form.  Relational values are always scalars, so a dict
+can never collide with a genuine value and the ``$t`` marker is
+unambiguous.  :func:`decode_value` also accepts untagged ISO scalars
+wherever a tag would be produced, so hand-written JSON clients can send
+plain values and still interoperate.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from typing import Any, Dict, Iterable, List, Sequence
+
+#: the tag key of non-native value encodings; never a relational value itself
+TAG_KEY = "$t"
+
+#: wire-format version stamped into result payloads; bump on breaking change
+WIRE_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """Raised when a payload does not follow the wire conventions."""
+
+
+# ----------------------------------------------------------------------
+# scalar values
+# ----------------------------------------------------------------------
+def encode_value(value: Any) -> Any:
+    """Encode one relational value into its JSON-serialisable form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        if math.isnan(value):
+            return {TAG_KEY: "float", "v": "nan"}
+        return {TAG_KEY: "float", "v": "inf" if value > 0 else "-inf"}
+    if isinstance(value, _dt.datetime):  # before date: datetime is a date subclass
+        return {TAG_KEY: "date", "v": value.date().isoformat()}
+    if isinstance(value, _dt.date):
+        return {TAG_KEY: "date", "v": value.isoformat()}
+    raise WireFormatError(
+        f"value {value!r} of type {type(value).__name__} has no wire encoding"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Decode one wire value back into its Python relational form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict) and TAG_KEY in value:
+        tag = value[TAG_KEY]
+        raw = value.get("v")
+        if tag == "date":
+            try:
+                return _dt.date.fromisoformat(str(raw))
+            except ValueError as exc:
+                raise WireFormatError(f"malformed date payload {raw!r}") from exc
+        if tag == "float":
+            if raw == "nan":
+                return float("nan")
+            if raw == "inf":
+                return float("inf")
+            if raw == "-inf":
+                return float("-inf")
+            try:
+                return float(raw)  # tolerated: a tagged finite float
+            except (TypeError, ValueError) as exc:
+                raise WireFormatError(f"malformed float payload {raw!r}") from exc
+        raise WireFormatError(f"unknown wire tag {tag!r}")
+    raise WireFormatError(f"cannot decode wire value {value!r}")
+
+
+def encode_row(row: Sequence[Any]) -> List[Any]:
+    return [encode_value(value) for value in row]
+
+
+def decode_row(row: Sequence[Any]) -> List[Any]:
+    return [decode_value(value) for value in row]
+
+
+def encode_params(params: Any) -> Any:
+    """Encode a parameter binding (mapping, sequence or None) for the wire."""
+    if params is None:
+        return None
+    if isinstance(params, dict):
+        return {str(name): encode_value(value) for name, value in params.items()}
+    if isinstance(params, (list, tuple)):
+        return [encode_value(value) for value in params]
+    raise WireFormatError(f"parameters must be a mapping or sequence, got {params!r}")
+
+
+def decode_params(params: Any) -> Any:
+    """Decode a wire parameter binding back into execute() form."""
+    if params is None:
+        return None
+    if isinstance(params, dict):
+        return {name: decode_value(value) for name, value in params.items()}
+    if isinstance(params, list):
+        return [decode_value(value) for value in params]
+    raise WireFormatError(f"parameters must be a mapping or sequence, got {params!r}")
+
+
+# ----------------------------------------------------------------------
+# result sets
+# ----------------------------------------------------------------------
+def encode_result_payload(result: Any) -> Dict[str, Any]:
+    """The JSON payload of a :class:`~repro.core.executor.QueryResult`.
+
+    Rows travel column-major-ordered but row-major-packed: a list of value
+    arrays in ``columns`` order, which is both smaller than repeated dicts
+    and immune to key-order ambiguity.  A compact metrics summary rides
+    along so clients can report server-side timings.
+    """
+    columns = list(result.columns)
+    metrics = result.metrics
+    return {
+        "wire_version": WIRE_VERSION,
+        "columns": columns,
+        "rows": [encode_row([row.get(column) for column in columns]) for row in result.rows],
+        "row_count": len(result.rows),
+        "aggregation_class": result.aggregation_class.value,
+        "metrics": {
+            "wall_time_seconds": metrics.wall_time_seconds,
+            "compile_seconds": metrics.compile_seconds,
+            "plan_cache_hits": metrics.plan_cache_hits,
+            "plan_cache_misses": metrics.plan_cache_misses,
+            "supersteps": metrics.superstep_count,
+            "messages": metrics.total_messages,
+        },
+    }
+
+
+def decode_result_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate + decode a result payload into plain Python pieces.
+
+    Returns a dict with ``columns`` (list of names), ``rows`` (list of
+    value dicts, like executor results), ``aggregation_class`` (string)
+    and ``metrics`` (plain dict).  Raises :class:`WireFormatError` on any
+    structural problem, so a corrupted cache entry or a lying server is
+    caught at the boundary instead of deep inside result handling.
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError(f"result payload must be an object, got {payload!r}")
+    version = payload.get("wire_version", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire_version {version!r} (this build speaks {WIRE_VERSION})"
+        )
+    for field in ("columns", "rows"):
+        if field not in payload:
+            raise WireFormatError(f"result payload missing {field!r}")
+    columns = payload["columns"]
+    rows = payload["rows"]
+    if not isinstance(columns, list) or not all(isinstance(c, str) for c in columns):
+        raise WireFormatError("result payload 'columns' must be a list of names")
+    if not isinstance(rows, list):
+        raise WireFormatError("result payload 'rows' must be a list")
+    decoded_rows: List[Dict[str, Any]] = []
+    for row in rows:
+        if not isinstance(row, list) or len(row) != len(columns):
+            raise WireFormatError(
+                f"result row {row!r} does not match the {len(columns)}-column header"
+            )
+        decoded_rows.append(dict(zip(columns, decode_row(row))))
+    declared = payload.get("row_count")
+    if declared is not None and declared != len(decoded_rows):
+        raise WireFormatError(
+            f"result payload declares {declared} rows but carries {len(decoded_rows)}"
+        )
+    metrics = payload.get("metrics") or {}
+    if not isinstance(metrics, dict):
+        raise WireFormatError("result payload 'metrics' must be an object")
+    return {
+        "columns": list(columns),
+        "rows": decoded_rows,
+        "aggregation_class": payload.get("aggregation_class", "none"),
+        "metrics": dict(metrics),
+    }
+
+
+def canonical_params_key(params: Any) -> str:
+    """A deterministic string form of a parameter binding, for cache keys."""
+    import json
+
+    return json.dumps(encode_params(params), sort_keys=True, separators=(",", ":"))
+
+
+def iter_encoded_rows(rows: Iterable[Sequence[Any]]) -> List[List[Any]]:
+    """Encode raw load_rows-style row sequences (used by write requests)."""
+    return [encode_row(row) for row in rows]

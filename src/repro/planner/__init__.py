@@ -15,11 +15,14 @@ model fed by :class:`repro.tag.statistics.CatalogStatistics`;
 :mod:`repro.planner.planner` enumerates rootings of the query hypergraph's
 join tree and picks the cheapest; :mod:`repro.planner.cache` keys compiled
 fragments by a normalized :class:`~repro.algebra.logical.QuerySpec`
-fingerprint plus the catalog version so hits skip compilation entirely.
+fingerprint plus the catalog version so hits skip compilation entirely;
+:mod:`repro.planner.persist` serializes statement manifests so a restarted
+server warms the cache from disk instead of recompiling cold.
 """
 
 from .cache import PlanCache, PlanCacheStats, fragment_cache_key, is_cacheable
 from .cost import CostModelConfig, MessageCostModel, PlanCost
+from .persist import PlanManifest, PlanManifestEntry, load_manifest, save_manifest
 from .planner import CostBasedPlanner, PlanChoice
 
 __all__ = [
@@ -30,6 +33,10 @@ __all__ = [
     "PlanCacheStats",
     "PlanChoice",
     "PlanCost",
+    "PlanManifest",
+    "PlanManifestEntry",
     "fragment_cache_key",
     "is_cacheable",
+    "load_manifest",
+    "save_manifest",
 ]

@@ -1,0 +1,142 @@
+"""Persisted plan-cache manifests: warm starts without recompilation.
+
+Compiled fragments themselves cannot be serialized — the slotted and
+vectorized paths are closures compiled against the live catalog — so what
+persists is the *recipe*: for every statement whose plan entered the
+cache, the SQL text, the engine it compiled under, and the normalized
+fragment fingerprint it produced (see
+:func:`~repro.planner.cache.fragment_cache_key`).  At startup
+:meth:`repro.api.Database.warm_plan_cache` replays each recipe —
+parse, bind, compile, store — *before* the server admits traffic, so the
+serving window records zero plan compilations for known query shapes.
+
+A manifest is only replayed against the catalog it was recorded from: the
+catalog identity (name, version, total row count — the same triple the
+fragment fingerprint embeds) must match, otherwise the whole manifest is
+ignored.  A stale manifest can therefore never poison a cache: at worst a
+changed catalog costs one cold compile per shape, exactly the behaviour
+without persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..relational.catalog import Catalog
+
+#: manifest schema version; readers reject anything else
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlanManifestEntry:
+    """One warmable statement: where it ran and what it fingerprinted to."""
+
+    engine: str
+    sql: str
+    fingerprint: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"engine": self.engine, "sql": self.sql, "fingerprint": self.fingerprint}
+
+
+@dataclass
+class PlanManifest:
+    """The on-disk image of a database's warmable plan-cache contents."""
+
+    catalog_name: str
+    catalog_version: int
+    catalog_total_rows: int
+    entries: List[PlanManifestEntry] = field(default_factory=list)
+
+    def matches_catalog(self, catalog: Catalog) -> bool:
+        """Whether this manifest was recorded against ``catalog`` as-is."""
+        return (
+            self.catalog_name == catalog.name
+            and self.catalog_version == catalog.version
+            and self.catalog_total_rows == catalog.total_rows()
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "catalog": {
+                "name": self.catalog_name,
+                "version": self.catalog_version,
+                "total_rows": self.catalog_total_rows,
+            },
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def for_catalog(
+        cls, catalog: Catalog, entries: Optional[List[PlanManifestEntry]] = None
+    ) -> "PlanManifest":
+        return cls(
+            catalog_name=catalog.name,
+            catalog_version=catalog.version,
+            catalog_total_rows=catalog.total_rows(),
+            entries=list(entries or []),
+        )
+
+
+def save_manifest(path: str, manifest: PlanManifest) -> str:
+    """Write ``manifest`` to ``path`` atomically (write-temp-then-rename)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".manifest.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(manifest.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_manifest(path: str) -> Optional[PlanManifest]:
+    """Read a manifest back; ``None`` for missing, corrupt or foreign files.
+
+    Warm starts are best-effort: an unreadable manifest degrades to a cold
+    start instead of failing server boot.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("manifest_version") != MANIFEST_VERSION:
+        return None
+    catalog = payload.get("catalog")
+    raw_entries = payload.get("entries")
+    if not isinstance(catalog, dict) or not isinstance(raw_entries, list):
+        return None
+    try:
+        manifest = PlanManifest(
+            catalog_name=str(catalog["name"]),
+            catalog_version=int(catalog["version"]),
+            catalog_total_rows=int(catalog["total_rows"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+    for raw in raw_entries:
+        if not isinstance(raw, dict):
+            return None
+        engine = raw.get("engine")
+        sql = raw.get("sql")
+        if not isinstance(engine, str) or not isinstance(sql, str):
+            return None
+        fingerprint = raw.get("fingerprint")
+        if fingerprint is not None and not isinstance(fingerprint, str):
+            return None
+        manifest.entries.append(PlanManifestEntry(engine, sql, fingerprint))
+    return manifest

@@ -1,0 +1,44 @@
+"""repro.serve — the asyncio query-serving layer.
+
+Everything the in-process :class:`repro.api.Database` facade cannot do
+for "millions of users" lives here:
+
+* :mod:`repro.serve.server` — :class:`QueryServer`: a JSON-line TCP
+  server fronting per-tenant databases with a bounded admission queue,
+  a sized worker pool, per-request deadlines, a result-set cache and
+  warm-started plan caches.
+* :mod:`repro.serve.protocol` — the wire format and the response-frame
+  schema contract.
+* :mod:`repro.serve.client` — ``await connect(host, port)`` and a
+  pipelining :class:`ServeClient` with remote prepared statements.
+* :mod:`repro.serve.driver` — a seeded closed-loop workload driver that
+  hammers a live server with mixed SELECT / parameterized / write
+  traffic at a target QPS and writes the ``BENCH_serving.json``
+  artifact (p50/p99 latency, sustained QPS, timeout/rejection counts,
+  cold-vs-warm compile assertion).
+"""
+
+from .cache import ResultCache
+from .client import RemoteStatement, ServeClient, ServerError, connect
+from .protocol import (
+    ERROR_CODES,
+    OPERATIONS,
+    ProtocolError,
+    validate_response_frame,
+)
+from .server import QueryServer, ServerConfig, ServerStats
+
+__all__ = [
+    "ERROR_CODES",
+    "OPERATIONS",
+    "ProtocolError",
+    "QueryServer",
+    "RemoteStatement",
+    "ResultCache",
+    "ServeClient",
+    "ServerConfig",
+    "ServerError",
+    "ServerStats",
+    "connect",
+    "validate_response_frame",
+]

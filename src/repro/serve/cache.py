@@ -1,0 +1,113 @@
+"""The server-side result-set cache.
+
+Identical read requests are endemic in serving workloads (dashboards,
+retries, fan-out of one hot query), so the server memoizes *encoded
+result payloads* — the exact JSON body a response carries — keyed by
+everything that determines the answer:
+
+    (tenant, engine, sql text, canonical parameter binding, catalog version)
+
+The catalog version inside the key is the invalidation mechanism: any
+write (``load_rows`` / ``note_data_change``) bumps the version, so every
+key minted before the write can never be looked up again — stale entries
+are unreachable by construction and age out of the LRU.  Writes also call
+:meth:`ResultCache.invalidate_tenant` to reclaim the dead entries eagerly
+instead of letting them squat in the LRU until capacity pushes them out.
+
+Entries store the payload produced by
+:func:`repro.core.wire.encode_result_payload`; serving a hit is a
+dictionary copy, never a re-execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.wire import canonical_params_key
+
+CacheKey = Tuple[str, str, str, str, int]
+
+
+class ResultCacheStats:
+    """Counters surfaced by the server's ``stats`` endpoint."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+        }
+
+
+class ResultCache:
+    """A bounded LRU of encoded result payloads, safe across threads.
+
+    The server touches it from worker threads (stores) and the event loop
+    (lookups), so all bookkeeping is lock-protected like the plan cache's.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = ResultCacheStats()
+
+    @staticmethod
+    def make_key(
+        tenant: str, engine: str, sql: str, params: Any, catalog_version: int
+    ) -> CacheKey:
+        return (tenant, engine, sql, canonical_params_key(params), catalog_version)
+
+    def lookup(self, key: CacheKey) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return payload
+
+    def store(self, key: CacheKey, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate_tenant(self, tenant: str) -> int:
+        """Eagerly drop every entry of one tenant (after a write)."""
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == tenant]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

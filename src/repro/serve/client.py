@@ -1,0 +1,286 @@
+"""The asyncio client library for the JSON-line query server.
+
+:func:`connect` opens a TCP connection and returns a
+:class:`ServeClient`, which speaks the protocol of
+:mod:`repro.serve.protocol` and converts result payloads back into
+:class:`~repro.core.executor.QueryResult` objects via the shared wire
+codec — a round trip is value-exact, including NULLs, dates and
+non-finite floats::
+
+    client = await connect("127.0.0.1", 7433)
+    result = await client.execute(
+        "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTALPRICE > :t",
+        params={"t": 500.0})
+    print(result.single_value())
+    stmt = await client.prepare("SELECT ... WHERE o.O_TOTALPRICE > :t")
+    await stmt.execute({"t": 100.0})      # plan + parse reused server-side
+    await client.close()
+
+Requests pipeline freely: every request gets a fresh ``id`` and a reader
+task dispatches responses by id, so concurrent ``await``\\ s on one client
+are safe.  Server-side failures surface as :class:`ServerError` with the
+machine-readable ``code`` (``queue_full``, ``deadline_exceeded``, ...) so
+callers — the workload driver above all — can count rejection classes
+without string-matching messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional
+
+from ..core.executor import QueryResult
+from .protocol import encode_frame, validate_response_frame
+
+
+class ServerError(RuntimeError):
+    """An error frame, as an exception: carries code, message and frame."""
+
+    def __init__(self, code: str, message: str, frame: Dict[str, Any]) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.frame = frame
+
+
+class ProtocolViolation(RuntimeError):
+    """The server emitted a frame that fails schema validation."""
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.QueryServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[Any, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._reader_task = asyncio.create_task(self._read_loop(), name="serve-client-reader")
+        self._closed = False
+        #: frames that failed validate_response_frame (should stay empty)
+        self.invalid_frames: List[str] = []
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        import json
+
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = json.loads(line.decode("utf-8"))
+                except ValueError:
+                    self.invalid_frames.append("response line is not JSON")
+                    continue
+                defect = validate_response_frame(frame)
+                if defect is not None:
+                    self.invalid_frames.append(defect)
+                future = self._pending.pop(frame.get("id") if isinstance(frame, dict) else None, None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("server connection closed"))
+            self._pending.clear()
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one frame and await its (validated) response frame."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = next(self._ids)
+        frame = {"id": request_id, "op": op}
+        frame.update({k: v for k, v in fields.items() if v is not None})
+        future: "asyncio.Future[Dict[str, Any]]" = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+        return await future
+
+    @staticmethod
+    def _unwrap(frame: Dict[str, Any]) -> Dict[str, Any]:
+        if frame.get("ok"):
+            return frame["result"]
+        error = frame.get("error") or {}
+        raise ServerError(
+            str(error.get("code", "execution_error")),
+            str(error.get("message", "server error")),
+            frame,
+        )
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def execute(
+        self,
+        sql: str,
+        params: Any = None,
+        engine: Optional[str] = None,
+        tenant: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> QueryResult:
+        from ..core.wire import encode_params
+
+        result = self._unwrap(
+            await self.request(
+                "execute",
+                sql=sql,
+                params=encode_params(params),
+                engine=engine,
+                tenant=tenant,
+                timeout_ms=timeout_ms,
+                use_cache=use_cache,
+            )
+        )
+        return QueryResult.from_json(result["result_set"])
+
+    async def prepare(
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        tenant: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> "RemoteStatement":
+        result = self._unwrap(
+            await self.request(
+                "prepare", sql=sql, engine=engine, tenant=tenant, timeout_ms=timeout_ms
+            )
+        )
+        return RemoteStatement(
+            client=self,
+            statement_id=result["statement"],
+            sql=sql,
+            tenant=tenant,
+            parameters=list(result.get("parameters", [])),
+        )
+
+    async def explain(
+        self,
+        sql: str,
+        params: Any = None,
+        analyze: bool = False,
+        engine: Optional[str] = None,
+        tenant: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> str:
+        from ..core.wire import encode_params
+
+        result = self._unwrap(
+            await self.request(
+                "explain",
+                sql=sql,
+                params=encode_params(params),
+                analyze=analyze or None,
+                engine=engine,
+                tenant=tenant,
+                timeout_ms=timeout_ms,
+            )
+        )
+        return result["plan"]
+
+    async def list_engines(self) -> Dict[str, Any]:
+        return self._unwrap(await self.request("list_engines"))
+
+    async def load_rows(
+        self,
+        relation: str,
+        rows: List[List[Any]],
+        tenant: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        from ..core.wire import iter_encoded_rows
+
+        return self._unwrap(
+            await self.request(
+                "load_rows",
+                relation=relation,
+                rows=iter_encoded_rows(rows),
+                tenant=tenant,
+                timeout_ms=timeout_ms,
+            )
+        )
+
+    async def stats(self) -> Dict[str, Any]:
+        return self._unwrap(await self.request("stats"))
+
+    async def ping(self) -> bool:
+        return bool(self._unwrap(await self.request("ping")).get("pong"))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+
+class RemoteStatement:
+    """A server-side prepared statement handle (one connection's scope)."""
+
+    def __init__(
+        self,
+        client: ServeClient,
+        statement_id: str,
+        sql: str,
+        tenant: Optional[str],
+        parameters: List[str],
+    ) -> None:
+        self.client = client
+        self.statement_id = statement_id
+        self.sql = sql
+        self.tenant = tenant
+        self.parameters = parameters
+
+    async def execute(
+        self,
+        params: Any = None,
+        timeout_ms: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> QueryResult:
+        from ..core.wire import encode_params
+
+        result = ServeClient._unwrap(
+            await self.client.request(
+                "execute_prepared",
+                statement=self.statement_id,
+                params=encode_params(params),
+                tenant=self.tenant,
+                timeout_ms=timeout_ms,
+                use_cache=use_cache,
+            )
+        )
+        return QueryResult.from_json(result["result_set"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteStatement({self.statement_id!r}, {self.sql[:40]!r}...)"
+
+
+async def connect(host: str = "127.0.0.1", port: int = 7433) -> ServeClient:
+    """Open a client connection to a running query server."""
+    reader, writer = await asyncio.open_connection(host, port)
+    return ServeClient(reader, writer)

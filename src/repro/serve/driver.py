@@ -1,0 +1,505 @@
+"""Seeded closed-loop workload driver for the query server.
+
+In the style of ``pyrqg``'s WorkloadGenerator (mixed statement classes
+drawn from a seeded distribution) crossed with the Proto-X gym's
+timeout-aware query runner (every request carries a deadline and the
+ledger distinguishes completions, timeouts and rejections), this module
+drives a *live* server over real localhost TCP and measures what serving
+actually delivers:
+
+* a **closed loop at a target QPS** — ``concurrency`` client workers
+  share one global pacing schedule (one slot every ``1/target_qps``
+  seconds); each worker claims the next slot, sleeps until it, issues
+  one request and awaits the response before claiming another.  If the
+  server falls behind, slots back up and sustained QPS drops below
+  target — the metric CI tracks.
+* a **seeded statement mix** — plain SELECTs, server-side prepared
+  parameterized SELECTs, and ``load_rows`` writes, drawn per-request
+  from the configured weights by a per-worker ``random.Random`` seeded
+  from the run seed (same seed, same statement sequence per worker).
+* the **warm-start assertion** — the run drives the read query shapes
+  against a cold server (compile count must be > 0), persists its plan
+  manifest by closing it, then boots a warm server from the manifest
+  and drives the same shapes again (compile count must be == 0) before
+  the measured mixed phase.
+* **schema validation** — every response frame passes
+  :func:`repro.serve.protocol.validate_response_frame`; any violation
+  fails the run.
+
+The ``BENCH_serving.json`` artifact records p50/p95/p99 latency,
+sustained QPS, timeout/rejection/error counts and the cold/warm compile
+counters.  ``make serve-bench`` runs this end to end and CI uploads the
+artifact, failing the job on a zero QPS or any schema violation.
+
+Usage::
+
+    python -m repro.serve.driver --scale 0.05 --duration 6 --qps 80 \
+        --out benchmarks/results/BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import datetime as _dt
+import json
+import os
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api import Database
+from .client import ServeClient, connect
+from .server import QueryServer, ServerConfig
+
+# ----------------------------------------------------------------------
+# the statement mix (TPC-H mini schema)
+# ----------------------------------------------------------------------
+#: plain SELECT shapes, rotated round-robin per worker
+SELECT_SQL = (
+    "SELECT o.O_ORDERKEY, o.O_TOTALPRICE FROM ORDERS o WHERE o.O_TOTALPRICE > 1500.0",
+    "SELECT c.C_MKTSEGMENT, COUNT(*) AS n FROM CUSTOMER c GROUP BY c.C_MKTSEGMENT",
+    "SELECT COUNT(*) AS n FROM CUSTOMER c, ORDERS o "
+    "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND c.C_MKTSEGMENT = 'BUILDING'",
+)
+#: parameterized shapes, prepared once per worker connection
+PARAMETERIZED_SQL = (
+    "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTALPRICE > :t",
+    "SELECT o.O_ORDERPRIORITY, COUNT(*) AS n FROM ORDERS o, CUSTOMER c "
+    "WHERE o.O_CUSTKEY = c.C_CUSTKEY AND c.C_MKTSEGMENT = :segment "
+    "GROUP BY o.O_ORDERPRIORITY",
+)
+MARKET_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+#: writes append ORDERS rows keyed from this base (collision-free zone)
+WRITE_KEY_BASE = 10_000_000
+
+
+@dataclass
+class DriverConfig:
+    """Knobs of one driver run (all seeded, all recorded in the artifact)."""
+
+    seed: int = 7
+    duration_seconds: float = 5.0
+    target_qps: float = 50.0
+    concurrency: int = 8
+    timeout_ms: float = 2000.0
+    engine: Optional[str] = None
+    tenant: Optional[str] = None
+    #: statement-class weights; normalized at use
+    mix: Dict[str, float] = field(
+        default_factory=lambda: {"select": 0.55, "parameterized": 0.35, "write": 0.10}
+    )
+
+
+@dataclass
+class _Ledger:
+    """Outcome accounting shared by one driver phase's workers."""
+
+    latencies_ms: List[float] = field(default_factory=list)
+    completed: int = 0
+    cached: int = 0
+    timeouts: int = 0
+    rejections: int = 0
+    errors: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    invalid_frames: List[str] = field(default_factory=list)
+
+    def record(self, kind: str, outcome: str, latency_ms: float, cached: bool) -> None:
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        if outcome == "ok":
+            self.completed += 1
+            self.latencies_ms.append(latency_ms)
+            if cached:
+                self.cached += 1
+        elif outcome == "deadline_exceeded":
+            self.timeouts += 1
+        elif outcome == "queue_full":
+            self.rejections += 1
+        else:
+            self.errors += 1
+
+    @property
+    def requests(self) -> int:
+        return self.completed + self.timeouts + self.rejections + self.errors
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def latency_summary(latencies_ms: List[float]) -> Dict[str, float]:
+    ordered = sorted(latencies_ms)
+    return {
+        "count": len(ordered),
+        "p50_ms": round(_percentile(ordered, 0.50), 3),
+        "p95_ms": round(_percentile(ordered, 0.95), 3),
+        "p99_ms": round(_percentile(ordered, 0.99), 3),
+        "mean_ms": round(sum(ordered) / len(ordered), 3) if ordered else 0.0,
+        "max_ms": round(ordered[-1], 3) if ordered else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# one driver phase: N workers, one pacing schedule, one ledger
+# ----------------------------------------------------------------------
+class WorkloadDriver:
+    """Drive a live server with the seeded closed-loop mixed workload."""
+
+    def __init__(self, host: str, port: int, config: DriverConfig) -> None:
+        self.host = host
+        self.port = port
+        self.config = config
+        self._write_keys = iter(range(WRITE_KEY_BASE, WRITE_KEY_BASE + 10_000_000))
+
+    async def run(self) -> _Ledger:
+        """The measured phase: mixed traffic at the target QPS."""
+        ledger = _Ledger()
+        loop = asyncio.get_running_loop()
+        interval = 1.0 / max(self.config.target_qps, 0.001)
+        schedule = {"next": loop.time()}
+        schedule_lock = asyncio.Lock()
+        end_at = loop.time() + self.config.duration_seconds
+        workers = [
+            asyncio.create_task(
+                self._worker(i, ledger, schedule, schedule_lock, interval, end_at)
+            )
+            for i in range(max(1, self.config.concurrency))
+        ]
+        await asyncio.gather(*workers)
+        return ledger
+
+    def _pick_kind(self, rng: random.Random) -> str:
+        total = sum(max(w, 0.0) for w in self.config.mix.values()) or 1.0
+        roll = rng.random() * total
+        for kind, weight in self.config.mix.items():
+            roll -= max(weight, 0.0)
+            if roll <= 0:
+                return kind
+        return "select"
+
+    def _write_rows(self, rng: random.Random, customers: int) -> List[List[Any]]:
+        rows = []
+        for _ in range(rng.randint(1, 3)):
+            key = next(self._write_keys)
+            rows.append(
+                [
+                    key,
+                    rng.randint(1, max(customers, 1)),
+                    rng.choice(["F", "O", "P"]),
+                    round(rng.uniform(10.0, 5000.0), 2),
+                    _dt.date(1995, 1, 1) + _dt.timedelta(days=rng.randint(0, 2000)),
+                    rng.choice(ORDER_PRIORITIES),
+                    rng.randint(0, 1),
+                ]
+            )
+        return rows
+
+    async def _worker(
+        self,
+        index: int,
+        ledger: _Ledger,
+        schedule: Dict[str, float],
+        schedule_lock: asyncio.Lock,
+        interval: float,
+        end_at: float,
+    ) -> None:
+        rng = random.Random(self.config.seed * 7919 + index)
+        loop = asyncio.get_running_loop()
+        client = await connect(self.host, self.port)
+        try:
+            prepared = []
+            for sql in PARAMETERIZED_SQL:
+                stmt = await client.prepare(
+                    sql, engine=self.config.engine, tenant=self.config.tenant
+                )
+                prepared.append(stmt)
+            customers_result = await client.execute(
+                "SELECT COUNT(*) AS n FROM CUSTOMER c",
+                engine=self.config.engine,
+                tenant=self.config.tenant,
+            )
+            customers = int(customers_result.single_value())
+            select_cursor = index  # stagger the round-robin start per worker
+
+            while True:
+                async with schedule_lock:
+                    slot = schedule["next"]
+                    if slot >= end_at:
+                        break
+                    schedule["next"] = slot + interval
+                delay = slot - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                kind = self._pick_kind(rng)
+                started = time.perf_counter()
+                outcome, cached = await self._issue(
+                    client, kind, rng, prepared, customers, select_cursor
+                )
+                latency_ms = (time.perf_counter() - started) * 1000.0
+                ledger.record(kind, outcome, latency_ms, cached)
+                select_cursor += 1
+        finally:
+            ledger.invalid_frames.extend(client.invalid_frames)
+            await client.close()
+
+    async def _issue(
+        self,
+        client: ServeClient,
+        kind: str,
+        rng: random.Random,
+        prepared: List[Any],
+        customers: int,
+        select_cursor: int,
+    ) -> Tuple[str, bool]:
+        """One request; returns (outcome, served_from_cache)."""
+        from ..core.wire import encode_params, iter_encoded_rows
+
+        timeout_ms = self.config.timeout_ms
+        if kind == "write":
+            frame = await client.request(
+                "load_rows",
+                relation="ORDERS",
+                rows=iter_encoded_rows(self._write_rows(rng, customers)),
+                tenant=self.config.tenant,
+                timeout_ms=timeout_ms,
+            )
+        elif kind == "parameterized":
+            stmt = prepared[select_cursor % len(prepared)]
+            if ":t" in stmt.sql:
+                params: Any = {"t": round(rng.uniform(50.0, 4000.0), 2)}
+            else:
+                params = {"segment": rng.choice(MARKET_SEGMENTS)}
+            frame = await client.request(
+                "execute_prepared",
+                statement=stmt.statement_id,
+                params=encode_params(params),
+                tenant=self.config.tenant,
+                timeout_ms=timeout_ms,
+            )
+        else:
+            sql = SELECT_SQL[select_cursor % len(SELECT_SQL)]
+            frame = await client.request(
+                "execute",
+                sql=sql,
+                engine=self.config.engine,
+                tenant=self.config.tenant,
+                timeout_ms=timeout_ms,
+            )
+        if frame.get("ok"):
+            result = frame.get("result") or {}
+            return "ok", bool(result.get("cached"))
+        code = str(((frame.get("error") or {}).get("code")) or "execution_error")
+        if code in ("deadline_exceeded", "queue_full"):
+            return code, False
+        return "error", False
+
+
+# ----------------------------------------------------------------------
+# shape passes (the warm-start assertion phases)
+# ----------------------------------------------------------------------
+async def drive_query_shapes(host: str, port: int, config: DriverConfig) -> List[str]:
+    """Execute every repeated read shape once (plus one repeat).
+
+    Returns the list of invalid-frame defects (empty on a healthy server).
+    The repeat proves plan reuse: on a warm server even the *first* pass
+    compiles nothing; on a cold server the first pass compiles every
+    shape and the repeat still compiles nothing.
+    """
+    client = await connect(host, port)
+    try:
+        for _pass in range(2):
+            for sql in SELECT_SQL:
+                await client.execute(
+                    sql, engine=config.engine, tenant=config.tenant, use_cache=False
+                )
+            for sql in PARAMETERIZED_SQL:
+                stmt = await client.prepare(sql, engine=config.engine, tenant=config.tenant)
+                if ":t" in sql:
+                    await stmt.execute({"t": 1000.0}, use_cache=False)
+                else:
+                    await stmt.execute({"segment": "BUILDING"}, use_cache=False)
+        return list(client.invalid_frames)
+    finally:
+        await client.close()
+
+
+# ----------------------------------------------------------------------
+# the benchmark entry point (make serve-bench)
+# ----------------------------------------------------------------------
+async def run_serving_bench(
+    scale: float,
+    seed: int,
+    config: DriverConfig,
+    manifest_path: str,
+    server_config: Optional[ServerConfig] = None,
+) -> Dict[str, Any]:
+    """Cold-shapes, warm-shapes, then the measured mixed phase.
+
+    Boots two in-process servers on localhost TCP: a cold one (empty
+    manifest path) whose shutdown persists the plan manifest, then a
+    warm one that replays it.  Returns the full artifact dict; the
+    ``checks`` section says whether the run passed.
+    """
+    from ..workloads import tpch_workload
+
+    def build_database() -> Database:
+        workload = tpch_workload(scale=scale, seed=seed)
+        return Database.from_catalog(workload.catalog, plan_cache_path=manifest_path)
+
+    base_server_config = server_config or ServerConfig()
+
+    # ---- phase 1: cold server, read shapes only --------------------------
+    if os.path.exists(manifest_path):
+        os.unlink(manifest_path)  # a true cold start
+    cold_server = QueryServer(build_database(), base_server_config)
+    await cold_server.start()
+    try:
+        cold_defects = await drive_query_shapes(cold_server.host, cold_server.port, config)
+        cold_compilations = sum(cold_server.plan_compilations().values())
+    finally:
+        await cold_server.stop()  # closes the database -> flushes the manifest
+
+    # ---- phase 2: warm server from the manifest, same shapes -------------
+    warm_server = QueryServer(build_database(), base_server_config)
+    await warm_server.start()
+    try:
+        warm_reports = dict(warm_server.warm_reports)
+        warm_defects = await drive_query_shapes(warm_server.host, warm_server.port, config)
+        warm_compilations = sum(warm_server.plan_compilations().values())
+
+        # ---- phase 3: the measured mixed workload on the warm server -----
+        driver = WorkloadDriver(warm_server.host, warm_server.port, config)
+        phase_started = time.perf_counter()
+        ledger = await driver.run()
+        elapsed = time.perf_counter() - phase_started
+        server_stats = warm_server.stats_payload()
+    finally:
+        await warm_server.stop()
+
+    sustained_qps = ledger.completed / elapsed if elapsed > 0 else 0.0
+    invalid_frames = cold_defects + warm_defects + ledger.invalid_frames
+    checks = {
+        "sustained_qps_positive": sustained_qps > 0,
+        "no_invalid_frames": not invalid_frames,
+        "cold_server_compiles": cold_compilations > 0,
+        "warm_server_skips_compilation": warm_compilations == 0,
+    }
+    return {
+        "benchmark": "serving",
+        "config": {
+            "scale": scale,
+            "seed": seed,
+            "duration_seconds": config.duration_seconds,
+            "target_qps": config.target_qps,
+            "concurrency": config.concurrency,
+            "timeout_ms": config.timeout_ms,
+            "mix": dict(config.mix),
+            "engine": config.engine or "default",
+            "pool_size": base_server_config.pool_size,
+            "max_queue_depth": base_server_config.max_queue_depth,
+        },
+        "warm_start": {
+            "manifest_path": manifest_path,
+            "cold_compilations": cold_compilations,
+            "warm_compilations": warm_compilations,
+            "warm_reports": warm_reports,
+        },
+        "serving": {
+            "requests": ledger.requests,
+            "completed": ledger.completed,
+            "result_cache_hits": ledger.cached,
+            "timeouts": ledger.timeouts,
+            "rejections": ledger.rejections,
+            "errors": ledger.errors,
+            "by_kind": dict(sorted(ledger.by_kind.items())),
+            "elapsed_seconds": round(elapsed, 3),
+            "sustained_qps": round(sustained_qps, 2),
+            "target_qps": config.target_qps,
+            "latency_ms": latency_summary(ledger.latencies_ms),
+        },
+        "server_stats": server_stats,
+        "schema_validation": {
+            "invalid_frames": len(invalid_frames),
+            "defects": invalid_frames[:20],
+        },
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="closed-loop serving benchmark against a localhost query server"
+    )
+    parser.add_argument("--scale", type=float, default=0.05, help="TPC-H mini scale factor")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=5.0, help="measured phase seconds")
+    parser.add_argument("--qps", type=float, default=60.0, help="target requests/second")
+    parser.add_argument("--concurrency", type=int, default=8, help="closed-loop clients")
+    parser.add_argument("--timeout-ms", type=float, default=2000.0)
+    parser.add_argument("--engine", default=None)
+    parser.add_argument("--pool-size", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--write-fraction", type=float, default=0.10)
+    parser.add_argument(
+        "--out", default="benchmarks/results/BENCH_serving.json", help="artifact path"
+    )
+    args = parser.parse_args(argv)
+
+    write_fraction = min(max(args.write_fraction, 0.0), 0.9)
+    read_fraction = 1.0 - write_fraction
+    config = DriverConfig(
+        seed=args.seed,
+        duration_seconds=args.duration,
+        target_qps=args.qps,
+        concurrency=args.concurrency,
+        timeout_ms=args.timeout_ms,
+        engine=args.engine,
+        mix={
+            "select": read_fraction * 0.6,
+            "parameterized": read_fraction * 0.4,
+            "write": write_fraction,
+        },
+    )
+    server_config = ServerConfig(
+        pool_size=args.pool_size, max_queue_depth=args.queue_depth
+    )
+    out_dir = os.path.dirname(os.path.abspath(args.out)) or "."
+    os.makedirs(out_dir, exist_ok=True)
+    manifest_path = os.path.join(out_dir, "serving_plan_manifest.json")
+
+    report = asyncio.run(
+        run_serving_bench(args.scale, args.seed, config, manifest_path, server_config)
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    serving = report["serving"]
+    print(
+        f"serving: {serving['completed']}/{serving['requests']} ok, "
+        f"{serving['sustained_qps']} qps sustained (target {serving['target_qps']}), "
+        f"p50 {serving['latency_ms']['p50_ms']}ms p99 {serving['latency_ms']['p99_ms']}ms, "
+        f"{serving['timeouts']} timeouts, {serving['rejections']} rejections"
+    )
+    print(
+        f"warm start: cold compiled {report['warm_start']['cold_compilations']}, "
+        f"warm compiled {report['warm_start']['warm_compilations']}"
+    )
+    for name, passed in report["checks"].items():
+        print(f"check {name}: {'ok' if passed else 'FAIL'}")
+    print(f"artifact: {args.out}")
+    if not report["ok"]:
+        print("serving benchmark FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

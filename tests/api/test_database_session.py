@@ -1,7 +1,5 @@
 """Database facade + Session: shared cache, engine parity, EXPLAIN, invalidation."""
 
-import warnings
-
 import pytest
 
 from repro.api import Database
@@ -49,6 +47,54 @@ class TestFacadeBasics:
         tag_engine = db.engine("tag")
         rdbms_engine = db.engine("rdbms")
         assert tag_engine.planner.statistics is rdbms_engine.planner.statistics
+
+
+class TestUnifiedExecute:
+    """Session.execute accepts SQL text or a bound QuerySpec interchangeably."""
+
+    def test_execute_accepts_sql_text(self, db):
+        session = db.connect()
+        result = session.execute(
+            "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :v", params={"v": 15.0}
+        )
+        assert result.single_value() == 3
+
+    def test_execute_accepts_query_spec(self, db):
+        from repro.sql import parse_and_bind
+
+        spec = parse_and_bind("SELECT COUNT(*) AS n FROM NATION n", db.catalog)
+        session = db.connect()
+        assert session.execute(spec).single_value() == 3
+
+    def test_text_and_spec_paths_share_the_plan_cache(self, mini_catalog):
+        from repro.sql import parse_and_bind
+
+        db = Database.from_catalog(mini_catalog)
+        sql = "SELECT COUNT(*) AS n FROM CUSTOMER c, ORDERS o WHERE c.C_CUSTKEY = o.O_CUSTKEY"
+        session = db.connect()
+        session.execute(sql)
+        stores_after_text = db.plan_cache.stats.stores
+        session.execute(parse_and_bind(sql, db.catalog))
+        assert db.plan_cache.stats.stores == stores_after_text
+
+
+class TestDatabaseLifecycle:
+    def test_context_manager_closes(self, mini_catalog):
+        with Database.from_catalog(mini_catalog) as db:
+            assert not db.closed
+            db.connect().sql("SELECT COUNT(*) AS n FROM NATION n")
+        assert db.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            db.connect()
+
+    def test_close_retires_live_engines(self, mini_catalog):
+        db = Database.from_catalog(mini_catalog)
+        engine = db.engine("tag")
+        db.close()
+        from repro.api import StaleEngineError
+
+        with pytest.raises(StaleEngineError):
+            engine.execute_sql("SELECT COUNT(*) AS n FROM NATION n")
 
 
 class TestAcceptance:
@@ -179,17 +225,13 @@ class TestExplain:
         assert "actual:" in rendered
 
 
-class TestDeprecationShim:
-    def test_top_level_executor_import_warns_but_works(self):
+class TestDeprecatedShimRemoved:
+    def test_top_level_executor_import_is_gone(self):
         import repro
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            executor_cls = repro.TagJoinExecutor
-        from repro.core import TagJoinExecutor
-
-        assert executor_cls is TagJoinExecutor
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        with pytest.raises(AttributeError):
+            repro.TagJoinExecutor
+        assert "TagJoinExecutor" not in repro.__all__
 
     def test_direct_construction_still_works(self, mini_graph, mini_catalog):
         from repro.core import TagJoinExecutor

@@ -53,6 +53,26 @@ class TestRegistryLookup:
         assert "my-engine-xyz" not in available_engines()
 
 
+class TestListEngines:
+    def test_public_listing_covers_builtins_with_descriptions(self):
+        import repro
+
+        listing = repro.list_engines()
+        by_name = {entry["name"]: entry for entry in listing}
+        for expected in builtin_engine_names():
+            assert expected in by_name
+            assert isinstance(by_name[expected]["description"], str)
+            assert by_name[expected]["description"]
+        assert [entry["name"] for entry in listing] == sorted(by_name)
+
+    def test_listing_carries_aliases(self):
+        import repro
+
+        by_name = {entry["name"]: entry for entry in repro.list_engines()}
+        assert "rdbms_hash" in by_name["rdbms"]["aliases"]
+        assert "spark_like" in by_name["spark"]["aliases"]
+
+
 class TestEngineCreation:
     def test_create_all_builtins(self, mini_catalog):
         expectations = {

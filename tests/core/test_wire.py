@@ -1,0 +1,141 @@
+"""Wire serialization: value tags, params, result payloads, round trips."""
+
+from __future__ import annotations
+
+import datetime
+import json
+import math
+
+import pytest
+
+from repro.api import Database
+from repro.core.wire import (
+    WireFormatError,
+    canonical_params_key,
+    decode_params,
+    decode_result_payload,
+    decode_row,
+    decode_value,
+    encode_params,
+    encode_result_payload,
+    encode_row,
+    encode_value,
+    iter_encoded_rows,
+)
+from repro.core.executor import QueryResult
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, -17, 3_000_000_000, "text", "", "naïve ünïcode", 2.5, -0.0],
+    )
+    def test_plain_scalars_round_trip_natively(self, value):
+        encoded = encode_value(value)
+        assert decode_value(encoded) == value
+        # natively JSON-representable: no tag wrapper
+        assert not isinstance(encoded, dict)
+
+    def test_dates_round_trip_as_dates(self):
+        day = datetime.date(1995, 3, 15)
+        encoded = encode_value(day)
+        assert encoded == {"$t": "date", "v": "1995-03-15"}
+        assert decode_value(encoded) == day
+        assert isinstance(decode_value(encoded), datetime.date)
+
+    @pytest.mark.parametrize("special", [math.nan, math.inf, -math.inf])
+    def test_nonfinite_floats_are_tagged(self, special):
+        encoded = encode_value(special)
+        assert isinstance(encoded, dict) and encoded["$t"] == "float"
+        decoded = decode_value(encoded)
+        if math.isnan(special):
+            assert math.isnan(decoded)
+        else:
+            assert decoded == special
+
+    def test_encoded_frame_is_strict_json(self):
+        row = [math.inf, datetime.date(2020, 1, 1), None]
+        text = json.dumps(encode_row(row), allow_nan=False)
+        assert decode_row(json.loads(text)) == [math.inf, datetime.date(2020, 1, 1), None]
+
+    def test_decode_tolerates_untagged_scalars(self):
+        assert decode_value("plain") == "plain"
+        assert decode_value(41) == 41
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_value({"$t": "decimal", "v": "1.5"})
+
+
+class TestParamsCodec:
+    def test_mapping_round_trip(self):
+        params = {"t": 10.5, "day": datetime.date(1998, 9, 2), "name": None}
+        assert decode_params(encode_params(params)) == params
+
+    def test_sequence_round_trip(self):
+        params = [1, "x", datetime.date(2001, 1, 1)]
+        assert decode_params(encode_params(params)) == params
+
+    def test_none_passes_through(self):
+        assert encode_params(None) is None
+        assert decode_params(None) is None
+
+    def test_canonical_key_is_order_insensitive(self):
+        a = canonical_params_key({"x": 1, "y": 2})
+        b = canonical_params_key({"y": 2, "x": 1})
+        assert a == b
+        assert canonical_params_key({"x": 1}) != canonical_params_key({"x": 2})
+
+
+class TestResultPayload:
+    @pytest.fixture()
+    def result(self, mini_catalog) -> QueryResult:
+        with Database(mini_catalog) as db:
+            return db.connect().execute(
+                "SELECT c.C_CUSTKEY, o.O_ORDERKEY, o.O_TOTAL FROM CUSTOMER c, ORDERS o "
+                "WHERE c.C_CUSTKEY = o.O_CUSTKEY AND o.O_TOTAL > :t",
+                params={"t": 5.0},
+            )
+
+    def test_query_result_round_trip(self, result):
+        payload = result.to_json()
+        rebuilt = QueryResult.from_json(payload)
+        assert rebuilt.columns == result.columns
+        assert rebuilt.rows == result.rows
+        assert len(rebuilt.rows) == len(result.rows)
+        assert rebuilt.aggregation_class == result.aggregation_class
+
+    def test_payload_survives_json_text(self, result):
+        text = json.dumps(result.to_json(), allow_nan=False)
+        rebuilt = QueryResult.from_json(json.loads(text))
+        assert len(rebuilt.rows) == len(result.rows)
+
+    def test_payload_carries_metrics_summary(self, result):
+        payload = result.to_json()
+        metrics = payload["metrics"]
+        assert set(metrics) >= {"wall_time_seconds", "plan_cache_hits", "plan_cache_misses"}
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda p: p.pop("columns"),
+            lambda p: p.__setitem__("rows", "not-a-list"),
+            lambda p: p.__setitem__("wire_version", 99),
+            lambda p: p.__setitem__("rows", [[1]]),  # arity mismatch vs columns
+        ],
+    )
+    def test_structural_validation_rejects_malformed(self, result, mutation):
+        payload = json.loads(json.dumps(result.to_json(), allow_nan=False))
+        mutation(payload)
+        with pytest.raises(WireFormatError):
+            decode_result_payload(payload)
+
+    def test_encode_result_payload_row_major(self, result):
+        payload = encode_result_payload(result)
+        assert payload["row_count"] == len(payload["rows"]) == len(result.rows)
+        for encoded, original in zip(payload["rows"], result.rows):
+            assert decode_row(encoded) == [original[c] for c in payload["columns"]]
+
+    def test_iter_encoded_rows_matches_per_row_encoding(self):
+        rows = [[1, datetime.date(2000, 1, 1)], [2, None]]
+        assert iter_encoded_rows(rows) == [encode_row(r) for r in rows]

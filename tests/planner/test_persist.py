@@ -1,0 +1,120 @@
+"""Plan-manifest persistence: save/load, catalog identity, warm starts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Database
+from repro.planner import PlanManifest, PlanManifestEntry, load_manifest, save_manifest
+
+from tests.conftest import make_mini_catalog
+
+SHAPES = [
+    "SELECT COUNT(*) AS n FROM CUSTOMER c, ORDERS o WHERE c.C_CUSTKEY = o.O_CUSTKEY",
+    "SELECT n.N_NAME FROM NATION n, CUSTOMER c WHERE n.N_NATIONKEY = c.C_NATIONKEY",
+    "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :v",
+]
+
+
+class TestManifestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        manifest = PlanManifest(
+            catalog_name="mini",
+            catalog_version=3,
+            catalog_total_rows=14,
+            entries=[PlanManifestEntry(engine="tag", sql=SHAPES[0], fingerprint="fp-1")],
+        )
+        save_manifest(path, manifest)
+        loaded = load_manifest(path)
+        assert loaded is not None
+        assert loaded.catalog_name == "mini"
+        assert loaded.catalog_version == 3
+        assert [e.sql for e in loaded.entries] == [SHAPES[0]]
+
+    def test_missing_file_loads_as_none(self, tmp_path):
+        assert load_manifest(str(tmp_path / "absent.json")) is None
+
+    def test_corrupt_file_loads_as_none(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert load_manifest(str(path)) is None
+
+    def test_foreign_version_loads_as_none(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"manifest_version": 999}), encoding="utf-8")
+        assert load_manifest(str(path)) is None
+
+    def test_matches_catalog_requires_full_identity(self, mini_catalog):
+        manifest = PlanManifest(
+            catalog_name=mini_catalog.name,
+            catalog_version=mini_catalog.version,
+            catalog_total_rows=mini_catalog.total_rows(),
+            entries=[],
+        )
+        assert manifest.matches_catalog(mini_catalog)
+        stale = PlanManifest(
+            catalog_name=mini_catalog.name,
+            catalog_version=mini_catalog.version + 1,
+            catalog_total_rows=mini_catalog.total_rows(),
+            entries=[],
+        )
+        assert not stale.matches_catalog(mini_catalog)
+
+
+class TestDatabaseWarmStart:
+    def drive_shapes(self, db: Database) -> None:
+        session = db.connect()
+        for sql in SHAPES[:2]:
+            session.execute(sql)
+        session.execute(SHAPES[2], params={"v": 10.0})
+
+    def test_flush_then_warm_skips_recompilation(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+
+        cold = Database(make_mini_catalog(), plan_cache_path=path)
+        self.drive_shapes(cold)
+        cold_stores = cold.plan_cache.stats.stores
+        assert cold_stores > 0
+        cold.close()  # flushes the manifest
+
+        manifest = load_manifest(path)
+        assert manifest is not None and len(manifest.entries) > 0
+
+        warm = Database(make_mini_catalog(), plan_cache_path=path)
+        report = warm.warm_plan_cache()
+        assert report["matched"] is True
+        assert report["warmed"] > 0
+        baseline = warm.plan_cache.stats.stores
+        self.drive_shapes(warm)
+        assert warm.plan_cache.stats.stores == baseline, (
+            "a warm-started database must not recompile its manifest shapes"
+        )
+        warm.close()
+
+    def test_warm_start_rejects_mismatched_catalog(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        cold = Database(make_mini_catalog(), plan_cache_path=path)
+        self.drive_shapes(cold)
+        cold.close()
+
+        changed = make_mini_catalog()
+        mutator = Database(changed)
+        mutator.load_rows("ORDERS", [[999, 10, 1.0, "LOW"]])  # bumps the version
+        mutator.close()
+        warm = Database(changed, plan_cache_path=path)
+        report = warm.warm_plan_cache()
+        assert report["matched"] is False
+        assert report["warmed"] == 0
+        warm.close()
+
+    def test_close_is_idempotent_and_marks_closed(self, tmp_path):
+        db = Database(make_mini_catalog(), plan_cache_path=str(tmp_path / "p.json"))
+        assert not db.closed
+        db.close()
+        db.close()
+        assert db.closed
+        with pytest.raises(RuntimeError):
+            db.connect()

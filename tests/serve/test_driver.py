@@ -1,0 +1,93 @@
+"""Workload-driver tests: summaries, the mix, and one tiny full bench."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.serve.driver import (
+    DriverConfig,
+    WorkloadDriver,
+    latency_summary,
+    run_serving_bench,
+)
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = latency_summary([])
+        assert summary == {
+            "count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+            "mean_ms": 0.0, "max_ms": 0.0,
+        }
+
+    def test_percentiles_ordered(self):
+        values = [float(v) for v in range(1, 101)]
+        random.Random(3).shuffle(values)
+        summary = latency_summary(values)
+        assert summary["count"] == 100
+        assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+        assert summary["p50_ms"] in (50.0, 51.0)  # nearest-rank, either side of the median
+        assert summary["max_ms"] == 100.0
+
+    def test_single_sample(self):
+        summary = latency_summary([12.345])
+        assert summary["p50_ms"] == summary["p99_ms"] == 12.345
+
+
+class TestStatementMix:
+    def test_mix_is_seeded_and_respects_weights(self):
+        config = DriverConfig(seed=11, mix={"select": 0.5, "parameterized": 0.3, "write": 0.2})
+        driver = WorkloadDriver("127.0.0.1", 0, config)
+        rng = random.Random(99)
+        kinds = [driver._pick_kind(rng) for _ in range(2000)]
+        counts = {kind: kinds.count(kind) for kind in set(kinds)}
+        assert set(counts) == {"select", "parameterized", "write"}
+        assert 800 < counts["select"] < 1200
+        assert 250 < counts["write"] < 550
+        # same rng seed, same sequence
+        rng2 = random.Random(99)
+        assert [driver._pick_kind(rng2) for _ in range(2000)] == kinds
+
+    def test_zero_weight_kind_never_drawn(self):
+        config = DriverConfig(mix={"select": 1.0, "parameterized": 0.0, "write": 0.0})
+        driver = WorkloadDriver("127.0.0.1", 0, config)
+        rng = random.Random(5)
+        assert {driver._pick_kind(rng) for _ in range(500)} == {"select"}
+
+    def test_write_keys_never_collide(self):
+        driver = WorkloadDriver("127.0.0.1", 0, DriverConfig(seed=2))
+        rng = random.Random(1)
+        keys = []
+        for _ in range(50):
+            keys.extend(row[0] for row in driver._write_rows(rng, customers=10))
+        assert len(keys) == len(set(keys))
+
+
+class TestServingBenchEndToEnd:
+    def test_tiny_bench_produces_passing_artifact(self, tmp_path):
+        config = DriverConfig(
+            seed=3,
+            duration_seconds=0.8,
+            target_qps=25.0,
+            concurrency=3,
+            timeout_ms=5000.0,
+            mix={"select": 0.5, "parameterized": 0.35, "write": 0.15},
+        )
+        report = asyncio.run(
+            run_serving_bench(
+                scale=0.01,
+                seed=3,
+                config=config,
+                manifest_path=str(tmp_path / "manifest.json"),
+            )
+        )
+        assert report["ok"] is True, report["checks"]
+        assert report["warm_start"]["cold_compilations"] > 0
+        assert report["warm_start"]["warm_compilations"] == 0
+        serving = report["serving"]
+        assert serving["completed"] > 0
+        assert serving["sustained_qps"] > 0
+        assert serving["latency_ms"]["p50_ms"] <= serving["latency_ms"]["p99_ms"]
+        assert report["schema_validation"]["invalid_frames"] == 0
+        assert set(serving["by_kind"]) <= {"select", "parameterized", "write"}

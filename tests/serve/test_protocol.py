@@ -1,0 +1,126 @@
+"""Protocol unit tests: frames, envelope validation, the schema contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPERATIONS,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    validate_request_frame,
+    validate_response_frame,
+)
+
+
+class TestFrames:
+    def test_encode_decode_round_trip(self):
+        frame = {"id": 7, "op": "execute", "sql": "SELECT 1", "timeout_ms": 250}
+        line = encode_frame(frame)
+        assert line.endswith(b"\n")
+        assert decode_frame(line) == frame
+
+    def test_encode_is_one_line(self):
+        line = encode_frame({"id": 1, "op": "ping", "note": "a\nb"})
+        assert line.count(b"\n") == 1  # embedded newlines stay escaped
+
+    @pytest.mark.parametrize("raw", [b"{not json}\n", b"[1,2,3]\n", b"\xff\xfe\n"])
+    def test_malformed_lines_raise_parse_error(self, raw):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(raw)
+        assert excinfo.value.code == "parse_error"
+
+    def test_ok_frame_shape(self):
+        frame = ok_frame(3, {"pong": True})
+        assert frame == {"id": 3, "ok": True, "result": {"pong": True}}
+        assert validate_response_frame(frame) is None
+
+    def test_error_frame_shape_and_extras(self):
+        frame = error_frame(4, "deadline_exceeded", "too slow", where="queue")
+        assert frame["error"]["where"] == "queue"
+        assert validate_response_frame(frame) is None
+
+    def test_error_frame_rejects_unknown_codes(self):
+        with pytest.raises(ValueError):
+            error_frame(1, "made_up_code", "nope")
+
+
+class TestRequestValidation:
+    def test_valid_envelope(self):
+        assert validate_request_frame({"id": 1, "op": "execute", "sql": "SELECT 1"}) == (
+            1,
+            "execute",
+        )
+        assert validate_request_frame({"op": "ping"}) == (None, "ping")
+
+    @pytest.mark.parametrize(
+        "frame,code",
+        [
+            ({"id": 1.5, "op": "ping"}, "invalid_request"),
+            ({"id": 1}, "invalid_request"),
+            ({"id": 1, "op": "drop_tables"}, "unknown_op"),
+            ({"id": 1, "op": "execute", "timeout_ms": 0}, "invalid_request"),
+            ({"id": 1, "op": "execute", "timeout_ms": -5}, "invalid_request"),
+            ({"id": 1, "op": "execute", "timeout_ms": True}, "invalid_request"),
+            ({"id": 1, "op": "execute", "sql": 42}, "invalid_request"),
+            ({"id": 1, "op": "execute", "tenant": ["a"]}, "invalid_request"),
+        ],
+    )
+    def test_bad_envelopes(self, frame, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_request_frame(frame)
+        assert excinfo.value.code == code
+
+    def test_every_operation_is_accepted(self):
+        for op in OPERATIONS:
+            assert validate_request_frame({"id": 1, "op": op}) == (1, op)
+
+
+class TestResponseContract:
+    @pytest.mark.parametrize(
+        "frame,defect_fragment",
+        [
+            ("not a dict", "not an object"),
+            ({"ok": True, "result": {}}, "no 'id'"),
+            ({"id": 1, "ok": "yes", "result": {}}, "not a boolean"),
+            ({"id": 1, "ok": True}, "no object 'result'"),
+            ({"id": 1, "ok": True, "result": {}, "error": {}}, "carries an 'error'"),
+            ({"id": 1, "ok": False}, "no object 'error'"),
+            (
+                {"id": 1, "ok": False, "error": {"code": "nope", "message": "m"}},
+                "not a known code",
+            ),
+            (
+                {"id": 1, "ok": False, "error": {"code": "queue_full"}},
+                "no string 'message'",
+            ),
+            (
+                {
+                    "id": 1,
+                    "ok": False,
+                    "error": {"code": "queue_full", "message": "m"},
+                    "result": {},
+                },
+                "carries a 'result'",
+            ),
+        ],
+    )
+    def test_defective_frames_are_named(self, frame, defect_fragment):
+        defect = validate_response_frame(frame)
+        assert defect is not None and defect_fragment in defect
+
+    def test_all_error_codes_validate(self):
+        for code in ERROR_CODES:
+            frame = error_frame(None, code, "message")
+            assert validate_response_frame(frame) is None
+
+    def test_contract_survives_wire_round_trip(self):
+        frame = error_frame(9, "queue_full", "admission queue is full")
+        decoded = json.loads(encode_frame(frame))
+        assert validate_response_frame(decoded) is None

@@ -1,0 +1,297 @@
+"""End-to-end server tests over real localhost TCP.
+
+pytest-asyncio is not available, so every test wraps its scenario in
+``asyncio.run`` via the ``serving`` helper, which owns server and client
+lifecycles.  All client frames pass through
+:func:`~repro.serve.protocol.validate_response_frame`; every test
+asserts the connection saw zero schema defects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Awaitable, Callable, Optional
+
+import pytest
+
+from repro.api import Database
+from repro.serve import QueryServer, ServeClient, ServerConfig, ServerError, connect
+from repro.serve.protocol import encode_frame
+
+from tests.conftest import make_mini_catalog
+
+JOIN_COUNT_SQL = (
+    "SELECT COUNT(*) AS n FROM CUSTOMER c, ORDERS o WHERE c.C_CUSTKEY = o.O_CUSTKEY"
+)
+PARAM_SQL = "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :v"
+
+
+class SlowDatabase(Database):
+    """A Database whose sessions sleep before executing (timeout tests)."""
+
+    delay_seconds = 0.0
+
+    def connect(self, engine: Optional[str] = None) -> Any:
+        session = super().connect(engine)
+        original = session.execute
+        delay = self.delay_seconds
+
+        def slow_execute(query: Any, params: Any = None, name: str = "query") -> Any:
+            time.sleep(delay)
+            return original(query, params=params, name=name)
+
+        session.execute = slow_execute  # type: ignore[method-assign]
+        return session
+
+
+def serving(
+    scenario: Callable[[QueryServer, ServeClient], Awaitable[None]],
+    config: Optional[ServerConfig] = None,
+    database: Optional[Database] = None,
+) -> None:
+    """Boot a server on an ephemeral port, run the scenario, tear down."""
+
+    async def body() -> None:
+        db = database if database is not None else Database(make_mini_catalog())
+        server = QueryServer(db, config or ServerConfig())
+        await server.start()
+        try:
+            client = await connect(server.host, server.port)
+            try:
+                await scenario(server, client)
+                assert client.invalid_frames == []
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(body())
+
+
+class TestBasicServing:
+    def test_ping_and_list_engines(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            assert await client.ping() is True
+            listing = await client.list_engines()
+            names = {engine["name"] for engine in listing["engines"]}
+            assert {"tag", "rdbms"} <= names
+            assert listing["tenants"] == ["default"]
+
+        serving(scenario)
+
+    def test_execute_and_prepared_round_trip(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            result = await client.execute(JOIN_COUNT_SQL)
+            assert result.single_value() == 5  # order 105 has a dangling custkey
+            stmt = await client.prepare(PARAM_SQL)
+            assert (await stmt.execute({"v": 25.0})).single_value() == 2
+            assert (await stmt.execute({"v": 4.0})).single_value() == 6
+
+        serving(scenario)
+
+    def test_concurrent_clients_pipelined(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            async def one_client(index: int) -> None:
+                extra = await connect(server.host, server.port)
+                try:
+                    results = await asyncio.gather(
+                        *[
+                            extra.execute(
+                                PARAM_SQL, params={"v": float(index * 10 + i)},
+                                use_cache=False,
+                            )
+                            for i in range(4)
+                        ]
+                    )
+                    for i, result in enumerate(results):
+                        threshold = index * 10 + i
+                        assert result.single_value() == sum(
+                            1 for total in (50.0, 20.0, 30.0, 10.0, 5.0, 7.0)
+                            if total > threshold
+                        )
+                    assert extra.invalid_frames == []
+                finally:
+                    await extra.close()
+
+            await asyncio.gather(*[one_client(i) for i in range(5)])
+            assert server.stats.completed >= 20
+
+        serving(scenario)
+
+    def test_unknown_engine_and_tenant_errors(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            with pytest.raises(ServerError) as excinfo:
+                await client.execute(JOIN_COUNT_SQL, engine="no_such_engine")
+            assert excinfo.value.code == "unknown_engine"
+            with pytest.raises(ServerError) as excinfo:
+                await client.execute(JOIN_COUNT_SQL, tenant="nobody")
+            assert excinfo.value.code == "unknown_tenant"
+
+        serving(scenario)
+
+    def test_execution_errors_are_frames_not_disconnects(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            with pytest.raises(ServerError) as excinfo:
+                await client.execute("SELECT x.NOPE FROM NOWHERE x")
+            assert excinfo.value.code == "execution_error"
+            # the connection survived the failure
+            assert await client.ping() is True
+
+        serving(scenario)
+
+    def test_garbage_line_answered_with_parse_error_frame(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            try:
+                writer.write(b"this is not json\n")
+                writer.write(encode_frame({"id": 1, "op": "ping"}))
+                await writer.drain()
+                import json
+
+                first = json.loads(await reader.readline())
+                second = json.loads(await reader.readline())
+                frames = {frame.get("id"): frame for frame in (first, second)}
+                assert frames[None]["error"]["code"] == "parse_error"
+                assert frames[1]["ok"] is True
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        serving(scenario)
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejection(self):
+        db = SlowDatabase(make_mini_catalog())
+        db.delay_seconds = 0.4
+        config = ServerConfig(pool_size=1, max_queue_depth=1, result_cache_entries=0)
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            frames = await asyncio.gather(
+                *[
+                    client.request(
+                        "execute",
+                        sql=PARAM_SQL,
+                        params={"v": float(i)},  # distinct bindings
+                        use_cache=False,
+                        timeout_ms=10_000,
+                    )
+                    for i in range(6)
+                ]
+            )
+            codes = [
+                None if frame["ok"] else frame["error"]["code"] for frame in frames
+            ]
+            assert codes.count("queue_full") >= 1, codes
+            assert codes.count(None) >= 1, codes
+            assert all(code in (None, "queue_full") for code in codes), codes
+            assert server.stats.rejected_queue_full >= 1
+
+        serving(scenario, config=config, database=db)
+
+    def test_running_timeout_answers_deadline_exceeded(self):
+        db = SlowDatabase(make_mini_catalog())
+        db.delay_seconds = 0.5
+        config = ServerConfig(pool_size=2, result_cache_entries=0)
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            frame = await client.request(
+                "execute", sql=JOIN_COUNT_SQL, timeout_ms=100, use_cache=False
+            )
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "deadline_exceeded"
+            assert frame["error"]["where"] == "execute"
+            assert server.stats.timeouts_running == 1
+            assert server.stats.abandoned_workers == 1
+            # the server keeps serving after abandoning the worker
+            assert await client.ping() is True
+
+        serving(scenario, config=config, database=db)
+
+    def test_queued_timeout_answers_deadline_exceeded(self):
+        db = SlowDatabase(make_mini_catalog())
+        db.delay_seconds = 0.4
+        config = ServerConfig(pool_size=1, max_queue_depth=8, result_cache_entries=0)
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            # fill the single worker, then enqueue a request whose deadline
+            # expires while it is still waiting in the queue
+            blocker = asyncio.create_task(
+                client.request(
+                    "execute", sql=JOIN_COUNT_SQL, use_cache=False, timeout_ms=10_000
+                )
+            )
+            await asyncio.sleep(0.05)
+            doomed = await client.request(
+                "execute",
+                sql=PARAM_SQL,
+                params={"v": 1.0},
+                use_cache=False,
+                timeout_ms=50,
+            )
+            assert doomed["ok"] is False
+            assert doomed["error"]["code"] == "deadline_exceeded"
+            assert doomed["error"]["where"] == "queue"
+            blocked = await blocker
+            assert blocked["ok"] is True
+            assert server.stats.timeouts_queued >= 1
+
+        serving(scenario, config=config, database=db)
+
+
+class TestResultCache:
+    def test_repeat_reads_served_from_cache(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            first = await client.request("execute", sql=JOIN_COUNT_SQL)
+            again = await client.request("execute", sql=JOIN_COUNT_SQL)
+            assert first["result"]["cached"] is False
+            assert again["result"]["cached"] is True
+            assert again["result"]["result_set"] == first["result"]["result_set"]
+            assert server.stats.cache_hits == 1
+
+        serving(scenario)
+
+    def test_write_invalidates_cached_reads(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            before = await client.execute(JOIN_COUNT_SQL)
+            assert before.single_value() == 5
+            await client.request("execute", sql=JOIN_COUNT_SQL)  # now cached
+            await client.load_rows("ORDERS", [[900, 11, 42.0, "HIGH"]])
+            after = await client.request("execute", sql=JOIN_COUNT_SQL)
+            assert after["result"]["cached"] is False, (
+                "a write must invalidate cached result sets"
+            )
+            assert after["result"]["result_set"]["rows"] != []
+            from repro.core.executor import QueryResult
+
+            assert QueryResult.from_json(
+                after["result"]["result_set"]
+            ).single_value() == 6
+            assert server.result_cache is not None
+            assert server.result_cache.stats.invalidations >= 1
+
+        serving(scenario)
+
+    def test_use_cache_false_bypasses_the_cache(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            await client.request("execute", sql=JOIN_COUNT_SQL, use_cache=False)
+            frame = await client.request("execute", sql=JOIN_COUNT_SQL, use_cache=False)
+            assert frame["result"]["cached"] is False
+            assert server.stats.cache_hits == 0
+
+        serving(scenario)
+
+
+class TestStatsEndpoint:
+    def test_stats_payload_shape(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            await client.execute(JOIN_COUNT_SQL)
+            payload = await client.stats()
+            assert payload["server"]["completed"] >= 1
+            assert payload["server"]["pool_size"] == server.config.pool_size
+            assert "default" in payload["tenants"]
+            assert payload["tenants"]["default"]["catalog"] == "mini"
+            assert payload["result_cache"] is not None
+
+        serving(scenario)

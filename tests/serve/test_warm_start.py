@@ -1,0 +1,98 @@
+"""Warm-start acceptance: a restarted server recompiles nothing.
+
+The acceptance criterion of the serving layer: a cold server records > 0
+plan compilations for a set of query shapes; a server restarted over the
+persisted manifest records exactly 0 for the same shapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.api import Database
+from repro.serve import QueryServer, ServerConfig, connect
+
+from tests.conftest import make_mini_catalog
+
+SHAPES = [
+    "SELECT COUNT(*) AS n FROM CUSTOMER c, ORDERS o WHERE c.C_CUSTKEY = o.O_CUSTKEY",
+    "SELECT n.N_NAME FROM NATION n, CUSTOMER c WHERE n.N_NATIONKEY = c.C_NATIONKEY",
+    "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :v",
+]
+
+
+async def drive_shapes(server: QueryServer) -> None:
+    client = await connect(server.host, server.port)
+    try:
+        for _repeat in range(2):
+            for sql in SHAPES[:2]:
+                await client.execute(sql, use_cache=False)
+            await client.execute(SHAPES[2], params={"v": 15.0}, use_cache=False)
+        assert client.invalid_frames == []
+    finally:
+        await client.close()
+
+
+def test_cold_then_warm_server_compilation_counts(tmp_path):
+    manifest_path = str(tmp_path / "serve_plans.json")
+
+    async def cold_phase() -> int:
+        server = QueryServer(
+            Database(make_mini_catalog(), plan_cache_path=manifest_path)
+        )
+        await server.start()
+        try:
+            # no manifest on disk yet: the warm attempt matches nothing
+            assert server.warm_reports["default"]["warmed"] == 0
+            assert server.warm_reports["default"]["matched"] is False
+            await drive_shapes(server)
+            return sum(server.plan_compilations().values())
+        finally:
+            await server.stop()  # close_databases_on_stop flushes the manifest
+
+    async def warm_phase() -> int:
+        server = QueryServer(
+            Database(make_mini_catalog(), plan_cache_path=manifest_path)
+        )
+        await server.start()
+        try:
+            report = server.warm_reports["default"]
+            assert report["matched"] is True
+            assert report["warmed"] > 0
+            await drive_shapes(server)
+            stats = server.stats_payload()
+            assert stats["server"]["plan_compilations_since_start"] == sum(
+                server.plan_compilations().values()
+            )
+            return sum(server.plan_compilations().values())
+        finally:
+            await server.stop()
+
+    cold_compilations = asyncio.run(cold_phase())
+    assert cold_compilations > 0, "a cold server must compile its query shapes"
+
+    warm_compilations = asyncio.run(warm_phase())
+    assert warm_compilations == 0, (
+        "a warm-started server must answer repeated query shapes "
+        "without a single plan compilation"
+    )
+
+
+def test_warm_start_disabled_recompiles(tmp_path):
+    manifest_path = str(tmp_path / "serve_plans.json")
+
+    async def phase(warm_start: bool) -> int:
+        server = QueryServer(
+            Database(make_mini_catalog(), plan_cache_path=manifest_path),
+            ServerConfig(warm_start=warm_start),
+        )
+        await server.start()
+        try:
+            await drive_shapes(server)
+            return sum(server.plan_compilations().values())
+        finally:
+            await server.stop()
+
+    assert asyncio.run(phase(warm_start=True)) > 0  # cold: persists manifest
+    # warm_start=False ignores the manifest, so everything recompiles
+    assert asyncio.run(phase(warm_start=False)) > 0
