@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stress test-differential bench-smoke bench-micro bench serve-bench examples lint format-check
+.PHONY: test test-stress test-differential bench-smoke bench-micro bench-incremental bench serve-bench examples lint format-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,14 @@ bench-smoke:
 
 bench-micro:
 	$(PYTHON) -m repro.bench.microbench --scale 0.03 --out benchmarks/results/microbench.json
+
+# delta ingest vs scorched-earth rebuild at 1/100/10k-row batches plus
+# seminaïve view refresh cost; exits non-zero if a <=1% delta is not
+# measurably sub-linear, a data-only write recompiles a plan, or the
+# patched graph/view diverge from a cold rebuild
+bench-incremental:
+	$(PYTHON) -m repro.bench.incremental --base-rows 20000 \
+		--out benchmarks/results/BENCH_incremental.json
 
 # closed-loop serving benchmark against a live query server; exits non-zero
 # if sustained QPS is zero, any response frame fails schema validation, or

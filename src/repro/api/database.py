@@ -17,16 +17,23 @@ parameter values:
         hot.execute({"t": 500})                    # warm: plan-cache hit
         print(session.explain(hot.sql))            # rooted join tree + costs
 
-Data loads go through :meth:`Database.load_rows` (or an explicit
-:meth:`Database.note_data_change` after out-of-band mutation), which bumps
-the catalog version so statistics refresh, drops the shared plan cache and
-schedules the TAG graph for re-encoding — no stale plan can survive a load.
+Data loads go through :meth:`Database.load_rows`, which applies the write
+as a *delta*: new tuple/attribute vertices are appended to the existing
+TAG encoding in place, statistics fold the new rows into their sketches,
+executors are patched through their ``apply_delta`` hook, and registered
+materialized views are maintained by seminaïve re-runs over only the new
+vertices.  Compiled plans survive every data-only write (their cache keys
+depend only on the schema version); only schema changes or an explicit
+out-of-band :meth:`Database.note_data_change` fall back to the old
+scorched-earth rebuild.  Writers serialize against in-flight readers on a
+reader/writer lock, so sessions never observe a half-applied delta.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -42,6 +49,8 @@ from ..algebra.parameters import (
     spec_parameters,
 )
 from ..core.executor import QueryResult, StaleEngineError
+from ..incremental.locks import ReadWriteLock
+from ..incremental.maintenance import MaintenanceCounters
 from ..planner import PlanCache
 from ..relational.catalog import Catalog
 from ..tag.statistics import CatalogStatistics, refreshed_statistics
@@ -99,6 +108,13 @@ class Database:
         self._statement_log: "OrderedDict[Tuple[str, str], QuerySpec]" = OrderedDict()
         self._closed = False
         self._lock = threading.RLock()
+        #: readers (query executions) share; writers (delta application,
+        #: view refresh) get exclusivity — see Session._run_rebinding
+        self._rw_lock = ReadWriteLock()
+        #: registered materialized views by name
+        self._views: "OrderedDict[str, Any]" = OrderedDict()
+        #: what incremental maintenance did; mutated under _lock
+        self.maintenance = MaintenanceCounters()
 
     # ------------------------------------------------------------------
     # construction
@@ -117,8 +133,14 @@ class Database:
 
         with self._lock:
             if self._graph is None or self._graph_version != self.catalog.version:
+                rebuilding = self._graph is not None
+                started = time.perf_counter()
                 self._graph = encode_catalog(self.catalog)
                 self._graph_version = self.catalog.version
+                if rebuilding:
+                    elapsed = time.perf_counter() - started
+                    self.maintenance.full_rebuild_seconds += elapsed
+                    self.maintenance.last_rebuild_seconds = elapsed
             return self._graph
 
     @property
@@ -347,7 +369,9 @@ class Database:
         """
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown execute_many mode {mode!r} (thread or process)")
+        queries = list(queries)  # accept any iterable; we traverse it twice
         if params is not None:
+            params = list(params)
             if len(params) != len(queries):
                 raise ValueError(
                     f"params supplies {len(params)} bindings for {len(queries)} queries"
@@ -368,8 +392,9 @@ class Database:
         session = self.connect(engine=engine)
         session.engine  # resolve (and lazily build) the engine once, up front
         if max_workers is None:
-            max_workers = min(4, os.cpu_count() or 1, len(items))
-        max_workers = max(1, max_workers)
+            max_workers = min(4, os.cpu_count() or 1)
+        # never spawn more workers than there is work (also for explicit values)
+        max_workers = max(1, min(max_workers, len(items)))
 
         def run_one(item: Tuple[Union[str, QuerySpec], ParamsInput]) -> "QueryResult":
             query, bindings = item
@@ -427,28 +452,131 @@ class Database:
     # data changes
     # ------------------------------------------------------------------
     def load_rows(self, relation_name: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Bulk-append rows to a relation and invalidate dependent state."""
-        relation = self.catalog.relation(relation_name)
+        """Bulk-append rows to a relation, maintaining dependent state in place.
+
+        This is the incremental write path: when the TAG graph, the
+        statistics and the cached executors are current, the new rows are
+        *applied as a delta* — appended to the graph encoding, folded into
+        the statistics sketches, indexed by each engine's ``apply_delta``
+        hook, and propagated into registered materialized views — instead
+        of invalidating everything.  Compiled plans are retained across
+        the write because their cache keys depend only on the schema
+        version.  An empty iterable is a complete no-op: no version bump,
+        no cache activity, no engine churn.
+
+        Writers exclude in-flight readers via the database's
+        reader/writer lock, so a concurrent session either sees the full
+        pre-write state or the full post-write state, never a torn delta.
+        """
+        relation = self.catalog.relation(relation_name)  # raise before locking
+        materialized = list(rows)
+        if not materialized:
+            with self._lock:
+                self.maintenance.empty_loads_ignored += 1
+            return 0
+        with self._rw_lock.write_locked(), self._lock:
+            self._check_open()
+            return self._apply_load_delta(relation, materialized)
+
+    def _apply_load_delta(self, relation: Any, rows: List[Sequence[Any]]) -> int:
+        """Append ``rows`` and patch graph/statistics/engines/views in place.
+
+        Caller holds the write lock and ``_lock``.  Freshness is checked
+        *before* the catalog version bumps: a resource already stale (from
+        an earlier out-of-band change) is left for its usual lazy rebuild
+        rather than patched on top of missing history.
+        """
+        from ..incremental.delta import apply_graph_delta, rows_as_value_dicts
+        from ..relational.types import value_size_bytes
+
+        started = time.perf_counter()
+        catalog = self.catalog
+        version_before = catalog.version
         before = len(relation)
         relation.extend(rows)
-        self.note_data_change()
+        coerced = relation.rows[before:]
+        graph_fresh = self._graph is not None and self._graph_version == version_before
+        stats_fresh = (
+            self._statistics is not None
+            and self._statistics.catalog_version == version_before
+        )
+        catalog.note_data_change()
+
+        if graph_fresh:
+            apply_graph_delta(self._graph, relation.schema, coerced)
+            self._graph_version = catalog.version
+        if stats_fresh:
+            schema = relation.schema
+            added_bytes = sum(
+                value_size_bytes(value, column.dtype)
+                for row in coerced
+                for value, column in zip(row, schema.columns)
+            )
+            self._statistics.apply_delta(
+                catalog,
+                relation.name,
+                rows_as_value_dicts(schema, coerced),
+                added_bytes=added_bytes,
+            )
+
+        patched = dropped = 0
+        for name, engine in list(self._engines.items()):
+            hook = getattr(engine, "apply_delta", None)
+            engine_current = self._engine_versions.get(name) == version_before
+            # engines holding the shared graph (the TAG family) are only
+            # patchable when that graph was just patched too; catalog-backed
+            # engines (rdbms, spark) are graph-independent
+            graph_ok = graph_fresh or getattr(engine, "graph", None) is None
+            if callable(hook) and engine_current and graph_ok:
+                hook(relation.name, coerced, before, catalog.version)
+                self._engine_versions[name] = catalog.version
+                patched += 1
+            else:
+                # no hook (or the graph itself needs a rebuild): drop the
+                # executor for a lazy rebuild — but do NOT retire it, so a
+                # session mid-query drains against a consistent snapshot
+                self._engines.pop(name)
+                self._engine_versions.pop(name, None)
+                dropped += 1
+
+        counters = self.maintenance
+        counters.rows_applied += len(coerced)
+        if graph_fresh:
+            counters.deltas_applied += 1
+        else:
+            counters.full_rebuilds += 1  # stale graph: lazy re-encode ahead
+        counters.engines_patched += patched
+        counters.engines_dropped += dropped
+        counters.plans_retained = len(self.plan_cache)
+        elapsed = time.perf_counter() - started
+        counters.delta_apply_seconds += elapsed
+        counters.last_delta_seconds = elapsed
+
+        if self._views:
+            self._refresh_views(
+                {relation.name: (before, len(relation))}, delta_ok=graph_fresh
+            )
         return len(relation) - before
 
     def note_data_change(self) -> None:
-        """Record an out-of-band data mutation: bump the catalog version so
-        statistics and the TAG encoding refresh, drop all cached plans and
-        eagerly retire every cached engine.
+        """Record an *out-of-band* data mutation: bump the catalog version so
+        statistics and the TAG encoding refresh, and eagerly retire every
+        cached engine.
 
-        Retiring the engines matters for correctness, not just freshness:
-        an executor built against the old encoding would otherwise keep
-        serving the stale graph to sessions that captured a reference.
-        The next :meth:`engine` call builds a fresh executor bound to the
-        re-encoded graph; retired executors refuse further queries with
-        :class:`~repro.core.executor.StaleEngineError`.
+        This is the scorched-earth fallback for mutations that bypassed
+        :meth:`load_rows` (direct writes to relation row lists), where no
+        delta is known.  Retiring the engines matters for correctness, not
+        just freshness: an executor built against the old encoding would
+        otherwise keep serving the stale graph to sessions that captured a
+        reference.  The next :meth:`engine` call builds a fresh executor
+        bound to the re-encoded graph; retired executors refuse further
+        queries with :class:`~repro.core.executor.StaleEngineError`.
+        Compiled plans are *retained* — their cache keys depend only on
+        the schema, which an out-of-band data write cannot have changed.
+        Materialized views are recomputed from scratch on the spot.
         """
-        with self._lock:
+        with self._rw_lock.write_locked(), self._lock:
             self.catalog.note_data_change()
-            self.plan_cache.clear()
             for engine in self._engines.values():
                 retire = getattr(engine, "retire", None)
                 if callable(retire):
@@ -458,6 +586,136 @@ class Database:
                     )
             self._engines.clear()
             self._engine_versions.clear()
+            self.maintenance.full_rebuilds += 1
+            self.maintenance.plans_retained = len(self.plan_cache)
+            for view in self._views.values():
+                self._rebuild_view(view)
+                self.maintenance.views_recomputed += 1
+
+    # ------------------------------------------------------------------
+    # materialized views
+    # ------------------------------------------------------------------
+    def materialize(self, sql: str, name: Optional[str] = None) -> Dict[str, Any]:
+        """Register ``sql`` as a materialized view and populate it.
+
+        Delta-eligible shapes (connected join/filter/projection blocks
+        without aggregates, subqueries or outer joins) are maintained by
+        seminaïve re-runs over only the newly ingested vertices on each
+        :meth:`load_rows`; everything else is recomputed.  Parameterized
+        statements are rejected.  Returns the view's info dict.
+        """
+        from ..incremental.views import MaterializedView, ViewError, view_refresh_mode
+        from ..sql import parse_and_bind
+
+        with self._rw_lock.write_locked(), self._lock:
+            self._check_open()
+            view_name = name or f"view_{len(self._views) + 1}"
+            if view_name in self._views:
+                raise ViewError(f"materialized view {view_name!r} already exists")
+            spec = parse_and_bind(sql, self.catalog, name=view_name)
+            mode = view_refresh_mode(spec)  # raises ViewError when ineligible
+            view = MaterializedView(
+                name=view_name, sql=sql, spec=spec, columns=[], mode=mode
+            )
+            if mode == "delta":
+                self._populate_view_delta(view)
+            else:
+                self._recompute_view(view)
+            self._views[view_name] = view
+            return view.info()
+
+    def _populate_view_delta(self, view: Any) -> None:
+        """Initial full population of a delta-maintained view.
+
+        Runs the compiled fragment with no alias windows so the stored
+        rows are the *pre-distinct bag* — exactly what seminaïve delta
+        appends extend; DISTINCT is applied at serve time.
+        """
+        from ..incremental.views import run_view_fragment
+
+        compiled = view.compiled_for(self.catalog)
+        graph = self.tag_graph()
+        view.rows = run_view_fragment(graph, compiled)
+        view.columns = [column.alias for column in compiled.config.output_columns]
+        view.base_counts = {
+            table.table: len(self.catalog.relation(table.table))
+            for table in view.spec.tables
+        }
+
+    def _recompute_view(self, view: Any) -> None:
+        """Recompute a view from scratch through the default engine."""
+        result = self.engine(self.default_engine).execute(view.spec)
+        view.rows = [dict(row) for row in result.rows]
+        view.columns = list(result.columns)
+        view.base_counts = {
+            table.table: len(self.catalog.relation(table.table))
+            for table in view.spec.tables
+        }
+        view.recompute_count += 1
+
+    def _refresh_views(
+        self, changed: Dict[str, Tuple[int, int]], delta_ok: bool = True
+    ) -> None:
+        """Maintain every registered view after a write (caller holds locks).
+
+        ``delta_ok=False`` forces recomputation — used when the graph was
+        already stale before the write, so windowed delta runs against it
+        would miss history.
+        """
+        from ..incremental.views import refresh_view_delta
+
+        for view in self._views.values():
+            tables = {table.table for table in view.spec.tables}
+            if not tables & set(changed):
+                continue  # none of its base tables moved
+            started = time.perf_counter()
+            if view.mode == "delta" and delta_ok:
+                refresh_view_delta(view, self._graph, self.catalog, changed)
+                self.maintenance.views_refreshed += 1
+            else:
+                self._rebuild_view(view)
+                self.maintenance.views_recomputed += 1
+            self.maintenance.view_refresh_seconds += time.perf_counter() - started
+
+    def _rebuild_view(self, view: Any) -> None:
+        """Rebuild a view from scratch, preserving its storage semantics.
+
+        Delta views store the pre-DISTINCT bag, so they repopulate through
+        the fragment path (against the freshly re-encoded graph); recompute
+        views go through the engine as usual.
+        """
+        if view.mode == "delta":
+            self._populate_view_delta(view)
+            view.recompute_count += 1
+        else:
+            self._recompute_view(view)
+
+    def query_view(self, name: str) -> QueryResult:
+        """Serve a materialized view's current contents (no recomputation)."""
+        from ..bsp.metrics import RunMetrics
+        from ..incremental.views import ViewError
+
+        with self._rw_lock.read_locked(), self._lock:
+            self._check_open()
+            view = self._views.get(name)
+            if view is None:
+                raise ViewError(f"no materialized view named {name!r}")
+            rows = view.result_rows()
+            metrics = RunMetrics(label=f"view:{name}")
+            return QueryResult([dict(row) for row in rows], list(view.columns), metrics)
+
+    def views(self) -> List[Dict[str, Any]]:
+        """Info dicts for every registered materialized view."""
+        with self._lock:
+            return [view.info() for view in self._views.values()]
+
+    def drop_view(self, name: str) -> None:
+        from ..incremental.views import ViewError
+
+        with self._rw_lock.write_locked(), self._lock:
+            if name not in self._views:
+                raise ViewError(f"no materialized view named {name!r}")
+            del self._views[name]
 
     # ------------------------------------------------------------------
     # observability
@@ -470,6 +728,8 @@ class Database:
                 "max_entries": self.plan_cache.max_entries,
                 "shared": True,
                 "engines": sorted(self._engines),
+                "views": sorted(self._views),
+                "maintenance": self.maintenance.as_dict(),
                 **self.plan_cache.stats.as_dict(),
             }
 
@@ -490,6 +750,10 @@ _FORK_STATE: Optional[Tuple[Database, str]] = None
 
 def _forked_worker_init(database: Database, engine_name: str) -> None:
     global _FORK_STATE
+    # the parent's reader/writer lock state (reader counts, waiting writers)
+    # is meaningless in the child — replace it so child queries never block
+    # on readers that only exist in the parent
+    database._rw_lock = ReadWriteLock()
     _FORK_STATE = (database, engine_name)
 
 
@@ -542,11 +806,17 @@ class Session:
         re-resolving picks up the fresh engine bound to the re-encoded
         graph, which is the transparent-rebind behaviour sessions promise.
         A second retirement mid-retry (a continuous writer) propagates.
+
+        The whole execution runs under the database's read lock, so a
+        concurrent :meth:`Database.load_rows` delta cannot land mid-query:
+        readers drain first, the writer applies atomically, and the next
+        execution sees the complete post-write state.
         """
-        try:
-            return call(self.engine)
-        except StaleEngineError:
-            return call(self.engine)
+        with self.database._rw_lock.read_locked():
+            try:
+                return call(self.engine)
+            except StaleEngineError:
+                return call(self.engine)
 
     # ------------------------------------------------------------------
     # executing

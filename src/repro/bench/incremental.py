@@ -1,0 +1,275 @@
+"""Incremental-maintenance benchmark: delta ingest vs. scorched-earth rebuild.
+
+For each delta batch size the bench warms a database (TAG graph, plan
+cache, engines), appends the batch through ``Database.load_rows`` — the
+in-place delta path — and compares its wall-clock cost against what the
+pre-PR invalidation model would have paid: a full re-encode of the grown
+catalog plus a fresh statistics collection.  It also measures seminaïve
+materialized-view refresh against recomputing the view from scratch, and
+asserts the two acceptance properties of the incremental subsystem:
+
+* a delta of at most 1% of the base rows is measurably sub-linear —
+  the delta path must beat the full re-encode by ``MIN_SPEEDUP``;
+* data-only writes cause **zero** plan recompilations (plan-cache miss
+  and store counters are flat across every delta).
+
+A non-zero exit code means one of those properties failed, or the patched
+graph diverged structurally from a cold re-encode.
+
+Usage::
+
+    python -m repro.bench.incremental --base-rows 20000 \\
+        --out benchmarks/results/BENCH_incremental.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..api import Database
+from ..relational import Catalog, Column, DataType, ForeignKey, Relation, Schema
+from ..tag.encoder import encode_catalog
+from ..tag.statistics import CatalogStatistics
+
+#: delta batch sizes from the issue: one row, a warm trickle, a bulk load
+DEFAULT_BATCHES = (1, 100, 10_000)
+#: a <=1% delta must beat the full re-encode at least this many times over
+MIN_SPEEDUP = 2.0
+DATA_SEED = 20260808
+
+SEGMENTS = ("BUILDING", "MACHINERY", "AUTOMOBILE", "HOUSEHOLD", "FURNITURE")
+PRIORITIES = ("HIGH", "MEDIUM", "LOW")
+
+WARM_QUERY = (
+    "SELECT c.C_SEG AS seg, COUNT(*) AS n, SUM(o.O_TOTAL) AS total "
+    "FROM CUSTOMER c, ORDERS o WHERE c.C_ID = o.O_CUST GROUP BY c.C_SEG"
+)
+VIEW_SQL = (
+    "SELECT c.C_ID AS cid, o.O_ID AS oid, o.O_TOTAL AS total "
+    "FROM CUSTOMER c, ORDERS o WHERE c.C_ID = o.O_CUST AND o.O_TOTAL > 500"
+)
+
+
+def build_bench_catalog(base_rows: int, rng: random.Random) -> Catalog:
+    """CUSTOMER (base/10 rows) -> ORDERS (base rows) along one FK edge."""
+    customer_count = max(1, base_rows // 10)
+    customer = Relation(
+        Schema(
+            "CUSTOMER",
+            [
+                Column("C_ID", DataType.INT, nullable=False),
+                Column("C_SEG", DataType.STRING, nullable=False),
+            ],
+            primary_key=["C_ID"],
+        ),
+        [[index, rng.choice(SEGMENTS)] for index in range(customer_count)],
+    )
+    orders = Relation(
+        Schema(
+            "ORDERS",
+            [
+                Column("O_ID", DataType.INT, nullable=False),
+                Column("O_CUST", DataType.INT, nullable=False),
+                Column("O_TOTAL", DataType.FLOAT, nullable=False),
+                Column("O_PRIO", DataType.STRING, nullable=False),
+            ],
+            primary_key=["O_ID"],
+            foreign_keys=[ForeignKey(("O_CUST",), "CUSTOMER", ("C_ID",))],
+        ),
+        [
+            [
+                index,
+                rng.randrange(customer_count),
+                round(rng.uniform(1, 1000), 2),
+                rng.choice(PRIORITIES),
+            ]
+            for index in range(base_rows)
+        ],
+    )
+    catalog = Catalog("bench_incremental")
+    for relation in (customer, orders):
+        catalog.add(relation)
+    return catalog
+
+
+def order_batch(catalog: Catalog, count: int, rng: random.Random) -> List[list]:
+    customers = len(catalog.relation("CUSTOMER").rows)
+    start = len(catalog.relation("ORDERS").rows)
+    return [
+        [
+            start + index,
+            rng.randrange(customers),
+            round(rng.uniform(1, 1000), 2),
+            rng.choice(PRIORITIES),
+        ]
+        for index in range(count)
+    ]
+
+
+def graph_shape(graph: Any) -> Dict[str, int]:
+    return {"vertices": graph.vertex_count, "edges": graph.edge_count}
+
+
+def measure_delta(base_rows: int, batch: int, rng: random.Random) -> Dict[str, Any]:
+    """Time one delta batch against a full re-encode of the grown catalog."""
+    database = Database(build_bench_catalog(base_rows, rng))
+    graph = database.tag_graph()
+    session = database.connect()
+    session.sql(WARM_QUERY)  # warm plan cache + executor
+    cache_before = database.plan_cache.stats
+    misses_before, stores_before = cache_before.misses, cache_before.stores
+
+    rows = order_batch(database.catalog, batch, rng)
+    started = time.perf_counter()
+    appended = database.load_rows("ORDERS", rows)
+    delta_seconds = time.perf_counter() - started
+
+    # what scorched-earth invalidation would have paid on the same write
+    started = time.perf_counter()
+    rebuilt = encode_catalog(database.catalog)
+    reencode_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    CatalogStatistics.collect(database.catalog)
+    recollect_seconds = time.perf_counter() - started
+    full_seconds = reencode_seconds + recollect_seconds
+
+    session.sql(WARM_QUERY)  # must replay from the retained plan
+    cache_after = database.plan_cache.stats
+    maintenance = database.cache_stats()["maintenance"]
+    fraction = batch / base_rows
+    speedup = full_seconds / delta_seconds if delta_seconds > 0 else float("inf")
+    return {
+        "base_rows": base_rows,
+        "batch_rows": appended,
+        "batch_fraction": round(fraction, 6),
+        "delta_seconds": round(delta_seconds, 6),
+        "full_reencode_seconds": round(reencode_seconds, 6),
+        "statistics_recollect_seconds": round(recollect_seconds, 6),
+        "full_rebuild_seconds": round(full_seconds, 6),
+        "speedup_vs_full": round(speedup, 3),
+        "sublinear_required": fraction <= 0.01,
+        "sublinear_ok": fraction > 0.01 or speedup >= MIN_SPEEDUP,
+        "plan_misses_added": cache_after.misses - misses_before,
+        "plan_stores_added": cache_after.stores - stores_before,
+        "plans_retained": maintenance["plans_retained"],
+        "graph_matches_rebuild": graph_shape(graph) == graph_shape(rebuilt),
+        "maintenance": maintenance,
+    }
+
+
+def measure_view_refresh(base_rows: int, batch: int, rng: random.Random) -> Dict[str, Any]:
+    """Seminaïve view refresh cost vs. recomputing the view from scratch."""
+    database = Database(build_bench_catalog(base_rows, rng))
+    database.materialize(VIEW_SQL, name="spend")
+
+    rows = order_batch(database.catalog, batch, rng)
+    refresh_before = database.cache_stats()["maintenance"]["view_refresh_seconds"]
+    database.load_rows("ORDERS", rows)
+    maintenance = database.cache_stats()["maintenance"]
+    refresh_seconds = maintenance["view_refresh_seconds"] - refresh_before
+
+    started = time.perf_counter()
+    recomputed = database.connect().sql(VIEW_SQL)
+    recompute_seconds = time.perf_counter() - started
+
+    served = database.query_view("spend")
+    rows_match = sorted(
+        tuple(sorted(row.items())) for row in served.rows
+    ) == sorted(tuple(sorted(row.items())) for row in recomputed.rows)
+    return {
+        "base_rows": base_rows,
+        "batch_rows": batch,
+        "view_rows": len(served.rows),
+        "refresh_seconds": round(refresh_seconds, 6),
+        "recompute_seconds": round(recompute_seconds, 6),
+        "speedup_vs_recompute": round(
+            recompute_seconds / refresh_seconds if refresh_seconds > 0 else float("inf"),
+            3,
+        ),
+        "views_refreshed": maintenance["views_refreshed"],
+        "views_recomputed": maintenance["views_recomputed"],
+        "rows_match_recompute": rows_match,
+    }
+
+
+def run_bench(
+    base_rows: int = 20_000, batches: Sequence[int] = DEFAULT_BATCHES
+) -> Dict[str, Any]:
+    started = time.perf_counter()
+    rng = random.Random(DATA_SEED)
+    deltas = [measure_delta(base_rows, batch, rng) for batch in batches]
+    view = measure_view_refresh(base_rows, max(1, base_rows // 100), rng)
+
+    sublinear_ok = all(entry["sublinear_ok"] for entry in deltas)
+    zero_recompilation = all(
+        entry["plan_misses_added"] == 0 and entry["plan_stores_added"] == 0
+        for entry in deltas
+    )
+    graphs_ok = all(entry["graph_matches_rebuild"] for entry in deltas)
+    ok = sublinear_ok and zero_recompilation and graphs_ok and view["rows_match_recompute"]
+    return {
+        "base_rows": base_rows,
+        "batches": list(batches),
+        "min_speedup_required": MIN_SPEEDUP,
+        "elapsed_seconds": round(time.perf_counter() - started, 3),
+        "deltas": deltas,
+        "view_refresh": view,
+        "sublinear_ok": sublinear_ok,
+        "zero_recompilation_ok": zero_recompilation,
+        "graph_equivalence_ok": graphs_ok,
+        "view_ok": view["rows_match_recompute"],
+        "ok": ok,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base-rows", type=int, default=20_000, help="ORDERS rows before any delta"
+    )
+    parser.add_argument(
+        "--batches",
+        type=int,
+        nargs="*",
+        default=list(DEFAULT_BATCHES),
+        help="delta batch sizes to measure",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join("benchmarks", "results", "BENCH_incremental.json"),
+        help="path of the JSON report artifact",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_bench(base_rows=args.base_rows, batches=args.batches)
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2, default=str)
+    print(json.dumps(result, indent=2, default=str))
+    print(f"\nincremental report written to {args.out}")
+    if not result["ok"]:
+        print("INCREMENTAL BENCH FAILURE", file=sys.stderr)
+        if not result["sublinear_ok"]:
+            print(
+                f"  a <=1% delta failed to beat the full rebuild {MIN_SPEEDUP}x",
+                file=sys.stderr,
+            )
+        if not result["zero_recompilation_ok"]:
+            print("  a data-only write caused plan recompilation", file=sys.stderr)
+        if not result["graph_equivalence_ok"]:
+            print("  patched graph diverged from a cold re-encode", file=sys.stderr)
+        if not result["view_ok"]:
+            print("  materialized view diverged from recomputation", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

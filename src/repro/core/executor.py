@@ -272,6 +272,25 @@ class TagJoinExecutor:
     def retired(self) -> bool:
         return self._retired_reason is not None
 
+    def apply_delta(
+        self,
+        relation_name: str,
+        new_rows: List[List[Any]],
+        start_position: int,
+        catalog_version: int,
+    ) -> None:
+        """Adopt a data-only delta already applied to the shared state.
+
+        The database patches the TAG graph in place and updates the
+        shared statistics before calling this, so the executor's own work
+        is only re-binding: advance ``bound_catalog_version`` to the new
+        catalog version.  Compiled plans stay cached (their keys depend
+        only on the schema version) and the executor is *not* retired —
+        the whole point of the delta path.
+        """
+        del relation_name, new_rows, start_position  # state is shared
+        self.bound_catalog_version = catalog_version
+
     def _check_not_stale(self) -> None:
         if self._retired_reason is not None:
             raise StaleEngineError(

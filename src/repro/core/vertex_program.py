@@ -114,9 +114,28 @@ def build_schedule(plan: TagPlan) -> List[ScheduledStep]:
 class TagJoinProgram(VertexProgram):
     """Vertex-centric evaluation of one tree-shaped query fragment (Algorithm 2)."""
 
-    def __init__(self, graph: TagGraph, config: FragmentConfig) -> None:
+    def __init__(
+        self,
+        graph: TagGraph,
+        config: FragmentConfig,
+        alias_ranges: Optional[Dict[str, Tuple[int, Optional[int]]]] = None,
+    ) -> None:
+        """
+        Args:
+            alias_ranges: optional per-alias tuple-index windows
+                ``alias -> (lo_exclusive, hi_inclusive | None)`` restricting
+                which tuple vertices of that alias participate.  Tuple
+                vertex ids encode their 1-based insertion index
+                (``R_7`` is the 7th ``R`` tuple), so a window selects a
+                contiguous slice of a relation's load history.  Seminaïve
+                materialized-view refresh uses windows to evaluate each
+                delta term ``Q(old, .., Δ_i, .., full)`` over only the
+                relevant old/new vertices.  Aliases without an entry see
+                the full relation.
+        """
         self.graph = graph
         self.config = config
+        self.alias_ranges: Dict[str, Tuple[int, Optional[int]]] = dict(alias_ranges or {})
         self.output_rows: List[Dict[str, Any]] = []
         self.local_groups: List[Dict[str, Any]] = []
         self._start_node = config.plan.node(config.start_node_id)
@@ -131,7 +150,7 @@ class TagJoinProgram(VertexProgram):
         if not start.is_relation:
             raise ValueError("the TAG plan traversal must start at a relation node")
         candidates = graph.vertices_with_label(start.table)
-        if not self.config.filters.get(start.alias):
+        if not self.config.filters.get(start.alias) and start.alias not in self.alias_ranges:
             return candidates
         passing = []
         for vertex_id in candidates:
@@ -329,6 +348,8 @@ class TagJoinProgram(VertexProgram):
     def _tuple_passes_filters(self, vertex: Vertex, alias: Optional[str]) -> bool:
         if alias is None:
             return True
+        if self.alias_ranges and not self._vertex_in_range(vertex, alias):
+            return False
         predicates = self.config.filters.get(alias)
         if not predicates:
             return True
@@ -337,6 +358,19 @@ class TagJoinProgram(VertexProgram):
             return True
         row = ops.row_context_for_tuple(alias, tuple_data)
         return ops.passes_filters(row, predicates)
+
+    def _vertex_in_range(self, vertex: Vertex, alias: str) -> bool:
+        window = self.alias_ranges.get(alias)
+        if window is None:
+            return True
+        try:
+            index = int(vertex.vertex_id.rsplit("_", 1)[1])
+        except (IndexError, ValueError):
+            return True  # not a tuple vertex id; windows don't apply
+        lo_exclusive, hi_inclusive = window
+        if index <= lo_exclusive:
+            return False
+        return hi_inclusive is None or index <= hi_inclusive
 
     def _own_row(self, vertex: Vertex, node: PlanNode) -> Dict[str, Any]:
         tuple_data = vertex.properties[TUPLE_DATA_KEY]

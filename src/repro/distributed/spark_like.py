@@ -62,6 +62,17 @@ class SparkLikeExecutor:
         self.name = name
 
     # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        relation_name: str,
+        new_rows: List[List[Any]],
+        start_position: int,
+        catalog_version: int,
+    ) -> None:
+        """Nothing to patch: this executor scans the shared catalog per run."""
+        del relation_name, new_rows, start_position, catalog_version
+
+    # ------------------------------------------------------------------
     def execute(self, spec: QuerySpec) -> QueryResult:
         spec.validate(self.catalog)
         metrics = RunMetrics(label=f"{self.name}:{spec.name}")

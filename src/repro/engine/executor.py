@@ -51,6 +51,29 @@ class RelationalExecutor:
         self.name = name or f"rdbms[{join_algorithm}]"
 
     # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        relation_name: str,
+        new_rows: List[List[Any]],
+        start_position: int,
+        catalog_version: int,
+    ) -> None:
+        """Index a data-only append instead of being retired.
+
+        The relation's row list is shared with the catalog, so the only
+        executor-private state to patch is the PK/FK index catalog: each
+        appended row is inserted into the relevant hash buckets and
+        sorted-index slots (local work, the point of the paper's index
+        maintenance comparison).  The planner's statistics refresh
+        through the shared :class:`CatalogStatistics` object.
+        """
+        del catalog_version  # the rdbms engine binds no version
+        if self.indexes is not None:
+            self.indexes.apply_delta(
+                self.catalog.relation(relation_name), new_rows, start_position
+            )
+
+    # ------------------------------------------------------------------
     def execute(self, spec: QuerySpec) -> QueryResult:
         spec.validate(self.catalog)
         metrics = RunMetrics(label=f"{self.name}:{spec.name}")

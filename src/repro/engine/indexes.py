@@ -35,6 +35,12 @@ class HashIndex:
                 continue
             self._buckets.setdefault(value, []).append(row_index)
 
+    def add_row(self, value: Any, row_position: int) -> None:
+        """Index one appended row (delta maintenance; NULLs are skipped)."""
+        if value is NULL:
+            return
+        self._buckets.setdefault(value, []).append(row_position)
+
     def lookup(self, value: Any) -> List[int]:
         return self._buckets.get(value, [])
 
@@ -67,6 +73,21 @@ class SortedIndex:
         self._keys = [entry[0] for entry in entries]
         self._positions = [entry[1] for entry in entries]
 
+    def add_row(self, value: Any, row_position: int) -> None:
+        """Insert one appended row at its sorted slot (the B-tree insert)."""
+        if value is NULL:
+            return
+        # must match the build-time sort order: (type name, value); insert
+        # *after* equal keys — the build's stable sort keeps row order, and
+        # appended rows carry the highest positions
+        slot = bisect.bisect_right(
+            self._keys,
+            (str(type(value)), value),
+            key=lambda key: (str(type(key)), key),
+        )
+        self._keys.insert(slot, value)
+        self._positions.insert(slot, row_position)
+
     def lookup(self, value: Any) -> List[int]:
         left = bisect.bisect_left(self._keys, value)
         right = bisect.bisect_right(self._keys, value)
@@ -98,6 +119,33 @@ class IndexCatalog:
 
     def sorted_index(self, relation_name: str, column: str) -> Optional[SortedIndex]:
         return self.sorted_indexes.get((relation_name, column))
+
+    def apply_delta(
+        self, relation: Relation, rows: List[Any], start_position: int
+    ) -> int:
+        """Index ``rows`` appended to ``relation`` starting at ``start_position``.
+
+        Touches only this relation's indexes; returns how many index
+        structures were patched.  Row positions continue the relation's
+        0-based numbering, matching what the full build would assign.
+        """
+        schema = relation.schema
+        patched = 0
+        for (relation_name, column), index in self.hash_indexes.items():
+            if relation_name != relation.name:
+                continue
+            position = schema.position(column)
+            for offset, row in enumerate(rows):
+                index.add_row(row[position], start_position + offset)
+            patched += 1
+        for (relation_name, column), index in self.sorted_indexes.items():
+            if relation_name != relation.name:
+                continue
+            position = schema.position(column)
+            for offset, row in enumerate(rows):
+                index.add_row(row[position], start_position + offset)
+            patched += 1
+        return patched
 
     def size_bytes(self) -> int:
         total = sum(index.size_bytes() for index in self.hash_indexes.values())

@@ -1,0 +1,186 @@
+"""Materialized views maintained by seminaïve delta re-runs.
+
+A view registered through :meth:`repro.api.Database.materialize` stores
+its result rows.  When a delta of new tuples lands, re-running the whole
+query would scan everything again; instead the classic seminaïve
+expansion (after *Modular Materialisation of Datalog Programs*) rewrites
+the delta of an n-way join as a sum of n terms, each touching the new
+tuples of exactly one alias::
+
+    Δ(R₁ ⋈ … ⋈ Rₙ) = Σᵢ  old(R₁) ⋈ … ⋈ old(Rᵢ₋₁) ⋈ Δ(Rᵢ) ⋈ full(Rᵢ₊₁) ⋈ … ⋈ full(Rₙ)
+
+(the old/full split prevents double counting when several aliases — or
+the same table self-joined — grew in one write).  Tuple vertex ids encode
+their 1-based insertion index, so "old", "Δ" and "full" are per-alias
+*index windows*; each term compiles to the view's cached plan fragment
+run with :class:`~repro.core.vertex_program.TagJoinProgram`'s
+``alias_ranges`` windows over only the relevant vertices — iterated
+supersteps on the BSP engine, touching nothing outside the delta's join
+neighbourhood.
+
+Views whose delta isn't expressible this way (aggregates, GROUP BY,
+subqueries, outer joins, a disconnected join graph) fall back to a
+recompute on write; the database reports them separately
+(``views_recomputed`` vs ``views_refreshed``).  DISTINCT views keep the
+*pre-distinct bag* — appends to a bag are local, while appends to a
+deduplicated set would need to know the multiplicities — and deduplicate
+at serve time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..algebra.logical import QuerySpec
+from ..algebra.parameters import spec_parameters
+from ..bsp.engine import BSPEngine
+from ..bsp.partition import SinglePartitioner
+from ..relational.catalog import Catalog
+from ..tag.encoder import TagGraph
+
+__all__ = [
+    "ViewError",
+    "MaterializedView",
+    "view_refresh_mode",
+    "refresh_view_delta",
+    "run_view_fragment",
+]
+
+#: Generous superstep budget for view fragments (a tree fragment needs
+#: 2·depth + 1 supersteps; this bounds runaway plans, not normal ones).
+VIEW_MAX_SUPERSTEPS = 10_000
+
+
+class ViewError(ValueError):
+    """Raised for queries that cannot back a materialized view."""
+
+
+def view_refresh_mode(spec: QuerySpec) -> str:
+    """``"delta"`` if the spec supports seminaïve windows, else ``"recompute"``.
+
+    Parameterized queries are rejected outright: a view is one stored
+    result set, while a parameterized query is a family of them.
+    """
+    if spec_parameters(spec):
+        raise ViewError(
+            "parameterized queries cannot be materialized; "
+            "bind the parameters into the SQL first"
+        )
+    if not spec.tables:
+        raise ViewError("a materialized view needs at least one table")
+    if spec.subqueries or spec.aggregates or spec.group_by or spec.outer_joins:
+        return "recompute"
+    if not spec.is_connected():
+        return "recompute"
+    return "delta"
+
+
+@dataclass
+class MaterializedView:
+    """One registered view: its query, stored rows, and refresh bookkeeping."""
+
+    name: str
+    sql: str
+    spec: QuerySpec
+    columns: List[str]
+    mode: str  # "delta" | "recompute"
+    #: for delta views: the pre-DISTINCT bag; for recompute views: the
+    #: final rows as the executor produced them
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: per-relation tuple counts the stored rows reflect
+    base_counts: Dict[str, int] = field(default_factory=dict)
+    refresh_count: int = 0
+    recompute_count: int = 0
+    last_refresh_seconds: float = 0.0
+    last_delta_rows: int = 0
+    _compiled: Any = None
+    _compiled_schema_version: int = -1
+
+    # ------------------------------------------------------------------
+    def result_rows(self) -> List[Dict[str, Any]]:
+        """The rows the view serves (deduplicated here for DISTINCT)."""
+        if self.mode == "delta" and self.spec.distinct:
+            from ..core import operations as ops
+
+            return ops.deduplicate(self.rows)
+        return list(self.rows)
+
+    def compiled_for(self, catalog: Catalog) -> Any:
+        """The view's compiled fragment, recompiled only on schema change."""
+        if self._compiled is None or self._compiled_schema_version != catalog.schema_version:
+            from ..core.compiler import compile_fragment
+
+            self._compiled = compile_fragment(self.spec, catalog)
+            self._compiled_schema_version = catalog.schema_version
+        return self._compiled
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "sql": self.sql,
+            "mode": self.mode,
+            "rows": len(self.rows),
+            "distinct": self.spec.distinct,
+            "refresh_count": self.refresh_count,
+            "recompute_count": self.recompute_count,
+            "last_refresh_seconds": round(self.last_refresh_seconds, 6),
+            "last_delta_rows": self.last_delta_rows,
+        }
+
+
+# ----------------------------------------------------------------------
+# fragment execution with per-alias windows
+# ----------------------------------------------------------------------
+def run_view_fragment(
+    graph: TagGraph,
+    compiled: Any,
+    alias_ranges: Optional[Dict[str, Tuple[int, Optional[int]]]] = None,
+) -> List[Dict[str, Any]]:
+    """Run a compiled NONE-aggregation fragment, windowed per alias."""
+    from ..core.vertex_program import TagJoinProgram
+
+    program = TagJoinProgram(graph, compiled.config, alias_ranges=alias_ranges)
+    engine = BSPEngine(graph, SinglePartitioner(), max_supersteps=VIEW_MAX_SUPERSTEPS)
+    engine.run(program)
+    return program.output_rows
+
+
+def refresh_view_delta(
+    view: MaterializedView,
+    graph: TagGraph,
+    catalog: Catalog,
+    changed: Dict[str, Tuple[int, int]],
+) -> int:
+    """Fold a write's delta into ``view.rows``; returns rows appended.
+
+    Args:
+        changed: ``relation -> (old_count, new_count)`` for every base
+            relation that actually received rows in this write.  Relations
+            of the view absent from ``changed`` are treated as unchanged
+            (old == full).
+    """
+    started = time.perf_counter()
+    compiled = view.compiled_for(catalog)
+    aliases = [(table_ref.alias, table_ref.table) for table_ref in view.spec.tables]
+    appended = 0
+    for i, (alias_i, table_i) in enumerate(aliases):
+        window = changed.get(table_i)
+        if window is None:
+            continue  # Δᵢ is empty — the whole term vanishes
+        ranges: Dict[str, Tuple[int, Optional[int]]] = {alias_i: (window[0], None)}
+        for alias_j, table_j in aliases[:i]:
+            old_count = changed.get(table_j)
+            if old_count is not None:
+                ranges[alias_j] = (0, old_count[0])
+        delta_rows = run_view_fragment(graph, compiled, ranges)
+        view.rows.extend(delta_rows)
+        appended += len(delta_rows)
+
+    for _alias, table in aliases:
+        view.base_counts[table] = len(catalog.relation(table))
+    view.refresh_count += 1
+    view.last_delta_rows = appended
+    view.last_refresh_seconds = time.perf_counter() - started
+    return appended

@@ -11,9 +11,14 @@ queries can skip it entirely.  The cache key is a SHA-256 over:
   must miss), residuals, grouping, aggregates, outputs and DISTINCT —
   but **not** the query's display name;
 * the compilation flags (root preference, aggregation/collection modes);
-* the catalog identity: name, :meth:`~repro.relational.catalog.Catalog.version`
-  and total row count, so schema changes and bulk loads invalidate
-  stale plans without any explicit eviction call.
+* the catalog's *schema* identity: name and
+  :attr:`~repro.relational.catalog.Catalog.schema_version` — but **not**
+  its data version.  Compiling a fragment consults only schemas (alias
+  resolution, column slots, join columns), never row contents, so a
+  compiled plan stays valid across data-only writes; this is what lets
+  :meth:`repro.api.Database.load_rows` retain every cached plan on the
+  delta-ingest path.  Schema changes (add/drop relation) move the schema
+  version and naturally invalidate stale entries.
 
 Fragments whose filters embed opaque subquery closures
 (:class:`~repro.core.operations.CallablePredicate`) are *not cacheable*:
@@ -203,6 +208,6 @@ def fragment_cache_key(
     parts.append(f"root:{preferred_root}")
     for name in sorted(flags):
         parts.append(f"{name}:{flags[name]}")
-    parts.append(f"catalog:{catalog.name}@{catalog.version}#{catalog.total_rows()}")
+    parts.append(f"catalog:{catalog.name}@schema{catalog.schema_version}")
     digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
     return digest

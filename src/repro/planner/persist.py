@@ -10,12 +10,16 @@ fragment fingerprint it produced (see
 parse, bind, compile, store — *before* the server admits traffic, so the
 serving window records zero plan compilations for known query shapes.
 
-A manifest is only replayed against the catalog it was recorded from: the
-catalog identity (name, version, total row count — the same triple the
-fragment fingerprint embeds) must match, otherwise the whole manifest is
-ignored.  A stale manifest can therefore never poison a cache: at worst a
-changed catalog costs one cold compile per shape, exactly the behaviour
-without persistence.
+A manifest is only replayed against a catalog whose *schema* matches the
+one it was recorded from: the catalog name and content-hashed schema
+fingerprint (:meth:`~repro.relational.catalog.Catalog.schema_fingerprint`)
+must agree, otherwise the whole manifest is ignored.  Data-only drift —
+different row counts after writes — deliberately does **not** invalidate
+a manifest: compiled fragments depend only on schemas, so a server that
+took writes, restarted, and reloaded different data still warm-starts
+with zero recompilations.  A stale manifest can never poison a cache: at
+worst a changed schema costs one cold compile per shape, exactly the
+behaviour without persistence.
 """
 
 from __future__ import annotations
@@ -28,8 +32,9 @@ from typing import Any, Dict, List, Optional
 
 from ..relational.catalog import Catalog
 
-#: manifest schema version; readers reject anything else
-MANIFEST_VERSION = 1
+#: manifest schema version; readers reject anything else (v2 keys the
+#: catalog match on the schema fingerprint instead of version+row count)
+MANIFEST_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -49,16 +54,15 @@ class PlanManifest:
     """The on-disk image of a database's warmable plan-cache contents."""
 
     catalog_name: str
-    catalog_version: int
-    catalog_total_rows: int
+    schema_fingerprint: str
     entries: List[PlanManifestEntry] = field(default_factory=list)
 
     def matches_catalog(self, catalog: Catalog) -> bool:
-        """Whether this manifest was recorded against ``catalog`` as-is."""
+        """Whether ``catalog``'s schemas match what this manifest was
+        recorded against (data-only drift does not count)."""
         return (
             self.catalog_name == catalog.name
-            and self.catalog_version == catalog.version
-            and self.catalog_total_rows == catalog.total_rows()
+            and self.schema_fingerprint == catalog.schema_fingerprint()
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -66,8 +70,7 @@ class PlanManifest:
             "manifest_version": MANIFEST_VERSION,
             "catalog": {
                 "name": self.catalog_name,
-                "version": self.catalog_version,
-                "total_rows": self.catalog_total_rows,
+                "schema_fingerprint": self.schema_fingerprint,
             },
             "entries": [entry.as_dict() for entry in self.entries],
         }
@@ -78,8 +81,7 @@ class PlanManifest:
     ) -> "PlanManifest":
         return cls(
             catalog_name=catalog.name,
-            catalog_version=catalog.version,
-            catalog_total_rows=catalog.total_rows(),
+            schema_fingerprint=catalog.schema_fingerprint(),
             entries=list(entries or []),
         )
 
@@ -120,14 +122,13 @@ def load_manifest(path: str) -> Optional[PlanManifest]:
     raw_entries = payload.get("entries")
     if not isinstance(catalog, dict) or not isinstance(raw_entries, list):
         return None
-    try:
-        manifest = PlanManifest(
-            catalog_name=str(catalog["name"]),
-            catalog_version=int(catalog["version"]),
-            catalog_total_rows=int(catalog["total_rows"]),
-        )
-    except (KeyError, TypeError, ValueError):
+    fingerprint = catalog.get("schema_fingerprint")
+    if not isinstance(catalog.get("name"), str) or not isinstance(fingerprint, str):
         return None
+    manifest = PlanManifest(
+        catalog_name=catalog["name"],
+        schema_fingerprint=fingerprint,
+    )
     for raw in raw_entries:
         if not isinstance(raw, dict):
             return None

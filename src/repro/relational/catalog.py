@@ -24,6 +24,8 @@ class Catalog:
         self.name = name
         self._relations: Dict[str, Relation] = {}
         self._version = 0
+        self._schema_version = 0
+        self._data_version = 0
 
     # ------------------------------------------------------------------
     # population
@@ -33,6 +35,7 @@ class Catalog:
             raise CatalogError(f"relation {relation.name!r} already in catalog")
         self._relations[relation.name] = relation
         self._version += 1
+        self._schema_version += 1
 
     def create(self, schema: Schema) -> Relation:
         """Create and register an empty relation with the given schema."""
@@ -45,25 +48,42 @@ class Catalog:
             raise CatalogError(f"relation {relation_name!r} not in catalog")
         del self._relations[relation_name]
         self._version += 1
+        self._schema_version += 1
 
     # ------------------------------------------------------------------
     # change tracking (consumed by plan caches and statistics stores)
     # ------------------------------------------------------------------
     @property
     def version(self) -> int:
-        """Monotonic counter bumped whenever the set of relations changes.
+        """Monotonic counter bumped by *any* change, schema or data.
+
+        The combined counter: it moves whenever :attr:`schema_version` or
+        :attr:`data_version` moves, so state keyed on ``version`` (result
+        caches, the lazily re-encoded TAG graph) invalidates on every kind
+        of change.  State that only depends on the set of schemas — above
+        all compiled plan fragments — keys on :attr:`schema_version`
+        instead and survives data-only writes.
 
         Direct mutation of a relation's rows does not pass through the
         catalog; callers doing bulk loads into registered relations should
         call :meth:`note_data_change` so dependent caches invalidate.
-        (Row-count drift is additionally caught by cache keys that include
-        :meth:`total_rows`.)
         """
         return self._version
+
+    @property
+    def schema_version(self) -> int:
+        """Counter bumped only when the set of relations/schemas changes."""
+        return self._schema_version
+
+    @property
+    def data_version(self) -> int:
+        """Counter bumped only by data mutations (loads, deletes)."""
+        return self._data_version
 
     def note_data_change(self) -> None:
         """Record an out-of-band data mutation (bulk insert/delete)."""
         self._version += 1
+        self._data_version += 1
 
     # ------------------------------------------------------------------
     # lookup
@@ -92,6 +112,37 @@ class Catalog:
 
     def relations(self) -> List[Relation]:
         return list(self._relations.values())
+
+    def schema_fingerprint(self) -> str:
+        """Content hash of every schema: names, columns, types, keys.
+
+        Unlike :attr:`schema_version` (a process-local counter), the
+        fingerprint is stable across processes for identical schemas, so
+        persisted plan manifests can match a restarted catalog even when
+        its data (and therefore its row counts) changed in between.
+        Memoized per schema version — data writes never recompute it.
+        """
+        import hashlib
+
+        cached = getattr(self, "_schema_fingerprint_cache", None)
+        if cached is not None and cached[0] == self._schema_version:
+            return cached[1]
+        parts = []
+        for name in sorted(self._relations):
+            schema = self._relations[name].schema
+            columns = ";".join(
+                f"{column.name}:{column.dtype.value}:{int(column.nullable)}"
+                for column in schema.columns
+            )
+            keys = ",".join(schema.primary_key)
+            fks = ";".join(
+                f"{','.join(fk.columns)}->{fk.referenced_table}({','.join(fk.referenced_columns)})"
+                for fk in schema.foreign_keys
+            )
+            parts.append(f"{name}|{columns}|pk:{keys}|fk:{fks}")
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+        self._schema_fingerprint_cache = (self._schema_version, digest)
+        return digest
 
     # ------------------------------------------------------------------
     # metadata

@@ -208,6 +208,40 @@ class ServeClient:
             )
         )
 
+    async def materialize(
+        self,
+        sql: str,
+        view: Optional[str] = None,
+        tenant: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Register ``sql`` as a server-maintained materialized view."""
+        result = self._unwrap(
+            await self.request(
+                "materialize", sql=sql, view=view, tenant=tenant, timeout_ms=timeout_ms
+            )
+        )
+        return result["view"]
+
+    async def query_view(
+        self,
+        view: str,
+        tenant: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> QueryResult:
+        """Serve a materialized view's current contents."""
+        result = self._unwrap(
+            await self.request(
+                "query_view",
+                view=view,
+                tenant=tenant,
+                timeout_ms=timeout_ms,
+                use_cache=use_cache,
+            )
+        )
+        return QueryResult.from_json(result["result_set"])
+
     async def stats(self) -> Dict[str, Any]:
         return self._unwrap(await self.request("stats"))
 

@@ -12,7 +12,8 @@ Request frames::
      "use_cache": true}
 
 Operations: ``execute``, ``prepare``, ``execute_prepared``, ``explain``,
-``list_engines``, ``load_rows``, ``stats``, ``ping``.
+``list_engines``, ``load_rows``, ``materialize``, ``query_view``,
+``stats``, ``ping``.
 
 Response frames — always one of::
 
@@ -45,6 +46,8 @@ OPERATIONS = (
     "explain",
     "list_engines",
     "load_rows",
+    "materialize",
+    "query_view",
     "stats",
     "ping",
 )

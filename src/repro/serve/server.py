@@ -467,6 +467,52 @@ class QueryServer:
 
             return _Admitted(request_id, work_engines, respond, deadline)
 
+        if op == "materialize":
+            sql = frame.get("sql")
+            if not isinstance(sql, str) or not sql.strip():
+                raise ProtocolError("invalid_request", "materialize needs non-empty 'sql'")
+            view_name = frame.get("view")
+            if view_name is not None and not isinstance(view_name, str):
+                raise ProtocolError("invalid_request", "'view' must be a string")
+
+            def work_materialize() -> Dict[str, Any]:
+                from ..incremental.views import ViewError
+
+                try:
+                    info = database.materialize(sql, name=view_name)
+                except ViewError as exc:
+                    raise ProtocolError("invalid_request", str(exc)) from exc
+                return {"view": info, "tenant": tenant}
+
+            return _Admitted(request_id, work_materialize, respond, deadline)
+
+        if op == "query_view":
+            view_name = frame.get("view")
+            if not isinstance(view_name, str) or not view_name:
+                raise ProtocolError("invalid_request", "query_view needs a string 'view'")
+            view_key: Optional[Tuple[str, str, str, str, int]] = None
+            if use_cache:
+                # views are engine-independent: key on a reserved engine slot
+                view_key = ResultCache.make_key(
+                    tenant, "__view__", view_name, None, database.catalog.version
+                )
+                cached = self.result_cache.lookup(view_key)
+                if cached is not None:
+                    raise _CachedResponse(
+                        {"result_set": cached, "view": view_name, "cached": True}
+                    )
+
+            def work_view() -> Dict[str, Any]:
+                from ..incremental.views import ViewError
+
+                try:
+                    result = database.query_view(view_name)
+                except ViewError as exc:
+                    raise ProtocolError("invalid_request", str(exc)) from exc
+                return {"result_set": result.to_json(), "view": view_name, "cached": False}
+
+            return _Admitted(request_id, work_view, respond, deadline, cache_key=view_key)
+
         engine = self._resolve_engine(frame, database)
 
         if op == "load_rows":

@@ -15,7 +15,7 @@ cardinality estimates of the baseline engine's join-order planner.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..algebra.expressions import (
@@ -32,6 +32,7 @@ from ..algebra.expressions import (
     Or,
 )
 from ..algebra.parameters import ParameterRef
+from ..incremental.sketch import KMVSketch
 from ..relational.catalog import Catalog
 from ..relational.relation import Relation
 from ..relational.types import NULL
@@ -127,12 +128,20 @@ LIKE_SELECTIVITY = 1.0 / 4.0
 
 @dataclass(frozen=True)
 class ColumnStatistics:
-    """Value statistics of one column: distinct and null counts."""
+    """Value statistics of one column: distinct and null counts.
+
+    ``sketch`` is the column's mergeable KMV distinct-value synopsis,
+    seeded with every value seen at collect time.  It is what keeps
+    ``distinct_values`` honest across delta ingests without rescanning:
+    new values fold into the sketch, and the NDV is re-estimated from it
+    (exact below the sketch size, ~6% relative error beyond).
+    """
 
     column: str
     distinct_values: int
     null_count: int
     row_count: int
+    sketch: Optional[KMVSketch] = None
 
     @property
     def selectivity(self) -> float:
@@ -159,15 +168,17 @@ class RelationStatistics:
 
     @classmethod
     def of(cls, relation: Relation) -> "RelationStatistics":
-        distinct: Dict[str, set] = {name: set() for name in relation.schema.column_names}
-        nulls: Dict[str, int] = {name: 0 for name in relation.schema.column_names}
         names = relation.schema.column_names
+        distinct: Dict[str, set] = {name: set() for name in names}
+        nulls: Dict[str, int] = {name: 0 for name in names}
+        sketches: Dict[str, KMVSketch] = {name: KMVSketch() for name in names}
         for row in relation:
             for name, value in zip(names, row):
                 if value is NULL or value is None:
                     nulls[name] += 1
                 else:
                     distinct[name].add(value)
+                    sketches[name].add(value)
         row_count = len(relation)
         columns = {
             name: ColumnStatistics(
@@ -175,6 +186,7 @@ class RelationStatistics:
                 distinct_values=len(distinct[name]),
                 null_count=nulls[name],
                 row_count=row_count,
+                sketch=sketches[name],
             )
             for name in names
         }
@@ -188,6 +200,41 @@ class RelationStatistics:
     def ndv(self, column: str) -> int:
         stats = self.columns.get(column)
         return stats.distinct_values if stats is not None else max(1, self.rows)
+
+    def with_delta(
+        self, rows: Sequence[Dict[str, Any]], added_bytes: int = 0
+    ) -> "RelationStatistics":
+        """A copy reflecting ``rows`` appended, without rescanning.
+
+        Cardinality and null counts update exactly; NDV folds the new
+        values into each column's KMV sketch and re-estimates.  The
+        estimate is kept monotonic (``max`` with the previous count) —
+        under appends the true NDV can only grow, so sketch jitter must
+        never shrink the planner's input.
+        """
+        row_count = self.rows + len(rows)
+        columns: Dict[str, ColumnStatistics] = {}
+        for name, stats in self.columns.items():
+            null_added = 0
+            sketch = stats.sketch
+            for row in rows:
+                value = row.get(name, NULL)
+                if value is NULL or value is None:
+                    null_added += 1
+                elif sketch is not None:
+                    sketch.add(value)
+            distinct = stats.distinct_values
+            if sketch is not None:
+                distinct = max(distinct, sketch.estimate())
+            columns[name] = replace(
+                stats,
+                distinct_values=distinct,
+                null_count=stats.null_count + null_added,
+                row_count=row_count,
+            )
+        return replace(
+            self, rows=row_count, bytes=self.bytes + added_bytes, columns=columns
+        )
 
 
 @dataclass
@@ -215,6 +262,33 @@ class CatalogStatistics:
             relations=relations,
             collection_seconds=time.perf_counter() - started,
         )
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        catalog: Catalog,
+        relation_name: str,
+        rows: Sequence[Dict[str, Any]],
+        added_bytes: int = 0,
+    ) -> None:
+        """Fold appended ``rows`` (as column->value dicts) in, in place.
+
+        Updates the one relation's statistics via its sketches and stamps
+        the catalog's *current* version, so a following
+        :func:`refreshed_statistics` call short-circuits instead of
+        rescanning.  Because the cost-based planners hold a reference to
+        this object, their cost inputs are fresh the moment this returns.
+        """
+        stats = self.relations.get(relation_name)
+        if stats is None:
+            self.relations[relation_name] = RelationStatistics.of(
+                catalog.relation(relation_name)
+            )
+        else:
+            self.relations[relation_name] = stats.with_delta(rows, added_bytes)
+        self.catalog_version = catalog.version
 
     # ------------------------------------------------------------------
     def cardinality(self, table: str) -> int:

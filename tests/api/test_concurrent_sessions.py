@@ -140,7 +140,7 @@ class TestConcurrentSessions:
         assert all(not vertex.state for vertex in graph.vertices())
 
     def test_stale_executor_is_invalidated_by_note_data_change(self, mini_catalog_copy):
-        """Re-encoding retires executors bound to the old graph."""
+        """Out-of-band re-encoding retires executors bound to the old graph."""
         from repro.core import StaleEngineError
 
         db = Database.from_catalog(mini_catalog_copy)
@@ -149,7 +149,9 @@ class TestConcurrentSessions:
         old_graph = db.tag_graph()
         assert session.sql("SELECT COUNT(*) AS n FROM ORDERS o").single_value() == 6
 
-        db.load_rows("ORDERS", [[106, 10, 99.0, "HIGH"]])
+        # mutate behind the database's back, then declare it
+        mini_catalog_copy.relation("ORDERS").insert([106, 10, 99.0, "HIGH"])
+        db.note_data_change()
         # a directly captured executor fails loudly instead of serving the
         # stale encoding ...
         with pytest.raises(StaleEngineError):
@@ -161,6 +163,22 @@ class TestConcurrentSessions:
         assert fresh is not stale
         assert fresh.graph is not old_graph
         assert fresh.graph is db.tag_graph()
+
+    def test_load_rows_patches_captured_executor_in_place(self, mini_catalog_copy):
+        """The delta write path keeps even directly captured executors live."""
+        db = Database.from_catalog(mini_catalog_copy)
+        session = db.connect()
+        captured = db.engine("tag")
+        old_graph = db.tag_graph()
+        assert session.sql("SELECT COUNT(*) AS n FROM ORDERS o").single_value() == 6
+
+        db.load_rows("ORDERS", [[106, 10, 99.0, "HIGH"]])
+        # the executor was patched, not retired: same object, same graph,
+        # and it already serves the appended rows
+        assert db.engine("tag") is captured
+        assert captured.execute_sql("SELECT COUNT(*) AS n FROM ORDERS o").single_value() == 7
+        assert db.tag_graph() is old_graph
+        assert session.sql("SELECT COUNT(*) AS n FROM ORDERS o").single_value() == 7
 
     def test_session_rebinds_when_engine_retired_mid_query(self, mini_catalog_copy):
         """A data change racing a session's execute triggers one transparent

@@ -148,7 +148,8 @@ class TestSharedPlanCache:
 
 
 class TestInvalidation:
-    def test_load_rows_invalidates_plans_statistics_and_graph(self, mini_catalog_copy):
+    def test_load_rows_patches_statistics_and_graph_in_place(self, mini_catalog_copy):
+        """The delta path maintains shared state instead of rebuilding it."""
         db = Database.from_catalog(mini_catalog_copy)
         session = db.connect()
         sql = "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :v"
@@ -160,18 +161,36 @@ class TestInvalidation:
         loaded = db.load_rows("ORDERS", [[106, 10, 99.0, "HIGH"], [107, 11, 98.0, "LOW"]])
         assert loaded == 2
         assert mini_catalog_copy.version > version_before
-        # a fresh execution sees the new rows (stale plan would return 6)
+        # executions see the new rows through the *same* patched objects
         assert session.sql(sql, params={"v": 0.0}).single_value() == 8
-        assert db.statistics is not stats_before
+        assert db.statistics is stats_before
         assert db.statistics.cardinality("ORDERS") == 8
-        assert db.tag_graph() is not graph_before
+        assert db.tag_graph() is graph_before
+        assert db.cache_stats()["maintenance"]["deltas_applied"] == 1
 
-    def test_note_data_change_clears_plan_cache(self, mini_catalog_copy):
+    def test_empty_load_is_a_complete_noop(self, mini_catalog_copy):
         db = Database.from_catalog(mini_catalog_copy)
         db.connect().sql("SELECT COUNT(*) AS n FROM ORDERS o")
+        version_before = mini_catalog_copy.version
+        graph_before = db.tag_graph()
+        engine_before = db.engine("tag")
+        assert db.load_rows("ORDERS", iter(())) == 0
+        assert mini_catalog_copy.version == version_before
+        assert db.tag_graph() is graph_before
+        assert db.engine("tag") is engine_before
+        assert db.cache_stats()["entries"] == 1
+        assert db.cache_stats()["maintenance"]["empty_loads_ignored"] == 1
+
+    def test_note_data_change_retains_plans_but_rebuilds_engines(self, mini_catalog_copy):
+        db = Database.from_catalog(mini_catalog_copy)
+        db.connect().sql("SELECT COUNT(*) AS n FROM ORDERS o")
+        engine_before = db.engine("tag")
         assert db.cache_stats()["entries"] == 1
         db.note_data_change()
-        assert db.cache_stats()["entries"] == 0
+        # plans depend only on the schema, which did not change ...
+        assert db.cache_stats()["entries"] == 1
+        # ... but the executors are retired and rebuilt over a fresh encoding
+        assert db.engine("tag") is not engine_before
 
 
 class TestExplain:

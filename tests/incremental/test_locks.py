@@ -1,0 +1,133 @@
+"""Reader/writer lock semantics: sharing, exclusion, reentrancy, preference."""
+
+import threading
+import time
+
+import pytest
+
+from repro.incremental.locks import ReadWriteLock
+
+
+class TestBasics:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        entered = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                entered.wait()  # all three inside simultaneously or timeout
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+                time.sleep(0.05)
+                order.append("write done")
+
+        def reader():
+            writer_in.wait(timeout=5)
+            with lock.read_locked():
+                order.append("read")
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start()
+        r.start()
+        w.join(timeout=5)
+        r.join(timeout=5)
+        assert order == ["write done", "read"]
+
+    def test_writers_serialize(self):
+        lock = ReadWriteLock()
+        counter = {"n": 0, "max_inside": 0, "inside": 0}
+
+        def writer():
+            for _ in range(50):
+                with lock.write_locked():
+                    counter["inside"] += 1
+                    counter["max_inside"] = max(counter["max_inside"], counter["inside"])
+                    counter["n"] += 1
+                    counter["inside"] -= 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert counter["n"] == 200
+        assert counter["max_inside"] == 1
+
+
+class TestReentrancy:
+    def test_reader_reenters(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            with lock.read_locked():
+                pass  # no deadlock
+
+    def test_writer_thread_reads_freely(self):
+        # the delta path takes the write lock, then runs view fragments
+        # that resolve engines — those reads must be no-ops, not deadlocks
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with lock.read_locked():
+                pass
+
+    def test_read_to_write_upgrade_rejected(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            with pytest.raises(RuntimeError):
+                with lock.write_locked():
+                    pass
+
+
+class TestWriterPreference:
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        first_reader_in = threading.Event()
+        release_first_reader = threading.Event()
+        writer_done = threading.Event()
+        sequence = []
+
+        def long_reader():
+            with lock.read_locked():
+                first_reader_in.set()
+                release_first_reader.wait(timeout=5)
+            sequence.append("reader1 out")
+
+        def writer():
+            first_reader_in.wait(timeout=5)
+            with lock.write_locked():
+                sequence.append("writer")
+            writer_done.set()
+
+        def late_reader():
+            first_reader_in.wait(timeout=5)
+            time.sleep(0.05)  # let the writer start waiting first
+            with lock.read_locked():
+                sequence.append("late reader")
+
+        threads = [
+            threading.Thread(target=long_reader),
+            threading.Thread(target=writer),
+            threading.Thread(target=late_reader),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)
+        release_first_reader.set()
+        for t in threads:
+            t.join(timeout=5)
+        # the writer (already waiting) went before the late reader
+        assert sequence.index("writer") < sequence.index("late reader")

@@ -1,0 +1,91 @@
+"""KMV distinct-count sketch: exactness, accuracy, merge, pruning."""
+
+import pytest
+
+from repro.incremental.sketch import DEFAULT_SKETCH_SIZE, KMVSketch
+
+
+class TestExactRegime:
+    def test_small_sets_are_exact(self):
+        sketch = KMVSketch()
+        sketch.update(range(100))
+        assert sketch.estimate() == 100
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = KMVSketch()
+        for _ in range(10):
+            sketch.update(["a", "b", "c"])
+        assert sketch.estimate() == 3
+
+    def test_type_tagging_separates_equal_reprs(self):
+        sketch = KMVSketch()
+        sketch.add(1)
+        sketch.add("1")
+        sketch.add(1.0)
+        assert sketch.estimate() == 3
+
+    def test_empty(self):
+        assert KMVSketch().estimate() == 0
+        assert len(KMVSketch()) == 0
+
+
+class TestEstimateRegime:
+    def test_accuracy_within_expected_error(self):
+        # k=256 gives ~1/sqrt(k-2) ≈ 6% standard error; allow 4 sigma
+        sketch = KMVSketch()
+        sketch.update(f"value-{i}" for i in range(5000))
+        assert 5000 * 0.75 <= sketch.estimate() <= 5000 * 1.25
+
+    def test_estimate_is_monotone_in_distinct_count(self):
+        small, large = KMVSketch(), KMVSketch()
+        small.update(f"v{i}" for i in range(1000))
+        large.update(f"v{i}" for i in range(20000))
+        assert large.estimate() > small.estimate()
+
+    def test_internal_state_stays_bounded(self):
+        sketch = KMVSketch(k=64)
+        sketch.update(f"v{i}" for i in range(50000))
+        assert len(sketch._hashes) <= 2 * 64
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        left, right, union = KMVSketch(), KMVSketch(), KMVSketch()
+        for i in range(4000):
+            left.add(f"L{i}")
+            union.add(f"L{i}")
+        for i in range(4000):
+            right.add(f"R{i}")
+            union.add(f"R{i}")
+        left.merge(right)
+        # both saw the same multiset of hashes, so estimates agree closely
+        assert abs(left.estimate() - union.estimate()) <= union.estimate() * 0.1
+
+    def test_merge_with_overlap_does_not_double_count(self):
+        left, right = KMVSketch(), KMVSketch()
+        values = [f"shared-{i}" for i in range(200)]
+        left.update(values)
+        right.update(values)
+        left.merge(right)
+        assert left.estimate() == 200
+
+    def test_copy_is_independent(self):
+        sketch = KMVSketch()
+        sketch.update(range(10))
+        clone = sketch.copy()
+        clone.add("extra")
+        assert sketch.estimate() == 10
+        assert clone.estimate() == 11
+
+
+class TestApi:
+    def test_as_dict_round_trip_fields(self):
+        sketch = KMVSketch()
+        sketch.update(range(5))
+        payload = sketch.as_dict()
+        assert payload["k"] == DEFAULT_SKETCH_SIZE
+        assert payload["estimate"] == 5
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KMVSketch(k=1)

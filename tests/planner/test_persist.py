@@ -23,15 +23,14 @@ class TestManifestRoundTrip:
         path = str(tmp_path / "manifest.json")
         manifest = PlanManifest(
             catalog_name="mini",
-            catalog_version=3,
-            catalog_total_rows=14,
+            schema_fingerprint="abc123",
             entries=[PlanManifestEntry(engine="tag", sql=SHAPES[0], fingerprint="fp-1")],
         )
         save_manifest(path, manifest)
         loaded = load_manifest(path)
         assert loaded is not None
         assert loaded.catalog_name == "mini"
-        assert loaded.catalog_version == 3
+        assert loaded.schema_fingerprint == "abc123"
         assert [e.sql for e in loaded.entries] == [SHAPES[0]]
 
     def test_missing_file_loads_as_none(self, tmp_path):
@@ -47,21 +46,29 @@ class TestManifestRoundTrip:
         path.write_text(json.dumps({"manifest_version": 999}), encoding="utf-8")
         assert load_manifest(str(path)) is None
 
-    def test_matches_catalog_requires_full_identity(self, mini_catalog):
+    def test_matches_catalog_requires_schema_identity(self, mini_catalog):
         manifest = PlanManifest(
             catalog_name=mini_catalog.name,
-            catalog_version=mini_catalog.version,
-            catalog_total_rows=mini_catalog.total_rows(),
+            schema_fingerprint=mini_catalog.schema_fingerprint(),
             entries=[],
         )
         assert manifest.matches_catalog(mini_catalog)
         stale = PlanManifest(
             catalog_name=mini_catalog.name,
-            catalog_version=mini_catalog.version + 1,
-            catalog_total_rows=mini_catalog.total_rows(),
+            schema_fingerprint="other-schema",
             entries=[],
         )
         assert not stale.matches_catalog(mini_catalog)
+
+    def test_matches_catalog_survives_data_only_change(self, mini_catalog_copy):
+        catalog = mini_catalog_copy
+        manifest = PlanManifest.for_catalog(catalog)
+        catalog.note_data_change()
+        assert manifest.matches_catalog(catalog), (
+            "data-only writes must not invalidate a persisted manifest"
+        )
+        catalog.drop(catalog.relation_names[0])
+        assert not manifest.matches_catalog(catalog)
 
 
 class TestDatabaseWarmStart:
@@ -94,7 +101,7 @@ class TestDatabaseWarmStart:
         )
         warm.close()
 
-    def test_warm_start_rejects_mismatched_catalog(self, tmp_path):
+    def test_warm_start_survives_data_only_writes(self, tmp_path):
         path = str(tmp_path / "plans.json")
         cold = Database(make_mini_catalog(), plan_cache_path=path)
         self.drive_shapes(cold)
@@ -102,8 +109,24 @@ class TestDatabaseWarmStart:
 
         changed = make_mini_catalog()
         mutator = Database(changed)
-        mutator.load_rows("ORDERS", [[999, 10, 1.0, "LOW"]])  # bumps the version
+        mutator.load_rows("ORDERS", [[999, 10, 1.0, "LOW"]])  # data-only change
         mutator.close()
+        warm = Database(changed, plan_cache_path=path)
+        report = warm.warm_plan_cache()
+        assert report["matched"] is True, (
+            "a data-only write must not invalidate the persisted manifest"
+        )
+        assert report["warmed"] > 0
+        warm.close()
+
+    def test_warm_start_rejects_schema_change(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        cold = Database(make_mini_catalog(), plan_cache_path=path)
+        self.drive_shapes(cold)
+        cold.close()
+
+        changed = make_mini_catalog()
+        changed.drop("NATION")
         warm = Database(changed, plan_cache_path=path)
         report = warm.warm_plan_cache()
         assert report["matched"] is False

@@ -103,23 +103,25 @@ class TestExecutorCaching:
         assert stats["misses"] == 2
         assert stats["hits"] == 0
 
-    def test_invalidation_on_bulk_data_change(self):
+    def test_plans_survive_bulk_data_change(self):
         executor, catalog = fresh_executor()
         executor.execute_sql(FILTERED_SQL_HIGH)
         catalog.note_data_change()
         executor.execute_sql(FILTERED_SQL_HIGH)
         stats = executor.plan_cache_stats()
-        # the version bump changed the key: stale plans are never served
-        assert stats["misses"] == 2
-        assert stats["hits"] == 0
+        # compilation consults only schemas, so a data-only version bump
+        # keeps the key stable and the compiled plan is served warm
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
 
-    def test_row_count_drift_invalidates_without_note(self):
+    def test_row_count_drift_keeps_plans_valid(self):
         executor, catalog = fresh_executor()
         executor.execute_sql(FILTERED_SQL_HIGH)
         catalog.relation("ORDERS").insert([107, 11, 3.0, "LOW"])
         executor.execute_sql(FILTERED_SQL_HIGH)
         stats = executor.plan_cache_stats()
-        assert stats["misses"] == 2  # total_rows is part of the key
+        assert stats["misses"] == 1  # schema unchanged -> same key -> hit
+        assert stats["hits"] == 1
 
     def test_cache_can_be_disabled(self):
         executor, _ = fresh_executor(enable_plan_cache=False)
