@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stress test-differential bench-smoke bench-micro bench-incremental bench serve-bench examples lint format-check
+.PHONY: test test-stress test-differential bench-smoke bench-micro bench-incremental bench-encoding bench serve-bench examples lint format-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,13 @@ bench-micro:
 bench-incremental:
 	$(PYTHON) -m repro.bench.incremental --base-rows 20000 \
 		--out benchmarks/results/BENCH_incremental.json
+
+# dictionary/sentinel encoding vs. the object-dtype path; exits non-zero
+# if a kernel microbenchmark falls below 2x or the q1-like hot path
+# materialises an object-dtype column
+bench-encoding:
+	$(PYTHON) -m repro.bench.encoding --scale 0.3 \
+		--out benchmarks/results/BENCH_encoding.json
 
 # closed-loop serving benchmark against a live query server; exits non-zero
 # if sustained QPS is zero, any response frame fails schema validation, or

@@ -55,6 +55,11 @@ class Vertex:
     label: str
     properties: Dict[str, Any] = field(default_factory=dict)
     state: Dict[str, Any] = field(default_factory=dict)
+    #: graph-assigned dense integer id, unique for the graph's lifetime
+    #: (never reused after removal).  The slotted/vectorized programs use
+    #: it as the provenance value so provenance columns stay native int64
+    #: instead of falling back to object dtype on the vertex-id string.
+    ordinal: int = -1
 
     def reset_state(self) -> None:
         """Legacy: clear the deprecated shared scratch slot."""
@@ -74,6 +79,7 @@ class Graph:
         self._out_edges: Dict[VertexId, Dict[str, List[Edge]]] = {}
         self._vertices_by_label: Dict[str, List[VertexId]] = {}
         self._edge_count = 0
+        self._next_ordinal = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -86,7 +92,8 @@ class Graph:
     ) -> Vertex:
         if vertex_id in self._vertices:
             raise GraphError(f"vertex {vertex_id!r} already exists")
-        vertex = Vertex(vertex_id, label, dict(properties or {}))
+        vertex = Vertex(vertex_id, label, dict(properties or {}), ordinal=self._next_ordinal)
+        self._next_ordinal += 1
         self._vertices[vertex_id] = vertex
         self._out_edges[vertex_id] = {}
         self._vertices_by_label.setdefault(label, []).append(vertex_id)

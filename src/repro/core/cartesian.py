@@ -59,7 +59,10 @@ class CartesianProductA(VertexProgram):
         if tuple_data is None:
             return
         context.charge()
-        context.aggregate(self.AGGREGATOR, (vertex.label, dict(tuple_data)))
+        # rows leave the graph here, so decode dictionary/sentinel codes now
+        context.aggregate(
+            self.AGGREGATOR, (vertex.label, dict(self.graph.decoded_tuple_data(vertex)))
+        )
 
     def result(self, graph: Graph, aggregators) -> List[Dict[str, Any]]:
         gathered = aggregators.get(self.AGGREGATOR).value()
@@ -99,7 +102,10 @@ class _GatherIds(VertexProgram):
 class _ScatterAndCombine(VertexProgram):
     """Phase 2 of Algorithm B: S-tuples ship their data to every R-tuple vertex."""
 
-    def __init__(self, left_table: str, right_table: str, left_ids: Sequence[str]) -> None:
+    def __init__(
+        self, graph: TagGraph, left_table: str, right_table: str, left_ids: Sequence[str]
+    ) -> None:
+        self.graph = graph
         self.left_table = left_table
         self.right_table = right_table
         self.left_ids = list(left_ids)
@@ -113,14 +119,16 @@ class _ScatterAndCombine(VertexProgram):
             tuple_data = vertex.properties.get(TUPLE_DATA_KEY)
             if tuple_data is None:
                 return
+            # decoded once at the send — the messages ARE the result rows
+            decoded = dict(self.graph.decoded_tuple_data(vertex))
             context.charge(len(self.left_ids))
             for left_id in self.left_ids:
-                context.send(left_id, dict(tuple_data))
+                context.send(left_id, decoded)
             return
         # superstep 1: R-tuple vertices combine the received S-tuples with their own
-        own = vertex.properties.get(TUPLE_DATA_KEY)
-        if own is None:
+        if vertex.properties.get(TUPLE_DATA_KEY) is None:
             return
+        own = self.graph.decoded_tuple_data(vertex)
         combined = []
         for right_data in messages:
             row = _qualify(self.left_table, own)
@@ -153,7 +161,7 @@ def cartesian_product_b(
     left_ids = engine.run(gather)
     if metrics is not None:
         metrics.merge(engine.last_metrics)
-    scatter = _ScatterAndCombine(left_table, right_table, left_ids)
+    scatter = _ScatterAndCombine(graph, left_table, right_table, left_ids)
     rows = engine.run(scatter)
     if metrics is not None:
         metrics.merge(engine.last_metrics)

@@ -11,8 +11,8 @@ from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec.fragment import SlottedFragment
@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from ..algebra.expressions import ColumnRef, Comparison, Expression, col
 from ..algebra.logical import AggregationClass, JoinCondition, OutputColumn, QuerySpec
 from ..relational.catalog import Catalog
+from ..storage.rewrite import FragmentRewriter
 from .hypergraph import build_hypergraph
 from .jointree import JoinTree, build_join_tree
 from .tag_plan import TagPlan, build_tag_plan
@@ -54,6 +55,9 @@ class CompiledFragment:
     aggregation_class: AggregationClass
     slotted: Optional["SlottedFragment"] = None
     vectorized: Optional["VectorizedFragment"] = None
+    #: alias -> decoder for pass-through outputs of encoded columns; the
+    #: executor applies these exactly once, at the public result boundary
+    output_decoders: Dict[str, Callable[[Any], Any]] = field(default_factory=dict)
 
 
 def choose_group_by_root(
@@ -136,6 +140,7 @@ def compile_fragment(
     eager_partial_aggregation: bool = True,
     collect_output_centrally: bool = False,
     preferred_root: Optional[str] = None,
+    use_encoded_columns: bool = True,
 ) -> CompiledFragment:
     """Compile a connected, non-degenerate query block into a fragment.
 
@@ -149,6 +154,10 @@ def compile_fragment(
         collect_output_centrally: ship output rows to a collector
             aggregator instead of leaving them distributed.
         preferred_root: force the join tree root to a specific alias.
+        use_encoded_columns: compile predicates/outputs/aggregates onto the
+            graph's encoded payloads (int32 string codes, epoch-day dates).
+            False keeps the object path: every encoded access is wrapped in
+            a decode, which is always correct but per-row slow.
     """
     if not spec.tables:
         raise CompileError("query has no tables")
@@ -203,6 +212,21 @@ def compile_fragment(
         for group_col in spec.group_by
     ]
 
+    # rewrite the whole expression surface onto the encoded representation:
+    # filters/residuals compare int32 codes, pass-through outputs keep
+    # flowing as codes (decoded once by the executor at the boundary) and
+    # aggregate arguments decode at the aggregation site
+    aggregates = list(spec.aggregates)
+    output_decoders: Dict[str, Callable[[Any], Any]] = {}
+    rewriter = FragmentRewriter.for_catalog(
+        catalog, alias_tables, use_codes=use_encoded_columns
+    )
+    if rewriter is not None:
+        filters = rewriter.rewrite_filters(filters)
+        residuals = rewriter.rewrite_predicates(residuals)
+        output_columns, output_decoders = rewriter.rewrite_outputs(output_columns)
+        aggregates = rewriter.rewrite_aggregates(aggregates)
+
     config = FragmentConfig(
         plan=plan,
         schedule=schedule,
@@ -211,7 +235,7 @@ def compile_fragment(
         required_columns={alias: columns for alias, columns in required.items()},
         residual_predicates=residuals,
         output_columns=output_columns,
-        aggregates=list(spec.aggregates),
+        aggregates=aggregates,
         group_by_columns=group_by_columns,
         aggregation_class=aggregation_class,
         eager_partial_aggregation=eager_partial_aggregation,
@@ -242,4 +266,5 @@ def compile_fragment(
         aggregation_class=aggregation_class,
         slotted=slotted,
         vectorized=vectorized,
+        output_decoders=output_decoders,
     )

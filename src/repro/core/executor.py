@@ -41,6 +41,7 @@ from ..bsp.partition import HashPartitioner, Partitioner, SinglePartitioner
 from ..exec.operations import deduplicate_rows
 from ..exec.program import SlottedTagJoinProgram, register_slotted_group_aggregator
 from ..relational.catalog import Catalog
+from ..storage.rewrite import FragmentRewriter, decode_output_rows
 from ..tag.encoder import TagGraph
 from . import operations as ops
 from .cartesian import cartesian_product_rows
@@ -192,6 +193,7 @@ class TagJoinExecutor:
         use_vectorized_kernel: bool = False,
         vectorized_batch_threshold: Optional[int] = None,
         cross_check_rows: bool = False,
+        use_encoded_columns: bool = True,
         name: str = "tag",
     ) -> None:
         # local import: repro.planner depends on repro.core's submodules
@@ -222,6 +224,10 @@ class TagJoinExecutor:
         #: (dict, slotted, vectorized) and require identical results — a
         #: correctness harness, not a production mode
         self.cross_check_rows = cross_check_rows
+        #: compile predicates/outputs onto the graph's encoded payloads
+        #: (int32 string codes, epoch-day dates) and decode once at the
+        #: result boundary; False opts back onto the per-row object path
+        self.use_encoded_columns = use_encoded_columns
         self.planner = CostBasedPlanner(
             catalog,
             statistics=statistics,
@@ -328,6 +334,7 @@ class TagJoinExecutor:
             eager_partial_aggregation=self.eager_partial_aggregation,
             collect_output_centrally=self.collect_output_centrally,
             num_workers=self.num_workers,
+            use_encoded_columns=self.use_encoded_columns,
         )
 
     def prepare_plan(self, spec: QuerySpec) -> bool:
@@ -597,6 +604,7 @@ class TagJoinExecutor:
                     eager_partial_aggregation=self.eager_partial_aggregation,
                     collect_output_centrally=self.collect_output_centrally,
                     num_workers=self.num_workers,
+                    use_encoded_columns=self.use_encoded_columns,
                 )
                 cached = self.plan_cache.lookup(key)
                 if cached is not None:
@@ -640,6 +648,7 @@ class TagJoinExecutor:
             eager_partial_aggregation=self.eager_partial_aggregation,
             collect_output_centrally=self.collect_output_centrally,
             preferred_root=preferred_root,
+            use_encoded_columns=self.use_encoded_columns,
         )
 
     def _cross_check(
@@ -735,6 +744,9 @@ class TagJoinExecutor:
                 rows = program.output_rows
                 if spec.distinct and not raw_rows:
                     rows = ops.deduplicate(rows)
+            # decode-once: pass-through outputs of encoded columns flowed
+            # as int32 codes until here, the public result boundary
+            decode_output_rows(rows, compiled.output_decoders)
             return QueryResult(rows, columns, metrics, compiled.aggregation_class)
 
         columns = [column.alias for column in spec.output] + [
@@ -745,6 +757,7 @@ class TagJoinExecutor:
                 rows = [dict(zip(columns, values)) for values in program.local_groups]
             else:
                 rows = program.local_groups
+            decode_output_rows(rows, compiled.output_decoders)
             return QueryResult(rows, columns, metrics, compiled.aggregation_class)
 
         # GLOBAL / SCALAR: finalize the partial aggregates gathered globally
@@ -758,10 +771,16 @@ class TagJoinExecutor:
             if compiled.aggregation_class is AggregationClass.SCALAR and not rows:
                 empty = aggregates.finalize(aggregates.empty())
                 rows = [dict(zip(aggregates.aliases, empty))]
+            decode_output_rows(rows, compiled.output_decoders)
             return QueryResult(rows, columns, metrics, compiled.aggregation_class)
         for _key, payload in groups.items():
+            # evaluate the *rewritten* outputs: the sample row context holds
+            # encoded values, which only the rewritten expressions read
+            # correctly (pass-through codes are decoded just below)
             final = ops.finalize_partial(payload["partial"], compiled.config.aggregates)
-            row = ops.evaluate_output_columns(spec.output, payload["sample"])
+            row = ops.evaluate_output_columns(
+                compiled.config.output_columns, payload["sample"]
+            )
             row.update(final)
             rows.append(row)
         if compiled.aggregation_class is AggregationClass.SCALAR and not rows:
@@ -769,6 +788,7 @@ class TagJoinExecutor:
                 ops.empty_partial(compiled.config.aggregates), compiled.config.aggregates
             )
             rows = [empty]
+        decode_output_rows(rows, compiled.output_decoders)
         return QueryResult(rows, columns, metrics, compiled.aggregation_class)
 
     # ------------------------------------------------------------------
@@ -805,10 +825,25 @@ class TagJoinExecutor:
             combined = list(spec.filters_for(alias)) + list(extra_filters.get(alias, []))
             if combined:
                 filters[alias] = combined
+        # the cycle program reads encoded tuple payloads: compile its
+        # filters onto the codes and decode the joined rows on the way out
+        # (the cycle result feeds legacy _post_assemble, which evaluates
+        # un-rewritten residuals/outputs and needs decoded values)
+        rewriter = FragmentRewriter.for_catalog(
+            self.catalog, alias_map, use_codes=self.use_encoded_columns
+        )
+        if rewriter is not None:
+            filters = rewriter.rewrite_filters(filters)
         engine = self._make_engine()
         program = CycleQueryProgram(self.graph, relations, filters=filters)
         rows = engine.run(program)
         metrics.merge(engine.last_metrics)
+        if rewriter is not None and rows:
+            decoders = rewriter.context_decoders
+            for row in rows:
+                for name, decoder in decoders.items():
+                    if name in row:
+                        row[name] = decoder(row[name])
         return rows
 
     @staticmethod

@@ -129,12 +129,16 @@ class TwoWayJoinProgram(VertexProgram):
         tuple_data = vertex.properties.get(TUPLE_DATA_KEY)
         if tuple_data is None:
             return
+        # secondary intersection keys stay *encoded* (code equality is value
+        # equality under the catalog-global dictionary); the tuple payload
+        # itself is decoded here because these rows go straight to the user
+        decoded = dict(self.graph.decoded_tuple_data(vertex))
         for attribute_vertex_id, side in messages:
             secondary_values = tuple(
                 tuple_data.get(pair.left_column if side == "left" else pair.right_column)
                 for pair in self.secondary
             )
-            context.send(attribute_vertex_id, (side, secondary_values, dict(tuple_data)))
+            context.send(attribute_vertex_id, (side, secondary_values, decoded))
 
     # superstep 2: combine at the join-attribute vertex -------------------
     def _combine(self, vertex: Vertex, messages: List[Any], context) -> None:
@@ -223,7 +227,7 @@ class SemiJoinProgram(VertexProgram):
             if self.negated:
                 in_result = not in_result
             if in_result:
-                rows.append(dict(vertex.properties[TUPLE_DATA_KEY]))
+                rows.append(dict(self.graph.decoded_tuple_data(vertex)))
         return rows
 
 
@@ -304,8 +308,9 @@ class OuterJoinProgram(VertexProgram):
             if tuple_data is None:
                 return
             context.charge(len(messages))
+            decoded = dict(self.graph.decoded_tuple_data(vertex))
             for attribute_vertex_id, side in messages:
-                context.send(attribute_vertex_id, (side, vertex.vertex_id, dict(tuple_data)))
+                context.send(attribute_vertex_id, (side, vertex.vertex_id, decoded))
         elif context.superstep == 2:
             left_rows = [(vid, data) for side, vid, data in messages if side == "left"]
             right_rows = [(vid, data) for side, vid, data in messages if side == "right"]
@@ -351,13 +356,15 @@ class OuterJoinProgram(VertexProgram):
         if preserve_left:
             for vertex_id in graph.vertices_with_label(self.left_table):
                 vertex = graph.vertex(vertex_id)
-                data = vertex.properties[TUPLE_DATA_KEY]
+                # decode before the NULL test: encoded columns hold an
+                # in-band sentinel, never the Python NULL itself
+                data = self.graph.decoded_tuple_data(vertex)
                 if data.get(self.left_column) is NULL:
-                    rows.append(self._padded(data, left_side=True))
+                    rows.append(self._padded(dict(data), left_side=True))
         if preserve_right:
             for vertex_id in graph.vertices_with_label(self.right_table):
                 vertex = graph.vertex(vertex_id)
-                data = vertex.properties[TUPLE_DATA_KEY]
+                data = self.graph.decoded_tuple_data(vertex)
                 if data.get(self.right_column) is NULL:
-                    rows.append(self._padded(data, left_side=False))
+                    rows.append(self._padded(dict(data), left_side=False))
         return rows

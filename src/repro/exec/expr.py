@@ -39,6 +39,7 @@ from ..algebra.expressions import (
 )
 from ..algebra.parameters import ParameterRef
 from ..relational.types import NULL
+from ..storage.rewrite import DecodeExpr, DictionaryPredicate
 from .schema import RowSchema, SlotError
 
 #: evaluation context handed to context-free expressions (parameters read
@@ -171,6 +172,18 @@ def _compile(expression: Expression, resolve: Resolver, context_of: ContextBuild
             return not matched if negated else matched
 
         return like
+
+    if isinstance(expression, DecodeExpr):
+        operand = _compile(expression.operand, resolve, context_of)
+        decode = expression.codec.decode
+        return lambda row: decode(operand(row))
+
+    if isinstance(expression, DictionaryPredicate):
+        # dictionary side-table lookup: the operand stays an int32 code,
+        # the precomputed bool table answers range/LIKE in O(1) per row
+        operand = _compile(expression.operand, resolve, context_of)
+        test = expression.table.test
+        return lambda row: test(operand(row))
 
     # CallablePredicate, third-party subclasses: evaluate via the rebuilt
     # dict context — correctness over speed for the extensible tail

@@ -48,8 +48,8 @@ class OwnRowSpec:
         qualified = tuple(f"{alias}.{column}" for column in columns)
         self.schema = RowSchema(qualified + (provenance_key(alias),))
 
-    def build(self, tuple_data: Dict[str, Any], vertex_id: str) -> SlottedRow:
-        return tuple(map(tuple_data.__getitem__, self.columns)) + (vertex_id,)
+    def build(self, tuple_data: Dict[str, Any], ordinal: int) -> SlottedRow:
+        return tuple(map(tuple_data.__getitem__, self.columns)) + (ordinal,)
 
 
 @dataclass(frozen=True)

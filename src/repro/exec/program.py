@@ -130,7 +130,7 @@ class SlottedTagJoinProgram(TagJoinProgram):
         else:
             own_row = self._own_row(vertex, target_node)
             if incoming:
-                vid = vertex.vertex_id
+                vid = vertex.ordinal
                 prov_slot = action.prov_slot
                 if action.identity:
                     rows = [row for row in incoming if row[prov_slot] == vid]
@@ -263,8 +263,11 @@ class SlottedTagJoinProgram(TagJoinProgram):
         return predicate(tuple_data)
 
     def _own_row(self, vertex: Vertex, node) -> SlottedRow:
+        # provenance is the graph-assigned integer ordinal, not the string
+        # vertex id: it keeps the hidden provenance column native int64
+        # when the vectorized program columnarises a table
         return self.slotted.own[node.alias].build(
-            vertex.properties[TUPLE_DATA_KEY], vertex.vertex_id
+            vertex.properties[TUPLE_DATA_KEY], vertex.ordinal
         )
 
     def _initial_value(self, vertex: Vertex, node) -> List[SlottedRow]:

@@ -40,6 +40,20 @@ from ..schema import SlottedRow
 #: dtype kinds considered "native" (vectorizable maths, NULL-free)
 _NATIVE_KINDS = frozenset("biuf")
 
+#: observability for the encode-once contract: every call to
+#: :func:`column_array` records whether the column materialised native or
+#: fell back to ``dtype=object``.  With dictionary/sentinel encoding on,
+#: string- and date-backed slots arrive as int codes and must stay native;
+#: the hot-path guard test resets these counters, runs a TPC-H q1-like
+#: plan fully columnar and asserts zero object fallbacks.
+OBJECT_COLUMN_STATS = {"object_columns": 0, "object_values": 0, "native_columns": 0}
+
+
+def reset_object_column_stats() -> None:
+    OBJECT_COLUMN_STATS["object_columns"] = 0
+    OBJECT_COLUMN_STATS["object_values"] = 0
+    OBJECT_COLUMN_STATS["native_columns"] = 0
+
 
 if HAVE_NUMPY:
     _NATIVE_DTYPES = {int: np.int64, float: np.float64, bool: np.bool_}
@@ -85,7 +99,9 @@ def column_array(values: Sequence[Any]) -> "np.ndarray":
     if first is int:
         # int64 conversion raises on None and on overflow — safe blind
         try:
-            return np.asarray(values, dtype=np.int64)
+            column = np.asarray(values, dtype=np.int64)
+            OBJECT_COLUMN_STATS["native_columns"] += 1
+            return column
         except (TypeError, ValueError, OverflowError):
             pass
     elif first is float:
@@ -97,10 +113,14 @@ def column_array(values: Sequence[Any]) -> "np.ndarray":
         except (TypeError, ValueError):
             column = None
         if column is not None and not np.isnan(column).any():
+            OBJECT_COLUMN_STATS["native_columns"] += 1
             return column
     elif first is bool and all(type(value) is bool for value in values):
         # bool_ conversion truthifies anything (None -> False): scan first
+        OBJECT_COLUMN_STATS["native_columns"] += 1
         return np.asarray(values, dtype=np.bool_)
+    OBJECT_COLUMN_STATS["object_columns"] += 1
+    OBJECT_COLUMN_STATS["object_values"] += len(values)
     column = np.empty(len(values), dtype=object)
     column[:] = values
     return column

@@ -51,6 +51,7 @@ from ...algebra.expressions import (
 )
 from ...algebra.parameters import ParameterRef
 from ...relational.types import NULL
+from ...storage.rewrite import DecodeExpr, DictionaryPredicate
 from ..expr import compile_expression, slot_resolver
 from ..schema import RowSchema, SlotError
 from .batch import ColumnBatch, is_null_mask
@@ -205,6 +206,34 @@ def _compile(expression: Expression, schema: RowSchema) -> BatchCompiled:
             return out
 
         return like
+
+    if isinstance(expression, DecodeExpr):
+        operand = _compile(expression.operand, schema)
+        decode = expression.codec.decode
+
+        def decoded(batch: ColumnBatch) -> BatchValue:
+            value = operand(batch)
+            if not isinstance(value, np.ndarray):
+                return decode(value)
+            out = np.empty(len(value), dtype=object)
+            out[:] = [decode(item) for item in value.tolist()]
+            return out
+
+        return decoded
+
+    if isinstance(expression, DictionaryPredicate):
+        # whole-column dictionary side-table lookup: one fancy-index over
+        # the precomputed bool table answers range/LIKE for the batch
+        operand = _compile(expression.operand, schema)
+        table = expression.table
+
+        def dictionary_mask(batch: ColumnBatch) -> "np.ndarray":
+            value = operand(batch)
+            if not isinstance(value, np.ndarray):
+                return np.full(batch.length, table.test(value), dtype=np.bool_)
+            return table.mask(value)
+
+        return dictionary_mask
 
     # CallablePredicate / third-party Expression subclasses
     return _row_fallback(expression, schema)

@@ -141,7 +141,7 @@ class VectorizedTagJoinProgram(SlottedTagJoinProgram):
             if incoming:
                 prov_slot = action.prov_slot
                 if prov_slot is not None:
-                    keep = np.equal(incoming.arrays[prov_slot], vertex.vertex_id)
+                    keep = np.equal(incoming.arrays[prov_slot], vertex.ordinal)
                     masked = incoming.mask(keep)
                 else:
                     masked = incoming

@@ -10,6 +10,12 @@ the graph byte-for-byte consistent with what a from-scratch
 would have produced (the differential harness's interleaved-write suite
 holds it to that), while also keeping the graph's
 :class:`~repro.tag.encoder.LoadReport` accounting truthful.
+
+Each appended row goes through :meth:`TagGraph.append_tuple`, the same
+ingest path the bulk encoder uses: strings are interned into the
+catalog-global dictionary (append-only — existing codes never move, so a
+delta can only *extend* the dictionary, never invalidate compiled
+literals) and tuple payloads are stored encoded.
 """
 
 from __future__ import annotations
@@ -19,13 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence
 
 from ..relational.schema import Schema
-from ..relational.types import NULL, value_size_bytes
-from ..tag.encoder import (
-    TUPLE_DATA_KEY,
-    TagGraph,
-    attribute_vertex_id,
-    tuple_vertex_id,
-)
+from ..tag.encoder import TagGraph
 
 __all__ = ["DeltaReport", "apply_graph_delta"]
 
@@ -58,57 +58,32 @@ def apply_graph_delta(
     """Append ``rows`` of relation ``schema.name`` to ``graph`` in place.
 
     ``rows`` must already be schema-coerced (i.e. taken from the
-    :class:`~repro.relational.relation.Relation` after insertion), so the
-    vertex property dicts match what a re-encode would store.  Follows the
-    encoder's default materialisation policy — per-column
-    ``materialise_as_vertex`` — and mirrors its LoadReport accounting
-    (tuple/attribute/edge bytes, per-relation counts) so storage numbers
-    stay comparable across the delta and rebuild paths.
+    :class:`~repro.relational.relation.Relation` after insertion).
+    Delegates row-by-row to :meth:`TagGraph.append_tuple`, so
+    materialisation policy, encoding and LoadReport accounting are exactly
+    the bulk encoder's — storage numbers stay comparable across the delta
+    and rebuild paths by construction.
     """
-    report = graph.load_report
     started = time.perf_counter()
     edges_before = graph.edge_count
     attributes_before = len(graph._attribute_ids)
     start_index = graph._tuple_counters.get(schema.name, 0) + 1
 
-    columns = schema.columns
     column_names = schema.column_names
     applied = 0
     for row in rows:
-        index = graph._tuple_counters.get(schema.name, 0) + 1
-        graph._tuple_counters[schema.name] = index
-        vertex_id = tuple_vertex_id(schema.name, index)
-        values: Dict[str, Any] = dict(zip(column_names, row))
-        graph.add_vertex(vertex_id, schema.name, {TUPLE_DATA_KEY: values})
-        report.tuple_bytes += sum(
-            value_size_bytes(value, column.dtype)
-            for value, column in zip(row, columns)
-        )
-        for value, column in zip(row, columns):
-            if value is NULL or not column.materialise_as_vertex:
-                continue
-            if not graph.has_vertex(attribute_vertex_id(value)):
-                report.attribute_bytes += value_size_bytes(value, column.dtype)
-            graph._connect(vertex_id, schema.name, column.name, value)
+        graph.append_tuple(schema, dict(zip(column_names, row)))
         applied += 1
 
-    new_edges = graph.edge_count - edges_before
-    new_attributes = len(graph._attribute_ids) - attributes_before
     elapsed = time.perf_counter() - started
-
-    report.edge_bytes += new_edges * 16  # same cost model as the encoder
-    report.tuple_vertices += applied
-    report.attribute_vertices = len(graph._attribute_ids)
-    report.edges = graph.edge_count
-    report.per_relation[schema.name] = graph._tuple_counters[schema.name]
-    report.seconds += elapsed
+    graph.load_report.seconds += elapsed
 
     return DeltaReport(
         relation=schema.name,
         rows_applied=applied,
         start_index=start_index,
-        new_attribute_vertices=new_attributes,
-        new_edges=new_edges,
+        new_attribute_vertices=len(graph._attribute_ids) - attributes_before,
+        new_edges=graph.edge_count - edges_before,
         seconds=elapsed,
     )
 

@@ -144,7 +144,11 @@ def run_view_fragment(
     program = TagJoinProgram(graph, compiled.config, alias_ranges=alias_ranges)
     engine = BSPEngine(graph, SinglePartitioner(), max_supersteps=VIEW_MAX_SUPERSTEPS)
     engine.run(program)
-    return program.output_rows
+    # view rows are served directly, so this is their result boundary:
+    # decode pass-through codes exactly once, here
+    from ..storage.rewrite import decode_output_rows
+
+    return decode_output_rows(program.output_rows, compiled.output_decoders)
 
 
 def refresh_view_delta(

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List
 
+from ..storage.encoding import CatalogEncoding
 from .relation import Relation
 from .schema import Schema, SchemaGraph
 
@@ -26,6 +27,10 @@ class Catalog:
         self._version = 0
         self._schema_version = 0
         self._data_version = 0
+        # catalog-global dictionary + codecs: one encoding shared by every
+        # relation so code equality coincides with value equality across
+        # the whole catalog (TAG attribute vertices are shared likewise)
+        self.encoding = CatalogEncoding()
 
     # ------------------------------------------------------------------
     # population
@@ -33,6 +38,7 @@ class Catalog:
     def add(self, relation: Relation, replace: bool = False) -> None:
         if relation.name in self._relations and not replace:
             raise CatalogError(f"relation {relation.name!r} already in catalog")
+        relation.bind_encoding(self.encoding)
         self._relations[relation.name] = relation
         self._version += 1
         self._schema_version += 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..storage.columns import RelationEncodedStore
 from .schema import Column, Schema, SchemaError
 from .types import NULL, DataType, coerce, infer_type, value_size_bytes
 
@@ -18,7 +19,15 @@ Row = Tuple[Any, ...]
 
 
 class Relation:
-    """A named bag of tuples conforming to a :class:`Schema`."""
+    """A named bag of tuples conforming to a :class:`Schema`.
+
+    The row list stays the *decoded* public surface (the rdbms/spark
+    engines, CSV round-trips and FK validation all read plain values);
+    once the relation joins a catalog it additionally maintains a
+    columnar encoded store (:class:`~repro.storage.columns.RelationEncodedStore`)
+    appended to in lockstep by :meth:`insert`, which supplies int32 code
+    columns, exact NDV and encoded byte accounting.
+    """
 
     def __init__(self, schema: Schema, rows: Optional[Iterable[Sequence[Any]]] = None) -> None:
         self.schema = schema
@@ -27,9 +36,27 @@ class Relation:
         # every mutation clears the cache, so repeated planner passes over an
         # unchanged catalog stop rescanning the row store
         self._stats_cache: Dict[Tuple[str, str], Any] = {}
+        # bound by Catalog.add: the encoded columnar backing
+        self._encoded: Optional[RelationEncodedStore] = None
         if rows is not None:
             for row in rows:
                 self.insert(row)
+
+    def bind_encoding(self, encoding: Any) -> None:
+        """Attach (or re-attach) the catalog's encoded column store.
+
+        Called by :meth:`repro.relational.catalog.Catalog.add`; backfills
+        codes for any rows inserted before the relation joined the catalog.
+        """
+        codec = encoding.codec_for(self.schema)
+        store = RelationEncodedStore(self.schema, codec)
+        store.rebuild(self._rows)
+        self._encoded = store
+
+    @property
+    def encoded_store(self) -> Optional[RelationEncodedStore]:
+        """The columnar encoded backing, once bound to a catalog."""
+        return self._encoded
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -93,6 +120,8 @@ class Relation:
                     f"NULL in non-nullable column {self.schema.name}.{column.name}"
                 )
         self._rows.append(coerced)
+        if self._encoded is not None:
+            self._encoded.append_row(coerced)
         if self._stats_cache:
             self._stats_cache.clear()
 
@@ -107,6 +136,8 @@ class Relation:
         """Delete all rows satisfying ``predicate``; return the number removed."""
         before = len(self._rows)
         self._rows = [row for row in self._rows if not predicate(row)]
+        if self._encoded is not None and len(self._rows) != before:
+            self._encoded.rebuild(self._rows)
         if self._stats_cache:
             self._stats_cache.clear()
         return before - len(self._rows)
@@ -191,10 +222,24 @@ class Relation:
         return len(self._rows)
 
     def distinct_count(self, column_name: str) -> int:
+        if self._encoded is not None:
+            # exact and free: one distinct-code set per encoded column
+            ndv = self._encoded.ndv(column_name)
+            if ndv is not None:
+                return ndv
         return len(self._distinct_frozen(column_name))
 
     def data_size_bytes(self) -> int:
-        """Approximate base-table footprint in bytes (no indexes)."""
+        """Base-table footprint in bytes (no indexes).
+
+        Catalog-bound relations report *encoded* sizes — 4 bytes per
+        string/date slot plus the amortised dictionary growth — so the
+        planner's cost inputs match the representation the hot path
+        actually scans.  Unbound relations keep the legacy object-size
+        estimate.
+        """
+        if self._encoded is not None:
+            return self._encoded.total_bytes
         total = 0
         for row in self._rows:
             for value, column in zip(row, self.schema.columns):

@@ -105,6 +105,9 @@ class _Ledger:
     rejections: int = 0
     errors: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    #: completed-request latencies split per statement class, so the
+    #: artifact shows write (delta-ingest) latency separately from reads
+    latencies_by_kind: Dict[str, List[float]] = field(default_factory=dict)
     invalid_frames: List[str] = field(default_factory=list)
 
     def record(self, kind: str, outcome: str, latency_ms: float, cached: bool) -> None:
@@ -112,6 +115,7 @@ class _Ledger:
         if outcome == "ok":
             self.completed += 1
             self.latencies_ms.append(latency_ms)
+            self.latencies_by_kind.setdefault(kind, []).append(latency_ms)
             if cached:
                 self.cached += 1
         elif outcome == "deadline_exceeded":
@@ -384,11 +388,25 @@ async def run_serving_bench(
 
     sustained_qps = ledger.completed / elapsed if elapsed > 0 else 0.0
     invalid_frames = cold_defects + warm_defects + ledger.invalid_frames
+    # every load_rows must have landed as an in-place delta (the PR 7
+    # incremental path): sum the per-tenant maintenance counters and fail
+    # the run if any write degenerated into a full rebuild
+    deltas_applied = sum(
+        tenant_stats.get("maintenance", {}).get("deltas_applied", 0)
+        for tenant_stats in server_stats.get("tenants", {}).values()
+    )
+    full_rebuilds = sum(
+        tenant_stats.get("maintenance", {}).get("full_rebuilds", 0)
+        for tenant_stats in server_stats.get("tenants", {}).values()
+    )
+    write_requests = ledger.by_kind.get("write", 0)
     checks = {
         "sustained_qps_positive": sustained_qps > 0,
         "no_invalid_frames": not invalid_frames,
         "cold_server_compiles": cold_compilations > 0,
         "warm_server_skips_compilation": warm_compilations == 0,
+        "writes_applied_as_deltas": write_requests == 0
+        or (deltas_applied > 0 and full_rebuilds == 0),
     }
     return {
         "benchmark": "serving",
@@ -422,6 +440,15 @@ async def run_serving_bench(
             "sustained_qps": round(sustained_qps, 2),
             "target_qps": config.target_qps,
             "latency_ms": latency_summary(ledger.latencies_ms),
+            "latency_ms_by_kind": {
+                kind: latency_summary(values)
+                for kind, values in sorted(ledger.latencies_by_kind.items())
+            },
+            "maintenance": {
+                "write_requests": write_requests,
+                "deltas_applied": deltas_applied,
+                "full_rebuilds": full_rebuilds,
+            },
         },
         "server_stats": server_stats,
         "schema_validation": {

@@ -302,6 +302,7 @@ class QueryServer:
                     "catalog_version": database.catalog.version,
                     "plan_compilations_since_start": compile_counts[tenant],
                     "plan_cache": database.cache_stats(),
+                    "maintenance": database.maintenance.as_dict(),
                 }
                 for tenant, database in self.databases.items()
             },

@@ -1,0 +1,75 @@
+"""Native-dtype columnar storage: encode once at ingest, decode once at
+the result boundary.
+
+* :mod:`repro.storage.dictionary` — the catalog-global append-only
+  string dictionary (code equality == value equality catalog-wide).
+* :mod:`repro.storage.encoding` — column codecs: strings -> int32 codes,
+  dates -> epoch days, NULL -> in-band sentinels.
+* :mod:`repro.storage.columns` — per-relation encoded column store with
+  validity bitmaps, exact NDV and encoded byte accounting.
+* :mod:`repro.storage.rewrite` — compiles predicates/outputs/aggregates
+  onto the codes so the inner loop never touches a Python string or date.
+"""
+
+from .columns import EncodedColumn, RelationEncodedStore
+from .dictionary import MISSING_CODE, NULL_CODE, StringDictionary
+from .encoding import (
+    CODE,
+    CODE_BYTES,
+    DATE_NULL_SENTINEL,
+    EPOCH_DAY,
+    RAW,
+    CatalogEncoding,
+    ColumnCodec,
+    RelationCodec,
+    date_to_epoch_day,
+    epoch_day_to_date,
+    kind_of,
+)
+
+_REWRITE_EXPORTS = frozenset(
+    {
+        "CodeTable",
+        "DecodeExpr",
+        "DecodedContext",
+        "DictionaryPredicate",
+        "FragmentRewriter",
+        "decode_output_rows",
+    }
+)
+
+
+def __getattr__(name):
+    # the rewrite module imports repro.algebra, which imports
+    # repro.relational, which imports this package — resolve it lazily so
+    # the relational layer can depend on the codecs without a cycle
+    if name in _REWRITE_EXPORTS:
+        from . import rewrite
+
+        return getattr(rewrite, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CODE",
+    "CODE_BYTES",
+    "DATE_NULL_SENTINEL",
+    "EPOCH_DAY",
+    "MISSING_CODE",
+    "NULL_CODE",
+    "RAW",
+    "CatalogEncoding",
+    "CodeTable",
+    "ColumnCodec",
+    "DecodeExpr",
+    "DecodedContext",
+    "DictionaryPredicate",
+    "EncodedColumn",
+    "FragmentRewriter",
+    "RelationCodec",
+    "RelationEncodedStore",
+    "StringDictionary",
+    "date_to_epoch_day",
+    "epoch_day_to_date",
+    "decode_output_rows",
+    "kind_of",
+]

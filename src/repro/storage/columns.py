@@ -1,0 +1,140 @@
+"""Per-relation encoded column store.
+
+Each encoded column keeps a packed ``int32`` code array plus a validity
+bitmap, appended to in lockstep with the relation's row list.  The store
+is the source of exact NDV (one set of distinct codes per column — the
+"dictionary sizes" statistics read for free) and of the encoded byte
+accounting that replaces the object-size estimate in
+:func:`repro.relational.types.value_size_bytes`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Optional, Sequence, Set
+
+from ..relational.types import NULL
+from .encoding import RelationCodec
+
+try:  # numpy is optional at this layer; code arrays degrade to memoryviews
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments only
+    _np = None
+
+
+class EncodedColumn:
+    """One column's encoded values: int32 codes + validity bitmap."""
+
+    __slots__ = ("name", "codec", "_codes", "_validity", "_distinct", "_null_count")
+
+    def __init__(self, name: str, codec: Any) -> None:
+        self.name = name
+        self.codec = codec
+        self._codes = array("i")
+        self._validity = bytearray()
+        self._distinct: Set[int] = set()
+        self._null_count = 0
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def append(self, value: Any) -> int:
+        """Encode and append one coerced value; returns its byte footprint."""
+        encoded, nbytes = self.codec.encode_with_bytes(value)
+        index = len(self._codes)
+        self._codes.append(encoded)
+        byte_index, bit = divmod(index, 8)
+        if byte_index >= len(self._validity):
+            self._validity.append(0)
+        if value is NULL:
+            self._null_count += 1
+        else:
+            self._validity[byte_index] |= 1 << bit
+            self._distinct.add(encoded)
+        return nbytes
+
+    @property
+    def null_count(self) -> int:
+        return self._null_count
+
+    @property
+    def ndv(self) -> int:
+        """Exact number of distinct non-NULL values (distinct codes)."""
+        return len(self._distinct)
+
+    @property
+    def validity_bitmap(self) -> bytes:
+        return bytes(self._validity)
+
+    def code_at(self, index: int) -> int:
+        return self._codes[index]
+
+    def codes_array(self):
+        """The codes as a zero-copy ``int32`` numpy view (or memoryview)."""
+        if _np is not None:
+            return _np.frombuffer(self._codes, dtype=_np.int32, count=len(self._codes))
+        return memoryview(self._codes)
+
+
+class RelationEncodedStore:
+    """Columnar encoded backing for one relation.
+
+    Maintained by :meth:`repro.relational.relation.Relation.insert` (the
+    single mutation chokepoint), so the row list and the code arrays can
+    never drift apart.  Byte totals cover *all* columns — raw columns at
+    their native width, encoded columns at 4 bytes per slot plus the
+    amortised dictionary growth they caused.
+    """
+
+    __slots__ = ("schema", "codec", "columns", "_row_count", "_total_bytes")
+
+    def __init__(self, schema: Any, codec: RelationCodec) -> None:
+        self.schema = schema
+        self.codec = codec
+        self.columns: Dict[str, EncodedColumn] = {
+            name: EncodedColumn(name, codec.by_name[name])
+            for name in codec.encoded_columns
+        }
+        self._row_count = 0
+        self._total_bytes = 0
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def append_row(self, row: Sequence[Any]) -> int:
+        """Account one coerced row; returns its encoded byte footprint."""
+        row_bytes = 0
+        for column, codec, value in zip(self.schema.columns, self.codec.codecs, row):
+            if codec.is_encoded:
+                row_bytes += self.columns[column.name].append(value)
+            else:
+                row_bytes += codec.encode_with_bytes(value)[1]
+        self._row_count += 1
+        self._total_bytes += row_bytes
+        return row_bytes
+
+    def rebuild(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Re-encode from scratch (deletes rewrite the backing row list)."""
+        self.columns = {
+            name: EncodedColumn(name, self.codec.by_name[name])
+            for name in self.codec.encoded_columns
+        }
+        self._row_count = 0
+        self._total_bytes = 0
+        for row in rows:
+            self.append_row(row)
+
+    def column(self, name: str) -> Optional[EncodedColumn]:
+        return self.columns.get(name)
+
+    def ndv(self, name: str) -> Optional[int]:
+        """Exact distinct-value count for an encoded column, else None."""
+        column = self.columns.get(name)
+        return column.ndv if column is not None else None
+
+
+__all__ = ["EncodedColumn", "RelationEncodedStore"]

@@ -1,0 +1,95 @@
+"""Append-only global string dictionary.
+
+The encoded store maps every distinct string in the catalog's active
+domain to a dense ``int32`` code.  The dictionary is *global* (one per
+:class:`~repro.relational.catalog.Catalog`) rather than per column: TAG
+attribute vertices are shared across relations and columns whenever the
+underlying value is equal (Section 3 of the paper), so code equality
+must coincide with value equality catalog-wide.  A per-column dictionary
+would break cross-relation joins on codes.
+
+The dictionary only ever grows — delta ingest appends new entries and
+never rewrites existing ones — so a code, once assigned, is stable for
+the lifetime of the catalog.  Compiled plans may therefore bake concrete
+codes into predicate closures and stay valid across data versions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+#: In-band sentinel for SQL NULL in code-encoded columns.  Valid codes are
+#: always >= 0, so any negative value reads as NULL.
+NULL_CODE = -1
+
+#: Returned by :meth:`StringDictionary.code_of` for strings that were never
+#: interned.  Distinct from :data:`NULL_CODE` so "unknown value" (matches
+#: nothing) and "NULL" (matches IS NULL) cannot be conflated.
+MISSING_CODE = -2
+
+
+class StringDictionary:
+    """Thread-safe append-only value <-> code mapping.
+
+    Reads (:meth:`code_of`, :meth:`value`) are lock-free — dict/list reads
+    are atomic under the GIL and entries are published only after they are
+    fully constructed.  Writes take a lock so concurrent interning (e.g.
+    two sessions compiling plans with fresh literals) cannot assign the
+    same code twice.
+    """
+
+    __slots__ = ("_codes", "_values", "_bytes", "_lock")
+
+    def __init__(self) -> None:
+        self._codes: Dict[str, int] = {}
+        self._values: List[str] = []
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes of dictionary payload (sum of entry lengths)."""
+        return self._bytes
+
+    def intern(self, value: str) -> Tuple[int, int]:
+        """Get-or-add ``value``; returns ``(code, added_bytes)``.
+
+        ``added_bytes`` is the dictionary growth caused by this call — the
+        entry's byte length on first occurrence, 0 afterwards — which is
+        how the encoded byte accounting amortises dictionary storage over
+        the whole catalog.
+        """
+        code = self._codes.get(value)
+        if code is not None:
+            return code, 0
+        with self._lock:
+            code = self._codes.get(value)
+            if code is not None:
+                return code, 0
+            code = len(self._values)
+            self._values.append(value)
+            added = len(value.encode("utf-8", "surrogatepass"))
+            self._bytes += added
+            # publish last: readers only see codes whose value slot exists
+            self._codes[value] = code
+            return code, added
+
+    def code_for(self, value: str) -> int:
+        """Get-or-add ``value`` and return its code."""
+        return self.intern(value)[0]
+
+    def code_of(self, value: str) -> int:
+        """Lookup-only: the code of ``value`` or :data:`MISSING_CODE`."""
+        return self._codes.get(value, MISSING_CODE)
+
+    def value(self, code: int) -> str:
+        """The string a code decodes to."""
+        return self._values[code]
+
+    def values_snapshot(self) -> List[str]:
+        """A point-in-time copy of the dictionary payload (for side tables)."""
+        return list(self._values)

@@ -14,24 +14,44 @@ The encoding follows paper Section 3 exactly:
 Floats and long text are not materialised as attribute vertices (they are
 kept only inside the tuple vertex), matching the loading policy of
 Section 8.2.  The resulting graph is bipartite and query independent.
+
+When the source catalog carries a
+:class:`~repro.storage.encoding.CatalogEncoding`, tuple payloads are stored
+*encoded*: strings as int32 dictionary codes, dates as epoch days, NULLs as
+in-band sentinels.  Attribute vertices for encoded domains are keyed by the
+code/epoch day (``attr:str:{code}``, ``attr:date:{days}``) — because the
+dictionary is catalog-global, code equality coincides with value equality
+across relations, so the paper's value-sharing property is preserved.  The
+decoded value is kept on the attribute vertex for the result boundary, and
+:meth:`TagGraph.decoded_tuple_data` decodes a tuple payload on demand.
 """
 
 from __future__ import annotations
 
+import datetime as _dt
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..bsp.graph import Graph, Vertex, VertexId
 from ..relational.catalog import Catalog
 from ..relational.relation import Relation
 from ..relational.schema import Schema
 from ..relational.types import NULL, value_size_bytes
+from ..storage.encoding import (
+    CODE,
+    EPOCH_DAY,
+    CatalogEncoding,
+    ColumnCodec,
+    RelationCodec,
+    date_to_epoch_day,
+)
 
 #: Property key under which a tuple vertex stores its tuple (a dict
-#: ``column name -> value``).
+#: ``column name -> value``; values are encoded when the graph has an
+#: encoding — use :meth:`TagGraph.decoded_tuple_data` at the boundary).
 TUPLE_DATA_KEY = "tuple"
-#: Property key under which an attribute vertex stores its value.
+#: Property key under which an attribute vertex stores its (decoded) value.
 ATTRIBUTE_VALUE_KEY = "value"
 #: Label prefix of attribute vertices, completed with the value's domain.
 ATTRIBUTE_LABEL_PREFIX = "attr"
@@ -51,7 +71,9 @@ def attribute_vertex_id(value: Any) -> VertexId:
 
     The id embeds the value's type so that, e.g., integer ``1`` and string
     ``"1"`` remain distinct vertices (they belong to different domains and
-    never equi-join in SQL without an explicit cast).
+    never equi-join in SQL without an explicit cast).  Used for raw
+    (unencoded) domains; encoded domains key their vertices by code
+    (``attr:str:{code}``) or epoch day (``attr:date:{days}``) instead.
     """
     if hasattr(value, "isoformat"):
         return f"attr:date:{value.isoformat()}"
@@ -72,7 +94,14 @@ def attribute_label(value: Any) -> str:
 
 @dataclass
 class LoadReport:
-    """Loading statistics — the quantities behind Tables 1/2 and Figure 14."""
+    """Loading statistics — the quantities behind Tables 1/2 and Figure 14.
+
+    With an encoding attached, ``tuple_bytes`` counts *encoded* sizes:
+    4 bytes per string/date slot plus the amortised dictionary growth the
+    slot caused (a string's bytes are paid once, on its catalog-global
+    first interning).  Attribute vertices store the decoded value, so
+    ``attribute_bytes`` keeps the legacy per-value accounting.
+    """
 
     seconds: float = 0.0
     tuple_vertices: int = 0
@@ -98,13 +127,56 @@ class LoadReport:
 
 
 class TagGraph(Graph):
-    """A TAG graph with relational-aware lookup helpers."""
+    """A TAG graph with relational-aware lookup helpers.
 
-    def __init__(self, name: str = "tag") -> None:
+    All tuple appends — bulk encode, single-row maintenance inserts and
+    batched deltas — funnel through :meth:`append_tuple`, so encoding and
+    :class:`LoadReport` accounting cannot diverge between the paths.
+    """
+
+    def __init__(self, name: str = "tag", encoding: Optional[CatalogEncoding] = None) -> None:
         super().__init__(name)
         self._attribute_ids: Dict[VertexId, VertexId] = {}
         self._tuple_counters: Dict[str, int] = {}
         self.load_report = LoadReport()
+        self.encoding = encoding
+        # relation name -> RelationCodec (empty when encoding is None)
+        self._codecs: Dict[str, RelationCodec] = {}
+        # relation name -> per-column (name, dtype, materialise, codec) plan
+        self._column_plans: Dict[str, Tuple[Tuple[str, Any, bool, Optional[ColumnCodec]], ...]] = {}
+
+    # ------------------------------------------------------------------
+    # schema registration (encoding + materialisation policy per relation)
+    # ------------------------------------------------------------------
+    def register_schema(
+        self, schema: Schema, materialise_flags: Optional[Sequence[bool]] = None
+    ) -> None:
+        """Fix the ingest plan for ``schema.name``: which columns become
+        attribute vertices and how each column is encoded.  Idempotent
+        unless new flags are passed; called implicitly with the default
+        per-column policy on first append."""
+        if materialise_flags is None:
+            if schema.name in self._column_plans:
+                return
+            flags: Sequence[bool] = [column.materialise_as_vertex for column in schema.columns]
+        else:
+            flags = list(materialise_flags)
+        codec = None
+        if self.encoding is not None:
+            codec = self.encoding.codec_for(schema)
+            self._codecs[schema.name] = codec
+        self._column_plans[schema.name] = tuple(
+            (
+                column.name,
+                column.dtype,
+                flag,
+                codec.by_name[column.name] if codec is not None else None,
+            )
+            for column, flag in zip(schema.columns, flags)
+        )
+
+    def relation_codec(self, relation_name: str) -> Optional[RelationCodec]:
+        return self._codecs.get(relation_name)
 
     # ------------------------------------------------------------------
     # lookups used by the TAG-join vertex programs
@@ -112,8 +184,26 @@ class TagGraph(Graph):
     def tuple_vertices_of(self, relation_name: str) -> List[VertexId]:
         return self.vertices_with_label(relation_name)
 
+    def _attribute_id_for(self, value: Any) -> Optional[VertexId]:
+        """The vertex id a (decoded) value would live under, or None when
+        the value provably has no vertex (string absent from the
+        dictionary)."""
+        if self.encoding is not None:
+            if isinstance(value, str):
+                code = self.encoding.dictionary.code_of(value)
+                if code < 0:
+                    return None
+                return f"attr:str:{code}"
+            if hasattr(value, "isoformat"):
+                if isinstance(value, _dt.datetime):
+                    value = value.date()
+                return f"attr:date:{date_to_epoch_day(value)}"
+        return attribute_vertex_id(value)
+
     def attribute_vertex_for(self, value: Any) -> Optional[VertexId]:
-        vertex_id = attribute_vertex_id(value)
+        vertex_id = self._attribute_id_for(value)
+        if vertex_id is None:
+            return None
         return vertex_id if self.has_vertex(vertex_id) else None
 
     def is_tuple_vertex(self, vertex: Vertex) -> bool:
@@ -124,6 +214,19 @@ class TagGraph(Graph):
 
     def tuple_data(self, vertex: Vertex) -> Dict[str, Any]:
         return vertex.properties[TUPLE_DATA_KEY]
+
+    def decoded_tuple_data(self, vertex: Vertex) -> Dict[str, Any]:
+        """The tuple payload with codes/epoch days decoded back to values.
+
+        The boundary decode for consumers that hand rows to the user
+        (direct two-way programs, debugging); the compiled fragment path
+        decodes through its own per-output decoders instead.
+        """
+        data = vertex.properties[TUPLE_DATA_KEY]
+        codec = self._codecs.get(vertex.label)
+        if codec is None or not codec.has_encoded:
+            return data
+        return codec.decode_values(data)
 
     def attribute_value(self, vertex: Vertex) -> Any:
         return vertex.properties[ATTRIBUTE_VALUE_KEY]
@@ -145,20 +248,63 @@ class TagGraph(Graph):
         return list(self._attribute_ids)
 
     # ------------------------------------------------------------------
-    # incremental maintenance (paper Section 3: attribute vertices are
-    # cheaper to maintain than RDBMS indexes — only local edge changes)
+    # ingest (bulk encode, maintenance inserts and deltas all land here;
+    # paper Section 3: attribute vertices are cheaper to maintain than
+    # RDBMS indexes — only local edge changes)
     # ------------------------------------------------------------------
-    def insert_tuple(self, schema: Schema, values: Dict[str, Any]) -> VertexId:
+    def append_tuple(self, schema: Schema, values: Dict[str, Any]) -> VertexId:
+        """Append one (decoded, schema-coerced) tuple: encode the payload,
+        create/connect attribute vertices and do all LoadReport accounting."""
+        plan = self._column_plans.get(schema.name)
+        if plan is None:
+            self.register_schema(schema)
+            plan = self._column_plans[schema.name]
+        report = self.load_report
         index = self._tuple_counters.get(schema.name, 0) + 1
         self._tuple_counters[schema.name] = index
         vertex_id = tuple_vertex_id(schema.name, index)
-        self.add_vertex(vertex_id, schema.name, {TUPLE_DATA_KEY: dict(values)})
-        for column in schema.columns:
-            value = values.get(column.name, NULL)
-            if value is NULL or not column.materialise_as_vertex:
+        edges_before = self.edge_count
+
+        data: Dict[str, Any] = dict(values)
+        tuple_bytes = 0
+        connects: List[Tuple[str, Any, Any, Any, Optional[ColumnCodec]]] = []
+        for column_name, dtype, materialise, codec in plan:
+            if column_name not in values:
                 continue
-            self._connect(vertex_id, schema.name, column.name, value)
+            value = values[column_name]
+            if codec is not None:
+                encoded, nbytes = codec.encode_with_bytes(value)
+            else:
+                encoded, nbytes = value, value_size_bytes(value, dtype)
+            data[column_name] = encoded
+            tuple_bytes += nbytes
+            if value is not NULL and materialise:
+                connects.append((column_name, dtype, value, encoded, codec))
+
+        self.add_vertex(vertex_id, schema.name, {TUPLE_DATA_KEY: data})
+        report.tuple_bytes += tuple_bytes
+        report.tuple_vertices += 1
+        for column_name, dtype, value, encoded, codec in connects:
+            if codec is not None and codec.kind in (CODE, EPOCH_DAY):
+                prefix = "str" if codec.kind == CODE else "date"
+                attr_id: VertexId = f"attr:{prefix}:{encoded}"
+            else:
+                attr_id = attribute_vertex_id(value)
+            if not self.has_vertex(attr_id):
+                self.add_vertex(attr_id, attribute_label(value), {ATTRIBUTE_VALUE_KEY: value})
+                self._attribute_ids[attr_id] = attr_id
+                report.attribute_vertices += 1
+                report.attribute_bytes += value_size_bytes(value, dtype)
+            self.add_edge(vertex_id, attr_id, edge_label(schema.name, column_name), undirected=True)
+
+        # 16 bytes per directed edge: source id reference + target id reference
+        report.edge_bytes += (self.edge_count - edges_before) * 16
+        report.edges = self.edge_count
+        report.per_relation[schema.name] = self._tuple_counters[schema.name]
         return vertex_id
+
+    def insert_tuple(self, schema: Schema, values: Dict[str, Any]) -> VertexId:
+        return self.append_tuple(schema, values)
 
     def delete_tuple(self, vertex_id: VertexId) -> None:
         """Delete a tuple vertex and its incident edges (attribute vertices stay)."""
@@ -178,10 +324,12 @@ class TagGraph(Graph):
 
     # internal ------------------------------------------------------------
     def _connect(self, tuple_vertex: VertexId, relation: str, column: str, value: Any) -> None:
+        """Legacy raw-value connect (no encoding, no byte accounting)."""
         attr_id = attribute_vertex_id(value)
         if not self.has_vertex(attr_id):
             self.add_vertex(attr_id, attribute_label(value), {ATTRIBUTE_VALUE_KEY: value})
             self._attribute_ids[attr_id] = attr_id
+            self.load_report.attribute_vertices += 1
         self.add_edge(tuple_vertex, attr_id, edge_label(relation, column), undirected=True)
 
 
@@ -199,7 +347,10 @@ class TagEncoder:
 
     def encode(self, catalog: Catalog, name: Optional[str] = None) -> TagGraph:
         """Encode every relation of ``catalog`` into one TAG graph."""
-        graph = TagGraph(name or f"tag({catalog.name})")
+        graph = TagGraph(
+            name or f"tag({catalog.name})",
+            encoding=getattr(catalog, "encoding", None),
+        )
         started = time.perf_counter()
         for relation in catalog:
             self._encode_relation(graph, relation)
@@ -215,32 +366,16 @@ class TagEncoder:
     # ------------------------------------------------------------------
     def _encode_relation(self, graph: TagGraph, relation: Relation) -> None:
         schema = relation.schema
-        report = graph.load_report
-        materialise_flags = [
-            self._overrides.get((schema.name, column.name), column.materialise_as_vertex)
-            for column in schema.columns
-        ]
-        count_before_edges = graph.edge_count
-        for index, row in enumerate(relation, start=1):
-            vertex_id = tuple_vertex_id(schema.name, index)
-            values = dict(zip(schema.column_names, row))
-            graph.add_vertex(vertex_id, schema.name, {TUPLE_DATA_KEY: values})
-            report.tuple_bytes += sum(
-                value_size_bytes(value, column.dtype)
-                for value, column in zip(row, schema.columns)
-            )
-            for value, column, materialise in zip(row, schema.columns, materialise_flags):
-                if value is NULL or not materialise:
-                    continue
-                already_present = graph.has_vertex(attribute_vertex_id(value))
-                graph._connect(vertex_id, schema.name, column.name, value)
-                if not already_present:
-                    report.attribute_bytes += value_size_bytes(value, column.dtype)
-        graph._tuple_counters[schema.name] = len(relation)
-        new_edges = graph.edge_count - count_before_edges
-        # 16 bytes per directed edge: source id reference + target id reference
-        report.edge_bytes += new_edges * 16
-        report.per_relation[schema.name] = len(relation)
+        graph.register_schema(
+            schema,
+            [
+                self._overrides.get((schema.name, column.name), column.materialise_as_vertex)
+                for column in schema.columns
+            ],
+        )
+        column_names = schema.column_names
+        for row in relation:
+            graph.append_tuple(schema, dict(zip(column_names, row)))
 
 
 def encode_catalog(catalog: Catalog, **kwargs) -> TagGraph:

@@ -169,7 +169,6 @@ class RelationStatistics:
     @classmethod
     def of(cls, relation: Relation) -> "RelationStatistics":
         names = relation.schema.column_names
-        distinct: Dict[str, set] = {name: set() for name in names}
         nulls: Dict[str, int] = {name: 0 for name in names}
         sketches: Dict[str, KMVSketch] = {name: KMVSketch() for name in names}
         for row in relation:
@@ -177,13 +176,17 @@ class RelationStatistics:
                 if value is NULL or value is None:
                     nulls[name] += 1
                 else:
-                    distinct[name].add(value)
                     sketches[name].add(value)
         row_count = len(relation)
+        # NDV comes from the relation, which reads the encoded column
+        # store's distinct-code sets (exact, already maintained at insert
+        # time) when the relation is catalog-bound — the "dictionary
+        # sizes are statistics" half of the encoding contract.  Unbound
+        # relations fall back to the memoized value scan.
         columns = {
             name: ColumnStatistics(
                 column=name,
-                distinct_values=len(distinct[name]),
+                distinct_values=relation.distinct_count(name),
                 null_count=nulls[name],
                 row_count=row_count,
                 sketch=sketches[name],

@@ -7,6 +7,11 @@ what this harness probes); every *other* column family is represented —
 ints, floats, strings, dates, and nullable columns holding real NULLs —
 so generated filters and aggregates exercise the NULL paths of every
 execution engine.
+
+Three column families probe the dictionary encoding specifically:
+``CUST.C_NOTE`` (high-cardinality unicode, near-unique), ``ORD.O_REF``
+(dictionary-unfriendly near-unique reference codes) and ``ITEM.I_MEMO``
+(all-NULL — the column only ever holds the NULL sentinel).
 """
 
 from __future__ import annotations
@@ -27,6 +32,25 @@ ITEM_COUNT = 300
 STATUSES = ("OPEN", "SHIPPED", "RETURNED", "HELD")
 TIERS = ("GOLD", "SILVER", "BRONZE")
 TAGS = ("fragile", "bulk", "express", "gift")
+
+#: script pools for the high-cardinality unicode column
+_NOTE_SCRIPTS = ("αβγδε", "абвгде", "一二三四五", "àéîõüß")
+
+
+def unicode_note(rng: random.Random, ident: int) -> str:
+    """High-cardinality unicode string: mixed scripts, unique per row.
+
+    Exercises the dictionary under multi-byte payloads and near-key
+    cardinality (every row adds a fresh entry).
+    """
+    alphabet = rng.choice(_NOTE_SCRIPTS)
+    suffix = "".join(rng.choice(alphabet) for _ in range(3))
+    return f"ноte-{ident:04d}-{suffix}"
+
+
+def near_unique_ref(rng: random.Random) -> str:
+    """Dictionary-unfriendly reference code: ~one new entry per row."""
+    return f"ref-{rng.getrandbits(40):010x}"
 
 
 def build_catalog() -> Catalog:
@@ -52,6 +76,7 @@ def build_catalog() -> Catalog:
                 Column("C_SCORE", DataType.FLOAT),  # nullable
                 Column("C_SINCE", DataType.DATE, nullable=False),
                 Column("C_TIER", DataType.STRING),  # nullable
+                Column("C_NOTE", DataType.STRING, nullable=False),  # unicode, near-unique
             ],
             primary_key=["C_ID"],
             foreign_keys=[ForeignKey(("C_REGION",), "REGION", ("R_ID",))],
@@ -64,6 +89,7 @@ def build_catalog() -> Catalog:
                 None if rng.random() < 0.2 else round(rng.uniform(0, 100), 2),
                 dt.date(2020, 1, 1) + dt.timedelta(days=rng.randrange(1500)),
                 None if rng.random() < 0.25 else rng.choice(TIERS),
+                unicode_note(rng, index),
             ]
             for index in range(CUST_COUNT)
         ],
@@ -77,6 +103,7 @@ def build_catalog() -> Catalog:
                 Column("O_STATUS", DataType.STRING, nullable=False),
                 Column("O_TOTAL", DataType.FLOAT, nullable=False),
                 Column("O_PRIO", DataType.INT),  # nullable
+                Column("O_REF", DataType.STRING, nullable=False),  # near-unique codes
             ],
             primary_key=["O_ID"],
             foreign_keys=[ForeignKey(("O_CUST",), "CUST", ("C_ID",))],
@@ -88,6 +115,7 @@ def build_catalog() -> Catalog:
                 rng.choice(STATUSES),
                 round(rng.uniform(5, 2000), 2),
                 None if rng.random() < 0.3 else rng.randrange(1, 6),
+                near_unique_ref(rng),
             ]
             for index in range(ORD_COUNT)
         ],
@@ -101,6 +129,7 @@ def build_catalog() -> Catalog:
                 Column("I_QTY", DataType.INT, nullable=False),
                 Column("I_PRICE", DataType.FLOAT, nullable=False),
                 Column("I_TAG", DataType.STRING),  # nullable
+                Column("I_MEMO", DataType.STRING),  # all-NULL: only the sentinel, ever
             ],
             primary_key=["I_ID"],
             foreign_keys=[ForeignKey(("I_ORD",), "ORD", ("O_ID",))],
@@ -112,6 +141,7 @@ def build_catalog() -> Catalog:
                 rng.randint(1, 40),
                 round(rng.uniform(0.5, 300), 2),
                 None if rng.random() < 0.2 else rng.choice(TAGS),
+                None,
             ]
             for index in range(ITEM_COUNT)
         ],

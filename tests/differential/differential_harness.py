@@ -67,16 +67,18 @@ FLOAT_COLUMNS = {
 }
 STRING_COLUMNS = {
     "REGION": ["R_NAME"],
-    "CUST": ["C_NAME", "C_TIER"],
-    "ORD": ["O_STATUS"],
-    "ITEM": ["I_TAG"],
+    # C_NOTE: high-cardinality unicode; O_REF: near-unique reference codes;
+    # I_MEMO: all-NULL — predicates over them stress the dictionary paths
+    "CUST": ["C_NAME", "C_TIER", "C_NOTE"],
+    "ORD": ["O_STATUS", "O_REF"],
+    "ITEM": ["I_TAG", "I_MEMO"],
 }
 DATE_COLUMNS = {"REGION": [], "CUST": ["C_SINCE"], "ORD": [], "ITEM": []}
 NULLABLE_COLUMNS = {
     "REGION": [],
     "CUST": ["C_SCORE", "C_TIER"],
     "ORD": ["O_PRIO"],
-    "ITEM": ["I_TAG"],
+    "ITEM": ["I_TAG", "I_MEMO"],
 }
 #: columns safe for GROUP BY keys (non-null, low-to-medium cardinality)
 GROUPABLE_COLUMNS = {
@@ -192,7 +194,11 @@ def filter_predicates(draw, alias: str, table: str) -> Tuple[str, Optional[Any]]
     kind = draw(st.sampled_from(kinds))
 
     def pool(column: str) -> List[Any]:
-        return VALUE_POOLS[(table, column)] or [0]
+        values = VALUE_POOLS[(table, column)]
+        if values:
+            return values
+        # empty pool (the all-NULL column): a typed never-matching literal
+        return ["∅-no-match"] if column in STRING_COLUMNS[table] else [0]
 
     if kind == "is_null":
         column = draw(st.sampled_from(NULLABLE_COLUMNS[table]))
@@ -217,8 +223,16 @@ def filter_predicates(draw, alias: str, table: str) -> Tuple[str, Optional[Any]]
     if kind == "in_list":
         columns = INT_COLUMNS[table] + STRING_COLUMNS[table]
         column = draw(st.sampled_from(columns))
+        values = pool(column)
+        # the all-NULL column's pool is a single never-matching literal:
+        # an IN list cannot draw 2 unique members from it
         members = draw(
-            st.lists(st.sampled_from(pool(column)), min_size=2, max_size=4, unique=True)
+            st.lists(
+                st.sampled_from(values),
+                min_size=min(2, len(values)),
+                max_size=4,
+                unique=True,
+            )
         )
         # occasionally poison the list with a member of the *wrong* type:
         # SQL-wise it can simply never match, and every engine must agree

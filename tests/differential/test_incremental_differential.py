@@ -35,6 +35,8 @@ from differential_dataset import (
     TAGS,
     TIERS,
     build_catalog,
+    near_unique_ref,
+    unicode_note,
 )
 from differential_harness import (
     ENGINE_OPTIONS,
@@ -116,6 +118,8 @@ class DeltaGenerator:
                         None if rng.random() < 0.2 else round(rng.uniform(0, 100), 2),
                         dt.date(2020, 1, 1) + dt.timedelta(days=rng.randrange(1500)),
                         None if rng.random() < 0.25 else rng.choice(TIERS),
+                        # fresh unicode note: every delta row grows the dictionary
+                        unicode_note(rng, ident),
                     ]
                 )
             elif table == "ORD":
@@ -126,6 +130,7 @@ class DeltaGenerator:
                         rng.choice(STATUSES),
                         round(rng.uniform(5, 2000), 2),
                         None if rng.random() < 0.3 else rng.randrange(1, 6),
+                        near_unique_ref(rng),
                     ]
                 )
             else:  # ITEM
@@ -136,6 +141,7 @@ class DeltaGenerator:
                         rng.randint(1, 40),
                         round(rng.uniform(0.5, 300), 2),
                         None if rng.random() < 0.2 else rng.choice(TAGS),
+                        None,  # I_MEMO stays all-NULL through every delta
                     ]
                 )
         return rows
