@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stress test-differential bench-smoke bench-micro bench-incremental bench-encoding bench serve-bench examples lint format-check
+.PHONY: test test-stress test-differential test-chaos bench-smoke bench-micro bench-incremental bench-encoding bench-recovery bench serve-bench examples lint format-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,13 @@ test-stress:
 #   DIFFERENTIAL_SEED_MODE=fixed|random (derandomized vs fresh entropy)
 test-differential:
 	$(PYTHON) -m pytest -m differential -q tests/differential
+
+# crash matrix: a subprocess workload is killed (os._exit 137) at every
+# registered failpoint via a seeded crash schedule, then a fault-free
+# process must recover, observe every acknowledged batch as already
+# applied, and answer golden queries identically to a clean load
+test-chaos:
+	$(PYTHON) -m pytest -m chaos -q tests/chaos
 
 bench-smoke:
 	$(PYTHON) -m repro.bench.smoke --scale 0.03 --out benchmarks/results/smoke.json
@@ -35,6 +42,13 @@ bench-incremental:
 bench-encoding:
 	$(PYTHON) -m repro.bench.encoding --scale 0.3 \
 		--out benchmarks/results/BENCH_encoding.json
+
+# WAL write-path overhead + recovery-time curve; exits non-zero if a
+# recovered database diverges from a clean load or buffered-WAL ingest
+# p99 regresses more than 10% over memory-only
+bench-recovery:
+	$(PYTHON) -m repro.bench.recovery \
+		--out benchmarks/results/BENCH_recovery.json
 
 # closed-loop serving benchmark against a live query server; exits non-zero
 # if sustained QPS is zero, any response frame fails schema validation, or

@@ -49,6 +49,7 @@ from ..algebra.parameters import (
     spec_parameters,
 )
 from ..core.executor import QueryResult, StaleEngineError
+from ..durability.failpoints import maybe_fire
 from ..incremental.locks import ReadWriteLock
 from ..incremental.maintenance import MaintenanceCounters
 from ..planner import PlanCache
@@ -71,6 +72,19 @@ class Database:
             warm start).
         engine_options: per-engine keyword overrides, e.g.
             ``{"tag": {"cross_check_plans": True}, "spark": {"num_partitions": 8}}``.
+        data_dir: when set, the database is *durable*: every
+            :meth:`load_rows` delta is written to an fsync'd write-ahead
+            log under this directory before it applies, periodic snapshots
+            bound replay time, and construction **recovers** — the latest
+            valid snapshot is loaded, the WAL suffix replayed, registered
+            views re-materialized, and the plan cache warmed from the
+            persisted manifest (``plan_cache_path`` defaults to
+            ``data_dir/plan_manifest.json``).  See
+            :mod:`repro.durability`.
+        wal_fsync: fsync the WAL on every append (the durability default);
+            ``False`` trades machine-crash durability for write latency
+            (process crashes still lose nothing).
+        snapshot_every: WAL records between automatic snapshots.
     """
 
     #: prepared-statement recipes retained for manifest persistence (LRU)
@@ -86,6 +100,9 @@ class Database:
         plan_cache_path: Optional[str] = None,
         engine_options: Optional[Dict[str, Dict[str, Any]]] = None,
         graph: Optional[Any] = None,
+        data_dir: Optional[str] = None,
+        wal_fsync: bool = True,
+        snapshot_every: int = 256,
     ) -> None:
         self.catalog = catalog
         self.default_engine = resolve_engine_name(engine)
@@ -115,6 +132,24 @@ class Database:
         self._views: "OrderedDict[str, Any]" = OrderedDict()
         #: what incremental maintenance did; mutated under _lock
         self.maintenance = MaintenanceCounters()
+        #: durability: WAL + snapshots + idempotency (None = memory-only)
+        self._durability = None
+        self.recovery_report: Optional[Dict[str, Any]] = None
+        self.warm_start_report: Optional[Dict[str, Any]] = None
+        if data_dir is not None:
+            from ..durability import DurabilityManager
+
+            self._durability = DurabilityManager(
+                data_dir, fsync=wal_fsync, snapshot_every=snapshot_every
+            )
+            if self.plan_cache_path is None:
+                self.plan_cache_path = self._durability.plan_manifest_path
+            # recover durable state (snapshot + WAL replay + views), then
+            # layer the plan-manifest warm start on top of the recovered
+            # catalog — the manifest matches by schema fingerprint, which
+            # recovery cannot have changed
+            self.recovery_report = self._durability.recover(self)
+            self.warm_start_report = self.warm_plan_cache()
 
     # ------------------------------------------------------------------
     # construction
@@ -213,9 +248,11 @@ class Database:
 
         Idempotent.  When ``plan_cache_path`` is configured the statement
         manifest is written *before* the executors go away, so the next
-        process can :meth:`warm_plan_cache` from it.  After closing, new
-        sessions/engines raise ``RuntimeError``; sessions already holding
-        this database fail on their next engine resolution.
+        process can :meth:`warm_plan_cache` from it.  A durable database
+        additionally takes a final snapshot (compacting the WAL), so the
+        next open replays nothing.  After closing, new sessions/engines
+        raise ``RuntimeError``; sessions already holding this database
+        fail on their next engine resolution.
         """
         with self._lock:
             if self._closed:
@@ -225,6 +262,13 @@ class Database:
                     self.flush_plan_manifest()
                 except OSError:
                     pass  # a read-only disk must not wedge shutdown
+            if self._durability is not None:
+                try:
+                    if self._durability.records_since_snapshot:
+                        self._durability.snapshot(self)
+                except OSError:
+                    pass  # clean-close snapshot is an optimization only
+                self._durability.close()
             for engine in self._engines.values():
                 retire = getattr(engine, "retire", None)
                 if callable(retire):
@@ -451,7 +495,12 @@ class Database:
     # ------------------------------------------------------------------
     # data changes
     # ------------------------------------------------------------------
-    def load_rows(self, relation_name: str, rows: Iterable[Sequence[Any]]) -> int:
+    def load_rows(
+        self,
+        relation_name: str,
+        rows: Iterable[Sequence[Any]],
+        request_id: Optional[str] = None,
+    ) -> int:
         """Bulk-append rows to a relation, maintaining dependent state in place.
 
         This is the incremental write path: when the TAG graph, the
@@ -464,21 +513,71 @@ class Database:
         version.  An empty iterable is a complete no-op: no version bump,
         no cache activity, no engine churn.
 
+        On a durable database (``data_dir=``) the delta is validated,
+        written to the WAL and fsync'd *before* it applies, and
+        ``request_id`` makes the write idempotent: a retry of an
+        already-applied id is acknowledged without re-applying (see
+        :meth:`apply_write` for the detailed receipt).
+
         Writers exclude in-flight readers via the database's
         reader/writer lock, so a concurrent session either sees the full
         pre-write state or the full post-write state, never a torn delta.
+        """
+        return int(self.apply_write(relation_name, rows, request_id=request_id)["appended"])
+
+    def apply_write(
+        self,
+        relation_name: str,
+        rows: Iterable[Sequence[Any]],
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """:meth:`load_rows` returning a full receipt.
+
+        Returns ``{"appended", "deduplicated", "lsn"}`` where ``lsn`` is
+        the write-ahead-log sequence number that made the write durable
+        (``None`` on a memory-only database) and ``deduplicated`` is True
+        when ``request_id`` was already applied — the retry contract: the
+        serving layer acknowledges the *original* application instead of
+        applying twice.
+
+        Ordering on the durable path is log-then-apply: rows are
+        validated/coerced first (a record that cannot replay must never
+        be logged), framed + fsync'd into the WAL, and only then applied
+        to the catalog/graph/statistics/engines/views.  An acknowledged
+        write is therefore always recoverable, and an unacknowledged one
+        either never hit the WAL (the retry applies it once) or hit it
+        without the ack (recovery replays it and the retry dedups).
         """
         relation = self.catalog.relation(relation_name)  # raise before locking
         materialized = list(rows)
         if not materialized:
             with self._lock:
                 self.maintenance.empty_loads_ignored += 1
-            return 0
+            return {"appended": 0, "deduplicated": False, "lsn": None}
         with self._rw_lock.write_locked(), self._lock:
             self._check_open()
-            return self._apply_load_delta(relation, materialized)
+            durability = self._durability
+            if durability is None:
+                appended = self._apply_load_delta(relation, materialized)
+                return {"appended": appended, "deduplicated": False, "lsn": None}
+            already = durability.applied(request_id)
+            if already is not None:
+                return {
+                    "appended": 0,
+                    "deduplicated": True,
+                    "lsn": durability.wal.last_lsn,
+                    "first_applied": already,
+                }
+            validated = relation.validate_rows(materialized)
+            lsn = durability.log_load_rows(relation_name, validated, request_id)
+            appended = self._apply_load_delta(relation, validated, validated_rows=True)
+            durability.note_applied(request_id, appended)
+            durability.maybe_snapshot(self)
+            return {"appended": appended, "deduplicated": False, "lsn": lsn}
 
-    def _apply_load_delta(self, relation: Any, rows: List[Sequence[Any]]) -> int:
+    def _apply_load_delta(
+        self, relation: Any, rows: List[Sequence[Any]], validated_rows: bool = False
+    ) -> int:
         """Append ``rows`` and patch graph/statistics/engines/views in place.
 
         Caller holds the write lock and ``_lock``.  Freshness is checked
@@ -486,14 +585,50 @@ class Database:
         an earlier out-of-band change) is left for its usual lazy rebuild
         rather than patched on top of missing history.
         """
-        from ..incremental.delta import apply_graph_delta, rows_as_value_dicts
-        from ..relational.types import value_size_bytes
-
         started = time.perf_counter()
         catalog = self.catalog
         version_before = catalog.version
         before = len(relation)
-        relation.extend(rows)
+        try:
+            return self._apply_load_delta_inner(
+                relation, rows, validated_rows, catalog, version_before, before, started
+            )
+        except BaseException:
+            # a failure mid-apply (fault injection, a bad row mid-extend,
+            # an engine hook blowing up) leaves partial state: rows in the
+            # relation but not the graph, some engines patched and others
+            # not.  Roll the relation back to its pre-write length and
+            # retire every derived structure so a retry of the same
+            # logical write applies exactly once against a clean rebuild.
+            relation.truncate(before)
+            catalog.note_data_change()
+            for engine in self._engines.values():
+                retire = getattr(engine, "retire", None)
+                if callable(retire):
+                    retire(f"write to {relation.name!r} rolled back mid-apply")
+            self._engines.clear()
+            self._engine_versions.clear()
+            self.maintenance.full_rebuilds += 1
+            self.maintenance.plans_retained = len(self.plan_cache)
+            for view in self._views.values():
+                self._rebuild_view(view)
+                self.maintenance.views_recomputed += 1
+            raise
+
+    def _apply_load_delta_inner(
+        self,
+        relation: Any,
+        rows: List[Sequence[Any]],
+        validated_rows: bool,
+        catalog: Any,
+        version_before: int,
+        before: int,
+        started: float,
+    ) -> int:
+        from ..incremental.delta import apply_graph_delta, rows_as_value_dicts
+        from ..relational.types import value_size_bytes
+
+        relation.extend(rows, validated=validated_rows)
         coerced = relation.rows[before:]
         graph_fresh = self._graph is not None and self._graph_version == version_before
         stats_fresh = (
@@ -502,6 +637,7 @@ class Database:
         )
         catalog.note_data_change()
 
+        maybe_fire("delta.apply.before_graph_patch")
         if graph_fresh:
             apply_graph_delta(self._graph, relation.schema, coerced)
             self._graph_version = catalog.version
@@ -556,6 +692,7 @@ class Database:
             self._refresh_views(
                 {relation.name: (before, len(relation))}, delta_ok=graph_fresh
             )
+        maybe_fire("delta.apply.after_apply")
         return len(relation) - before
 
     def note_data_change(self) -> None:
@@ -591,11 +728,17 @@ class Database:
             for view in self._views.values():
                 self._rebuild_view(view)
                 self.maintenance.views_recomputed += 1
+            if self._durability is not None:
+                # out-of-band mutations bypassed the WAL; the only way to
+                # make them durable is to capture the rows wholesale now
+                self._durability.snapshot(self)
 
     # ------------------------------------------------------------------
     # materialized views
     # ------------------------------------------------------------------
-    def materialize(self, sql: str, name: Optional[str] = None) -> Dict[str, Any]:
+    def materialize(
+        self, sql: str, name: Optional[str] = None, _durable_log: bool = True
+    ) -> Dict[str, Any]:
         """Register ``sql`` as a materialized view and populate it.
 
         Delta-eligible shapes (connected join/filter/projection blocks
@@ -603,6 +746,11 @@ class Database:
         seminaïve re-runs over only the newly ingested vertices on each
         :meth:`load_rows`; everything else is recomputed.  Parameterized
         statements are rejected.  Returns the view's info dict.
+
+        On a durable database the view *definition* is WAL-logged (after
+        validation, before population) so recovery re-materializes it;
+        contents are never persisted — they are a function of the data.
+        ``_durable_log=False`` is recovery's own re-entry flag.
         """
         from ..incremental.views import MaterializedView, ViewError, view_refresh_mode
         from ..sql import parse_and_bind
@@ -614,6 +762,8 @@ class Database:
                 raise ViewError(f"materialized view {view_name!r} already exists")
             spec = parse_and_bind(sql, self.catalog, name=view_name)
             mode = view_refresh_mode(spec)  # raises ViewError when ineligible
+            if self._durability is not None and _durable_log:
+                self._durability.log_materialize(view_name, sql)
             view = MaterializedView(
                 name=view_name, sql=sql, spec=spec, columns=[], mode=mode
             )
@@ -715,7 +865,35 @@ class Database:
         with self._rw_lock.write_locked(), self._lock:
             if name not in self._views:
                 raise ViewError(f"no materialized view named {name!r}")
+            if self._durability is not None:
+                self._durability.log_drop_view(name)
             del self._views[name]
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        return self._durability is not None
+
+    def checkpoint(self) -> Optional[Dict[str, Any]]:
+        """Snapshot now and compact the WAL (no-op on memory-only databases).
+
+        Runs under the writer lock, so the snapshot is a consistent
+        point-in-time image; returns the snapshot report.
+        """
+        if self._durability is None:
+            return None
+        with self._rw_lock.write_locked(), self._lock:
+            self._check_open()
+            return self._durability.snapshot(self)
+
+    def durability_stats(self) -> Optional[Dict[str, Any]]:
+        """WAL/snapshot/idempotency counters (None on memory-only databases)."""
+        if self._durability is None:
+            return None
+        with self._lock:
+            return self._durability.stats()
 
     # ------------------------------------------------------------------
     # observability

@@ -48,6 +48,8 @@ from typing import (
     Union,
 )
 
+from ..core.cancellation import check_cancelled
+from ..durability.failpoints import maybe_fire
 from .aggregators import Aggregator, AggregatorRegistry
 from .graph import Edge, Graph, Vertex, VertexId
 from .metrics import RunMetrics, payload_size_bytes
@@ -380,6 +382,11 @@ class BSPEngine:
 
         superstep = 0
         while superstep < self.max_supersteps:
+            # the cooperative cancellation point: a deadline-exceeded or
+            # cancelled query raises out of the barrier instead of running
+            # to completion on an abandoned worker; also a chaos failpoint
+            check_cancelled()
+            maybe_fire("bsp.superstep")
             if not active and not inbox:
                 break
             context = SuperstepContext(self, superstep, run_state)

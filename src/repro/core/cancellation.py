@@ -1,0 +1,122 @@
+"""Per-request cooperative cancellation tokens.
+
+A :class:`CancellationToken` is bound to the current execution context
+(:func:`cancel_scope` / contextvar) by whoever owns the request's
+lifetime — the serving layer binds one per admitted request with the
+request's deadline — and *checked* at natural batch boundaries deep in
+the engines: the BSP superstep loop and the iterator engine's operator
+boundaries call :func:`check_cancelled`, which is one contextvar read
+plus one flag/clock check.
+
+Cancellation is cooperative on purpose.  Python threads cannot be killed,
+so a deadline-exceeded query used to be *abandoned*: the serving worker
+kept running it to completion, silently shrinking the effective pool.
+With tokens, cancelling marks the flag and the running query raises
+:class:`QueryCancelled` out of its next superstep, the worker returns to
+the pool, and the server's ``abandoned_running`` gauge goes back to zero
+— which the tests assert.
+
+Tokens also carry an optional monotonic deadline so a query enforces its
+own timeout even when nobody cancels it explicitly.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class QueryCancelled(RuntimeError):
+    """The current query's cancellation token fired (cancel or deadline)."""
+
+    def __init__(self, reason: str = "query cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CancellationToken:
+    """A cancel flag plus an optional monotonic deadline.
+
+    ``cancel()`` may be called from any thread (a bare boolean store is
+    atomic under the GIL and acceptable under free-threading: the flag
+    only ever goes False→True and a stale read just delays the stop by
+    one check interval).
+    """
+
+    __slots__ = ("cancelled", "deadline", "reason")
+
+    def __init__(self, deadline: Optional[float] = None, reason: str = "") -> None:
+        self.cancelled = False
+        self.deadline = deadline  # absolute time.monotonic() instant
+        self.reason = reason
+
+    @classmethod
+    def with_timeout(cls, seconds: float, reason: str = "") -> "CancellationToken":
+        return cls(deadline=time.monotonic() + seconds, reason=reason)
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        self.cancelled = True
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelled` if cancelled or past the deadline."""
+        if self.cancelled:
+            raise QueryCancelled(self.reason or "query cancelled")
+        if self.expired():
+            raise QueryCancelled(self.reason or "deadline exceeded")
+
+    def remaining(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+
+_CURRENT: "contextvars.ContextVar[Optional[CancellationToken]]" = contextvars.ContextVar(
+    "repro_cancellation_token", default=None
+)
+
+
+def current_token() -> Optional[CancellationToken]:
+    return _CURRENT.get()
+
+
+@contextmanager
+def cancel_scope(token: Optional[CancellationToken]) -> Iterator[Optional[CancellationToken]]:
+    """Bind ``token`` for the duration of the block (context-local).
+
+    The binding is contextvar-based, so concurrent sessions in other
+    threads (or the same thread's nested scopes) never observe it.
+    ``None`` is allowed and simply clears any outer binding.
+    """
+    handle = _CURRENT.set(token)
+    try:
+        yield token
+    finally:
+        _CURRENT.reset(handle)
+
+
+def check_cancelled() -> None:
+    """The hot-path check: no-op when no token is bound.
+
+    Engines call this at batch boundaries — the BSP superstep loop top and
+    the iterator engine's operator boundaries — so a cancelled or
+    deadline-exceeded query stops within one superstep/operator, not at
+    completion.
+    """
+    token = _CURRENT.get()
+    if token is not None:
+        token.check()
+
+
+__all__ = [
+    "CancellationToken",
+    "QueryCancelled",
+    "cancel_scope",
+    "check_cancelled",
+    "current_token",
+]

@@ -213,5 +213,22 @@ def canonical_params_key(params: Any) -> str:
 
 
 def iter_encoded_rows(rows: Iterable[Sequence[Any]]) -> List[List[Any]]:
-    """Encode raw load_rows-style row sequences (used by write requests)."""
-    return [encode_row(row) for row in rows]
+    """Encode raw load_rows-style row sequences (used by write requests).
+
+    Batches made only of JSON-native values (None/bool/int/str/finite
+    float — the overwhelmingly common ingest case, and the WAL logs every
+    ingest batch) skip the per-value ``encode_value`` call; one exotic
+    value anywhere falls the whole batch back to the tagged encoding.
+    """
+    materialized = rows if isinstance(rows, list) else list(rows)
+    for row in materialized:
+        for value in row:
+            if value is None:
+                continue
+            cls = value.__class__
+            if cls is int or cls is str or cls is bool:
+                continue
+            if cls is float and math.isfinite(value):
+                continue
+            return [encode_row(inner) for inner in materialized]
+    return [list(row) for row in materialized]

@@ -21,6 +21,7 @@ from ..algebra.expressions import Expression
 from ..algebra.logical import QuerySpec
 from ..bsp.metrics import RunMetrics
 from ..core import operations as ops
+from ..core.cancellation import check_cancelled
 from ..core.executor import QueryResult
 from ..core.subquery import compile_subquery_filters
 from ..relational.catalog import Catalog
@@ -103,7 +104,14 @@ class RelationalExecutor:
     # ------------------------------------------------------------------
     def _execute_block(self, spec: QuerySpec):
         plan = self._plan_block(spec)
-        rows = list(plan)
+        # drain the operator tree with a periodic cooperative cancellation
+        # check so deadline-exceeded queries stop at a batch boundary
+        rows: List[Any] = []
+        append = rows.append
+        for index, row in enumerate(plan):
+            if not (index & 1023):
+                check_cancelled()
+            append(row)
         columns = self._columns(spec)
         return rows, columns, spec.aggregation_class(self.catalog)
 

@@ -25,9 +25,27 @@ Semantics, chosen for how :class:`repro.api.Database` uses the lock:
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+from typing import Optional
 
-__all__ = ["ReadWriteLock"]
+__all__ = ["LockTimeout", "ReadWriteLock"]
+
+
+class LockTimeout(TimeoutError):
+    """``acquire_write(timeout=)`` gave up before getting exclusivity.
+
+    Carries how long the caller waited; the serving layer maps this to a
+    retryable error frame instead of wedging a worker indefinitely behind
+    a reader storm.
+    """
+
+    def __init__(self, waited_seconds: float) -> None:
+        super().__init__(
+            f"write lock not acquired within {waited_seconds:.3f}s "
+            "(readers or another writer still active)"
+        )
+        self.waited_seconds = waited_seconds
 
 
 class ReadWriteLock:
@@ -80,8 +98,16 @@ class ReadWriteLock:
                 self._cond.notify_all()
 
     # ------------------------------------------------------------------
-    def acquire_write(self) -> None:
+    def acquire_write(self, timeout: Optional[float] = None) -> None:
+        """Acquire exclusivity, optionally bounded by ``timeout`` seconds.
+
+        With a timeout, raises :class:`LockTimeout` if exclusivity was not
+        obtained in time — the lock is left exactly as found (the waiting
+        registration is withdrawn and queued readers are re-notified), so
+        a timed-out writer can safely retry or give up.
+        """
         me = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             if self._writer_thread == me:
                 self._write_depth += 1
@@ -94,7 +120,18 @@ class ReadWriteLock:
             self._writers_waiting += 1
             try:
                 while self._writer_thread is not None or self._active_readers > 0:
-                    self._cond.wait()
+                    if deadline is None:
+                        self._cond.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        # withdrawing may unblock readers queued behind
+                        # this (possibly sole) waiting writer; they wake
+                        # after the finally-decrement and lock release,
+                        # so they observe the withdrawn registration
+                        self._cond.notify_all()
+                        raise LockTimeout(timeout or 0.0)
+                    self._cond.wait(remaining)
                 self._writer_thread = me
                 self._write_depth = 1
             finally:
@@ -120,8 +157,8 @@ class ReadWriteLock:
             self.release_read()
 
     @contextmanager
-    def write_locked(self):
-        self.acquire_write()
+    def write_locked(self, timeout: Optional[float] = None):
+        self.acquire_write(timeout=timeout)
         try:
             yield
         finally:

@@ -103,8 +103,14 @@ class Relation:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def insert(self, row: Sequence[Any]) -> None:
-        """Insert one tuple, coercing values to the schema's domains."""
+    def validate_row(self, row: Sequence[Any]) -> Row:
+        """Coerce one tuple to the schema's domains without inserting it.
+
+        Raises :class:`~repro.relational.schema.SchemaError` exactly where
+        :meth:`insert` would.  The durable write path validates *before*
+        logging to the write-ahead log, so a logged delta can never fail
+        to replay during recovery.
+        """
         if len(row) != self.schema.arity:
             raise SchemaError(
                 f"row arity {len(row)} does not match schema "
@@ -119,6 +125,15 @@ class Relation:
                 raise SchemaError(
                     f"NULL in non-nullable column {self.schema.name}.{column.name}"
                 )
+        return coerced
+
+    def validate_rows(self, rows: Iterable[Sequence[Any]]) -> List[Row]:
+        """Coerce every tuple (all-or-nothing); returns the coerced rows."""
+        return [self.validate_row(row) for row in rows]
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Insert one tuple, coercing values to the schema's domains."""
+        coerced = self.validate_row(row)
         self._rows.append(coerced)
         if self._encoded is not None:
             self._encoded.append_row(coerced)
@@ -128,9 +143,42 @@ class Relation:
     def insert_dict(self, record: Dict[str, Any]) -> None:
         self.insert([record.get(column.name, NULL) for column in self.schema.columns])
 
-    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
-        for row in rows:
-            self.insert(row)
+    def extend(self, rows: Iterable[Sequence[Any]], validated: bool = False) -> None:
+        """Insert many tuples; ``validated=True`` skips re-coercion.
+
+        The durable write path validates rows *before* logging them to the
+        WAL (a logged delta must never fail to replay), so re-validating on
+        apply would double the coercion cost of every ingest batch.  Only
+        pass ``validated=True`` for rows that came out of
+        :meth:`validate_rows` unmodified.
+        """
+        if not validated:
+            for row in rows:
+                self.insert(row)
+            return
+        for coerced in rows:
+            self._rows.append(coerced)
+            if self._encoded is not None:
+                self._encoded.append_row(coerced)
+        if self._stats_cache:
+            self._stats_cache.clear()
+
+    def truncate(self, count: int) -> int:
+        """Drop every row past ``count``; return the number removed.
+
+        This is the write path's rollback primitive: a load that fails
+        mid-apply restores the relation to its pre-write length so a
+        retry of the same logical write cannot double-append.
+        """
+        removed = len(self._rows) - count
+        if removed <= 0:
+            return 0
+        del self._rows[count:]
+        if self._encoded is not None:
+            self._encoded.rebuild(self._rows)
+        if self._stats_cache:
+            self._stats_cache.clear()
+        return removed
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
         """Delete all rows satisfying ``predicate``; return the number removed."""

@@ -18,11 +18,13 @@ for "millions of users" lives here:
   cold-vs-warm compile assertion).
 """
 
+from .breaker import CircuitBreaker
 from .cache import ResultCache
-from .client import RemoteStatement, ServeClient, ServerError, connect
+from .client import RemoteStatement, RetryPolicy, ServeClient, ServerError, connect
 from .protocol import (
     ERROR_CODES,
     OPERATIONS,
+    RETRYABLE_CODES,
     ProtocolError,
     validate_response_frame,
 )
@@ -35,6 +37,9 @@ __all__ = [
     "QueryServer",
     "RemoteStatement",
     "ResultCache",
+    "CircuitBreaker",
+    "RETRYABLE_CODES",
+    "RetryPolicy",
     "ServeClient",
     "ServerConfig",
     "ServerError",

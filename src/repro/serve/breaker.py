@@ -1,0 +1,100 @@
+"""A depth-based circuit breaker: shed writes first, then everything.
+
+Admission control already bounds the queue and answers ``queue_full``
+when it overflows, but by then every queued request is paying worst-case
+latency and writers are competing with readers for a saturated pool.  The
+breaker watches queue depth *before* overflow and degrades gracefully in
+two steps:
+
+* ``shed_writes`` — at ``shed_ratio`` of the maximum depth (default 75%)
+  the server starts rejecting *writes* (``load_rows``, ``materialize``,
+  ``drop_view``-class ops) with the retryable ``overloaded`` code while
+  still serving reads: writes hold the exclusive writer lock and stall
+  every reader behind them, so they are the first load to shed, and the
+  idempotent-retry contract makes a rejected write safe to replay later.
+* ``open`` — every pool-bound request gets ``overloaded`` while depth
+  stays above the recovery threshold.  Hard overflow itself still
+  answers ``queue_full``: the breaker's job is shedding *before* the
+  queue overflows and holding there while it drains, not replacing the
+  queue's own overflow signal.
+
+Transitions carry hysteresis: the breaker only closes again once depth
+falls below ``recover_ratio`` (default half the trip point), so a queue
+oscillating around the threshold doesn't flap requests between accept
+and reject on every tick.  ``ping``/``stats``/``health`` stay inline and
+are never shed — observability must survive overload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+#: breaker states, in order of degradation
+CLOSED = "closed"
+SHED_WRITES = "shed_writes"
+OPEN = "open"
+
+
+class CircuitBreaker:
+    """Tracks queue-depth pressure and answers "may this request run?"."""
+
+    def __init__(
+        self,
+        max_depth: int,
+        shed_ratio: float = 0.75,
+        recover_ratio: float = 0.5,
+    ) -> None:
+        if not 0.0 < shed_ratio <= 1.0:
+            raise ValueError(f"shed_ratio must be in (0, 1], got {shed_ratio}")
+        if not 0.0 <= recover_ratio < shed_ratio:
+            raise ValueError(
+                f"recover_ratio must be in [0, shed_ratio), got {recover_ratio}"
+            )
+        self.max_depth = max(int(max_depth), 1)
+        self.shed_depth = max(1, int(self.max_depth * shed_ratio))
+        self.open_depth = self.max_depth
+        self.recover_depth = int(self.max_depth * recover_ratio)
+        self.state = CLOSED
+        self.transitions = 0
+        self.shed_requests = 0
+
+    def observe(self, depth: int) -> str:
+        """Fold the current queue depth into the state machine."""
+        previous = self.state
+        if depth >= self.open_depth:
+            self.state = OPEN
+        elif depth >= self.shed_depth:
+            # escalate to shed_writes, but never *de*-escalate from OPEN
+            # until the recover threshold (hysteresis) is crossed
+            if self.state != OPEN:
+                self.state = SHED_WRITES
+        elif depth <= self.recover_depth:
+            self.state = CLOSED
+        # depths between recover and shed keep the previous state
+        if self.state != previous:
+            self.transitions += 1
+        return self.state
+
+    def allows(self, is_write: bool) -> bool:
+        """Whether a request of this kind may enter the queue right now."""
+        if self.state == OPEN:
+            return False
+        if self.state == SHED_WRITES and is_write:
+            return False
+        return True
+
+    def note_shed(self) -> None:
+        self.shed_requests += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "shed_depth": self.shed_depth,
+            "open_depth": self.open_depth,
+            "recover_depth": self.recover_depth,
+            "transitions": self.transitions,
+            "shed_requests": self.shed_requests,
+        }
+
+
+__all__ = ["CLOSED", "OPEN", "SHED_WRITES", "CircuitBreaker"]

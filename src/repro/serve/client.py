@@ -22,16 +22,30 @@ are safe.  Server-side failures surface as :class:`ServerError` with the
 machine-readable ``code`` (``queue_full``, ``deadline_exceeded``, ...) so
 callers — the workload driver above all — can count rejection classes
 without string-matching messages.
+
+**Retries are idempotent by construction.**  Every operation retries
+transparently (exponential backoff plus jitter, :class:`RetryPolicy`) on
+two failure classes: connection loss (the client reconnects to the same
+address) and the server's *retryable* codes — ``queue_full`` and
+``overloaded`` — where the protocol guarantees the request was never
+applied.  Writes additionally carry a client-generated UUID
+``request_id`` minted **once per logical write** and reused verbatim
+across every retry of it, so a write whose ack was lost to a connection
+drop is deduplicated server-side (``{"deduplicated": true}``) instead of
+applied twice.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
+import uuid
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..core.executor import QueryResult
-from .protocol import encode_frame, validate_response_frame
+from .protocol import RETRYABLE_CODES, encode_frame, validate_response_frame
 
 
 class ServerError(RuntimeError):
@@ -43,6 +57,31 @@ class ServerError(RuntimeError):
         self.message = message
         self.frame = frame
 
+    @property
+    def retryable(self) -> bool:
+        """True when the server guarantees the request was never applied."""
+        return self.code in RETRYABLE_CODES
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter for connection loss and shed requests.
+
+    Delay before attempt ``n`` (0-based) is
+    ``min(max_delay, base_delay * 2**n) * (1 + jitter * random())`` —
+    jitter desynchronizes a thundering herd of clients all shed by the
+    same overloaded server.  ``max_attempts=1`` disables retries.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int) -> float:
+        bounded = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return bounded * (1.0 + self.jitter * random.random())
+
 
 class ProtocolViolation(RuntimeError):
     """The server emitted a frame that fails schema validation."""
@@ -51,15 +90,27 @@ class ProtocolViolation(RuntimeError):
 class ServeClient:
     """One connection to a :class:`~repro.serve.server.QueryServer`."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        address: Optional[tuple] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self._reader = reader
         self._writer = writer
+        #: (host, port) for reconnects; None disables reconnection
+        self._address = address
+        self.retry = retry or RetryPolicy()
         self._ids = itertools.count(1)
         self._pending: Dict[Any, "asyncio.Future[Dict[str, Any]]"] = {}
         self._reader_task = asyncio.create_task(self._read_loop(), name="serve-client-reader")
         self._closed = False
         #: frames that failed validate_response_frame (should stay empty)
         self.invalid_frames: List[str] = []
+        #: retry observability, for the driver's ledger
+        self.retries = 0
+        self.reconnects = 0
 
     # ------------------------------------------------------------------
     # plumbing
@@ -104,6 +155,58 @@ class ServeClient:
         await self._writer.drain()
         return await future
 
+    async def _reconnect(self) -> None:
+        """Replace the dead transport with a fresh one to the same address."""
+        if self._address is None:
+            raise ConnectionError("connection lost and no address to reconnect to")
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        host, port = self._address
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name="serve-client-reader"
+        )
+        self.reconnects += 1
+
+    async def request_retrying(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """:meth:`request` + :meth:`_unwrap` behind the retry policy.
+
+        Retries (after backoff-with-jitter) on connection errors —
+        reconnecting first — and on the server's retryable codes.  Safe
+        for every operation the library exposes: reads are idempotent and
+        writes carry a stable ``request_id`` the server dedups on.
+        """
+        policy = self.retry
+        last_error: Optional[BaseException] = None
+        for attempt in range(max(policy.max_attempts, 1)):
+            if attempt:
+                self.retries += 1
+                await asyncio.sleep(policy.delay(attempt - 1))
+            try:
+                return self._unwrap(await self.request(op, **fields))
+            except ServerError as exc:
+                if not exc.retryable:
+                    raise
+                last_error = exc
+            except (ConnectionError, BrokenPipeError, OSError) as exc:
+                if self._closed:
+                    raise
+                last_error = exc
+                try:
+                    await self._reconnect()
+                except (ConnectionError, OSError) as reconnect_exc:
+                    last_error = reconnect_exc
+        assert last_error is not None
+        raise last_error
+
     @staticmethod
     def _unwrap(frame: Dict[str, Any]) -> Dict[str, Any]:
         if frame.get("ok"):
@@ -129,16 +232,14 @@ class ServeClient:
     ) -> QueryResult:
         from ..core.wire import encode_params
 
-        result = self._unwrap(
-            await self.request(
-                "execute",
-                sql=sql,
-                params=encode_params(params),
-                engine=engine,
-                tenant=tenant,
-                timeout_ms=timeout_ms,
-                use_cache=use_cache,
-            )
+        result = await self.request_retrying(
+            "execute",
+            sql=sql,
+            params=encode_params(params),
+            engine=engine,
+            tenant=tenant,
+            timeout_ms=timeout_ms,
+            use_cache=use_cache,
         )
         return QueryResult.from_json(result["result_set"])
 
@@ -149,10 +250,8 @@ class ServeClient:
         tenant: Optional[str] = None,
         timeout_ms: Optional[float] = None,
     ) -> "RemoteStatement":
-        result = self._unwrap(
-            await self.request(
-                "prepare", sql=sql, engine=engine, tenant=tenant, timeout_ms=timeout_ms
-            )
+        result = await self.request_retrying(
+            "prepare", sql=sql, engine=engine, tenant=tenant, timeout_ms=timeout_ms
         )
         return RemoteStatement(
             client=self,
@@ -173,21 +272,19 @@ class ServeClient:
     ) -> str:
         from ..core.wire import encode_params
 
-        result = self._unwrap(
-            await self.request(
-                "explain",
-                sql=sql,
-                params=encode_params(params),
-                analyze=analyze or None,
-                engine=engine,
-                tenant=tenant,
-                timeout_ms=timeout_ms,
-            )
+        result = await self.request_retrying(
+            "explain",
+            sql=sql,
+            params=encode_params(params),
+            analyze=analyze or None,
+            engine=engine,
+            tenant=tenant,
+            timeout_ms=timeout_ms,
         )
         return result["plan"]
 
     async def list_engines(self) -> Dict[str, Any]:
-        return self._unwrap(await self.request("list_engines"))
+        return await self.request_retrying("list_engines")
 
     async def load_rows(
         self,
@@ -195,17 +292,27 @@ class ServeClient:
         rows: List[List[Any]],
         tenant: Optional[str] = None,
         timeout_ms: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
+        """Append rows; exactly-once across retries via ``request_id``.
+
+        The idempotency key is minted here (one UUID per *logical* write)
+        and reused verbatim by every retry, so a write whose ack was lost
+        answers ``{"deduplicated": true}`` on replay instead of applying
+        twice.  Pass an explicit ``request_id`` to span retries across
+        client instances (e.g. resuming after a process restart).
+        """
         from ..core.wire import iter_encoded_rows
 
-        return self._unwrap(
-            await self.request(
-                "load_rows",
-                relation=relation,
-                rows=iter_encoded_rows(rows),
-                tenant=tenant,
-                timeout_ms=timeout_ms,
-            )
+        if request_id is None:
+            request_id = uuid.uuid4().hex
+        return await self.request_retrying(
+            "load_rows",
+            relation=relation,
+            rows=iter_encoded_rows(rows),
+            tenant=tenant,
+            timeout_ms=timeout_ms,
+            request_id=request_id,
         )
 
     async def materialize(
@@ -216,10 +323,8 @@ class ServeClient:
         timeout_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Register ``sql`` as a server-maintained materialized view."""
-        result = self._unwrap(
-            await self.request(
-                "materialize", sql=sql, view=view, tenant=tenant, timeout_ms=timeout_ms
-            )
+        result = await self.request_retrying(
+            "materialize", sql=sql, view=view, tenant=tenant, timeout_ms=timeout_ms
         )
         return result["view"]
 
@@ -231,22 +336,24 @@ class ServeClient:
         use_cache: bool = True,
     ) -> QueryResult:
         """Serve a materialized view's current contents."""
-        result = self._unwrap(
-            await self.request(
-                "query_view",
-                view=view,
-                tenant=tenant,
-                timeout_ms=timeout_ms,
-                use_cache=use_cache,
-            )
+        result = await self.request_retrying(
+            "query_view",
+            view=view,
+            tenant=tenant,
+            timeout_ms=timeout_ms,
+            use_cache=use_cache,
         )
         return QueryResult.from_json(result["result_set"])
 
     async def stats(self) -> Dict[str, Any]:
-        return self._unwrap(await self.request("stats"))
+        return await self.request_retrying("stats")
+
+    async def health(self) -> Dict[str, Any]:
+        """Queue depth, breaker state and per-tenant WAL lag, inline."""
+        return await self.request_retrying("health")
 
     async def ping(self) -> bool:
-        return bool(self._unwrap(await self.request("ping")).get("pong"))
+        return bool((await self.request_retrying("ping")).get("pong"))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -298,15 +405,13 @@ class RemoteStatement:
     ) -> QueryResult:
         from ..core.wire import encode_params
 
-        result = ServeClient._unwrap(
-            await self.client.request(
-                "execute_prepared",
-                statement=self.statement_id,
-                params=encode_params(params),
-                tenant=self.tenant,
-                timeout_ms=timeout_ms,
-                use_cache=use_cache,
-            )
+        result = await self.client.request_retrying(
+            "execute_prepared",
+            statement=self.statement_id,
+            params=encode_params(params),
+            tenant=self.tenant,
+            timeout_ms=timeout_ms,
+            use_cache=use_cache,
         )
         return QueryResult.from_json(result["result_set"])
 
@@ -314,7 +419,15 @@ class RemoteStatement:
         return f"RemoteStatement({self.statement_id!r}, {self.sql[:40]!r}...)"
 
 
-async def connect(host: str = "127.0.0.1", port: int = 7433) -> ServeClient:
-    """Open a client connection to a running query server."""
+async def connect(
+    host: str = "127.0.0.1",
+    port: int = 7433,
+    retry: Optional[RetryPolicy] = None,
+) -> ServeClient:
+    """Open a client connection to a running query server.
+
+    The address is remembered so the retry layer can reconnect after a
+    connection drop (e.g. a server crash-restart under fault injection).
+    """
     reader, writer = await asyncio.open_connection(host, port)
-    return ServeClient(reader, writer)
+    return ServeClient(reader, writer, address=(host, port), retry=retry)

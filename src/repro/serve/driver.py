@@ -47,6 +47,7 @@ import os
 import random
 import sys
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -266,12 +267,16 @@ class WorkloadDriver:
 
         timeout_ms = self.config.timeout_ms
         if kind == "write":
+            # idempotency key: the ledger counts rejections itself (no
+            # transparent retry), but a key per logical write keeps the
+            # workload safe to re-drive against a recovering server
             frame = await client.request(
                 "load_rows",
                 relation="ORDERS",
                 rows=iter_encoded_rows(self._write_rows(rng, customers)),
                 tenant=self.config.tenant,
                 timeout_ms=timeout_ms,
+                request_id=uuid.uuid4().hex,
             )
         elif kind == "parameterized":
             stmt = prepared[select_cursor % len(prepared)]

@@ -13,7 +13,13 @@ Request frames::
 
 Operations: ``execute``, ``prepare``, ``execute_prepared``, ``explain``,
 ``list_engines``, ``load_rows``, ``materialize``, ``query_view``,
-``stats``, ``ping``.
+``stats``, ``ping``, ``health``.
+
+Write frames (``load_rows``) may carry a client-generated ``request_id``
+string — the idempotency key.  The server remembers applied ids in its
+WAL-backed table, so a retry of an acknowledged write answers
+``{"deduplicated": true}`` instead of applying twice; the client library
+generates one automatically and reuses it across its retries.
 
 Response frames — always one of::
 
@@ -50,7 +56,11 @@ OPERATIONS = (
     "query_view",
     "stats",
     "ping",
+    "health",
 )
+
+#: error codes a client may safely retry (the request was never applied)
+RETRYABLE_CODES = ("queue_full", "overloaded")
 
 #: machine-readable error codes a response frame may carry
 ERROR_CODES = (
@@ -61,6 +71,7 @@ ERROR_CODES = (
     "unknown_tenant",       # tenant not served by this server
     "unknown_statement",    # execute_prepared with a foreign statement id
     "queue_full",           # admission control rejected the request
+    "overloaded",           # circuit breaker shed the request (retryable)
     "deadline_exceeded",    # per-request timeout expired (queued or running)
     "execution_error",      # the query raised while executing
     "server_closed",        # request arrived while the server was stopping
@@ -142,6 +153,11 @@ def validate_request_frame(frame: Dict[str, Any]) -> Tuple[Any, str]:
         value = frame.get(field)
         if value is not None and not isinstance(value, kind):
             raise ProtocolError("invalid_request", f"{field!r} must be a {kind.__name__}")
+    write_id = frame.get("request_id")
+    if write_id is not None and (not isinstance(write_id, str) or not write_id):
+        raise ProtocolError(
+            "invalid_request", "'request_id' must be a non-empty string"
+        )
     return request_id, op
 
 

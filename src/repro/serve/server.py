@@ -43,7 +43,11 @@ from typing import Any, Awaitable, Callable, Dict, Mapping, Optional, Tuple, Uni
 
 from ..api import Database
 from ..api.registry import EngineError, list_engines, resolve_engine_name
+from ..core.cancellation import CancellationToken, QueryCancelled, cancel_scope
 from ..core.wire import WireFormatError, decode_params, decode_row
+from ..durability.failpoints import maybe_fire
+from ..incremental.locks import LockTimeout
+from .breaker import CircuitBreaker
 from .cache import ResultCache
 from .protocol import (
     ProtocolError,
@@ -56,7 +60,10 @@ from .protocol import (
 
 #: operations answered on the event loop without queueing: liveness and
 #: observability must stay responsive even when the pool is saturated
-INLINE_OPS = ("ping", "stats")
+INLINE_OPS = ("ping", "stats", "health")
+
+#: operations the circuit breaker sheds first (they take the writer lock)
+WRITE_OPS = ("load_rows", "materialize")
 
 
 @dataclass
@@ -79,6 +86,10 @@ class ServerConfig:
     warm_start: bool = True
     #: close tenant databases on stop() (flushes their plan manifests)
     close_databases_on_stop: bool = True
+    #: circuit breaker: shed writes at this fraction of max_queue_depth
+    breaker_shed_ratio: float = 0.75
+    #: circuit breaker: close again below this fraction (hysteresis)
+    breaker_recover_ratio: float = 0.5
 
 
 @dataclass
@@ -95,6 +106,17 @@ class ServerStats:
     inline_requests: int = 0
     protocol_errors: int = 0
     abandoned_workers: int = 0
+    #: gauge: deadline-exceeded requests whose worker thread is *still*
+    #: running right now; with cooperative cancellation this returns to
+    #: zero within one superstep/batch (asserted in tests)
+    abandoned_running: int = 0
+    #: abandoned workers whose thread has since finished and rejoined the
+    #: pool (cancellation made it stop early instead of running to completion)
+    workers_reclaimed: int = 0
+    #: requests shed by the circuit breaker with the retryable `overloaded`
+    rejected_overloaded: int = 0
+    #: writes deduplicated via the idempotent request_id table
+    deduplicated_writes: int = 0
 
     @property
     def timeouts(self) -> int:
@@ -113,6 +135,10 @@ class ServerStats:
             "inline_requests": self.inline_requests,
             "protocol_errors": self.protocol_errors,
             "abandoned_workers": self.abandoned_workers,
+            "abandoned_running": self.abandoned_running,
+            "workers_reclaimed": self.workers_reclaimed,
+            "rejected_overloaded": self.rejected_overloaded,
+            "deduplicated_writes": self.deduplicated_writes,
         }
 
 
@@ -136,6 +162,8 @@ class _Admitted:
     cache_key: Optional[Tuple[str, str, str, str, int]] = None
     #: names the payload field carrying an encoded result, for cache fills
     cache_field: str = "result_set"
+    #: sheds first under breaker pressure (takes the writer lock)
+    is_write: bool = False
 
 
 @dataclass
@@ -180,6 +208,11 @@ class QueryServer:
             else None
         )
         self.warm_reports: Dict[str, Dict[str, Any]] = {}
+        self.breaker = CircuitBreaker(
+            self.config.max_queue_depth,
+            shed_ratio=self.config.breaker_shed_ratio,
+            recover_ratio=self.config.breaker_recover_ratio,
+        )
         self._compile_baseline: Dict[str, int] = {}
         self._queue: Optional["asyncio.Queue[_Admitted]"] = None
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -377,7 +410,43 @@ class QueryServer:
     def _handle_inline(self, request_id: Any, op: str) -> Dict[str, Any]:
         if op == "ping":
             return ok_frame(request_id, {"pong": True})
+        if op == "health":
+            return ok_frame(request_id, self.health_payload())
         return ok_frame(request_id, self.stats_payload())
+
+    def health_payload(self) -> Dict[str, Any]:
+        """The `health` op: load, durability lag and breaker state at a glance.
+
+        Unlike `stats` (complete counters), `health` is the small payload a
+        load balancer or retry loop polls: current queue depth, breaker
+        state, the abandoned-worker gauge, and per-tenant WAL lag (records
+        not yet covered by a snapshot; None for memory-only tenants).
+        """
+        depth = self._queue.qsize() if self._queue else 0
+        with self._stats_lock:
+            abandoned_running = self.stats.abandoned_running
+        durability = {}
+        for tenant, database in self.databases.items():
+            stats = database.durability_stats()
+            durability[tenant] = (
+                None
+                if stats is None
+                else {
+                    "wal_lsn": stats["wal_lsn"],
+                    "wal_lag_records": stats["wal_lag_records"],
+                    "wal_size_bytes": stats["wal_size_bytes"],
+                    "snapshot_lsn": stats["snapshot_lsn"],
+                }
+            )
+        return {
+            "healthy": not self._closing,
+            "queue_depth": depth,
+            "max_queue_depth": self.config.max_queue_depth,
+            "pool_size": self.config.pool_size,
+            "abandoned_running": abandoned_running,
+            "breaker": self.breaker.as_dict(),
+            "durability": durability,
+        }
 
     # ------------------------------------------------------------------
     # admission control
@@ -413,7 +482,28 @@ class QueryServer:
         statements: Dict[str, _PreparedEntry],
         respond: Callable[[Dict[str, Any]], Awaitable[None]],
     ) -> None:
-        """Validate, try the result cache, then enqueue — or reject."""
+        """Validate, check the breaker, try the result cache, then enqueue."""
+        assert self._queue is not None
+        # the circuit breaker gates BEFORE any work: under pressure it
+        # sheds writes first (they take the exclusive writer lock), then
+        # everything pool-bound — both with the retryable `overloaded`.
+        # Hard overflow stays `queue_full` (the put_nowait path below):
+        # the breaker's job is shedding *before* the queue overflows and
+        # holding there (hysteresis) while it drains.
+        state = self.breaker.observe(self._queue.qsize())
+        if not self._queue.full() and not self.breaker.allows(op in WRITE_OPS):
+            self.breaker.note_shed()
+            with self._stats_lock:
+                self.stats.rejected_overloaded += 1
+            await respond(
+                error_frame(
+                    request_id,
+                    "overloaded",
+                    f"circuit breaker is {state}; retry with backoff",
+                    breaker_state=state,
+                )
+            )
+            return
         try:
             admitted = self._build_request(frame, request_id, op, statements, respond)
         except _CachedResponse as hit:
@@ -427,7 +517,6 @@ class QueryServer:
                 self.stats.errors += 1
             await respond(error_frame(request_id, exc.code, exc.message))
             return
-        assert self._queue is not None
         try:
             self._queue.put_nowait(admitted)
             with self._stats_lock:
@@ -485,7 +574,9 @@ class QueryServer:
                     raise ProtocolError("invalid_request", str(exc)) from exc
                 return {"view": info, "tenant": tenant}
 
-            return _Admitted(request_id, work_materialize, respond, deadline)
+            return _Admitted(
+                request_id, work_materialize, respond, deadline, is_write=True
+            )
 
         if op == "query_view":
             view_name = frame.get("view")
@@ -528,18 +619,23 @@ class QueryServer:
                     "invalid_request", f"tenant {tenant!r} has no relation {relation!r}"
                 )
 
+            write_id = frame.get("request_id")
+
             def work_write() -> Dict[str, Any]:
                 decoded = [decode_row(row) for row in rows]
-                appended = database.load_rows(relation, decoded)
-                if self.result_cache is not None:
+                receipt = database.apply_write(relation, decoded, request_id=write_id)
+                if receipt["deduplicated"]:
+                    with self._stats_lock:
+                        self.stats.deduplicated_writes += 1
+                elif receipt["appended"] and self.result_cache is not None:
                     self.result_cache.invalidate_tenant(tenant)
                 return {
-                    "appended": appended,
+                    **receipt,
                     "relation": relation,
                     "catalog_version": database.catalog.version,
                 }
 
-            return _Admitted(request_id, work_write, respond, deadline)
+            return _Admitted(request_id, work_write, respond, deadline, is_write=True)
 
         if op == "prepare":
             sql = frame.get("sql")
@@ -640,12 +736,29 @@ class QueryServer:
     # ------------------------------------------------------------------
     # the worker pool
     # ------------------------------------------------------------------
+    def _reclaim_abandoned(self, future: Any) -> None:
+        """Done-callback for an abandoned worker future.
+
+        Cooperative cancellation means the thread notices its cancelled
+        token at the next superstep/batch boundary and unwinds; this
+        callback fires then, consumes the (expected) exception so it never
+        logs as unretrieved, and returns the ``abandoned_running`` gauge
+        toward zero — the property the leak-regression test asserts.
+        """
+        if not future.cancelled():
+            future.exception()
+        with self._stats_lock:
+            self.stats.abandoned_running -= 1
+            self.stats.workers_reclaimed += 1
+
     async def _worker_loop(self) -> None:
         assert self._queue is not None
+        assert self._pool is not None
         loop = asyncio.get_running_loop()
         while True:
             request = await self._queue.get()
             try:
+                maybe_fire("serve.dispatch")
                 remaining = request.deadline - loop.time()
                 if remaining <= 0:
                     with self._stats_lock:
@@ -659,16 +772,67 @@ class QueryServer:
                         )
                     )
                     continue
+                # the token is the cooperative kill switch: it expires on
+                # its own at the deadline (engines poll it at superstep /
+                # batch boundaries) and is cancelled explicitly the moment
+                # the event loop gives up waiting
+                token = CancellationToken.with_timeout(
+                    remaining, reason="deadline exceeded"
+                )
+                work = request.work
+
+                def run_with_token(
+                    _work: Callable[[], Dict[str, Any]] = work,
+                    _token: CancellationToken = token,
+                ) -> Dict[str, Any]:
+                    with cancel_scope(_token):
+                        return _work()
+
+                future = self._pool.submit(run_with_token)
                 try:
+                    # shield: a wait_for timeout must abandon the thread,
+                    # not cancel the wrapper and lose its eventual result
                     payload = await asyncio.wait_for(
-                        loop.run_in_executor(self._pool, request.work), remaining
+                        asyncio.shield(asyncio.wrap_future(future)), remaining
                     )
+                except QueryCancelled:
+                    # the thread noticed its expired token before the event
+                    # loop timed out: same outcome, nothing abandoned
+                    with self._stats_lock:
+                        self.stats.timeouts_running += 1
+                    await request.respond(
+                        error_frame(
+                            request.request_id,
+                            "deadline_exceeded",
+                            "deadline expired during execution (cancelled)",
+                            where="execute",
+                        )
+                    )
+                    continue
+                except LockTimeout as exc:
+                    # a writer stuck behind a reader storm: the write was
+                    # never applied, so the client may safely retry
+                    with self._stats_lock:
+                        self.stats.errors += 1
+                    await request.respond(
+                        error_frame(
+                            request.request_id,
+                            "overloaded",
+                            str(exc),
+                            waited_seconds=exc.waited_seconds,
+                        )
+                    )
+                    continue
                 except asyncio.TimeoutError:
-                    # the thread cannot be interrupted: it finishes in the
-                    # background while the slot answers the next request
+                    # the thread cannot be interrupted pre-emptively: cancel
+                    # its token, count it as abandoned-and-running, and let
+                    # the done-callback reclaim it when cancellation lands
+                    token.cancel("deadline exceeded")
                     with self._stats_lock:
                         self.stats.timeouts_running += 1
                         self.stats.abandoned_workers += 1
+                        self.stats.abandoned_running += 1
+                    future.add_done_callback(self._reclaim_abandoned)
                     await request.respond(
                         error_frame(
                             request.request_id,
@@ -731,11 +895,30 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--queue-depth", type=int, default=64)
     parser.add_argument("--plan-cache-path", default=None,
                         help="persist/warm the plan cache at this path")
+    parser.add_argument("--data-dir", default=None,
+                        help="durable data directory (WAL + snapshots); "
+                             "recovers on start, plan manifest lives inside")
+    parser.add_argument("--no-wal-fsync", action="store_true",
+                        help="buffered WAL writes (benchmarks only; crash "
+                             "durability is NOT guaranteed)")
+    parser.add_argument("--failpoints", default=None,
+                        help="fault-injection spec, e.g. "
+                             "'wal.append.after_write=crash@3' "
+                             "(also honours REPRO_FAILPOINTS)")
     args = parser.parse_args(argv)
+
+    if args.failpoints:
+        from ..durability.failpoints import install
+
+        install(args.failpoints)
 
     workload = tpch_workload(scale=args.scale, seed=args.seed)
     database = Database.from_catalog(
-        workload.catalog, engine=args.engine, plan_cache_path=args.plan_cache_path
+        workload.catalog,
+        engine=args.engine,
+        plan_cache_path=args.plan_cache_path,
+        data_dir=args.data_dir,
+        wal_fsync=not args.no_wal_fsync,
     )
     config = ServerConfig(
         host=args.host,

@@ -1,0 +1,165 @@
+"""Differential sweep under fault injection: crash, recover, compare.
+
+Each round interleaves FK-valid random writes with a seeded fault
+injected somewhere on the write path (before the WAL write, after it,
+mid-delta-application, during snapshotting/compaction, even during the
+recovery replay itself).  The faulted database is treated as crashed —
+its WAL file descriptor is redirected to ``/dev/null`` so unflushed
+buffered bytes are dropped exactly as ``kill -9`` would drop them — and
+a fresh ``Database`` recovers from disk.  The failed batch is retried
+with its original ``request_id``.
+
+After every crash+recover round, the full query battery must agree:
+
+* across all five engines of the recovered database, and
+* with a from-scratch rebuild that applied every acknowledged batch
+  exactly once to a memory-only database.
+
+Marked ``differential``: runs in its own CI job alongside the deep
+randomized sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List, Tuple
+
+import pytest
+
+from differential_harness import (
+    ENGINE_NAMES,
+    ENGINE_OPTIONS,
+    canonical_rows,
+    run_case,
+)
+from differential_dataset import build_catalog
+from test_incremental_differential import QUERY_BATTERY, DeltaGenerator
+from repro.api import Database
+from repro.durability.failpoints import FaultInjected, clear, install
+
+pytestmark = pytest.mark.differential
+
+ROUNDS = 6
+WRITES_PER_ROUND = 3
+
+#: write-path failpoints a round may inject (raise mode, in-process):
+#: each exercises a different acked/unacked/replayed window
+WRITE_PATH_FAILPOINTS = (
+    "wal.append.before_write",    # never logged: retry applies fresh
+    "wal.append.after_write",     # logged, maybe unflushed: crash drops it
+    "wal.append.after_fsync",     # durable but unacked: recovery + dedup
+    "delta.apply.before_graph_patch",  # durable, half-applied in memory
+    "delta.apply.after_apply",    # fully applied, ack lost
+)
+
+
+def simulate_crash(database: Database) -> None:
+    """Drop the database as ``kill -9`` would: unflushed WAL bytes vanish.
+
+    The WAL file descriptor is re-pointed at ``/dev/null`` so any later
+    buffered flush (GC, interpreter exit) cannot append post-crash bytes
+    to the real log the recovered instance is now writing.
+    """
+    wal = database._durability.wal
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    try:
+        os.dup2(devnull, wal._handle.fileno())
+    finally:
+        os.close(devnull)
+
+
+def durable_database(data_dir: str) -> Database:
+    return Database(
+        build_catalog(), data_dir=data_dir, engine_options=dict(ENGINE_OPTIONS)
+    )
+
+
+def rebuild_from_scratch(batches: List[Tuple[str, list]]) -> Database:
+    database = Database(build_catalog(), engine_options=dict(ENGINE_OPTIONS))
+    for table, rows in batches:
+        database.load_rows(table, rows)
+    return database
+
+
+def assert_round_agreement(recovered: Database, acked: List[Tuple[str, list]]) -> None:
+    rebuild = rebuild_from_scratch(acked)
+    for case in QUERY_BATTERY:
+        # intra-database: all five engines of the recovered db agree
+        run_case(recovered, case)
+        # cross-database: recovered state == from-scratch rebuild
+        got = recovered.connect(engine="tag").sql(case.sql, params=case.params or None)
+        want = rebuild.connect(engine="tag").sql(case.sql, params=case.params or None)
+        columns = list(want.columns)
+        assert canonical_rows(got, columns) == canonical_rows(want, columns), case.sql
+
+
+class TestFaultRecoveryDifferential:
+    def test_engines_agree_after_each_crash_recover_round(self, tmp_path):
+        seed = int(os.environ.get("REPRO_DIFFERENTIAL_SEED", "20260808"))
+        rng = random.Random(seed)
+        generator = DeltaGenerator(random.Random(seed + 1))
+        data_dir = str(tmp_path / "d")
+
+        database = durable_database(data_dir)
+        acked: List[Tuple[str, list]] = []
+        next_id = 0
+
+        for round_idx in range(ROUNDS):
+            failpoint = rng.choice(WRITE_PATH_FAILPOINTS)
+            victim = rng.randrange(WRITES_PER_ROUND)
+            for write_idx in range(WRITES_PER_ROUND):
+                table = rng.choice(("CUST", "ORD", "ITEM"))
+                rows = generator.rows_for(table, rng.randint(1, 4))
+                request_id = f"round-{round_idx}-write-{next_id}"
+                next_id += 1
+                if write_idx == victim:
+                    install(f"{failpoint}=raise")
+                try:
+                    receipt = database.apply_write(table, rows, request_id=request_id)
+                    assert receipt["appended"] == len(rows)
+                    acked.append((table, rows))
+                except FaultInjected:
+                    # the crash: drop this instance, recover from disk,
+                    # and retry the batch with its original request_id
+                    clear()
+                    simulate_crash(database)
+                    database = durable_database(data_dir)
+                    retry = database.apply_write(table, rows, request_id=request_id)
+                    assert retry["appended"] == len(rows) or retry["deduplicated"]
+                    acked.append((table, rows))
+                finally:
+                    clear()
+
+            if round_idx % 2 == 1:
+                database.checkpoint()  # exercise snapshot + compaction paths
+
+            # end-of-round crash+recover even when no write was interrupted
+            simulate_crash(database)
+            database = durable_database(data_dir)
+            assert_round_agreement(database, acked)
+
+        assert len(acked) == ROUNDS * WRITES_PER_ROUND
+
+    def test_crash_during_recovery_then_recover(self, tmp_path):
+        generator = DeltaGenerator(random.Random(99))
+        data_dir = str(tmp_path / "d")
+        database = durable_database(data_dir)
+        rows = generator.rows_for("ORD", 5)
+        database.apply_write("ORD", rows, request_id="pre-crash")
+        simulate_crash(database)
+
+        install("recovery.before_replay=raise")
+        try:
+            with pytest.raises(FaultInjected):
+                durable_database(data_dir)
+        finally:
+            clear()
+
+        recovered = durable_database(data_dir)
+        assert_round_agreement(recovered, [("ORD", rows)])
+        for engine in ENGINE_NAMES:
+            count = recovered.connect(engine=engine).sql(
+                "SELECT COUNT(*) AS n FROM ORD t0"
+            ).single_value()
+            assert count == generator.BASE_COUNTS["ORD"] + 5

@@ -1,0 +1,103 @@
+"""The note_data_change() scorched-earth fallback × durability.
+
+Out-of-band mutations (direct writes to relation row lists) bypass the
+WAL; the only way to make them durable is the wholesale snapshot
+``note_data_change`` takes.  These tests pin that interaction: the
+snapshot happens, recovery reproduces the out-of-band state, and the
+mixed sequence (delta writes + scorched earth + more deltas) recovers
+to exactly what a live observer saw.
+"""
+
+from repro.api import Database
+from tests.conftest import make_mini_catalog
+
+COUNT_SQL = "SELECT COUNT(*) AS n FROM ORDERS o"
+JOIN_SQL = (
+    "SELECT n.N_NAME FROM NATION n, CUSTOMER c, ORDERS o "
+    "WHERE n.N_NATIONKEY = c.C_NATIONKEY AND c.C_CUSTKEY = o.O_CUSTKEY"
+)
+
+
+def order_count(db: Database) -> int:
+    return db.connect().sql(COUNT_SQL).single_value()
+
+
+class TestScorchedEarthDurability:
+    def test_out_of_band_mutation_is_snapshotted(self, tmp_path):
+        data_dir = str(tmp_path / "d")
+        db = Database(make_mini_catalog(), data_dir=data_dir)
+        written_before = db.durability_stats()["snapshots_written"]
+        db.catalog.relation("ORDERS").insert([9001, 10, 42.5, "HIGH"])
+        db.note_data_change()
+        assert db.durability_stats()["snapshots_written"] == written_before + 1
+
+        recovered = Database(make_mini_catalog(), data_dir=data_dir)
+        assert order_count(recovered) == order_count(db)
+
+    def test_out_of_band_delete_recovers(self, tmp_path):
+        """Deletes have no WAL record at all — only the snapshot path can
+        carry them, which is exactly why note_data_change must snapshot."""
+        data_dir = str(tmp_path / "d")
+        db = Database(make_mini_catalog(), data_dir=data_dir)
+        db.catalog.relation("ORDERS").delete_where(lambda row: row[2] < 15.0)
+        db.note_data_change()
+        live = order_count(db)
+
+        recovered = Database(make_mini_catalog(), data_dir=data_dir)
+        # the recovered catalog starts from the seeded mini rows, so only
+        # the snapshot's REPLACE semantics can reproduce the delete
+        assert order_count(recovered) == live
+
+    def test_mixed_sequence_recovers_exactly(self, tmp_path):
+        data_dir = str(tmp_path / "d")
+        db = Database(make_mini_catalog(), data_dir=data_dir)
+        db.load_rows("ORDERS", [[9001, 10, 42.5, "HIGH"]])        # WAL delta
+        db.catalog.relation("ORDERS").insert([9002, 11, 13.0, "LOW"])
+        db.note_data_change()                                      # snapshot
+        db.load_rows("ORDERS", [[9003, 12, 77.0, "HIGH"]])        # WAL suffix
+        live_count = order_count(db)
+        live_join = sorted(r["N_NAME"] for r in db.connect().sql(JOIN_SQL).rows)
+        db._durability.wal.sync()
+
+        recovered = Database(make_mini_catalog(), data_dir=data_dir)
+        report = recovered.recovery_report
+        assert report["snapshot"] is not None
+        assert report["rows_replayed"] == 1  # only the post-snapshot delta
+        assert order_count(recovered) == live_count
+        assert (
+            sorted(r["N_NAME"] for r in recovered.connect().sql(JOIN_SQL).rows)
+            == live_join
+        )
+
+    def test_views_survive_scorched_earth_and_recovery(self, tmp_path):
+        data_dir = str(tmp_path / "d")
+        db = Database(make_mini_catalog(), data_dir=data_dir)
+        db.materialize(
+            "SELECT o.O_ORDERKEY AS k FROM ORDERS o WHERE o.O_TOTAL > 15.0",
+            name="big",
+        )
+        db.catalog.relation("ORDERS").insert([9005, 10, 99.0, "HIGH"])
+        db.note_data_change()  # recomputes the view, snapshots everything
+        live = sorted(r["k"] for r in db.query_view("big").rows)
+        assert 9005 in live
+
+        recovered = Database(make_mini_catalog(), data_dir=data_dir)
+        assert sorted(r["k"] for r in recovered.query_view("big").rows) == live
+
+    def test_writes_after_scorched_earth_keep_working(self, tmp_path):
+        """The fallback retires engines and compacts the WAL; the next
+        delta write must still log, apply and recover normally."""
+        data_dir = str(tmp_path / "d")
+        db = Database(make_mini_catalog(), data_dir=data_dir)
+        db.catalog.relation("ORDERS").insert([9001, 10, 42.5, "HIGH"])
+        db.note_data_change()
+        receipt = db.apply_write("ORDERS", [[9002, 11, 13.0, "LOW"]], request_id="after")
+        assert receipt["appended"] == 1
+        live = order_count(db)
+        db._durability.wal.sync()
+
+        recovered = Database(make_mini_catalog(), data_dir=data_dir)
+        assert order_count(recovered) == live
+        assert recovered.apply_write(
+            "ORDERS", [[9002, 11, 13.0, "LOW"]], request_id="after"
+        )["deduplicated"] is True

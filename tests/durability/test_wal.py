@@ -1,0 +1,180 @@
+"""WAL framing: round trips, torn tails, interior corruption, compaction."""
+
+import os
+import struct
+
+import pytest
+
+from repro.durability.wal import (
+    MAGIC,
+    MAX_RECORD_BYTES,
+    WalCorruption,
+    WriteAheadLog,
+    _HEADER,
+    _encode_record,
+)
+
+
+def wal_path(tmp_path) -> str:
+    return str(tmp_path / "wal.log")
+
+
+class TestRoundTrip:
+    def test_append_assigns_dense_lsns(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path))
+        assert wal.append({"type": "load", "relation": "R", "rows": []}) == 1
+        assert wal.append({"type": "load", "relation": "R", "rows": []}) == 2
+        assert wal.append({"type": "view", "name": "v", "sql": "SELECT 1"}) == 3
+        wal.close()
+
+    def test_reopen_replays_in_order(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        for i in range(5):
+            wal.append({"type": "load", "relation": "R", "rows": [[i]]})
+        wal.close()
+
+        reopened = WriteAheadLog(path)
+        records = list(reopened.records())
+        assert [r["lsn"] for r in records] == [1, 2, 3, 4, 5]
+        assert [r["rows"] for r in records] == [[[i]] for i in range(5)]
+        assert reopened.last_lsn == 5
+        assert not reopened.torn_tail_dropped
+        reopened.close()
+
+    def test_records_after_lsn_filters(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        for i in range(4):
+            wal.append({"type": "load", "relation": "R", "rows": [[i]]})
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert [r["lsn"] for r in reopened.records(after_lsn=2)] == [3, 4]
+        reopened.close()
+
+    def test_empty_log(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path))
+        assert list(wal.records()) == []
+        assert wal.last_lsn == 0
+        wal.close()
+
+
+class TestTornTail:
+    @pytest.mark.parametrize("chop", [1, 3, _HEADER.size - 1, _HEADER.size + 2])
+    def test_truncated_final_frame_is_dropped(self, tmp_path, chop):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        wal.append({"type": "load", "relation": "R", "rows": [[1]]})
+        wal.append({"type": "load", "relation": "R", "rows": [[2]]})
+        wal.close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - chop)
+
+        reopened = WriteAheadLog(path)
+        assert reopened.torn_tail_dropped
+        assert [r["lsn"] for r in reopened.records()] == [1]
+        # the file itself was truncated to the valid prefix, so appending
+        # does not interleave with garbage
+        assert reopened.append({"type": "load", "relation": "R", "rows": [[3]]}) == 2
+        reopened.close()
+        final = WriteAheadLog(path)
+        assert [r["lsn"] for r in final.records()] == [1, 2]
+        assert not final.torn_tail_dropped
+        final.close()
+
+    def test_corrupted_final_crc_is_dropped(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        wal.append({"type": "load", "relation": "R", "rows": [[1]]})
+        wal.append({"type": "load", "relation": "R", "rows": [[2]]})
+        wal.close()
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([last[0] ^ 0xFF]))
+
+        reopened = WriteAheadLog(path)
+        assert reopened.torn_tail_dropped
+        assert [r["lsn"] for r in reopened.records()] == [1]
+        reopened.close()
+
+    def test_interior_corruption_refuses_to_truncate(self, tmp_path):
+        path = wal_path(tmp_path)
+        first = _encode_record({"lsn": 1, "type": "load", "relation": "R", "rows": [[1]]})
+        second = _encode_record({"lsn": 2, "type": "load", "relation": "R", "rows": [[2]]})
+        damaged = bytearray(first)
+        damaged[_HEADER.size] ^= 0xFF  # flip a payload byte of frame 1
+        with open(path, "wb") as handle:
+            handle.write(bytes(damaged) + second)
+
+        # frame 2 is intact AFTER the damage: that is acknowledged data,
+        # and silently keeping only the prefix would lose it
+        with pytest.raises(WalCorruption):
+            WriteAheadLog(path)
+
+    def test_absurd_length_header_treated_as_garbage(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        wal.append({"type": "load", "relation": "R", "rows": [[1]]})
+        wal.close()
+        with open(path, "ab") as handle:
+            handle.write(_HEADER.pack(MAGIC, MAX_RECORD_BYTES + 1, 0))
+        reopened = WriteAheadLog(path)
+        assert reopened.torn_tail_dropped
+        assert [r["lsn"] for r in reopened.records()] == [1]
+        reopened.close()
+
+
+class TestCompaction:
+    def test_compact_drops_covered_prefix(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        for i in range(6):
+            wal.append({"type": "load", "relation": "R", "rows": [[i]]})
+        kept = wal.compact(covered_lsn=4)
+        assert kept == 2
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert [r["lsn"] for r in reopened.records()] == [5, 6]
+        reopened.close()
+
+    def test_compact_keeps_appends_after_reopen(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        wal.append({"type": "load", "relation": "R", "rows": [[1]]})
+        wal.close()
+        wal = WriteAheadLog(path)
+        wal.append({"type": "load", "relation": "R", "rows": [[2]]})
+        wal.append({"type": "load", "relation": "R", "rows": [[3]]})
+        # in-run appends past covered_lsn must survive the rewrite
+        assert wal.compact(covered_lsn=1) == 2
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert [r["lsn"] for r in reopened.records()] == [2, 3]
+        reopened.close()
+
+    def test_append_continues_after_compaction(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        for i in range(3):
+            wal.append({"type": "load", "relation": "R", "rows": [[i]]})
+        wal.compact(covered_lsn=3)
+        # LSNs keep climbing past the compacted prefix
+        assert wal.append({"type": "load", "relation": "R", "rows": [[9]]}) == 4
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert [r["lsn"] for r in reopened.records()] == [4]
+        reopened.close()
+
+
+class TestBufferedMode:
+    def test_fsync_false_still_round_trips(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append({"type": "load", "relation": "R", "rows": [[1]]})
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert [r["lsn"] for r in reopened.records()] == [1]
+        reopened.close()

@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.incremental.locks import ReadWriteLock
+from repro.incremental.locks import LockTimeout, ReadWriteLock
 
 
 class TestBasics:
@@ -131,3 +131,84 @@ class TestWriterPreference:
             t.join(timeout=5)
         # the writer (already waiting) went before the late reader
         assert sequence.index("writer") < sequence.index("late reader")
+
+
+class TestWriteTimeout:
+    def test_timeout_raises_lock_timeout(self):
+        lock = ReadWriteLock()
+        reader_in = threading.Event()
+        release = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                reader_in.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        assert reader_in.wait(timeout=5)
+        started = time.monotonic()
+        with pytest.raises(LockTimeout) as excinfo:
+            lock.acquire_write(timeout=0.05)
+        waited = time.monotonic() - started
+        assert waited < 2.0  # gave up promptly, not wedged
+        assert excinfo.value.waited_seconds == pytest.approx(0.05)
+        release.set()
+        t.join(timeout=5)
+
+    def test_timed_out_writer_leaves_lock_usable(self):
+        """The starvation regression: a timed-out writer must withdraw its
+        waiting registration, or its ghost blocks every future reader."""
+        lock = ReadWriteLock()
+        reader_in = threading.Event()
+        release = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                reader_in.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        assert reader_in.wait(timeout=5)
+        with pytest.raises(LockTimeout):
+            lock.acquire_write(timeout=0.02)
+
+        # new readers must NOT queue behind the withdrawn writer
+        late_done = threading.Event()
+
+        def late_reader():
+            with lock.read_locked():
+                late_done.set()
+
+        lr = threading.Thread(target=late_reader)
+        lr.start()
+        assert late_done.wait(timeout=2), "reader starved behind a timed-out writer"
+        release.set()
+        t.join(timeout=5)
+        lr.join(timeout=5)
+
+        # and a fresh write attempt succeeds once readers drain
+        with lock.write_locked(timeout=5):
+            pass
+
+    def test_timeout_unneeded_when_uncontended(self):
+        lock = ReadWriteLock()
+        with lock.write_locked(timeout=0.01):
+            pass  # no raise: exclusivity was immediate
+
+    def test_writer_succeeds_within_timeout(self):
+        lock = ReadWriteLock()
+        reader_in = threading.Event()
+
+        def short_reader():
+            with lock.read_locked():
+                reader_in.set()
+                time.sleep(0.05)
+
+        t = threading.Thread(target=short_reader)
+        t.start()
+        assert reader_in.wait(timeout=5)
+        lock.acquire_write(timeout=5)  # reader exits well inside the bound
+        lock.release_write()
+        t.join(timeout=5)

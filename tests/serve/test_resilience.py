@@ -1,0 +1,360 @@
+"""Fault-tolerant serving: health, breaker shedding, idempotent retries,
+cooperative cancellation and the abandoned-worker gauge."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Awaitable, Callable, Optional
+
+import pytest
+
+from repro.api import Database
+from repro.core.cancellation import check_cancelled
+from repro.incremental.locks import LockTimeout
+from repro.serve import (
+    QueryServer,
+    RetryPolicy,
+    ServeClient,
+    ServerConfig,
+    ServerError,
+    connect,
+)
+from repro.serve.breaker import CLOSED, OPEN, SHED_WRITES, CircuitBreaker
+
+from tests.conftest import make_mini_catalog
+
+PARAM_SQL = "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_TOTAL > :v"
+NEW_ROW = [[9001, 10, 42.5, "HIGH"]]
+
+
+def serving(
+    scenario: Callable[[QueryServer, ServeClient], Awaitable[None]],
+    config: Optional[ServerConfig] = None,
+    database: Optional[Database] = None,
+) -> None:
+    async def body() -> None:
+        db = database if database is not None else Database(make_mini_catalog())
+        server = QueryServer(db, config or ServerConfig())
+        await server.start()
+        try:
+            client = await connect(server.host, server.port)
+            try:
+                await scenario(server, client)
+                assert client.invalid_frames == []
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(body())
+
+
+class TestBreakerStateMachine:
+    def test_thresholds(self):
+        breaker = CircuitBreaker(max_depth=8)  # shed at 6, open at 8, recover at 4
+        assert breaker.observe(0) == CLOSED
+        assert breaker.observe(6) == SHED_WRITES
+        assert breaker.allows(is_write=False)
+        assert not breaker.allows(is_write=True)
+        assert breaker.observe(8) == OPEN
+        assert not breaker.allows(is_write=False)
+
+    def test_hysteresis_holds_between_recover_and_shed(self):
+        breaker = CircuitBreaker(max_depth=8)
+        breaker.observe(8)
+        assert breaker.observe(5) == OPEN  # above recover: no de-escalation
+        assert breaker.observe(4) == CLOSED  # at/below recover: closed again
+
+    def test_no_flap_counted(self):
+        breaker = CircuitBreaker(max_depth=8)
+        breaker.observe(6)
+        breaker.observe(6)
+        breaker.observe(2)
+        assert breaker.transitions == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(8, shed_ratio=1.5)
+        with pytest.raises(ValueError):
+            CircuitBreaker(8, shed_ratio=0.5, recover_ratio=0.6)
+
+
+class TestHealth:
+    def test_health_payload_memory_tenant(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            health = await client.health()
+            assert health["healthy"] is True
+            assert health["queue_depth"] == 0
+            assert health["breaker"]["state"] == CLOSED
+            assert health["abandoned_running"] == 0
+            assert health["durability"] == {"default": None}
+
+        serving(scenario)
+
+    def test_health_reports_wal_lag(self, tmp_path):
+        db = Database(make_mini_catalog(), data_dir=str(tmp_path / "d"))
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            await client.load_rows("ORDERS", NEW_ROW)
+            health = await client.health()
+            durability = health["durability"]["default"]
+            assert durability["wal_lsn"] == 1
+            assert durability["wal_lag_records"] == 1
+            assert durability["snapshot_lsn"] == 0
+
+        serving(scenario, database=db)
+
+    def test_health_stays_inline_under_saturation(self):
+        from tests.serve.test_server import SlowDatabase
+
+        db = SlowDatabase(make_mini_catalog())
+        db.delay_seconds = 0.4
+        config = ServerConfig(pool_size=1, max_queue_depth=2, result_cache_entries=0)
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            slow = [
+                asyncio.create_task(
+                    client.request(
+                        "execute", sql=PARAM_SQL, params={"v": float(i)},
+                        use_cache=False, timeout_ms=5000,
+                    )
+                )
+                for i in range(3)
+            ]
+            await asyncio.sleep(0.05)  # let them occupy pool + queue
+            started = time.monotonic()
+            health = await client.health()
+            assert time.monotonic() - started < 0.3  # answered inline
+            assert health["queue_depth"] >= 1
+            await asyncio.gather(*slow)
+
+        serving(scenario, config=config, database=db)
+
+
+class TestBreakerSheds:
+    def test_writes_shed_first_with_retryable_code(self):
+        from tests.serve.test_server import SlowDatabase
+
+        db = SlowDatabase(make_mini_catalog())
+        db.delay_seconds = 0.4
+        # shed_depth = 3, open = 4, recover = 2
+        config = ServerConfig(pool_size=1, max_queue_depth=4, result_cache_entries=0)
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            reads = [
+                asyncio.create_task(
+                    client.request(
+                        "execute", sql=PARAM_SQL, params={"v": float(i)},
+                        use_cache=False, timeout_ms=10_000,
+                    )
+                )
+                for i in range(4)  # 1 running + 3 queued = shed_depth
+            ]
+            await asyncio.sleep(0.1)
+            from repro.core.wire import iter_encoded_rows
+
+            write_frame = await client.request(
+                "load_rows", relation="ORDERS", rows=iter_encoded_rows(NEW_ROW),
+                request_id="shed-me",
+            )
+            assert write_frame["ok"] is False
+            assert write_frame["error"]["code"] == "overloaded"
+            # reads still pass while only writes are shed
+            read_frame = await client.request(
+                "execute", sql=PARAM_SQL, params={"v": 999.0}, use_cache=False,
+                timeout_ms=10_000,
+            )
+            assert read_frame["ok"] is True
+            await asyncio.gather(*reads)
+            assert server.stats.rejected_overloaded >= 1
+            assert server.breaker.shed_requests >= 1
+            # pressure gone: the breaker closes and the write applies
+            for _ in range(50):
+                if server.breaker.observe(0) == CLOSED:
+                    break
+            receipt = await client.load_rows("ORDERS", NEW_ROW)
+            assert receipt["appended"] == 1
+
+        serving(scenario, config=config, database=db)
+
+
+class TestIdempotentWritesOverTheWire:
+    def test_same_request_id_deduplicates(self, tmp_path):
+        db = Database(make_mini_catalog(), data_dir=str(tmp_path / "d"))
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            first = await client.load_rows("ORDERS", NEW_ROW, request_id="w-1")
+            assert first["appended"] == 1
+            assert first["deduplicated"] is False
+            retry = await client.load_rows("ORDERS", NEW_ROW, request_id="w-1")
+            assert retry["deduplicated"] is True
+            assert server.stats.deduplicated_writes == 1
+            count = await client.execute(
+                "SELECT COUNT(*) AS n FROM ORDERS o WHERE o.O_ORDERKEY = :k",
+                params={"k": 9001}, use_cache=False,
+            )
+            assert count.single_value() == 1
+
+        serving(scenario, database=db)
+
+    def test_client_mints_distinct_ids_per_logical_write(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            a = await client.load_rows("ORDERS", NEW_ROW)
+            b = await client.load_rows("ORDERS", [[9002, 11, 13.0, "LOW"]])
+            assert a["appended"] == 1 and b["appended"] == 1
+
+        serving(scenario)
+
+
+class FlakyTransport:
+    """A ServeClient stand-in exercising request_retrying's policy."""
+
+    def __init__(self, failures: list) -> None:
+        self._failures = failures
+        self.attempts = 0
+        self.retries = 0
+        self.reconnects = 0
+        self.retry = RetryPolicy(max_attempts=5, base_delay=0.001, max_delay=0.002)
+        self._closed = False
+        self._address = ("x", 1)
+
+    _unwrap = staticmethod(ServeClient._unwrap)
+    request_retrying = ServeClient.request_retrying
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        self.attempts += 1
+        if self._failures:
+            failure = self._failures.pop(0)
+            if isinstance(failure, Exception):
+                raise failure
+            return failure
+        return {"id": 1, "ok": True, "result": {"done": True}}
+
+    async def _reconnect(self) -> None:
+        self.reconnects += 1
+
+
+def error_frame_for(code: str) -> dict:
+    return {"id": 1, "ok": False, "error": {"code": code, "message": "m"}}
+
+
+class TestClientRetryPolicy:
+    def test_retries_retryable_codes_then_succeeds(self):
+        client = FlakyTransport(
+            [error_frame_for("queue_full"), error_frame_for("overloaded")]
+        )
+        result = asyncio.run(client.request_retrying("execute"))
+        assert result == {"done": True}
+        assert client.attempts == 3
+        assert client.retries == 2
+
+    def test_non_retryable_raises_immediately(self):
+        client = FlakyTransport([error_frame_for("execution_error")])
+        with pytest.raises(ServerError) as excinfo:
+            asyncio.run(client.request_retrying("execute"))
+        assert excinfo.value.code == "execution_error"
+        assert client.attempts == 1
+
+    def test_connection_error_reconnects(self):
+        client = FlakyTransport([ConnectionError("boom")])
+        result = asyncio.run(client.request_retrying("ping"))
+        assert result == {"done": True}
+        assert client.reconnects == 1
+
+    def test_exhausted_attempts_raise_last_error(self):
+        client = FlakyTransport([error_frame_for("queue_full")] * 10)
+        with pytest.raises(ServerError) as excinfo:
+            asyncio.run(client.request_retrying("execute"))
+        assert excinfo.value.code == "queue_full"
+        assert client.attempts == 5
+
+    def test_backoff_grows_and_jitters(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.5)
+        d0, d3 = policy.delay(0), policy.delay(3)
+        assert 0.1 <= d0 <= 0.15
+        assert 0.8 <= d3 <= 1.5  # capped at max_delay, then jittered up
+
+
+class CancellableDatabase(Database):
+    """Sessions spin at a cooperative boundary until cancelled — the
+    shape of an engine polling its token every superstep/batch."""
+
+    spin_seconds = 5.0
+
+    def connect(self, engine: Optional[str] = None) -> Any:
+        session = super().connect(engine)
+        original = session.execute
+        spin = self.spin_seconds
+
+        def spinning_execute(query: Any, params: Any = None, name: str = "query") -> Any:
+            deadline = time.monotonic() + spin
+            while time.monotonic() < deadline:
+                check_cancelled()  # the superstep-boundary poll
+                time.sleep(0.005)
+            return original(query, params=params, name=name)
+
+        session.execute = spinning_execute  # type: ignore[method-assign]
+        return session
+
+
+class TestCooperativeCancellation:
+    def test_abandoned_running_returns_to_zero(self):
+        """The worker-leak regression: a deadline-exceeded request must not
+        leave its thread running to completion — cancellation reclaims it
+        and the ``abandoned_running`` gauge returns to zero."""
+        db = CancellableDatabase(make_mini_catalog())
+        config = ServerConfig(pool_size=2, result_cache_entries=0)
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            frame = await client.request(
+                "execute", sql=PARAM_SQL, params={"v": 1.0},
+                use_cache=False, timeout_ms=100,
+            )
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "deadline_exceeded"
+            # the gauge spiked (if the event loop won the race) but the
+            # spinning thread notices its cancelled token within a few
+            # polls and is reclaimed
+            for _ in range(200):
+                if server.stats.abandoned_running == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.stats.abandoned_running == 0
+            assert server.stats.timeouts_running == 1
+            # the pool is NOT wedged: both workers answer fresh requests
+            # immediately instead of spinning out the full 5 seconds
+            db.spin_seconds = 0.0
+            started = time.monotonic()
+            result = await client.execute(
+                PARAM_SQL, params={"v": 2.0}, use_cache=False, timeout_ms=5000
+            )
+            assert time.monotonic() - started < 1.0
+            assert result.single_value() >= 0
+
+        serving(scenario, config=config, database=db)
+
+
+class LockTimeoutDatabase(Database):
+    """apply_write gives up behind a reader storm, as a stuck writer would."""
+
+    def apply_write(self, *args: Any, **kwargs: Any) -> Any:
+        raise LockTimeout(0.25)
+
+
+class TestLockTimeoutFrame:
+    def test_stuck_writer_answers_overloaded(self):
+        db = LockTimeoutDatabase(make_mini_catalog())
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            from repro.core.wire import iter_encoded_rows
+
+            frame = await client.request(
+                "load_rows", relation="ORDERS", rows=iter_encoded_rows(NEW_ROW),
+                request_id="stuck",
+            )
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "overloaded"
+            assert frame["error"]["waited_seconds"] == pytest.approx(0.25)
+
+        serving(scenario, database=db)
