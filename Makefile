@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stress test-differential test-chaos bench-smoke bench-micro bench-incremental bench-encoding bench-recovery bench serve-bench examples lint format-check
+.PHONY: test test-stress test-differential test-chaos bench-smoke bench-micro bench-incremental bench-delete bench-encoding bench-recovery bench serve-bench examples lint format-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +35,14 @@ bench-micro:
 bench-incremental:
 	$(PYTHON) -m repro.bench.incremental --base-rows 20000 \
 		--out benchmarks/results/BENCH_incremental.json
+
+# tombstone delete deltas vs scorched-earth rebuild; exits non-zero if
+# deleting 1% of 20k rows is not >=10x faster than the full rebuild, a
+# delete recompiles a plan or triggers a full rebuild, or the patched
+# graph/maintained view diverge from a cold rebuild
+bench-delete:
+	$(PYTHON) -m repro.bench.delete --base-rows 20000 \
+		--out benchmarks/results/BENCH_delete.json
 
 # dictionary/sentinel encoding vs. the object-dtype path; exits non-zero
 # if a kernel microbenchmark falls below 2x or the q1-like hot path

@@ -588,7 +588,10 @@ class Database:
         started = time.perf_counter()
         catalog = self.catalog
         version_before = catalog.version
-        before = len(relation)
+        # physical, not live: tuple vertex indexes, index positions and
+        # rollback truncation all live in physical-position space, which
+        # tombstone deletes never compact
+        before = relation.physical_count
         try:
             return self._apply_load_delta_inner(
                 relation, rows, validated_rows, catalog, version_before, before, started
@@ -629,7 +632,7 @@ class Database:
         from ..relational.types import value_size_bytes
 
         relation.extend(rows, validated=validated_rows)
-        coerced = relation.rows[before:]
+        coerced = relation.rows_since(before)
         graph_fresh = self._graph is not None and self._graph_version == version_before
         stats_fresh = (
             self._statistics is not None
@@ -690,10 +693,353 @@ class Database:
 
         if self._views:
             self._refresh_views(
-                {relation.name: (before, len(relation))}, delta_ok=graph_fresh
+                {relation.name: (before, relation.physical_count)},
+                delta_ok=graph_fresh,
             )
         maybe_fire("delta.apply.after_apply")
-        return len(relation) - before
+        return relation.physical_count - before
+
+    # ------------------------------------------------------------------
+    # deletes and updates (tombstone deltas)
+    # ------------------------------------------------------------------
+    def delete_rows(
+        self,
+        relation_name: str,
+        predicate_or_rows: Union[Any, Iterable[Sequence[Any]]],
+        request_id: Optional[str] = None,
+    ) -> int:
+        """Delete rows, maintaining dependent state in place; returns count.
+
+        ``predicate_or_rows`` selects the victims: a callable receives
+        each live row (a value tuple) and returns truthiness, anything
+        else is an iterable of row values deleted with bag semantics
+        (each given row removes exactly one live occurrence; a row with
+        no live match raises ``KeyError``).
+
+        This is the deletion mirror of :meth:`load_rows`: rows are
+        *tombstoned* (physical positions never shift), the matching tuple
+        vertices leave the TAG graph with shared attribute vertices freed
+        by refcount, statistics fold the removal exactly, engines patch
+        through their ``apply_delete`` hook, and delta-maintained views
+        are counting-maintained by telescoped delete terms run against
+        the pre-delete graph.  Compiled plans survive — cache keys depend
+        only on the schema version, which a delete never moves.
+
+        On a durable database the deleted row *values* are WAL-logged
+        before anything applies, and ``request_id`` makes the delete
+        idempotent exactly like a write.
+        """
+        return int(
+            self.apply_delete(relation_name, predicate_or_rows, request_id=request_id)[
+                "deleted"
+            ]
+        )
+
+    def apply_delete(
+        self,
+        relation_name: str,
+        predicate_or_rows: Union[Any, Iterable[Sequence[Any]]],
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """:meth:`delete_rows` returning a full receipt.
+
+        Returns ``{"deleted", "deduplicated", "lsn"}`` with the same
+        retry contract as :meth:`apply_write`: the durable path is
+        log-then-apply (row values, which survive snapshot compaction,
+        not positions), and a retried ``request_id`` acknowledges the
+        original application instead of deleting twice.
+        """
+        relation = self.catalog.relation(relation_name)  # raise before locking
+        with self._rw_lock.write_locked(), self._lock:
+            self._check_open()
+            durability = self._durability
+            if durability is not None:
+                already = durability.applied(request_id)
+                if already is not None:
+                    return {
+                        "deleted": 0,
+                        "deduplicated": True,
+                        "lsn": durability.wal.last_lsn,
+                        "first_applied": already,
+                    }
+            positions, victim_rows = self._resolve_delete_targets(
+                relation, predicate_or_rows
+            )
+            if not positions:
+                self.maintenance.empty_loads_ignored += 1
+                return {"deleted": 0, "deduplicated": False, "lsn": None}
+            lsn = None
+            if durability is not None:
+                lsn = durability.log_delete_rows(relation_name, victim_rows, request_id)
+            deleted = self._apply_delete_delta(relation, positions)
+            if durability is not None:
+                durability.note_applied(request_id, deleted)
+                durability.maybe_snapshot(self)
+            return {"deleted": deleted, "deduplicated": False, "lsn": lsn}
+
+    def update_rows(
+        self,
+        relation_name: str,
+        predicate_or_rows: Union[Any, Iterable[Sequence[Any]]],
+        updater_or_rows: Union[Any, Iterable[Sequence[Any]]],
+        request_id: Optional[str] = None,
+    ) -> int:
+        """Update rows as delete + insert in one critical section; returns
+        the number of rows replaced.
+
+        ``predicate_or_rows`` selects the victims exactly as in
+        :meth:`delete_rows`.  ``updater_or_rows`` produces the
+        replacements: a callable maps each victim row (a value tuple) to
+        its replacement — either a full row sequence or a
+        ``column -> value`` mapping merged over the old values — a bare
+        mapping is that same merge applied to every victim (the SQL
+        ``UPDATE ... SET`` shape), and any other iterable is inserted as
+        given (the two halves need not pair up; an update *is* a delete
+        plus an insert).
+        """
+        return int(
+            self.apply_update(
+                relation_name, predicate_or_rows, updater_or_rows, request_id=request_id
+            )["deleted"]
+        )
+
+    def apply_update(
+        self,
+        relation_name: str,
+        predicate_or_rows: Union[Any, Iterable[Sequence[Any]]],
+        updater_or_rows: Union[Any, Iterable[Sequence[Any]]],
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """:meth:`update_rows` returning a full receipt.
+
+        Returns ``{"deleted", "inserted", "deduplicated", "lsn"}``.  Both
+        halves ride one WAL record under one ``request_id``, so the
+        update is durable and idempotent *atomically*: recovery replays
+        delete-then-insert together or (on dedup) neither, and no crash
+        window can split them.  Both halves also apply inside one writer
+        critical section — no reader ever observes the delete without
+        the insert.
+        """
+        relation = self.catalog.relation(relation_name)  # raise before locking
+        with self._rw_lock.write_locked(), self._lock:
+            self._check_open()
+            durability = self._durability
+            if durability is not None:
+                already = durability.applied(request_id)
+                if already is not None:
+                    return {
+                        "deleted": 0,
+                        "inserted": 0,
+                        "deduplicated": True,
+                        "lsn": durability.wal.last_lsn,
+                        "first_applied": already,
+                    }
+            positions, victim_rows = self._resolve_delete_targets(
+                relation, predicate_or_rows
+            )
+            replacements = self._replacement_rows(relation, victim_rows, updater_or_rows)
+            if not positions and not replacements:
+                self.maintenance.empty_loads_ignored += 1
+                return {"deleted": 0, "inserted": 0, "deduplicated": False, "lsn": None}
+            validated = relation.validate_rows(replacements) if replacements else []
+            lsn = None
+            if durability is not None:
+                lsn = durability.log_update_rows(
+                    relation_name, victim_rows, validated, request_id
+                )
+            deleted = self._apply_delete_delta(relation, positions) if positions else 0
+            inserted = (
+                self._apply_load_delta(relation, validated, validated_rows=True)
+                if validated
+                else 0
+            )
+            if durability is not None:
+                durability.note_applied(request_id, deleted + inserted)
+                durability.maybe_snapshot(self)
+            return {
+                "deleted": deleted,
+                "inserted": inserted,
+                "deduplicated": False,
+                "lsn": lsn,
+            }
+
+    def _resolve_delete_targets(
+        self, relation: Any, predicate_or_rows: Union[Any, Iterable[Sequence[Any]]]
+    ) -> Tuple[List[int], List[Sequence[Any]]]:
+        """Victim physical positions + their row values, pre-deletion."""
+        if callable(predicate_or_rows):
+            positions = relation.find_positions(predicate_or_rows)
+        else:
+            positions = relation.match_positions(predicate_or_rows)
+        return positions, [relation[position] for position in positions]
+
+    def _replacement_rows(
+        self,
+        relation: Any,
+        victim_rows: List[Sequence[Any]],
+        updater_or_rows: Union[Any, Iterable[Sequence[Any]]],
+    ) -> List[Sequence[Any]]:
+        """Materialize an update's insert half (see :meth:`update_rows`)."""
+        if isinstance(updater_or_rows, Mapping):
+            # bare mapping = same column merge for every victim; without
+            # this branch it would fall through to list(dict) == keys
+            updates = updater_or_rows
+            updater_or_rows = lambda row: updates  # noqa: E731
+        if not callable(updater_or_rows):
+            return list(updater_or_rows)
+        schema = relation.schema
+        replacements: List[Sequence[Any]] = []
+        for row in victim_rows:
+            produced = updater_or_rows(row)
+            if isinstance(produced, Mapping):
+                merged = list(row)
+                for column, value in produced.items():
+                    merged[schema.position(column)] = value
+                produced = merged
+            replacements.append(produced)
+        return replacements
+
+    def _apply_delete_delta(self, relation: Any, positions: List[int]) -> int:
+        """Tombstone ``positions`` and patch graph/statistics/engines/views.
+
+        Caller holds the write lock and ``_lock``.  Mirrors
+        :meth:`_apply_load_delta`, including the rollback contract: a
+        failure mid-apply restores the tombstoned rows and retires every
+        derived structure so a retry applies exactly once against a
+        clean rebuild.
+        """
+        started = time.perf_counter()
+        catalog = self.catalog
+        version_before = catalog.version
+        # validates every position before mutating anything, so a raise
+        # from here leaves nothing to roll back
+        deleted_rows = relation.delete_positions(positions)
+        try:
+            return self._apply_delete_delta_inner(
+                relation, positions, deleted_rows, catalog, version_before, started
+            )
+        except BaseException:
+            relation.restore_positions(positions)
+            catalog.note_data_change()
+            for engine in self._engines.values():
+                retire = getattr(engine, "retire", None)
+                if callable(retire):
+                    retire(f"delete from {relation.name!r} rolled back mid-apply")
+            self._engines.clear()
+            self._engine_versions.clear()
+            self.maintenance.full_rebuilds += 1
+            self.maintenance.plans_retained = len(self.plan_cache)
+            for view in self._views.values():
+                self._rebuild_view(view)
+                self.maintenance.views_recomputed += 1
+            raise
+
+    def _apply_delete_delta_inner(
+        self,
+        relation: Any,
+        positions: List[int],
+        deleted_rows: List[Sequence[Any]],
+        catalog: Any,
+        version_before: int,
+        started: float,
+    ) -> int:
+        from ..incremental.delta import apply_graph_delete, rows_as_value_dicts
+        from ..relational.types import value_size_bytes
+
+        graph_fresh = self._graph is not None and self._graph_version == version_before
+        stats_fresh = (
+            self._statistics is not None
+            and self._statistics.catalog_version == version_before
+        )
+        catalog.note_data_change()
+
+        maybe_fire("delta_delete.before_graph_patch")
+        affected_views = [
+            view
+            for view in self._views.values()
+            if relation.name in {table.table for table in view.spec.tables}
+        ]
+        delta_views = [view for view in affected_views if view.mode == "delta"]
+        if graph_fresh and delta_views:
+            # counting view maintenance MUST see the pre-delete graph:
+            # the telescoped delete terms join the deleted tuples against
+            # state that still contains them
+            self._refresh_views_delete(relation.name, positions, delta_views)
+        if graph_fresh:
+            apply_graph_delete(self._graph, relation.schema, positions)
+            self._graph_version = catalog.version
+        if stats_fresh:
+            schema = relation.schema
+            removed_bytes = sum(
+                value_size_bytes(value, column.dtype)
+                for row in deleted_rows
+                for value, column in zip(row, schema.columns)
+            )
+            self._statistics.apply_removal(
+                catalog,
+                relation.name,
+                rows_as_value_dicts(schema, deleted_rows),
+                removed_bytes=removed_bytes,
+            )
+
+        patched = dropped = 0
+        for name, engine in list(self._engines.items()):
+            hook = getattr(engine, "apply_delete", None)
+            engine_current = self._engine_versions.get(name) == version_before
+            graph_ok = graph_fresh or getattr(engine, "graph", None) is None
+            if callable(hook) and engine_current and graph_ok:
+                hook(relation.name, positions, deleted_rows, catalog.version)
+                self._engine_versions[name] = catalog.version
+                patched += 1
+            else:
+                self._engines.pop(name)
+                self._engine_versions.pop(name, None)
+                dropped += 1
+
+        counters = self.maintenance
+        counters.rows_deleted += len(deleted_rows)
+        if graph_fresh:
+            counters.delete_deltas_applied += 1
+        else:
+            counters.full_rebuilds += 1  # stale graph: lazy re-encode ahead
+        counters.engines_patched += patched
+        counters.engines_dropped += dropped
+        counters.plans_retained = len(self.plan_cache)
+        elapsed = time.perf_counter() - started
+        counters.delta_apply_seconds += elapsed
+        counters.last_delta_seconds = elapsed
+
+        # recompute-mode views go AFTER the graph patch: their engine run
+        # must not trigger a stale-graph full re-encode mid-delete.  With a
+        # stale graph the delete terms had no history to join against, so
+        # every affected view rebuilds here instead.
+        rebuild = [
+            view
+            for view in affected_views
+            if view.mode != "delta" or not graph_fresh
+        ]
+        for view in rebuild:
+            view_started = time.perf_counter()
+            self._rebuild_view(view)
+            self.maintenance.views_recomputed += 1
+            self.maintenance.view_refresh_seconds += (
+                time.perf_counter() - view_started
+            )
+        maybe_fire("delta_delete.after_apply")
+        return len(deleted_rows)
+
+    def _refresh_views_delete(
+        self, relation_name: str, positions: List[int], delta_views: List[Any]
+    ) -> None:
+        """Counting-maintain views for a delete (pre-graph-patch; locks held)."""
+        from ..incremental.views import refresh_view_delete
+
+        deleted = {relation_name: {position + 1 for position in positions}}
+        for view in delta_views:
+            started = time.perf_counter()
+            refresh_view_delete(view, self._graph, self.catalog, deleted)
+            self.maintenance.views_delete_refreshed += 1
+            self.maintenance.view_refresh_seconds += time.perf_counter() - started
 
     def note_data_change(self) -> None:
         """Record an *out-of-band* data mutation: bump the catalog version so
@@ -788,7 +1134,7 @@ class Database:
         view.rows = run_view_fragment(graph, compiled)
         view.columns = [column.alias for column in compiled.config.output_columns]
         view.base_counts = {
-            table.table: len(self.catalog.relation(table.table))
+            table.table: self.catalog.relation(table.table).physical_count
             for table in view.spec.tables
         }
 
@@ -798,7 +1144,7 @@ class Database:
         view.rows = [dict(row) for row in result.rows]
         view.columns = list(result.columns)
         view.base_counts = {
-            table.table: len(self.catalog.relation(table.table))
+            table.table: self.catalog.relation(table.table).physical_count
             for table in view.spec.tables
         }
         view.recompute_count += 1

@@ -11,7 +11,7 @@ constantly ask for "my out-edges labelled ``R.A``" (Algorithm 2, lines
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 VertexId = str
 
@@ -128,7 +128,7 @@ class Graph:
     def remove_vertex(self, vertex_id: VertexId) -> None:
         """Remove a vertex and its outgoing edges (incoming edges are left dangling).
 
-        Only used by the incremental-maintenance tests; TAG-join itself never
+        Only used by incremental maintenance; TAG-join itself never
         mutates the graph.
         """
         vertex = self.vertex(vertex_id)
@@ -137,6 +137,26 @@ class Graph:
         self._edge_count -= removed
         del self._out_edges[vertex_id]
         del self._vertices[vertex_id]
+
+    def remove_vertices(self, vertex_ids: Iterable[VertexId]) -> None:
+        """Batch form of :meth:`remove_vertex`.
+
+        Filters each affected label list once for the whole batch —
+        per-vertex ``list.remove`` would rescan the label's full
+        population per removal, turning a bulk delete quadratic.
+        """
+        dead = set(vertex_ids)
+        if not dead:
+            return
+        labels = {self.vertex(vertex_id).label for vertex_id in dead}
+        for label in labels:
+            survivors = [v for v in self._vertices_by_label[label] if v not in dead]
+            self._vertices_by_label[label] = survivors
+        for vertex_id in dead:
+            removed = sum(len(edges) for edges in self._out_edges[vertex_id].values())
+            self._edge_count -= removed
+            del self._out_edges[vertex_id]
+            del self._vertices[vertex_id]
 
     # ------------------------------------------------------------------
     # lookups

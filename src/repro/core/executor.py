@@ -297,6 +297,23 @@ class TagJoinExecutor:
         del relation_name, new_rows, start_position  # state is shared
         self.bound_catalog_version = catalog_version
 
+    def apply_delete(
+        self,
+        relation_name: str,
+        positions: List[int],
+        deleted_rows: List[List[Any]],
+        catalog_version: int,
+    ) -> None:
+        """Adopt a data-only delete already applied to the shared state.
+
+        Mirror of :meth:`apply_delta`: the tuple vertices are already gone
+        from the shared TAG graph and the statistics already folded the
+        removal, so the executor only re-binds to the new catalog version.
+        Compiled plans stay cached and the executor is *not* retired.
+        """
+        del relation_name, positions, deleted_rows  # state is shared
+        self.bound_catalog_version = catalog_version
+
     def _check_not_stale(self) -> None:
         if self._retired_reason is not None:
             raise StaleEngineError(

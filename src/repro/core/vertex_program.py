@@ -119,6 +119,8 @@ class TagJoinProgram(VertexProgram):
         graph: TagGraph,
         config: FragmentConfig,
         alias_ranges: Optional[Dict[str, Tuple[int, Optional[int]]]] = None,
+        alias_members: Optional[Dict[str, Set[int]]] = None,
+        alias_excluded: Optional[Dict[str, Set[int]]] = None,
     ) -> None:
         """
         Args:
@@ -132,10 +134,21 @@ class TagJoinProgram(VertexProgram):
                 delta term ``Q(old, .., Δ_i, .., full)`` over only the
                 relevant old/new vertices.  Aliases without an entry see
                 the full relation.
+            alias_members: optional per-alias tuple-index *membership* sets
+                — an alias with an entry only accepts tuple vertices whose
+                index is in the set.  Deletion-delta terms use this to pin
+                one alias to exactly the deleted tuples (which are sparse,
+                not a contiguous window).
+            alias_excluded: optional per-alias tuple-index *exclusion* sets
+                — tuple vertices whose index is in the set are rejected.
+                The telescoping delete terms use this to keep earlier
+                aliases on the "already deleted" side of the product.
         """
         self.graph = graph
         self.config = config
         self.alias_ranges: Dict[str, Tuple[int, Optional[int]]] = dict(alias_ranges or {})
+        self.alias_members: Dict[str, Set[int]] = dict(alias_members or {})
+        self.alias_excluded: Dict[str, Set[int]] = dict(alias_excluded or {})
         self.output_rows: List[Dict[str, Any]] = []
         self.local_groups: List[Dict[str, Any]] = []
         self._start_node = config.plan.node(config.start_node_id)
@@ -150,7 +163,12 @@ class TagJoinProgram(VertexProgram):
         if not start.is_relation:
             raise ValueError("the TAG plan traversal must start at a relation node")
         candidates = graph.vertices_with_label(start.table)
-        if not self.config.filters.get(start.alias) and start.alias not in self.alias_ranges:
+        if (
+            not self.config.filters.get(start.alias)
+            and start.alias not in self.alias_ranges
+            and start.alias not in self.alias_members
+            and start.alias not in self.alias_excluded
+        ):
             return candidates
         passing = []
         for vertex_id in candidates:
@@ -350,6 +368,10 @@ class TagJoinProgram(VertexProgram):
             return True
         if self.alias_ranges and not self._vertex_in_range(vertex, alias):
             return False
+        if (self.alias_members or self.alias_excluded) and not self._vertex_in_sets(
+            vertex, alias
+        ):
+            return False
         predicates = self.config.filters.get(alias)
         if not predicates:
             return True
@@ -371,6 +393,19 @@ class TagJoinProgram(VertexProgram):
         if index <= lo_exclusive:
             return False
         return hi_inclusive is None or index <= hi_inclusive
+
+    def _vertex_in_sets(self, vertex: Vertex, alias: str) -> bool:
+        members = self.alias_members.get(alias)
+        excluded = self.alias_excluded.get(alias)
+        if members is None and excluded is None:
+            return True
+        try:
+            index = int(vertex.vertex_id.rsplit("_", 1)[1])
+        except (IndexError, ValueError):
+            return True  # not a tuple vertex id; sets don't apply
+        if members is not None and index not in members:
+            return False
+        return excluded is None or index not in excluded
 
     def _own_row(self, vertex: Vertex, node: PlanNode) -> Dict[str, Any]:
         tuple_data = vertex.properties[TUPLE_DATA_KEY]

@@ -72,6 +72,16 @@ class SparkLikeExecutor:
         """Nothing to patch: this executor scans the shared catalog per run."""
         del relation_name, new_rows, start_position, catalog_version
 
+    def apply_delete(
+        self,
+        relation_name: str,
+        positions: List[int],
+        deleted_rows: List[List[Any]],
+        catalog_version: int,
+    ) -> None:
+        """Nothing to patch: this executor scans the shared catalog per run."""
+        del relation_name, positions, deleted_rows, catalog_version
+
     # ------------------------------------------------------------------
     def execute(self, spec: QuerySpec) -> QueryResult:
         spec.validate(self.catalog)

@@ -58,6 +58,9 @@ FAILPOINTS = (
     # delta application inside Database.load_rows
     "delta.apply.before_graph_patch",
     "delta.apply.after_apply",
+    # tombstone-delete application inside Database.delete_rows/update_rows
+    "delta_delete.before_graph_patch",
+    "delta_delete.after_apply",
     # recovery itself (crash-during-recovery must also recover)
     "recovery.before_replay",
     # BSP superstep boundary (every query; also the cancellation check site)

@@ -10,8 +10,10 @@ One :class:`DurabilityManager` owns the on-disk state under a database's
 
 and enforces the two orderings every crash-safety argument here rests on:
 
-* **log before apply** — a ``load_rows`` delta is framed, written and
-  fsync'd to the WAL *before* any in-memory state changes.  An
+* **log before apply** — every mutation (``load_rows`` appends,
+  ``delete_rows`` tombstones, ``update_rows`` delete+insert pairs) is
+  framed, written and fsync'd to the WAL *before* any in-memory state
+  changes.  An
   acknowledged write is therefore always in the WAL, so recovery replays
   it; an unacknowledged write either never reached the WAL (the client
   retries and it applies once) or reached it without the ack (recovery
@@ -142,6 +144,58 @@ class DurabilityManager:
             "type": "load",
             "relation": relation_name,
             "rows": iter_encoded_rows(rows),
+        }
+        if request_id is not None:
+            record["request_id"] = request_id
+        lsn = self.wal.append(record)
+        self.counters["wal_appends"] += 1
+        self.records_since_snapshot += 1
+        return lsn
+
+    def log_delete_rows(
+        self,
+        relation_name: str,
+        rows: Sequence[Sequence[Any]],
+        request_id: Optional[str] = None,
+    ) -> int:
+        """Durably log one tombstone delete; returns its LSN.
+
+        The record carries the deleted rows *by value*, not by position:
+        snapshot compaction rewrites relations from live rows only, so
+        physical positions do not survive a snapshot boundary while row
+        values do.  Replay removes the first live row matching each value
+        (bag semantics) — deterministic because WAL order is total.
+        """
+        record: Dict[str, Any] = {
+            "type": "delete",
+            "relation": relation_name,
+            "rows": iter_encoded_rows(rows),
+        }
+        if request_id is not None:
+            record["request_id"] = request_id
+        lsn = self.wal.append(record)
+        self.counters["wal_appends"] += 1
+        self.records_since_snapshot += 1
+        return lsn
+
+    def log_update_rows(
+        self,
+        relation_name: str,
+        deleted_rows: Sequence[Sequence[Any]],
+        inserted_rows: Sequence[Sequence[Any]],
+        request_id: Optional[str] = None,
+    ) -> int:
+        """Durably log one update (delete + insert) as a single record.
+
+        One record, one request id: the update replays atomically —
+        recovery either applies both halves or (when deduplicated)
+        neither, so a crash between the two halves cannot split them.
+        """
+        record: Dict[str, Any] = {
+            "type": "update",
+            "relation": relation_name,
+            "deleted": iter_encoded_rows(deleted_rows),
+            "inserted": iter_encoded_rows(inserted_rows),
         }
         if request_id is not None:
             record["request_id"] = request_id
@@ -285,6 +339,36 @@ class DurabilityManager:
                     relation.extend(rows)
                     self.note_applied(request_id, len(rows))
                     report["rows_replayed"] += len(rows)
+                    touched = True
+            elif kind == "delete":
+                request_id = record.get("request_id")
+                if request_id is not None and request_id in self.applied_request_ids:
+                    self.counters["replay_dedup_skips"] += 1
+                else:
+                    relation = catalog.relation(record["relation"])
+                    rows = [decode_row(row) for row in record.get("rows", [])]
+                    # delete by value, first live match per row (bag
+                    # semantics): positions don't survive snapshot
+                    # compaction, but WAL order is total so the match is
+                    # deterministic
+                    relation.delete_positions(relation.match_positions(rows))
+                    self.note_applied(request_id, len(rows))
+                    report["rows_replayed"] += len(rows)
+                    touched = True
+            elif kind == "update":
+                request_id = record.get("request_id")
+                if request_id is not None and request_id in self.applied_request_ids:
+                    self.counters["replay_dedup_skips"] += 1
+                else:
+                    relation = catalog.relation(record["relation"])
+                    deleted = [decode_row(row) for row in record.get("deleted", [])]
+                    inserted = [decode_row(row) for row in record.get("inserted", [])]
+                    if deleted:
+                        relation.delete_positions(relation.match_positions(deleted))
+                    if inserted:
+                        relation.extend(inserted)
+                    self.note_applied(request_id, len(deleted) + len(inserted))
+                    report["rows_replayed"] += len(deleted) + len(inserted)
                     touched = True
             elif kind == "view":
                 view_defs[record["name"]] = record["sql"]

@@ -74,6 +74,26 @@ class RelationalExecutor:
                 self.catalog.relation(relation_name), new_rows, start_position
             )
 
+    def apply_delete(
+        self,
+        relation_name: str,
+        positions: List[int],
+        deleted_rows: List[List[Any]],
+        catalog_version: int,
+    ) -> None:
+        """Unindex a data-only delete instead of being retired.
+
+        Mirror of :meth:`apply_delta`: the rows are already tombstoned in
+        the shared relation (physical positions unchanged), so the only
+        executor-private state to patch is the PK/FK index catalog —
+        remove exactly the deleted rows' entries.
+        """
+        del catalog_version  # the rdbms engine binds no version
+        if self.indexes is not None:
+            self.indexes.apply_delete(
+                self.catalog.relation(relation_name), deleted_rows, positions
+            )
+
     # ------------------------------------------------------------------
     def execute(self, spec: QuerySpec) -> QueryResult:
         spec.validate(self.catalog)

@@ -22,14 +22,19 @@ from ..relational.types import NULL, value_size_bytes
 
 
 class HashIndex:
-    """Equality index: value -> list of row positions."""
+    """Equality index: value -> list of row positions.
+
+    Positions are *physical* (``relation[position]`` resolves them), so
+    they stay valid across tombstone deletes — a delete removes its
+    entries instead of shifting everyone else's.
+    """
 
     def __init__(self, relation: Relation, column: str) -> None:
         self.relation_name = relation.name
         self.column = column
         self._buckets: Dict[Any, List[int]] = {}
         position = relation.schema.position(column)
-        for row_index, row in enumerate(relation):
+        for row_index, row in relation.live_items():
             value = row[position]
             if value is NULL:
                 continue
@@ -40,6 +45,20 @@ class HashIndex:
         if value is NULL:
             return
         self._buckets.setdefault(value, []).append(row_position)
+
+    def remove_row(self, value: Any, row_position: int) -> None:
+        """Drop one deleted row's entry (delta maintenance)."""
+        if value is NULL:
+            return
+        positions = self._buckets.get(value)
+        if positions is None:
+            return
+        try:
+            positions.remove(row_position)
+        except ValueError:
+            return
+        if not positions:
+            del self._buckets[value]
 
     def lookup(self, value: Any) -> List[int]:
         return self._buckets.get(value, [])
@@ -66,7 +85,7 @@ class SortedIndex:
         position = relation.schema.position(column)
         entries = [
             (row[position], row_index)
-            for row_index, row in enumerate(relation)
+            for row_index, row in relation.live_items()
             if row[position] is not NULL
         ]
         entries.sort(key=lambda entry: (str(type(entry[0])), entry[0]))
@@ -87,6 +106,23 @@ class SortedIndex:
         )
         self._keys.insert(slot, value)
         self._positions.insert(slot, row_position)
+
+    def remove_row(self, value: Any, row_position: int) -> None:
+        """Drop one deleted row's entry (the B-tree delete)."""
+        if value is NULL:
+            return
+        sort_key = (str(type(value)), value)
+        left = bisect.bisect_left(
+            self._keys, sort_key, key=lambda key: (str(type(key)), key)
+        )
+        right = bisect.bisect_right(
+            self._keys, sort_key, key=lambda key: (str(type(key)), key)
+        )
+        for slot in range(left, right):
+            if self._positions[slot] == row_position:
+                del self._keys[slot]
+                del self._positions[slot]
+                return
 
     def lookup(self, value: Any) -> List[int]:
         left = bisect.bisect_left(self._keys, value)
@@ -145,6 +181,28 @@ class IndexCatalog:
             for offset, row in enumerate(rows):
                 index.add_row(row[position], start_position + offset)
             patched += 1
+        return patched
+
+    def apply_delete(
+        self, relation: Relation, rows: List[Any], positions: List[int]
+    ) -> int:
+        """Drop index entries for ``rows`` deleted at physical ``positions``.
+
+        The deletion mirror of :meth:`apply_delta`: touches only this
+        relation's indexes, removes exactly the (value, position) pairs
+        the deleted rows contributed — surviving positions never move,
+        so nothing else needs rewriting.  Returns structures patched.
+        """
+        schema = relation.schema
+        patched = 0
+        for index_map in (self.hash_indexes, self.sorted_indexes):
+            for (relation_name, column), index in index_map.items():
+                if relation_name != relation.name:
+                    continue
+                column_position = schema.position(column)
+                for row, row_position in zip(rows, positions):
+                    index.remove_row(row[column_position], row_position)
+                patched += 1
         return patched
 
     def size_bytes(self) -> int:

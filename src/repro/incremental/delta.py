@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Sequence
 from ..relational.schema import Schema
 from ..tag.encoder import TagGraph
 
-__all__ = ["DeltaReport", "apply_graph_delta"]
+__all__ = ["DeltaReport", "DeleteReport", "apply_graph_delta", "apply_graph_delete"]
 
 
 @dataclass
@@ -84,6 +84,56 @@ def apply_graph_delta(
         start_index=start_index,
         new_attribute_vertices=len(graph._attribute_ids) - attributes_before,
         new_edges=graph.edge_count - edges_before,
+        seconds=elapsed,
+    )
+
+
+@dataclass
+class DeleteReport:
+    """What one tombstone-delete application did to the graph."""
+
+    relation: str
+    rows_deleted: int
+    freed_attribute_vertices: int
+    removed_edges: int
+    seconds: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "relation": self.relation,
+            "rows_deleted": self.rows_deleted,
+            "freed_attribute_vertices": self.freed_attribute_vertices,
+            "removed_edges": self.removed_edges,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+def apply_graph_delete(
+    graph: TagGraph, schema: Schema, positions: Sequence[int]
+) -> DeleteReport:
+    """Drop the tuple vertices at the given physical row positions in place.
+
+    The delete-shaped mirror of :func:`apply_graph_delta`: each position's
+    vertex (index ``position + 1`` by the append-time invariant) goes
+    through :meth:`TagGraph.delete_tuple`, which refcounts shared
+    attribute vertices — freed exactly when their last referencing tuple
+    dies — and folds the LoadReport accounting, so the patched graph stays
+    equivalent to a from-scratch re-encode of the shrunk catalog.
+    """
+    started = time.perf_counter()
+    edges_before = graph.edge_count
+    attributes_before = len(graph._attribute_ids)
+
+    graph.delete_relation_tuples(schema, positions)
+
+    elapsed = time.perf_counter() - started
+    graph.load_report.seconds += elapsed
+
+    return DeleteReport(
+        relation=schema.name,
+        rows_deleted=len(positions),
+        freed_attribute_vertices=attributes_before - len(graph._attribute_ids),
+        removed_edges=edges_before - graph.edge_count,
         seconds=elapsed,
     )
 

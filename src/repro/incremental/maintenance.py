@@ -21,6 +21,12 @@ class MaintenanceCounters:
     rows_applied: int = 0
     #: load_rows calls that patched state in place
     deltas_applied: int = 0
+    #: total rows tombstoned through the delete-delta path
+    rows_deleted: int = 0
+    #: delete_rows/update_rows calls that patched state in place
+    delete_deltas_applied: int = 0
+    #: materialized views maintained by a counting delete re-run
+    views_delete_refreshed: int = 0
     #: load_rows / note_data_change events that fell back to a full rebuild
     full_rebuilds: int = 0
     #: compiled plan fragments alive in the cache at the end of each delta
@@ -49,6 +55,9 @@ class MaintenanceCounters:
         payload = {
             "rows_applied": self.rows_applied,
             "deltas_applied": self.deltas_applied,
+            "rows_deleted": self.rows_deleted,
+            "delete_deltas_applied": self.delete_deltas_applied,
+            "views_delete_refreshed": self.views_delete_refreshed,
             "full_rebuilds": self.full_rebuilds,
             "plans_retained": self.plans_retained,
             "engines_patched": self.engines_patched,

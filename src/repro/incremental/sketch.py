@@ -27,10 +27,18 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Dict, Iterable, List, Optional
 
-__all__ = ["KMVSketch", "DEFAULT_SKETCH_SIZE"]
+__all__ = ["KMVSketch", "DEFAULT_SKETCH_SIZE", "REBUILD_DRIFT_RATIO"]
 
 #: Default number of minimum hashes kept; relative error ≈ 1/sqrt(k-2) ≈ 6%.
 DEFAULT_SKETCH_SIZE = 256
+
+#: Removed-per-live-row ratio past which a sketch should be rebuilt from
+#: the surviving values.  KMV synopses are insert-only — a deleted value's
+#: hash cannot be subtracted, so the estimate describes everything *ever*
+#: seen and over-counts forever once rows die.  Below this drift the error
+#: is bounded by the ratio itself (≤ ~30% inflation, same order as
+#: planner selectivity guesses); past it, callers re-seed from live data.
+REBUILD_DRIFT_RATIO = 0.3
 
 #: Hash range: 64-bit digests interpreted as integers in [0, 2**64).
 _HASH_BITS = 64
@@ -62,7 +70,7 @@ class KMVSketch:
     distinct hashes were seen and a (k-1)/v_k estimate afterwards.
     """
 
-    __slots__ = ("k", "_hashes", "_threshold")
+    __slots__ = ("k", "_hashes", "_threshold", "_removed")
 
     def __init__(self, k: int = DEFAULT_SKETCH_SIZE) -> None:
         if k < 2:
@@ -70,6 +78,7 @@ class KMVSketch:
         self.k = k
         self._hashes: set = set()
         self._threshold: Optional[int] = None  # current v_k when saturated
+        self._removed = 0  # non-NULL values deleted since the last rebuild
 
     # ------------------------------------------------------------------
     def add(self, value: Any) -> None:
@@ -85,6 +94,39 @@ class KMVSketch:
     def update(self, values: Iterable[Any]) -> None:
         for value in values:
             self.add(value)
+
+    # ------------------------------------------------------------------
+    # deletion drift
+    # ------------------------------------------------------------------
+    def note_removals(self, count: int = 1) -> None:
+        """Record ``count`` deleted values the sketch cannot subtract."""
+        if count > 0:
+            self._removed += count
+
+    @property
+    def removals(self) -> int:
+        """Values deleted since the sketch last matched live data."""
+        return self._removed
+
+    def needs_rebuild(self, live_rows: int) -> bool:
+        """Whether deletion drift warrants re-seeding from live values.
+
+        True once removals exceed :data:`REBUILD_DRIFT_RATIO` of the live
+        row count — the point where the estimate's worst-case inflation
+        stops being noise and starts steering the planner.
+        """
+        if self._removed <= 0:
+            return False
+        return self._removed >= REBUILD_DRIFT_RATIO * max(1, live_rows)
+
+    def rebuild_from(self, values: Iterable[Any]) -> "KMVSketch":
+        """Reset and re-seed from the surviving values; returns self."""
+        self._hashes = set()
+        self._threshold = None
+        self._removed = 0
+        for value in values:
+            self.add(value)
+        return self
 
     def merge(self, other: "KMVSketch") -> "KMVSketch":
         """Fold ``other`` into ``self`` (union semantics); returns self."""
@@ -120,13 +162,19 @@ class KMVSketch:
         clone = KMVSketch(self.k)
         clone._hashes = set(self._hashes)
         clone._threshold = self._threshold
+        clone._removed = self._removed
         return clone
 
     def __len__(self) -> int:
         return len(self._k_smallest())
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"k": self.k, "kept": len(self), "estimate": self.estimate()}
+        return {
+            "k": self.k,
+            "kept": len(self),
+            "estimate": self.estimate(),
+            "removals": self._removed,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"KMVSketch(k={self.k}, kept={len(self)}, estimate={self.estimate()})"

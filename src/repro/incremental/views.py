@@ -18,6 +18,12 @@ run with :class:`~repro.core.vertex_program.TagJoinProgram`'s
 supersteps on the BSP engine, touching nothing outside the delta's join
 neighbourhood.
 
+Deletes maintain the same views by the mirrored telescoping (see
+:func:`refresh_view_delete`): each term pins one alias to exactly the
+deleted tuple vertices via sparse membership sets and bag-subtracts the
+derived rows from the stored result — counting-based maintenance, run
+against the pre-delete graph.
+
 Views whose delta isn't expressible this way (aggregates, GROUP BY,
 subqueries, outer joins, a disconnected join graph) fall back to a
 recompute on write; the database reports them separately
@@ -30,8 +36,9 @@ at serve time.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..algebra.logical import QuerySpec
 from ..algebra.parameters import spec_parameters
@@ -45,6 +52,7 @@ __all__ = [
     "MaterializedView",
     "view_refresh_mode",
     "refresh_view_delta",
+    "refresh_view_delete",
     "run_view_fragment",
 ]
 
@@ -137,11 +145,19 @@ def run_view_fragment(
     graph: TagGraph,
     compiled: Any,
     alias_ranges: Optional[Dict[str, Tuple[int, Optional[int]]]] = None,
+    alias_members: Optional[Dict[str, Set[int]]] = None,
+    alias_excluded: Optional[Dict[str, Set[int]]] = None,
 ) -> List[Dict[str, Any]]:
     """Run a compiled NONE-aggregation fragment, windowed per alias."""
     from ..core.vertex_program import TagJoinProgram
 
-    program = TagJoinProgram(graph, compiled.config, alias_ranges=alias_ranges)
+    program = TagJoinProgram(
+        graph,
+        compiled.config,
+        alias_ranges=alias_ranges,
+        alias_members=alias_members,
+        alias_excluded=alias_excluded,
+    )
     engine = BSPEngine(graph, SinglePartitioner(), max_supersteps=VIEW_MAX_SUPERSTEPS)
     engine.run(program)
     # view rows are served directly, so this is their result boundary:
@@ -161,8 +177,11 @@ def refresh_view_delta(
 
     Args:
         changed: ``relation -> (old_count, new_count)`` for every base
-            relation that actually received rows in this write.  Relations
-            of the view absent from ``changed`` are treated as unchanged
+            relation that actually received rows in this write.  Counts
+            are *physical* (tombstones included): tuple vertex indexes
+            equal physical position + 1, so windows over vertex indexes
+            only line up with physical coordinates.  Relations of the
+            view absent from ``changed`` are treated as unchanged
             (old == full).
     """
     started = time.perf_counter()
@@ -183,8 +202,87 @@ def refresh_view_delta(
         appended += len(delta_rows)
 
     for _alias, table in aliases:
-        view.base_counts[table] = len(catalog.relation(table))
+        # physical, not live: base_counts mirror the tuple-counter space
+        view.base_counts[table] = catalog.relation(table).physical_count
     view.refresh_count += 1
     view.last_delta_rows = appended
     view.last_refresh_seconds = time.perf_counter() - started
     return appended
+
+
+def refresh_view_delete(
+    view: MaterializedView,
+    graph: TagGraph,
+    catalog: Catalog,
+    deleted: Dict[str, Set[int]],
+) -> int:
+    """Fold a delete out of ``view.rows``; returns rows removed.
+
+    The deletion mirror of :func:`refresh_view_delta`.  Writing the
+    post-delete state as ``(R₁−D₁) ⋈ … ⋈ (Rₙ−Dₙ)``, the removed result
+    rows telescope exactly::
+
+        old − new = Σᵢ (R₁−D₁) ⋈ … ⋈ (Rᵢ₋₁−Dᵢ₋₁) ⋈ Dᵢ ⋈ Rᵢ₊₁ ⋈ … ⋈ Rₙ
+
+    Term *i* pins alias *i* to exactly the deleted tuples (a sparse
+    *membership* set, not a window) and keeps earlier aliases on the
+    already-deleted side via *exclusion* sets.  Membership and exclusion
+    are evaluated per (vertex, alias) pair by the vertex program, so the
+    identity holds even when the deleted table appears under several
+    aliases (self-joins) — no DRed over-delete/re-derive pass is needed.
+
+    MUST run against the *pre-delete* graph: terms with ``j > i`` read
+    the full relations, deleted vertices included.
+
+    Args:
+        deleted: ``relation -> deleted tuple vertex indexes`` (1-based,
+            i.e. physical position + 1) for every relation losing rows.
+    """
+    started = time.perf_counter()
+    compiled = view.compiled_for(catalog)
+    aliases = [(table_ref.alias, table_ref.table) for table_ref in view.spec.tables]
+    removed_rows: List[Dict[str, Any]] = []
+    for i, (alias_i, table_i) in enumerate(aliases):
+        dead = deleted.get(table_i)
+        if not dead:
+            continue  # Dᵢ is empty — the whole term vanishes
+        members = {alias_i: set(dead)}
+        excluded: Dict[str, Set[int]] = {}
+        for alias_j, table_j in aliases[:i]:
+            dead_j = deleted.get(table_j)
+            if dead_j:
+                excluded[alias_j] = set(dead_j)
+        removed_rows.extend(
+            run_view_fragment(
+                graph, compiled, alias_members=members, alias_excluded=excluded
+            )
+        )
+    removed = len(removed_rows)
+    if removed:
+        view.rows = _bag_subtract(view.rows, removed_rows)
+    for _alias, table in aliases:
+        view.base_counts[table] = catalog.relation(table).physical_count
+    view.refresh_count += 1
+    view.last_delta_rows = removed
+    view.last_refresh_seconds = time.perf_counter() - started
+    return removed
+
+
+def _row_key(row: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """A hashable identity for one stored view row (column order free)."""
+    return tuple(sorted(row.items(), key=lambda item: item[0]))
+
+
+def _bag_subtract(
+    rows: List[Dict[str, Any]], removed: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """``rows`` minus ``removed`` with bag (multiplicity) semantics."""
+    pending = Counter(_row_key(row) for row in removed)
+    kept: List[Dict[str, Any]] = []
+    for row in rows:
+        key = _row_key(row)
+        if pending.get(key, 0) > 0:
+            pending[key] -= 1
+            continue
+        kept.append(row)
+    return kept

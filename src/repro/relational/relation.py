@@ -32,10 +32,16 @@ class Relation:
     def __init__(self, schema: Schema, rows: Optional[Iterable[Sequence[Any]]] = None) -> None:
         self.schema = schema
         self._rows: List[Row] = []
+        # tombstoned physical positions: a delete marks, it never shifts.
+        # Physical positions are the coordinate system shared with the TAG
+        # graph (tuple vertex index = position + 1) and the RDBMS indexes,
+        # so they must stay stable across deletes.
+        self._deleted: set = set()
         # memoized per-column statistics (distinct sets, value frequencies);
         # every mutation clears the cache, so repeated planner passes over an
         # unchanged catalog stop rescanning the row store
         self._stats_cache: Dict[Tuple[str, str], Any] = {}
+        self._mutations = 0
         # bound by Catalog.add: the encoded columnar backing
         self._encoded: Optional[RelationEncodedStore] = None
         if rows is not None:
@@ -51,6 +57,8 @@ class Relation:
         codec = encoding.codec_for(self.schema)
         store = RelationEncodedStore(self.schema, codec)
         store.rebuild(self._rows)
+        for position in self._deleted:
+            store.delete_row(position, self._rows[position])
         self._encoded = store
 
     @property
@@ -137,8 +145,7 @@ class Relation:
         self._rows.append(coerced)
         if self._encoded is not None:
             self._encoded.append_row(coerced)
-        if self._stats_cache:
-            self._stats_cache.clear()
+        self._note_mutation()
 
     def insert_dict(self, record: Dict[str, Any]) -> None:
         self.insert([record.get(column.name, NULL) for column in self.schema.columns])
@@ -160,35 +167,155 @@ class Relation:
             self._rows.append(coerced)
             if self._encoded is not None:
                 self._encoded.append_row(coerced)
-        if self._stats_cache:
-            self._stats_cache.clear()
+        self._note_mutation()
 
     def truncate(self, count: int) -> int:
-        """Drop every row past ``count``; return the number removed.
+        """Drop every row past *physical* position ``count``; return the
+        number of physical rows removed.
 
         This is the write path's rollback primitive: a load that fails
-        mid-apply restores the relation to its pre-write length so a
-        retry of the same logical write cannot double-append.
+        mid-apply restores the relation to its pre-write physical length so
+        a retry of the same logical write cannot double-append.  Appends
+        always land past every tombstone, so truncating to a pre-write
+        physical count never touches the tombstone set.
         """
         removed = len(self._rows) - count
         if removed <= 0:
             return 0
         del self._rows[count:]
+        self._deleted = {p for p in self._deleted if p < count}
         if self._encoded is not None:
-            self._encoded.rebuild(self._rows)
-        if self._stats_cache:
-            self._stats_cache.clear()
+            self._rebuild_encoded()
+        self._note_mutation()
         return removed
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
-        """Delete all rows satisfying ``predicate``; return the number removed."""
-        before = len(self._rows)
-        self._rows = [row for row in self._rows if not predicate(row)]
-        if self._encoded is not None and len(self._rows) != before:
+        """Delete all live rows satisfying ``predicate``; return the number removed.
+
+        This is the scorched-earth deletion path: it compacts the physical
+        row list (dropping tombstones along the way), so physical positions
+        shift and every position-keyed derived structure must be rebuilt.
+        Callers follow up with ``catalog.note_data_change()``.  The delta
+        path is :meth:`delete_positions`.
+        """
+        before = len(self)
+        had_tombstones = bool(self._deleted)
+        self._rows = [row for _pos, row in self.live_items() if not predicate(row)]
+        self._deleted = set()
+        removed = before - len(self._rows)
+        if self._encoded is not None and (removed or had_tombstones):
             self._encoded.rebuild(self._rows)
+        self._note_mutation()
+        return removed
+
+    # ------------------------------------------------------------------
+    # tombstone deletes (the delta path: positions stay stable)
+    # ------------------------------------------------------------------
+    def delete_positions(self, positions: Sequence[int]) -> List[Row]:
+        """Tombstone the given live physical positions; returns their rows.
+
+        Physical positions never shift — the row slots stay in ``_rows``
+        and are merely excluded from iteration/length/statistics — so the
+        TAG graph's tuple vertex indexes and the RDBMS indexes' stored
+        positions remain valid for every surviving row.
+        """
+        deleted: List[Row] = []
+        for position in positions:
+            if not (0 <= position < len(self._rows)):
+                raise IndexError(
+                    f"{self.schema.name}: physical position {position} out of range"
+                )
+            if position in self._deleted:
+                raise ValueError(
+                    f"{self.schema.name}: position {position} is already deleted"
+                )
+        for position in positions:
+            row = self._rows[position]
+            self._deleted.add(position)
+            if self._encoded is not None:
+                self._encoded.delete_row(position, row)
+            deleted.append(row)
+        self._note_mutation()
+        return deleted
+
+    def restore_positions(self, positions: Sequence[int]) -> int:
+        """Undo :meth:`delete_positions` (the delete path's rollback)."""
+        restored = 0
+        for position in positions:
+            if position in self._deleted:
+                self._deleted.discard(position)
+                if self._encoded is not None:
+                    self._encoded.restore_row(position, self._rows[position])
+                restored += 1
+        self._note_mutation()
+        return restored
+
+    def is_live(self, position: int) -> bool:
+        return 0 <= position < len(self._rows) and position not in self._deleted
+
+    @property
+    def has_deletes(self) -> bool:
+        return bool(self._deleted)
+
+    @property
+    def physical_count(self) -> int:
+        """Number of physical row slots (live rows + tombstones)."""
+        return len(self._rows)
+
+    def live_items(self) -> Iterator[Tuple[int, Row]]:
+        """Yield ``(physical_position, row)`` for every live row, in order."""
+        deleted = self._deleted
+        if not deleted:
+            return iter(enumerate(self._rows))
+        return (
+            (position, row)
+            for position, row in enumerate(self._rows)
+            if position not in deleted
+        )
+
+    def find_positions(self, predicate: Callable[[Row], bool]) -> List[int]:
+        """Physical positions of every live row satisfying ``predicate``."""
+        return [position for position, row in self.live_items() if predicate(row)]
+
+    def rows_since(self, physical_position: int) -> List[Row]:
+        """The rows appended at/after a physical position (all live: appends
+        land past every tombstone, so a fresh suffix never contains one)."""
+        return list(self._rows[physical_position:])
+
+    def match_positions(self, rows: Iterable[Sequence[Any]]) -> List[int]:
+        """First-match physical positions for the given row values (bag
+        semantics: each requested occurrence consumes one live row).
+
+        Used by delete-by-value resolution and WAL ``delete`` replay — the
+        log records row *values* (positions don't survive snapshot
+        compaction), and replay must remove exactly one live occurrence
+        per logged row.  Raises :class:`KeyError` when a row has no
+        remaining live match.
+        """
+        pool: Dict[Row, List[int]] = {}
+        for position, row in self.live_items():
+            pool.setdefault(row, []).append(position)
+        matched: List[int] = []
+        for raw in rows:
+            key = self.validate_row(raw)
+            candidates = pool.get(key)
+            if not candidates:
+                raise KeyError(
+                    f"{self.schema.name}: no live row matches {tuple(raw)!r}"
+                )
+            matched.append(candidates.pop(0))
+        return matched
+
+    def _note_mutation(self) -> None:
+        self._mutations += 1
         if self._stats_cache:
             self._stats_cache.clear()
-        return before - len(self._rows)
+
+    def _rebuild_encoded(self) -> None:
+        assert self._encoded is not None
+        self._encoded.rebuild(self._rows)
+        for position in self._deleted:
+            self._encoded.delete_row(position, self._rows[position])
 
     # ------------------------------------------------------------------
     # access
@@ -204,21 +331,30 @@ class Relation:
         statistics fresh.  Direct count-changing edits (append/pop) are
         caught by a row-count guard, but same-count in-place replacement
         through this list bypasses both schema coercion and statistics
-        invalidation — don't."""
-        return self._rows
+        invalidation — don't.  Once the relation carries tombstones the
+        property returns a fresh live-only list (positions in it are
+        *live ordinals*, not physical positions — use :meth:`live_items`
+        or :meth:`__getitem__` for physical addressing)."""
+        if not self._deleted:
+            return self._rows
+        return [row for _pos, row in self.live_items()]
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._rows) - len(self._deleted)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        if not self._deleted:
+            return iter(self._rows)
+        return (row for _pos, row in self.live_items())
 
     def __getitem__(self, index: int) -> Row:
+        """Physical addressing: tombstoned slots remain reachable here (the
+        RDBMS index scan resolves positions it stored before any delete)."""
         return self._rows[index]
 
     def column_values(self, column_name: str) -> List[Any]:
         position = self.schema.position(column_name)
-        return [row[position] for row in self._rows]
+        return [row[position] for row in self]
 
     def distinct_values(self, column_name: str) -> set:
         return set(self._distinct_frozen(column_name))
@@ -229,17 +365,19 @@ class Relation:
         Mutations are expected to go through :meth:`insert` / :meth:`extend`
         / :meth:`delete_where` (which clear the cache eagerly), but the
         :attr:`rows` property hands out the live row list; entries therefore
-        remember the row count they were computed at and self-invalidate
-        when it no longer matches.  This catches count-changing edits
-        (append/pop) through the property — same-count in-place row
+        remember the mutation counter and physical row count they were
+        computed at and self-invalidate when either no longer matches.
+        The count guard catches count-changing edits (append/pop) through
+        the property; the mutation counter additionally catches a delete
+        followed by an equal-sized insert.  Same-count in-place row
         replacement is outside the guard and outside the API contract.
         """
-        count = len(self._rows)
+        stamp = (self._mutations, len(self._rows))
         cached = self._stats_cache.get(key)
-        if cached is not None and cached[0] == count:
+        if cached is not None and cached[0] == stamp:
             return cached[1]
         value = compute()
-        self._stats_cache[key] = (count, value)
+        self._stats_cache[key] = (stamp, value)
         return value
 
     def _distinct_frozen(self, column_name: str) -> frozenset:
@@ -248,26 +386,27 @@ class Relation:
         return self._cached_stat(
             ("distinct", column_name),
             lambda: frozenset(
-                row[position] for row in self._rows if row[position] is not NULL
+                row[position] for row in self if row[position] is not NULL
             ),
         )
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         names = self.schema.column_names
-        return [dict(zip(names, row)) for row in self._rows]
+        return [dict(zip(names, row)) for row in self]
 
     def sample(self, k: int, seed: int = 0) -> "Relation":
         rng = random.Random(seed)
-        k = min(k, len(self._rows))
+        live = self.rows
+        k = min(k, len(live))
         sampled = Relation(self.schema)
-        sampled._rows = rng.sample(self._rows, k)
+        sampled._rows = rng.sample(live, k)
         return sampled
 
     # ------------------------------------------------------------------
     # statistics (used by the planner and the Fig. 14 size accounting)
     # ------------------------------------------------------------------
     def cardinality(self) -> int:
-        return len(self._rows)
+        return len(self)
 
     def distinct_count(self, column_name: str) -> int:
         if self._encoded is not None:
@@ -289,7 +428,7 @@ class Relation:
         if self._encoded is not None:
             return self._encoded.total_bytes
         total = 0
-        for row in self._rows:
+        for row in self:
             for value, column in zip(row, self.schema.columns):
                 total += value_size_bytes(value, column.dtype)
         return total
@@ -298,7 +437,7 @@ class Relation:
         def compute() -> Dict[Any, int]:
             position = self.schema.position(column_name)
             frequencies: Dict[Any, int] = {}
-            for row in self._rows:
+            for row in self:
                 value = row[position]
                 if value is NULL:
                     continue
@@ -315,7 +454,7 @@ class Relation:
     def as_multiset(self) -> Dict[Row, int]:
         """Bag of rows -> multiplicity; used to compare results order-insensitively."""
         bag: Dict[Row, int] = {}
-        for row in self._rows:
+        for row in self:
             bag[row] = bag.get(row, 0) + 1
         return bag
 
@@ -323,7 +462,7 @@ class Relation:
         return self.as_multiset() == other.as_multiset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Relation({self.schema.name}, {len(self._rows)} rows)"
+        return f"Relation({self.schema.name}, {len(self)} rows)"
 
 
 def rows_to_multiset(rows: Iterable[Sequence[Any]]) -> Dict[Tuple[Any, ...], int]:

@@ -315,6 +315,61 @@ class ServeClient:
             request_id=request_id,
         )
 
+    async def delete_rows(
+        self,
+        relation: str,
+        rows: List[List[Any]],
+        tenant: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Delete rows by value (bag semantics); exactly-once like a write.
+
+        Each row in ``rows`` removes one live occurrence server-side.  The
+        idempotency contract mirrors :meth:`load_rows`: one UUID per
+        logical delete, reused across retries, deduplicated server-side.
+        """
+        from ..core.wire import iter_encoded_rows
+
+        if request_id is None:
+            request_id = uuid.uuid4().hex
+        return await self.request_retrying(
+            "delete_rows",
+            relation=relation,
+            rows=iter_encoded_rows(rows),
+            tenant=tenant,
+            timeout_ms=timeout_ms,
+            request_id=request_id,
+        )
+
+    async def update_rows(
+        self,
+        relation: str,
+        rows: List[List[Any]],
+        updates: List[List[Any]],
+        tenant: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Replace ``rows`` with ``updates`` atomically; exactly-once.
+
+        The server applies delete + insert in one critical section under
+        one WAL record, so no reader or crash observes half an update.
+        """
+        from ..core.wire import iter_encoded_rows
+
+        if request_id is None:
+            request_id = uuid.uuid4().hex
+        return await self.request_retrying(
+            "update_rows",
+            relation=relation,
+            rows=iter_encoded_rows(rows),
+            updates=iter_encoded_rows(updates),
+            tenant=tenant,
+            timeout_ms=timeout_ms,
+            request_id=request_id,
+        )
+
     async def materialize(
         self,
         sql: str,

@@ -14,9 +14,12 @@ actually delivers:
   server falls behind, slots back up and sustained QPS drops below
   target — the metric CI tracks.
 * a **seeded statement mix** — plain SELECTs, server-side prepared
-  parameterized SELECTs, and ``load_rows`` writes, drawn per-request
-  from the configured weights by a per-worker ``random.Random`` seeded
-  from the run seed (same seed, same statement sequence per worker).
+  parameterized SELECTs, ``load_rows`` writes, and ``delete_rows`` /
+  ``update_rows`` mutations (victims drawn from the rows the driver
+  itself wrote, so deletes always hit live rows and never touch the
+  seeded FK-referenced data), drawn per-request from the configured
+  weights by a per-worker ``random.Random`` seeded from the run seed
+  (same seed, same statement sequence per worker).
 * the **warm-start assertion** — the run drives the read query shapes
   against a cold server (compile count must be > 0), persists its plan
   manifest by closing it, then boots a warm server from the manifest
@@ -91,7 +94,13 @@ class DriverConfig:
     tenant: Optional[str] = None
     #: statement-class weights; normalized at use
     mix: Dict[str, float] = field(
-        default_factory=lambda: {"select": 0.55, "parameterized": 0.35, "write": 0.10}
+        default_factory=lambda: {
+            "select": 0.50,
+            "parameterized": 0.32,
+            "write": 0.10,
+            "delete": 0.04,
+            "update": 0.04,
+        }
     )
 
 
@@ -161,6 +170,10 @@ class WorkloadDriver:
         self.port = port
         self.config = config
         self._write_keys = iter(range(WRITE_KEY_BASE, WRITE_KEY_BASE + 10_000_000))
+        #: rows acknowledged by load_rows/update_rows, the mutation victim
+        #: pool: deletes/updates only ever target driver-written rows, so
+        #: they always hit live data and never break seeded FK edges
+        self._written: List[List[Any]] = []
 
     async def run(self) -> _Ledger:
         """The measured phase: mixed traffic at the target QPS."""
@@ -243,7 +256,7 @@ class WorkloadDriver:
                     await asyncio.sleep(delay)
                 kind = self._pick_kind(rng)
                 started = time.perf_counter()
-                outcome, cached = await self._issue(
+                kind, outcome, cached = await self._issue(
                     client, kind, rng, prepared, customers, select_cursor
                 )
                 latency_ms = (time.perf_counter() - started) * 1000.0
@@ -261,23 +274,60 @@ class WorkloadDriver:
         prepared: List[Any],
         customers: int,
         select_cursor: int,
-    ) -> Tuple[str, bool]:
-        """One request; returns (outcome, served_from_cache)."""
+    ) -> Tuple[str, str, bool]:
+        """One request; returns (actual_kind, outcome, served_from_cache).
+
+        The actual kind may differ from the drawn one: a delete/update
+        drawn before any write has filled the victim pool downgrades to a
+        write, and the ledger must account for what was really issued.
+        """
         from ..core.wire import encode_params, iter_encoded_rows
 
         timeout_ms = self.config.timeout_ms
+        if kind in ("delete", "update") and not self._written:
+            kind = "write"  # nothing to mutate yet: seed the pool instead
         if kind == "write":
             # idempotency key: the ledger counts rejections itself (no
             # transparent retry), but a key per logical write keeps the
             # workload safe to re-drive against a recovering server
+            rows = self._write_rows(rng, customers)
             frame = await client.request(
                 "load_rows",
                 relation="ORDERS",
-                rows=iter_encoded_rows(self._write_rows(rng, customers)),
+                rows=iter_encoded_rows(rows),
                 tenant=self.config.tenant,
                 timeout_ms=timeout_ms,
                 request_id=uuid.uuid4().hex,
             )
+            if frame.get("ok"):
+                self._written.extend(rows)
+        elif kind == "delete":
+            victim = self._written.pop(rng.randrange(len(self._written)))
+            # the victim stays out of the pool even on an ambiguous
+            # failure (a timed-out delete may still land): never reuse it
+            frame = await client.request(
+                "delete_rows",
+                relation="ORDERS",
+                rows=iter_encoded_rows([victim]),
+                tenant=self.config.tenant,
+                timeout_ms=timeout_ms,
+                request_id=uuid.uuid4().hex,
+            )
+        elif kind == "update":
+            victim = self._written.pop(rng.randrange(len(self._written)))
+            replacement = list(victim)
+            replacement[3] = round(rng.uniform(10.0, 5000.0), 2)  # O_TOTALPRICE
+            frame = await client.request(
+                "update_rows",
+                relation="ORDERS",
+                rows=iter_encoded_rows([victim]),
+                updates=iter_encoded_rows([replacement]),
+                tenant=self.config.tenant,
+                timeout_ms=timeout_ms,
+                request_id=uuid.uuid4().hex,
+            )
+            if frame.get("ok"):
+                self._written.append(replacement)
         elif kind == "parameterized":
             stmt = prepared[select_cursor % len(prepared)]
             if ":t" in stmt.sql:
@@ -302,11 +352,11 @@ class WorkloadDriver:
             )
         if frame.get("ok"):
             result = frame.get("result") or {}
-            return "ok", bool(result.get("cached"))
+            return kind, "ok", bool(result.get("cached"))
         code = str(((frame.get("error") or {}).get("code")) or "execution_error")
         if code in ("deadline_exceeded", "queue_full"):
-            return code, False
-        return "error", False
+            return kind, code, False
+        return kind, "error", False
 
 
 # ----------------------------------------------------------------------
@@ -393,25 +443,30 @@ async def run_serving_bench(
 
     sustained_qps = ledger.completed / elapsed if elapsed > 0 else 0.0
     invalid_frames = cold_defects + warm_defects + ledger.invalid_frames
-    # every load_rows must have landed as an in-place delta (the PR 7
-    # incremental path): sum the per-tenant maintenance counters and fail
-    # the run if any write degenerated into a full rebuild
-    deltas_applied = sum(
-        tenant_stats.get("maintenance", {}).get("deltas_applied", 0)
-        for tenant_stats in server_stats.get("tenants", {}).values()
-    )
-    full_rebuilds = sum(
-        tenant_stats.get("maintenance", {}).get("full_rebuilds", 0)
-        for tenant_stats in server_stats.get("tenants", {}).values()
-    )
+    # every mutation must have landed as an in-place delta (appends via
+    # the PR 7 incremental path, deletes/updates via tombstone deltas):
+    # sum the per-tenant maintenance counters and fail the run if any of
+    # them degenerated into a full rebuild
+    def _maintenance_total(counter: str) -> int:
+        return sum(
+            tenant_stats.get("maintenance", {}).get(counter, 0)
+            for tenant_stats in server_stats.get("tenants", {}).values()
+        )
+
+    deltas_applied = _maintenance_total("deltas_applied")
+    delete_deltas_applied = _maintenance_total("delete_deltas_applied")
+    full_rebuilds = _maintenance_total("full_rebuilds")
     write_requests = ledger.by_kind.get("write", 0)
+    mutation_requests = write_requests + sum(
+        ledger.by_kind.get(kind, 0) for kind in ("delete", "update")
+    )
     checks = {
         "sustained_qps_positive": sustained_qps > 0,
         "no_invalid_frames": not invalid_frames,
         "cold_server_compiles": cold_compilations > 0,
         "warm_server_skips_compilation": warm_compilations == 0,
-        "writes_applied_as_deltas": write_requests == 0
-        or (deltas_applied > 0 and full_rebuilds == 0),
+        "writes_applied_as_deltas": mutation_requests == 0
+        or (deltas_applied + delete_deltas_applied > 0 and full_rebuilds == 0),
     }
     return {
         "benchmark": "serving",
@@ -451,7 +506,10 @@ async def run_serving_bench(
             },
             "maintenance": {
                 "write_requests": write_requests,
+                "mutation_requests": mutation_requests,
                 "deltas_applied": deltas_applied,
+                "delete_deltas_applied": delete_deltas_applied,
+                "rows_deleted": _maintenance_total("rows_deleted"),
                 "full_rebuilds": full_rebuilds,
             },
         },
@@ -479,13 +537,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--pool-size", type=int, default=4)
     parser.add_argument("--queue-depth", type=int, default=64)
     parser.add_argument("--write-fraction", type=float, default=0.10)
+    parser.add_argument("--delete-fraction", type=float, default=0.04)
+    parser.add_argument("--update-fraction", type=float, default=0.04)
     parser.add_argument(
         "--out", default="benchmarks/results/BENCH_serving.json", help="artifact path"
     )
     args = parser.parse_args(argv)
 
     write_fraction = min(max(args.write_fraction, 0.0), 0.9)
-    read_fraction = 1.0 - write_fraction
+    delete_fraction = min(max(args.delete_fraction, 0.0), 0.3)
+    update_fraction = min(max(args.update_fraction, 0.0), 0.3)
+    read_fraction = max(1.0 - write_fraction - delete_fraction - update_fraction, 0.0)
     config = DriverConfig(
         seed=args.seed,
         duration_seconds=args.duration,
@@ -497,6 +559,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "select": read_fraction * 0.6,
             "parameterized": read_fraction * 0.4,
             "write": write_fraction,
+            "delete": delete_fraction,
+            "update": update_fraction,
         },
     )
     server_config = ServerConfig(

@@ -12,10 +12,11 @@ Request frames::
      "use_cache": true}
 
 Operations: ``execute``, ``prepare``, ``execute_prepared``, ``explain``,
-``list_engines``, ``load_rows``, ``materialize``, ``query_view``,
-``stats``, ``ping``, ``health``.
+``list_engines``, ``load_rows``, ``delete_rows``, ``update_rows``,
+``materialize``, ``query_view``, ``stats``, ``ping``, ``health``.
 
-Write frames (``load_rows``) may carry a client-generated ``request_id``
+Write frames (``load_rows``, ``delete_rows``, ``update_rows``) may carry
+a client-generated ``request_id``
 string — the idempotency key.  The server remembers applied ids in its
 WAL-backed table, so a retry of an acknowledged write answers
 ``{"deduplicated": true}`` instead of applying twice; the client library
@@ -52,6 +53,8 @@ OPERATIONS = (
     "explain",
     "list_engines",
     "load_rows",
+    "delete_rows",
+    "update_rows",
     "materialize",
     "query_view",
     "stats",

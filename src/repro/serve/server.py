@@ -63,7 +63,7 @@ from .protocol import (
 INLINE_OPS = ("ping", "stats", "health")
 
 #: operations the circuit breaker sheds first (they take the writer lock)
-WRITE_OPS = ("load_rows", "materialize")
+WRITE_OPS = ("load_rows", "delete_rows", "update_rows", "materialize")
 
 
 @dataclass
@@ -636,6 +636,56 @@ class QueryServer:
                 }
 
             return _Admitted(request_id, work_write, respond, deadline, is_write=True)
+
+        if op in ("delete_rows", "update_rows"):
+            relation = frame.get("relation")
+            rows = frame.get("rows")
+            if not isinstance(relation, str):
+                raise ProtocolError("invalid_request", f"{op} needs a string 'relation'")
+            if not isinstance(rows, list) or not all(isinstance(r, list) for r in rows):
+                raise ProtocolError(
+                    "invalid_request", f"{op} needs 'rows' as a list of arrays"
+                )
+            if relation not in database.catalog:
+                raise ProtocolError(
+                    "invalid_request", f"tenant {tenant!r} has no relation {relation!r}"
+                )
+            updates = frame.get("updates")
+            if op == "update_rows" and (
+                not isinstance(updates, list)
+                or not all(isinstance(r, list) for r in updates)
+            ):
+                raise ProtocolError(
+                    "invalid_request", "update_rows needs 'updates' as a list of arrays"
+                )
+
+            write_id = frame.get("request_id")
+
+            def work_mutate(_op: str = op, _updates: Any = updates) -> Dict[str, Any]:
+                victims = [decode_row(row) for row in rows]
+                if _op == "delete_rows":
+                    receipt = database.apply_delete(
+                        relation, victims, request_id=write_id
+                    )
+                    applied = receipt["deleted"]
+                else:
+                    replacements = [decode_row(row) for row in _updates]
+                    receipt = database.apply_update(
+                        relation, victims, replacements, request_id=write_id
+                    )
+                    applied = receipt["deleted"] + receipt["inserted"]
+                if receipt["deduplicated"]:
+                    with self._stats_lock:
+                        self.stats.deduplicated_writes += 1
+                elif applied and self.result_cache is not None:
+                    self.result_cache.invalidate_tenant(tenant)
+                return {
+                    **receipt,
+                    "relation": relation,
+                    "catalog_version": database.catalog.version,
+                }
+
+            return _Admitted(request_id, work_mutate, respond, deadline, is_write=True)
 
         if op == "prepare":
             sql = frame.get("sql")

@@ -11,7 +11,7 @@ accounting that replaces the object-size estimate in
 from __future__ import annotations
 
 from array import array
-from typing import Any, Dict, Optional, Sequence, Set
+from typing import Any, Dict, Optional, Sequence
 
 from ..relational.types import NULL
 from .encoding import RelationCodec
@@ -23,7 +23,16 @@ except ImportError:  # pragma: no cover - numpy-less environments only
 
 
 class EncodedColumn:
-    """One column's encoded values: int32 codes + validity bitmap."""
+    """One column's encoded values: int32 codes + validity bitmap.
+
+    Deletes are *tombstones*: :meth:`mark_deleted` clears the row's
+    validity bit and drops its code from the live refcounts without
+    rewriting the code array, so every surviving row keeps its physical
+    index.  After a delete the bitmap therefore reads "live AND non-NULL"
+    (a dead slot looks like NULL); :attr:`null_count` counts live NULLs
+    only, and :attr:`ndv` stays exact because distinct codes are
+    refcounted, not set-membership.
+    """
 
     __slots__ = ("name", "codec", "_codes", "_validity", "_distinct", "_null_count")
 
@@ -32,7 +41,8 @@ class EncodedColumn:
         self.codec = codec
         self._codes = array("i")
         self._validity = bytearray()
-        self._distinct: Set[int] = set()
+        #: live occurrences per distinct code (exact NDV under deletion)
+        self._distinct: Dict[int, int] = {}
         self._null_count = 0
 
     def __len__(self) -> int:
@@ -50,8 +60,40 @@ class EncodedColumn:
             self._null_count += 1
         else:
             self._validity[byte_index] |= 1 << bit
-            self._distinct.add(encoded)
+            self._distinct[encoded] = self._distinct.get(encoded, 0) + 1
         return nbytes
+
+    def mark_deleted(self, index: int, value: Any) -> int:
+        """Tombstone one slot; returns the encoded bytes it gave back.
+
+        The code stays in the array (positions must not shift); only the
+        accounting — validity bit, live NULL count, distinct refcount —
+        moves.  Dictionary entries are catalog-global and never freed, so
+        the byte credit is the slot width, not the amortised growth.
+        """
+        byte_index, bit = divmod(index, 8)
+        if value is NULL:
+            self._null_count -= 1
+        else:
+            self._validity[byte_index] &= ~(1 << bit)
+            code = self._codes[index]
+            remaining = self._distinct.get(code, 0) - 1
+            if remaining > 0:
+                self._distinct[code] = remaining
+            else:
+                self._distinct.pop(code, None)
+        return self.codec.slot_bytes(value)
+
+    def restore(self, index: int, value: Any) -> int:
+        """Undo :meth:`mark_deleted` (delete rollback); returns slot bytes."""
+        byte_index, bit = divmod(index, 8)
+        if value is NULL:
+            self._null_count += 1
+        else:
+            self._validity[byte_index] |= 1 << bit
+            code = self._codes[index]
+            self._distinct[code] = self._distinct.get(code, 0) + 1
+        return self.codec.slot_bytes(value)
 
     @property
     def null_count(self) -> int:
@@ -59,7 +101,7 @@ class EncodedColumn:
 
     @property
     def ndv(self) -> int:
-        """Exact number of distinct non-NULL values (distinct codes)."""
+        """Exact number of distinct live non-NULL values (distinct codes)."""
         return len(self._distinct)
 
     @property
@@ -100,6 +142,33 @@ class RelationEncodedStore:
 
     def __len__(self) -> int:
         return self._row_count
+
+    def delete_row(self, position: int, row: Sequence[Any]) -> int:
+        """Tombstone one physical row slot; returns the bytes given back.
+
+        The code arrays keep the dead slot (positions must not shift);
+        NDV refcounts, NULL counts, validity bits and the byte total all
+        fold the delete exactly.
+        """
+        freed = 0
+        for column, codec, value in zip(self.schema.columns, self.codec.codecs, row):
+            if codec.is_encoded:
+                freed += self.columns[column.name].mark_deleted(position, value)
+            else:
+                freed += codec.slot_bytes(value)
+        self._total_bytes -= freed
+        return freed
+
+    def restore_row(self, position: int, row: Sequence[Any]) -> int:
+        """Undo :meth:`delete_row` (delete rollback)."""
+        added = 0
+        for column, codec, value in zip(self.schema.columns, self.codec.codecs, row):
+            if codec.is_encoded:
+                added += self.columns[column.name].restore(position, value)
+            else:
+                added += codec.slot_bytes(value)
+        self._total_bytes += added
+        return added
 
     @property
     def total_bytes(self) -> int:

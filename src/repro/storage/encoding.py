@@ -122,6 +122,15 @@ class ColumnCodec:
             return date_to_epoch_day(value), CODE_BYTES
         return value, value_size_bytes(value, self.dtype)
 
+    def slot_bytes(self, value: Any) -> int:
+        """The storage a value's slot occupies, excluding amortised
+        dictionary growth.  This is the byte credit a tombstone delete
+        gives back: dictionary entries are catalog-global and never freed,
+        so only the per-slot footprint returns."""
+        if self.is_encoded:
+            return CODE_BYTES
+        return value_size_bytes(value, self.dtype)
+
     def encode_lookup(self, value: Any) -> Any:
         """Encode without growing the dictionary; unseen strings map to
         :data:`~repro.storage.dictionary.MISSING_CODE` (matches nothing)."""

@@ -144,6 +144,15 @@ class TagGraph(Graph):
         self._codecs: Dict[str, RelationCodec] = {}
         # relation name -> per-column (name, dtype, materialise, codec) plan
         self._column_plans: Dict[str, Tuple[Tuple[str, Any, bool, Optional[ColumnCodec]], ...]] = {}
+        # attribute vertex -> number of incident tuple edges.  An attribute
+        # vertex is shared by every tuple carrying its value; the refcount
+        # is what lets a delete free the vertex exactly when the *last*
+        # referencing tuple dies — never before (a premature free would
+        # break the surviving tuples' joins), never after (an orphan leaks)
+        self._attribute_refcounts: Dict[VertexId, int] = {}
+        # per-vertex byte accounting so deletes can fold LoadReport exactly
+        self._tuple_bytes: Dict[VertexId, int] = {}
+        self._attribute_sizes: Dict[VertexId, int] = {}
 
     # ------------------------------------------------------------------
     # schema registration (encoding + materialisation policy per relation)
@@ -252,16 +261,29 @@ class TagGraph(Graph):
     # paper Section 3: attribute vertices are cheaper to maintain than
     # RDBMS indexes — only local edge changes)
     # ------------------------------------------------------------------
-    def append_tuple(self, schema: Schema, values: Dict[str, Any]) -> VertexId:
+    def append_tuple(
+        self, schema: Schema, values: Dict[str, Any], index: Optional[int] = None
+    ) -> VertexId:
         """Append one (decoded, schema-coerced) tuple: encode the payload,
-        create/connect attribute vertices and do all LoadReport accounting."""
+        create/connect attribute vertices and do all LoadReport accounting.
+
+        ``index`` pins the tuple's 1-based vertex index explicitly; the
+        encoder passes ``physical position + 1`` so vertex indexes stay
+        aligned with the relation's physical row positions even when the
+        relation carries tombstones (deleted positions simply have no
+        vertex).  Without it the next counter value is used — identical,
+        as appends only ever land past every existing position.
+        """
         plan = self._column_plans.get(schema.name)
         if plan is None:
             self.register_schema(schema)
             plan = self._column_plans[schema.name]
         report = self.load_report
-        index = self._tuple_counters.get(schema.name, 0) + 1
-        self._tuple_counters[schema.name] = index
+        if index is None:
+            index = self._tuple_counters.get(schema.name, 0) + 1
+        self._tuple_counters[schema.name] = max(
+            self._tuple_counters.get(schema.name, 0), index
+        )
         vertex_id = tuple_vertex_id(schema.name, index)
         edges_before = self.edge_count
 
@@ -284,6 +306,7 @@ class TagGraph(Graph):
         self.add_vertex(vertex_id, schema.name, {TUPLE_DATA_KEY: data})
         report.tuple_bytes += tuple_bytes
         report.tuple_vertices += 1
+        self._tuple_bytes[vertex_id] = tuple_bytes
         for column_name, dtype, value, encoded, codec in connects:
             if codec is not None and codec.kind in (CODE, EPOCH_DAY):
                 prefix = "str" if codec.kind == CODE else "date"
@@ -291,36 +314,114 @@ class TagGraph(Graph):
             else:
                 attr_id = attribute_vertex_id(value)
             if not self.has_vertex(attr_id):
+                attr_bytes = value_size_bytes(value, dtype)
                 self.add_vertex(attr_id, attribute_label(value), {ATTRIBUTE_VALUE_KEY: value})
                 self._attribute_ids[attr_id] = attr_id
+                self._attribute_sizes[attr_id] = attr_bytes
                 report.attribute_vertices += 1
-                report.attribute_bytes += value_size_bytes(value, dtype)
+                report.attribute_bytes += attr_bytes
             self.add_edge(vertex_id, attr_id, edge_label(schema.name, column_name), undirected=True)
+            self._attribute_refcounts[attr_id] = self._attribute_refcounts.get(attr_id, 0) + 1
 
         # 16 bytes per directed edge: source id reference + target id reference
         report.edge_bytes += (self.edge_count - edges_before) * 16
         report.edges = self.edge_count
-        report.per_relation[schema.name] = self._tuple_counters[schema.name]
+        report.per_relation[schema.name] = report.per_relation.get(schema.name, 0) + 1
         return vertex_id
 
     def insert_tuple(self, schema: Schema, values: Dict[str, Any]) -> VertexId:
         return self.append_tuple(schema, values)
 
     def delete_tuple(self, vertex_id: VertexId) -> None:
-        """Delete a tuple vertex and its incident edges (attribute vertices stay)."""
-        vertex = self.vertex(vertex_id)
-        if not self.is_tuple_vertex(vertex):
-            raise ValueError(f"{vertex_id!r} is not a tuple vertex")
-        # remove reverse edges from attribute vertices pointing back at us
-        for edge in self.out_edges(vertex_id):
-            reverse_list = self._out_edges[edge.target].get(edge.label, [])
-            self._out_edges[edge.target][edge.label] = [
-                reverse for reverse in reverse_list if reverse.target != vertex_id
-            ]
-            self._edge_count -= len(reverse_list) - len(
-                self._out_edges[edge.target][edge.label]
-            )
-        self.remove_vertex(vertex_id)
+        """Delete a tuple vertex, its incident edges, and — exactly when the
+        last referencing tuple dies — its now-unreferenced attribute vertices.
+
+        Attribute vertices are shared across every relation and column
+        carrying the value, so freeing them is refcounted: a vertex still
+        referenced by any surviving tuple must stay (its joins depend on
+        it), and one referenced by nobody must go (it would otherwise leak
+        and keep matching equality lookups against deleted data).
+        """
+        self.delete_tuples([vertex_id])
+
+    def delete_tuples(self, vertex_ids: Sequence[VertexId]) -> None:
+        """Batch form of :meth:`delete_tuple` — same semantics, shared scans.
+
+        A hot attribute vertex (a low-cardinality segment or priority
+        value) can carry thousands of reverse edges; filtering its edge
+        list once per deleted tuple makes a bulk delete quadratic.  The
+        batch filters every affected reverse-edge list exactly once
+        against the whole victim set, and removes the dead vertices from
+        their label lists in one pass.
+        """
+        dead = set(vertex_ids)
+        if not dead:
+            return
+        vertices = []
+        for vertex_id in vertex_ids:
+            vertex = self.vertex(vertex_id)  # raises before any mutation
+            if not self.is_tuple_vertex(vertex):
+                raise ValueError(f"{vertex_id!r} is not a tuple vertex")
+            vertices.append(vertex)
+        report = self.load_report
+        edges_before = self.edge_count
+        # one reference drop per incident edge, grouped per attribute
+        drops: Dict[VertexId, int] = {}
+        touched: set = set()  # (attribute id, edge label) lists to filter
+        for vertex_id in dead:
+            for edge in self.out_edges(vertex_id):
+                drops[edge.target] = drops.get(edge.target, 0) + 1
+                touched.add((edge.target, edge.label))
+        for attr_id, label in touched:
+            reverse_list = self._out_edges[attr_id].get(label, [])
+            kept = [reverse for reverse in reverse_list if reverse.target not in dead]
+            if kept:
+                self._out_edges[attr_id][label] = kept
+            else:
+                # drop the label key entirely: a surviving attribute vertex
+                # must look exactly like a re-encode, which never creates
+                # empty adjacency lists
+                self._out_edges[attr_id].pop(label, None)
+            self._edge_count -= len(reverse_list) - len(kept)
+        dead_attributes: List[VertexId] = []
+        for attr_id, dropped in drops.items():
+            remaining = self._attribute_refcounts.get(attr_id, 0) - dropped
+            if remaining > 0:
+                self._attribute_refcounts[attr_id] = remaining
+            else:
+                self._attribute_refcounts.pop(attr_id, None)
+                if self.has_vertex(attr_id):
+                    dead_attributes.append(attr_id)
+                self._attribute_ids.pop(attr_id, None)
+                report.attribute_vertices -= 1
+                report.attribute_bytes -= self._attribute_sizes.pop(attr_id, 0)
+        self.remove_vertices(list(dead) + dead_attributes)
+        for vertex in vertices:
+            report.tuple_vertices -= 1
+            report.tuple_bytes -= self._tuple_bytes.pop(vertex.vertex_id, 0)
+            if vertex.label in report.per_relation:
+                report.per_relation[vertex.label] -= 1
+        report.edge_bytes -= (edges_before - self.edge_count) * 16
+        report.edges = self.edge_count
+
+    def delete_relation_tuples(self, schema: Schema, positions: Sequence[int]) -> List[VertexId]:
+        """Delete the tuple vertices at the given physical row positions.
+
+        Positions are the relation's stable physical coordinates; the
+        vertex index is ``position + 1`` by the append-time invariant.
+        """
+        deleted = [
+            tuple_vertex_id(schema.name, position + 1) for position in positions
+        ]
+        self.delete_tuples(deleted)
+        return deleted
+
+    def note_tuple_floor(self, relation_name: str, count: int) -> None:
+        """Raise the relation's tuple counter to at least ``count`` so the
+        next counter-assigned append cannot reuse a deleted position's
+        index (the encoder calls this with the physical row count)."""
+        if count > self._tuple_counters.get(relation_name, 0):
+            self._tuple_counters[relation_name] = count
 
     # internal ------------------------------------------------------------
     def _connect(self, tuple_vertex: VertexId, relation: str, column: str, value: Any) -> None:
@@ -331,6 +432,7 @@ class TagGraph(Graph):
             self._attribute_ids[attr_id] = attr_id
             self.load_report.attribute_vertices += 1
         self.add_edge(tuple_vertex, attr_id, edge_label(relation, column), undirected=True)
+        self._attribute_refcounts[attr_id] = self._attribute_refcounts.get(attr_id, 0) + 1
 
 
 class TagEncoder:
@@ -374,8 +476,12 @@ class TagEncoder:
             ],
         )
         column_names = schema.column_names
-        for row in relation:
-            graph.append_tuple(schema, dict(zip(column_names, row)))
+        # encode by *physical* position (+1) so tuple vertex indexes match
+        # the relation's stable row coordinates; tombstoned positions get
+        # no vertex, and the counter floor keeps future appends past them
+        for position, row in relation.live_items():
+            graph.append_tuple(schema, dict(zip(column_names, row)), index=position + 1)
+        graph.note_tuple_floor(schema.name, relation.physical_count)
 
 
 def encode_catalog(catalog: Catalog, **kwargs) -> TagGraph:

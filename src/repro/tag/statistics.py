@@ -212,8 +212,12 @@ class RelationStatistics:
         Cardinality and null counts update exactly; NDV folds the new
         values into each column's KMV sketch and re-estimates.  The
         estimate is kept monotonic (``max`` with the previous count) —
-        under appends the true NDV can only grow, so sketch jitter must
-        never shrink the planner's input.
+        under appends alone the true NDV can only grow, so sketch jitter
+        must never shrink the planner's input.  It is also *capped* at
+        previous-count-plus-appended-rows: appending ``n`` rows can add at
+        most ``n`` distinct values, and the cap is what stops a sketch
+        still carrying deletion drift (values removed but not yet rebuilt
+        away) from re-inflating the NDV it can no longer vouch for.
         """
         row_count = self.rows + len(rows)
         columns: Dict[str, ColumnStatistics] = {}
@@ -228,7 +232,8 @@ class RelationStatistics:
                     sketch.add(value)
             distinct = stats.distinct_values
             if sketch is not None:
-                distinct = max(distinct, sketch.estimate())
+                ceiling = stats.distinct_values + len(rows)
+                distinct = max(distinct, min(sketch.estimate(), ceiling))
             columns[name] = replace(
                 stats,
                 distinct_values=distinct,
@@ -237,6 +242,58 @@ class RelationStatistics:
             )
         return replace(
             self, rows=row_count, bytes=self.bytes + added_bytes, columns=columns
+        )
+
+    def with_removals(
+        self,
+        relation: Relation,
+        removed_rows: Sequence[Dict[str, Any]],
+        removed_bytes: int = 0,
+    ) -> "RelationStatistics":
+        """A copy reflecting ``removed_rows`` deleted, without a full rescan.
+
+        Cardinality, null counts and bytes decrease exactly.  NDV is read
+        back from the (already tombstoned) relation — exact for free on
+        encoded columns via the store's distinct-code refcounts, one
+        memoized live-row scan otherwise.  The KMV sketches cannot
+        subtract, so each one records its deletion drift and is re-seeded
+        from the surviving values once drift passes
+        :data:`~repro.incremental.sketch.REBUILD_DRIFT_RATIO` — that is
+        what lets the estimate re-converge instead of over-counting the
+        dead values forever.
+        """
+        row_count = max(0, self.rows - len(removed_rows))
+        columns: Dict[str, ColumnStatistics] = {}
+        for name, stats in self.columns.items():
+            null_removed = 0
+            value_removed = 0
+            for row in removed_rows:
+                value = row.get(name, NULL)
+                if value is NULL or value is None:
+                    null_removed += 1
+                else:
+                    value_removed += 1
+            sketch = stats.sketch
+            if sketch is not None and value_removed:
+                sketch.note_removals(value_removed)
+                if sketch.needs_rebuild(row_count):
+                    sketch.rebuild_from(
+                        value
+                        for value in relation.column_values(name)
+                        if value is not NULL and value is not None
+                    )
+            columns[name] = replace(
+                stats,
+                distinct_values=relation.distinct_count(name),
+                null_count=max(0, stats.null_count - null_removed),
+                row_count=row_count,
+                sketch=sketch,
+            )
+        return replace(
+            self,
+            rows=row_count,
+            bytes=max(0, self.bytes - removed_bytes),
+            columns=columns,
         )
 
 
@@ -291,6 +348,32 @@ class CatalogStatistics:
             )
         else:
             self.relations[relation_name] = stats.with_delta(rows, added_bytes)
+        self.catalog_version = catalog.version
+
+    def apply_removal(
+        self,
+        catalog: Catalog,
+        relation_name: str,
+        removed_rows: Sequence[Dict[str, Any]],
+        removed_bytes: int = 0,
+    ) -> None:
+        """Fold deleted ``removed_rows`` out, in place (tombstone path).
+
+        The deletion mirror of :meth:`apply_delta`: exact cardinality,
+        null-count and byte decreases, NDV re-read from the live relation,
+        sketch drift tracked (and rebuilt past the threshold) — then the
+        catalog's current version is stamped so the planners keep their
+        reference without a rescan.  Must run *after* the relation has
+        tombstoned the rows, since it reads live-only state back.
+        """
+        stats = self.relations.get(relation_name)
+        relation = catalog.relation(relation_name)
+        if stats is None:
+            self.relations[relation_name] = RelationStatistics.of(relation)
+        else:
+            self.relations[relation_name] = stats.with_removals(
+                relation, removed_rows, removed_bytes
+            )
         self.catalog_version = catalog.version
 
     # ------------------------------------------------------------------

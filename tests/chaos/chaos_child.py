@@ -8,18 +8,22 @@ a deterministic write workload.  Three modes:
 ``workload``
     Open a durable :class:`Database` on ``--data-dir`` and apply a fixed
     sequence of batches with stable request ids (``batch-<i>``), printing
-    an ``ACK`` JSON line after each acknowledged receipt.  Interleaves
-    tag-engine queries (BSP supersteps → ``bsp.superstep``), periodic
-    checkpoints (``snapshot.*`` / ``wal.compact.before_swap``) and a short
-    served phase over TCP (``serve.dispatch``).  Crash-mode failpoints are
+    an ``ACK`` JSON line after each acknowledged receipt.  Batches are
+    followed by deterministic deletes/updates of their own rows
+    (``delete-<i>`` / ``update-<i>``) so the ``delta_delete.*``
+    failpoints fire on the workload path.  Interleaves tag-engine
+    queries (BSP supersteps → ``bsp.superstep``), periodic checkpoints
+    (``snapshot.*`` / ``wal.compact.before_swap``) and a short served
+    phase over TCP (``serve.dispatch``).  Crash-mode failpoints are
     armed by the parent via the ``REPRO_FAILPOINTS`` environment variable.
 
 ``verify``
     Recover from ``--data-dir`` (no faults armed), then re-apply EVERY
-    batch with its original request id.  Batches the workload run already
-    acknowledged (``--acked 0,2,5``) must come back ``deduplicated`` —
-    an acknowledged write that was lost, or one applied twice, fails
-    here.  Prints the golden query results as a ``GOLDEN`` JSON line.
+    batch and mutation with its original request id.  Writes the
+    workload run already acknowledged (``--acked 0,2,delete-1``) must
+    come back ``deduplicated`` — an acknowledged write that was lost,
+    or one applied twice, fails here.  Prints the golden query results
+    as a ``GOLDEN`` JSON line.
 
 ``clean``
     Memory-only database, every batch applied exactly once, same
@@ -121,6 +125,38 @@ def all_batches(seed: int) -> list:
     return [(i, batch_rows(seed, i)) for i in range(BATCHES + 1)]
 
 
+def batch_mutations(seed: int, batch: int) -> list:
+    """Deterministic deletes/updates of batch ``batch``'s own rows.
+
+    ``(kind, request_id, victim_row, replacement_row_or_None)`` tuples,
+    applied right after the batch lands so the victims always exist.
+    Deletes take the batch's first row, updates rewrite the second row's
+    O_TOTAL (key untouched) — disjoint victims, FK-safe (nothing
+    references ORDERS).  The serve batch gets none, and neither verify
+    nor clean mode needs any other source of truth than this function.
+    """
+    if batch >= BATCHES:
+        return []
+    rows = batch_rows(seed, batch)
+    mutations = []
+    if batch % 3 == 1:
+        mutations.append(("delete", f"delete-{batch}", rows[0], None))
+    if batch % 4 == 2 and len(rows) > 1:
+        replacement = list(rows[1])
+        replacement[2] = round(replacement[2] + 111.11, 2)
+        mutations.append(("update", f"update-{batch}", rows[1], replacement))
+    return mutations
+
+
+def apply_mutation(database: Database, mutation: tuple) -> dict:
+    kind, request_id, victim, replacement = mutation
+    if kind == "delete":
+        return database.apply_delete("ORDERS", [victim], request_id=request_id)
+    return database.apply_update(
+        "ORDERS", [victim], [replacement], request_id=request_id
+    )
+
+
 def golden(database: Database) -> dict:
     session = database.connect(engine="tag")
     return {
@@ -162,6 +198,10 @@ def run_workload(data_dir: str, seed: int) -> None:
     for batch, rows in all_batches(seed)[:BATCHES]:
         receipt = database.apply_write("ORDERS", rows, request_id=f"batch-{batch}")
         ack(batch, receipt)
+        for mutation in batch_mutations(seed, batch):
+            result = apply_mutation(database, mutation)
+            print(json.dumps({"ack": mutation[1], "lsn": result["lsn"]}))
+            sys.stdout.flush()
         if batch % 3 == 2:
             database.connect(engine="tag").sql(JOIN_SQL)  # BSP supersteps
         if batch % 4 == 3:
@@ -176,12 +216,22 @@ def run_verify(data_dir: str, seed: int, acked: set) -> None:
     database = Database(build_catalog(), data_dir=data_dir)  # recovery happens here
     for batch, rows in all_batches(seed):
         receipt = database.apply_write("ORDERS", rows, request_id=f"batch-{batch}")
-        if batch in acked and not receipt["deduplicated"]:
+        if str(batch) in acked and not receipt["deduplicated"]:
             print(
                 json.dumps({"error": f"acknowledged batch {batch} was lost"}),
                 file=sys.stderr,
             )
             sys.exit(3)
+        for mutation in batch_mutations(seed, batch):
+            result = apply_mutation(database, mutation)
+            if mutation[1] in acked and not result["deduplicated"]:
+                print(
+                    json.dumps(
+                        {"error": f"acknowledged mutation {mutation[1]} was lost"}
+                    ),
+                    file=sys.stderr,
+                )
+                sys.exit(3)
     final = golden(database)
     database.close()
     print(json.dumps({"golden": final}))
@@ -191,6 +241,8 @@ def run_clean(seed: int) -> None:
     database = Database(build_catalog())
     for batch, rows in all_batches(seed):
         database.apply_write("ORDERS", rows, request_id=f"batch-{batch}")
+        for mutation in batch_mutations(seed, batch):
+            apply_mutation(database, mutation)
     print(json.dumps({"golden": golden(database)}))
 
 
@@ -206,7 +258,7 @@ def main() -> None:
     if args.mode == "workload":
         run_workload(args.data_dir, args.seed)
     elif args.mode == "verify":
-        acked = {int(b) for b in args.acked.split(",") if b != ""}
+        acked = {b for b in args.acked.split(",") if b != ""}
         run_verify(args.data_dir, args.seed, acked)
     else:
         run_clean(args.seed)

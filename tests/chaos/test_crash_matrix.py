@@ -37,7 +37,7 @@ def run_child(mode, data_dir=None, acked=None, failpoints=None, timeout=120):
     if data_dir is not None:
         argv += ["--data-dir", data_dir]
     if acked is not None:
-        argv += ["--acked", ",".join(str(b) for b in sorted(acked))]
+        argv += ["--acked", ",".join(str(b) for b in sorted(acked, key=str))]
     env = {"PATH": os.environ.get("PATH", "/usr/bin:/bin")}
     if failpoints:
         env["REPRO_FAILPOINTS"] = failpoints

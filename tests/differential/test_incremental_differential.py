@@ -195,6 +195,70 @@ def test_interleaved_writes_match_cold_rebuild(seed):
     assert maintenance["full_rebuilds"] == 0, "a delta fell back to scorched earth"
 
 
+@pytest.mark.parametrize("seed", [3, 20260808])
+def test_interleaved_mutations_match_cold_rebuild(seed):
+    """Inserts, deletes and updates interleaved, FK-safe by construction.
+
+    Deletes target only delta-inserted ITEM rows (the FK leaf — nothing
+    references them); updates rewrite non-key columns of delta-inserted
+    ORD rows (O_ID untouched, so ITEM children stay valid).  The shadow
+    lists track the surviving delta rows, which is exactly what the cold
+    reference extends its relations with.
+    """
+    rng = random.Random(seed)
+    generator = DeltaGenerator(rng)
+    database = make_database()
+    for case in QUERY_BATTERY:
+        run_case(database, case)
+
+    # surviving delta rows per table — the reference's extension set
+    shadow: Dict[str, List[list]] = {"REGION": [], "CUST": [], "ORD": [], "ITEM": []}
+
+    def applied() -> List[tuple]:
+        return [(table, rows) for table, rows in shadow.items() if rows]
+
+    for _ in range(ROUNDS):
+        # 1) grow: ORD/ITEM get fresh FK-valid rows to mutate later
+        for table in ("ORD", "ITEM"):
+            rows = generator.rows_for(table, rng.randint(2, 5))
+            database.load_rows(table, rows)
+            shadow[table].extend(rows)
+        if rng.random() < 0.5:
+            table = rng.choice(("REGION", "CUST"))
+            rows = generator.rows_for(table, rng.randint(1, 3))
+            database.load_rows(table, rows)
+            shadow[table].extend(rows)
+
+        # 2) delete up to two delta-inserted ITEM rows by value
+        victims = [
+            shadow["ITEM"].pop(rng.randrange(len(shadow["ITEM"])))
+            for _ in range(min(rng.randint(1, 2), len(shadow["ITEM"])))
+        ]
+        if victims:
+            assert database.delete_rows("ITEM", victims) == len(victims)
+
+        # 3) update a delta-inserted ORD row's non-key columns
+        if shadow["ORD"] and rng.random() < 0.8:
+            index = rng.randrange(len(shadow["ORD"]))
+            victim = shadow["ORD"][index]
+            replacement = list(victim)
+            replacement[2] = rng.choice(STATUSES)
+            replacement[3] = round(rng.uniform(5, 2000), 2)
+            receipt = database.apply_update("ORD", [victim], [replacement])
+            assert receipt["deleted"] == 1 and receipt["inserted"] == 1
+            shadow["ORD"][index] = replacement
+
+        # all five engines of the warm database still agree with each other
+        for case in QUERY_BATTERY:
+            run_case(database, case)
+        # ... and with a database that never saw a delta or a tombstone
+        assert_matches_reference(database, applied())
+
+    maintenance = database.cache_stats()["maintenance"]
+    assert maintenance["delete_deltas_applied"] > 0
+    assert maintenance["full_rebuilds"] == 0, "a mutation fell back to scorched earth"
+
+
 @pytest.mark.parametrize("seed", [7, 20260808])
 def test_materialized_view_matches_cold_reexecution(seed):
     view_sql = (

@@ -1,8 +1,12 @@
-"""KMV distinct-count sketch: exactness, accuracy, merge, pruning."""
+"""KMV distinct-count sketch: exactness, accuracy, merge, pruning, drift."""
 
 import pytest
 
-from repro.incremental.sketch import DEFAULT_SKETCH_SIZE, KMVSketch
+from repro.incremental.sketch import (
+    DEFAULT_SKETCH_SIZE,
+    REBUILD_DRIFT_RATIO,
+    KMVSketch,
+)
 
 
 class TestExactRegime:
@@ -76,6 +80,68 @@ class TestMerge:
         clone.add("extra")
         assert sketch.estimate() == 10
         assert clone.estimate() == 11
+
+
+class TestDeletionDrift:
+    """The satellite bugfix: KMV synopses are insert-only, so deletions
+    inflate the estimate forever unless drift triggers a rebuild."""
+
+    def test_removals_accumulate_until_rebuild(self):
+        sketch = KMVSketch()
+        sketch.update(range(100))
+        sketch.note_removals(10)
+        sketch.note_removals(5)
+        assert sketch.removals == 15
+        sketch.rebuild_from(range(85))
+        assert sketch.removals == 0
+
+    def test_needs_rebuild_triggers_at_drift_ratio(self):
+        sketch = KMVSketch()
+        sketch.update(range(1000))
+        live = 1000
+        below = int(REBUILD_DRIFT_RATIO * live) - 1
+        sketch.note_removals(below)
+        assert not sketch.needs_rebuild(live)
+        sketch.note_removals(live)  # way past the threshold
+        assert sketch.needs_rebuild(live)
+
+    def test_no_removals_never_needs_rebuild(self):
+        sketch = KMVSketch()
+        sketch.update(range(10))
+        assert not sketch.needs_rebuild(10)
+        assert not sketch.needs_rebuild(0)
+
+    def test_estimate_reconverges_after_half_the_values_die(self):
+        # insert 5000 distinct values, delete half: the stale sketch keeps
+        # estimating ~5000; a drift-triggered rebuild from the survivors
+        # must bring it back within the sketch's native ~6% error band
+        sketch = KMVSketch()
+        values = [f"value-{i}" for i in range(5000)]
+        sketch.update(values)
+        stale = sketch.estimate()
+        assert 5000 * 0.75 <= stale <= 5000 * 1.25
+
+        survivors = values[: len(values) // 2]
+        sketch.note_removals(len(values) - len(survivors))
+        assert sketch.needs_rebuild(len(survivors))
+        sketch.rebuild_from(survivors)
+        rebuilt = sketch.estimate()
+        assert 2500 * 0.75 <= rebuilt <= 2500 * 1.25
+        assert rebuilt < stale
+
+    def test_copy_carries_drift_state(self):
+        sketch = KMVSketch()
+        sketch.update(range(100))
+        sketch.note_removals(40)
+        clone = sketch.copy()
+        assert clone.removals == 40
+        assert clone.needs_rebuild(60) == sketch.needs_rebuild(60)
+
+    def test_as_dict_reports_removals(self):
+        sketch = KMVSketch()
+        sketch.update(range(10))
+        sketch.note_removals(3)
+        assert sketch.as_dict()["removals"] == 3
 
 
 class TestApi:

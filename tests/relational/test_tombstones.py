@@ -1,0 +1,100 @@
+"""Relation tombstones: stable physical positions under delete/restore.
+
+The invariant everything downstream leans on: ``delete_positions`` never
+shifts a surviving row's physical position — the TAG graph's tuple-vertex
+indexes (position + 1) and the RDBMS indexes' stored positions stay valid
+without rewriting.  ``restore_positions`` is the rollback inverse, and
+``match_positions`` resolves by-value deletes with bag semantics.
+"""
+
+import pytest
+
+from repro.relational import Column, DataType, Relation, Schema
+
+
+def make_relation():
+    return Relation(
+        Schema(
+            "T",
+            [Column("K", DataType.INT, nullable=False), Column("V", DataType.STRING)],
+            primary_key=["K"],
+        ),
+        [[1, "a"], [2, "b"], [3, "c"], [4, "b"]],
+    )
+
+
+class TestDeletePositions:
+    def test_tombstoned_rows_leave_positions_stable(self):
+        relation = make_relation()
+        deleted = relation.delete_positions([1])
+        assert deleted == [(2, "b")]
+        assert len(relation) == 3
+        assert relation.physical_count == 4  # slots never shrink
+        assert [pos for pos, _ in relation.live_items()] == [0, 2, 3]
+        assert list(relation) == [(1, "a"), (3, "c"), (4, "b")]
+
+    def test_delete_validates_all_before_mutating(self):
+        relation = make_relation()
+        with pytest.raises(IndexError):
+            relation.delete_positions([0, 99])  # second is out of range
+        assert len(relation) == 4  # first was not tombstoned either
+
+    def test_double_delete_rejected(self):
+        relation = make_relation()
+        relation.delete_positions([2])
+        with pytest.raises(ValueError):
+            relation.delete_positions([2])
+
+    def test_appends_land_past_tombstones(self):
+        relation = make_relation()
+        relation.delete_positions([3])  # last physical slot
+        relation.extend([[5, "e"]])
+        assert relation.physical_count == 5
+        assert [pos for pos, _ in relation.live_items()] == [0, 1, 2, 4]
+
+    def test_column_scans_skip_dead_rows(self):
+        relation = make_relation()
+        relation.delete_positions([1, 3])
+        assert relation.column_values("V") == ["a", "c"]
+        assert relation.distinct_count("V") == 2  # both "b"s are dead
+
+
+class TestRestorePositions:
+    def test_restore_reverses_delete(self):
+        relation = make_relation()
+        relation.delete_positions([0, 2])
+        assert relation.restore_positions([0, 2]) == 2
+        assert list(relation) == [(1, "a"), (2, "b"), (3, "c"), (4, "b")]
+        assert relation.distinct_count("V") == 3
+
+    def test_restore_is_tolerant_of_live_positions(self):
+        # rollback calls restore with the full victim list even if the
+        # failure hit before every position was tombstoned
+        relation = make_relation()
+        relation.delete_positions([1])
+        assert relation.restore_positions([0, 1]) == 1  # only 1 was dead
+        assert len(relation) == 4
+
+
+class TestMatchPositions:
+    def test_matches_by_value_with_bag_semantics(self):
+        relation = make_relation()
+        # two rows carry V="b"; one request consumes exactly one of them
+        assert relation.match_positions([[2, "b"]]) == [1]
+        assert relation.match_positions([[4, "b"], [1, "a"]]) == [3, 0]
+
+    def test_missing_row_raises(self):
+        relation = make_relation()
+        with pytest.raises(KeyError):
+            relation.match_positions([[9, "zzz"]])
+
+    def test_dead_rows_do_not_match(self):
+        relation = make_relation()
+        relation.delete_positions([1])
+        with pytest.raises(KeyError):
+            relation.match_positions([[2, "b"]])
+
+    def test_values_are_schema_coerced(self):
+        relation = make_relation()
+        # ints arriving as floats (wire decode) still match after coercion
+        assert relation.match_positions([[1.0, "a"]]) == [0]

@@ -1,0 +1,159 @@
+"""Serving-layer deletes and updates over real localhost TCP.
+
+Mutations ride the write path: they pass admission control as writes,
+invalidate the tenant's cached result sets, and — on a durable tenant —
+deduplicate retried request ids so an ambiguous client timeout can be
+retried safely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Optional
+
+import pytest
+
+from repro.api import Database
+from repro.serve import QueryServer, ServeClient, ServerConfig, ServerError, connect
+
+from tests.conftest import make_mini_catalog
+
+COUNT_SQL = "SELECT COUNT(*) AS n FROM ORDERS o"
+JOIN_COUNT_SQL = (
+    "SELECT COUNT(*) AS n FROM CUSTOMER c, ORDERS o WHERE c.C_CUSTKEY = o.O_CUSTKEY"
+)
+
+
+def serving(
+    scenario: Callable[[QueryServer, ServeClient], Awaitable[None]],
+    database: Optional[Database] = None,
+) -> None:
+    async def body() -> None:
+        db = database if database is not None else Database(make_mini_catalog())
+        server = QueryServer(db, ServerConfig())
+        await server.start()
+        try:
+            client = await connect(server.host, server.port)
+            try:
+                await scenario(server, client)
+                assert client.invalid_frames == []
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(body())
+
+
+class TestDeleteOp:
+    def test_delete_rows_removes_and_reports(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            before = await client.execute(COUNT_SQL)
+            assert before.single_value() == 6
+            receipt = await client.delete_rows("ORDERS", [[100, 10, 50.0, "HIGH"]])
+            assert receipt["deleted"] == 1
+            assert receipt["deduplicated"] is False
+            assert receipt["relation"] == "ORDERS"
+            after = await client.execute(COUNT_SQL)
+            assert after.single_value() == 5
+
+        serving(scenario)
+
+    def test_delete_invalidates_cached_reads(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            await client.request("execute", sql=JOIN_COUNT_SQL)  # now cached
+            await client.delete_rows("ORDERS", [[100, 10, 50.0, "HIGH"]])
+            frame = await client.request("execute", sql=JOIN_COUNT_SQL)
+            assert frame["result"]["cached"] is False
+            from repro.core.executor import QueryResult
+
+            assert (
+                QueryResult.from_json(frame["result"]["result_set"]).single_value()
+                == 4
+            )
+
+        serving(scenario)
+
+    def test_delete_unknown_relation_is_rejected(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            with pytest.raises(ServerError):
+                await client.delete_rows("NO_SUCH_TABLE", [[1]])
+            # the connection survives the rejected frame
+            result = await client.execute(COUNT_SQL)
+            assert result.single_value() == 6
+
+        serving(scenario)
+
+    def test_delete_missing_row_is_rejected_without_damage(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            with pytest.raises(ServerError):
+                await client.delete_rows("ORDERS", [[999, 99, 0.0, "HIGH"]])
+            result = await client.execute(COUNT_SQL)
+            assert result.single_value() == 6
+
+        serving(scenario)
+
+
+class TestUpdateOp:
+    def test_update_rows_replaces_values(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            receipt = await client.update_rows(
+                "ORDERS", [[100, 10, 50.0, "HIGH"]], [[100, 10, 640.0, "LOW"]]
+            )
+            assert receipt["deleted"] == 1
+            assert receipt["inserted"] == 1
+            result = await client.execute(
+                "SELECT o.O_TOTAL AS t FROM ORDERS o WHERE o.O_ORDERKEY = 100"
+            )
+            assert result.single_value() == 640.0
+
+        serving(scenario)
+
+    def test_update_keeps_row_count_flat(self):
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            await client.update_rows(
+                "ORDERS", [[101, 10, 20.0, "LOW"]], [[101, 11, 20.0, "LOW"]]
+            )
+            result = await client.execute(COUNT_SQL)
+            assert result.single_value() == 6
+
+        serving(scenario)
+
+
+class TestMutationIdempotencyOverWire:
+    def test_retried_delete_deduplicates_on_durable_tenant(self, tmp_path):
+        database = Database(make_mini_catalog(), data_dir=str(tmp_path / "d"))
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            victim = [[100, 10, 50.0, "HIGH"]]
+            first = await client.delete_rows("ORDERS", victim, request_id="wire-del-1")
+            assert first["deleted"] == 1
+            retry = await client.delete_rows("ORDERS", victim, request_id="wire-del-1")
+            assert retry["deduplicated"] is True
+            assert server.stats.deduplicated_writes == 1
+            result = await client.execute(COUNT_SQL)
+            assert result.single_value() == 5
+
+        serving(scenario, database=database)
+        database.close()
+
+    def test_retried_update_deduplicates_on_durable_tenant(self, tmp_path):
+        database = Database(make_mini_catalog(), data_dir=str(tmp_path / "d"))
+
+        async def scenario(server: QueryServer, client: ServeClient) -> None:
+            victim = [[100, 10, 50.0, "HIGH"]]
+            replacement = [[100, 10, 75.5, "HIGH"]]
+            await client.update_rows(
+                "ORDERS", victim, replacement, request_id="wire-up-1"
+            )
+            retry = await client.update_rows(
+                "ORDERS", victim, replacement, request_id="wire-up-1"
+            )
+            assert retry["deduplicated"] is True
+            result = await client.execute(
+                "SELECT o.O_TOTAL AS t FROM ORDERS o WHERE o.O_ORDERKEY = 100"
+            )
+            assert result.single_value() == 75.5
+
+        serving(scenario, database=database)
+        database.close()
